@@ -1,0 +1,112 @@
+//! Criterion benchmarks of the test-generation and detection pipeline:
+//! the costs a deployment actually pays (pattern generation is one-time
+//! at the cloud; detection runs concurrently on-device).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon_data::{Dataset, DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+use std::hint::black_box;
+
+fn fixture() -> (Network, Dataset) {
+    let spec = DatasetSpec { train: 1, test: 300, seed: 5, noise: 0.1 };
+    let raw = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let test = Dataset::new(
+        raw.test.images.reshape(&[raw.test.len(), n_pixels]).expect("flatten"),
+        raw.test.labels.clone(),
+        10,
+    );
+    let mut rng = SeededRng::new(1);
+    let net = tiny_mlp(n_pixels, 48, 10, &mut rng);
+    (net, test)
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let (net, pool) = fixture();
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+
+    group.bench_function("ctp_select_50_of_300", |b| {
+        let mut net = net.clone();
+        b.iter(|| black_box(CtpGenerator::new(50).select(&mut net, &pool)));
+    });
+
+    group.bench_function("aet_fgsm_50", |b| {
+        let mut net = net.clone();
+        b.iter(|| {
+            let mut rng = SeededRng::new(2);
+            black_box(AetGenerator::new(50, 0.15).generate(&mut net, &pool, &mut rng))
+        });
+    });
+
+    let reference =
+        FaultCampaign::new(&net, 7).model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    for iters in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("otp_10_patterns", iters), &iters, |b, &iters| {
+            b.iter(|| {
+                let mut rng = SeededRng::new(3);
+                black_box(
+                    OtpGenerator::new()
+                        .max_iters(iters)
+                        .generate(&net, &reference, &mut rng),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let (net, _) = fixture();
+    let mut group = c.benchmark_group("detection");
+    let mut rng = SeededRng::new(4);
+    let mut golden = net.clone();
+
+    for &patterns in &[10usize, 50] {
+        let set = TestPatternSet::new(
+            "bench",
+            Tensor::rand_uniform(&[patterns, 28 * 28], 0.0, 1.0, &mut rng),
+        );
+        let detector = Detector::new(&mut golden, set);
+        let mut faulty = net.clone();
+        FaultModel::ProgrammingVariation { sigma: 0.3 }
+            .apply(&mut faulty, &mut SeededRng::new(5));
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_test_single_device", patterns),
+            &patterns,
+            |b, _| {
+                b.iter(|| {
+                    black_box(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 }))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let (net, _) = fixture();
+    let mut group = c.benchmark_group("fault_injection");
+    for (name, fault) in [
+        ("programming_variation", FaultModel::ProgrammingVariation { sigma: 0.2 }),
+        ("soft_error_1pct", FaultModel::RandomSoftError { probability: 0.01 }),
+        ("stuck_at", FaultModel::StuckAt { sa0: 0.05, sa1: 0.05 }),
+        ("drift", FaultModel::Drift { nu: 0.1, time: 1.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut copy = net.clone();
+                fault.apply(&mut copy, &mut SeededRng::new(6));
+                black_box(copy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_detection, bench_fault_injection);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Ablation studies of the design choices behind each method (LeNet-5):
+//!
+//! * **O-TP α** — the loss-balance coefficient. α → 1 optimizes only for
+//!   clean-model confusion, α → 0 only for fault-model confidence; the
+//!   paper's α = 0.5 balances both.
+//! * **AET ε** — the FGSM budget of the baseline.
+//! * **C-TP pool size** — corner-data quality as a function of how many
+//!   candidate images the selection can draw from.
+//! * **O-TP reference-fault σ** — how the choice of reference fault model
+//!   affects generalization to unseen error levels.
+
+use healthmon::report::{distance, percent, TextTable};
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion};
+use healthmon_bench::harness::{emit, train_or_load, Benchmark, CAMPAIGN_SEED, PATTERN_SEED};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use std::fmt::Write as _;
+use healthmon_tensor::SeededRng;
+
+fn main() {
+    let benchmark = Benchmark::Lenet5Digits;
+    let mut trained = train_or_load(benchmark);
+    let count: usize = std::env::var("HEALTHMON_MODELS_PER_LEVEL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let eval_fault = FaultModel::ProgrammingVariation { sigma: 0.25 };
+    let crit = SdcCriterion::SdcA { threshold: 0.03 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablations on {} ({count} fault models, eval fault {}, criterion {})\n",
+        benchmark.label(),
+        eval_fault.describe(),
+        crit.label()
+    );
+
+    let evaluate = |detector: &Detector, golden: &healthmon_nn::Network| -> (f32, f32) {
+        let rate = detector.detection_rate(golden, &eval_fault, count, CAMPAIGN_SEED, crit);
+        let ds = detector.campaign_distances(golden, &eval_fault, count, CAMPAIGN_SEED);
+        let mean = ds.iter().map(|d| d.all_classes).sum::<f32>() / ds.len() as f32;
+        (rate, mean)
+    };
+
+    // --- O-TP alpha sweep ---------------------------------------------------
+    let reference = FaultCampaign::new(&trained.model, PATTERN_SEED)
+        .model(&benchmark.otp_reference_fault(), 0);
+    let mut table = TextTable::new(vec![
+        "O-TP alpha".into(),
+        "mean distance".into(),
+        "detection rate".into(),
+        "converged".into(),
+    ]);
+    for alpha in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
+        let (set, outcomes) = OtpGenerator::new()
+            .alpha(alpha)
+            .max_iters(400)
+            .generate(&trained.model, &reference, &mut SeededRng::new(41));
+        let detector = Detector::new(&mut trained.model, set);
+        let (rate, mean) = evaluate(&detector, &trained.model);
+        table.push_row(vec![
+            format!("{alpha:.1}"),
+            distance(mean),
+            percent(rate),
+            format!("{}/{}", outcomes.iter().filter(|o| o.converged).count(), outcomes.len()),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    // --- AET epsilon sweep ---------------------------------------------------
+    let mut table = TextTable::new(vec![
+        "AET epsilon".into(),
+        "mean distance".into(),
+        "detection rate".into(),
+    ]);
+    for eps in [0.05f32, 0.1, 0.15, 0.2, 0.3] {
+        let set = AetGenerator::new(50, eps).generate(
+            &mut trained.model,
+            &trained.data.test,
+            &mut SeededRng::new(42),
+        );
+        let detector = Detector::new(&mut trained.model, set);
+        let (rate, mean) = evaluate(&detector, &trained.model);
+        table.push_row(vec![format!("{eps:.2}"), distance(mean), percent(rate)]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    // --- C-TP candidate-pool sweep -------------------------------------------
+    let mut table = TextTable::new(vec![
+        "C-TP pool size".into(),
+        "mean distance".into(),
+        "detection rate".into(),
+    ]);
+    for pool in [100usize, 300, 1000] {
+        let idx: Vec<usize> = (0..pool.min(trained.data.test.len())).collect();
+        let subset = trained.data.test.subset(&idx);
+        let set = CtpGenerator::new(50).select(&mut trained.model, &subset);
+        let detector = Detector::new(&mut trained.model, set);
+        let (rate, mean) = evaluate(&detector, &trained.model);
+        table.push_row(vec![pool.to_string(), distance(mean), percent(rate)]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    // --- O-TP reference-fault sigma sweep -------------------------------------
+    let mut table = TextTable::new(vec![
+        "O-TP reference sigma".into(),
+        "mean distance".into(),
+        "detection rate".into(),
+    ]);
+    for ref_sigma in [0.1f32, 0.2, 0.3, 0.5] {
+        let reference = FaultCampaign::new(&trained.model, PATTERN_SEED)
+            .model(&FaultModel::ProgrammingVariation { sigma: ref_sigma }, 0);
+        let (set, _) = OtpGenerator::new()
+            .max_iters(400)
+            .generate(&trained.model, &reference, &mut SeededRng::new(43));
+        let detector = Detector::new(&mut trained.model, set);
+        let (rate, mean) = evaluate(&detector, &trained.model);
+        table.push_row(vec![format!("{ref_sigma:.1}"), distance(mean), percent(rate)]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    emit("ablations", &out);
+}

@@ -1,0 +1,11 @@
+//! Trains both benchmark models from scratch and reports accuracy — a
+//! calibration/smoke entry point, not a paper artifact.
+
+use healthmon_bench::harness::{train_or_load, Benchmark};
+
+fn main() {
+    for b in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let trained = train_or_load(b);
+        println!("{}: test accuracy {:.2}%", b.label(), trained.test_accuracy * 100.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! **Fig 3**: top-ranked and all-class confidence distance of AET, C-TP
+//! and O-TP versus programming-variation σ, on both benchmarks.
+
+use healthmon::report::series_line;
+use healthmon::Detector;
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut out = String::new();
+    let count = models_per_level();
+    let _ = writeln!(
+        out,
+        "Fig 3 — mean confidence distance vs sigma ({count} fault models per point)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let _ = writeln!(out, "== {} ==", benchmark.label());
+        for patterns in suite.methods() {
+            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let mut top_series = Vec::new();
+            let mut all_series = Vec::new();
+            for sigma in benchmark.sigma_grid() {
+                let distances = detector.campaign_distances(
+                    &trained.model,
+                    &FaultModel::ProgrammingVariation { sigma },
+                    count,
+                    CAMPAIGN_SEED,
+                );
+                let n = distances.len() as f32;
+                top_series.push((sigma, distances.iter().map(|d| d.top_ranked).sum::<f32>() / n));
+                all_series.push((sigma, distances.iter().map(|d| d.all_classes).sum::<f32>() / n));
+            }
+            let _ = writeln!(
+                out,
+                "{}",
+                series_line(&format!("{} top-ranked distance", patterns.method()), &top_series)
+            );
+            let _ = writeln!(
+                out,
+                "{}",
+                series_line(&format!("{} all-class distance", patterns.method()), &all_series)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    emit("fig3", &out);
+}

@@ -1,0 +1,64 @@
+//! **Fig 4**: detection rate vs programming-variation σ on the
+//! confidence-threshold criteria (SDC-T5%, SDC-T10%, SDC-A3%, SDC-A5%)
+//! for AET, C-TP and O-TP on both benchmarks.
+//!
+//! O-TP is evaluated only on the SDC-A criteria, matching the paper: its
+//! patterns have no meaningful top-ranked class on the clean model.
+
+use healthmon::report::series_line;
+use healthmon::{Detector, SdcCriterion};
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let criteria = [
+        SdcCriterion::SdcT { threshold: 0.05 },
+        SdcCriterion::SdcT { threshold: 0.10 },
+        SdcCriterion::SdcA { threshold: 0.03 },
+        SdcCriterion::SdcA { threshold: 0.05 },
+    ];
+    let count = models_per_level();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 4 — detection rate vs sigma on SDC-T/SDC-A criteria ({count} fault models per point)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let _ = writeln!(out, "== {} ==", benchmark.label());
+        for patterns in suite.methods() {
+            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let active: Vec<SdcCriterion> = criteria
+                .iter()
+                .copied()
+                .filter(|c| !(patterns.method() == "O-TP" && c.uses_top_class()))
+                .collect();
+            let mut series: Vec<Vec<(f32, f32)>> = vec![Vec::new(); active.len()];
+            for sigma in benchmark.sigma_grid() {
+                let rates = detector.detection_rates(
+                    &trained.model,
+                    &FaultModel::ProgrammingVariation { sigma },
+                    count,
+                    CAMPAIGN_SEED,
+                    &active,
+                );
+                for (s, r) in series.iter_mut().zip(&rates) {
+                    s.push((sigma, *r));
+                }
+            }
+            for (crit, s) in active.iter().zip(&series) {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    series_line(&format!("{} {}", patterns.method(), crit.label()), s)
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+    emit("fig4", &out);
+}

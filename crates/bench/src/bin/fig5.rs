@@ -1,0 +1,52 @@
+//! **Fig 5**: detection rate vs programming-variation σ on the
+//! class-change criteria (SDC-1 and SDC-5) for AET and C-TP on both
+//! benchmarks (O-TP is excluded, as in the paper — it does not assess the
+//! top-ranked class).
+
+use healthmon::report::series_line;
+use healthmon::{Detector, SdcCriterion};
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let criteria = [SdcCriterion::Sdc1, SdcCriterion::Sdc5];
+    let count = models_per_level();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 5 — detection rate vs sigma on SDC-1 / SDC-5 ({count} fault models per point)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let _ = writeln!(out, "== {} ==", benchmark.label());
+        for patterns in [&suite.aet, &suite.ctp] {
+            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let mut series: Vec<Vec<(f32, f32)>> = vec![Vec::new(); criteria.len()];
+            for sigma in benchmark.sigma_grid() {
+                let rates = detector.detection_rates(
+                    &trained.model,
+                    &FaultModel::ProgrammingVariation { sigma },
+                    count,
+                    CAMPAIGN_SEED,
+                    &criteria,
+                );
+                for (s, r) in series.iter_mut().zip(&rates) {
+                    s.push((sigma, *r));
+                }
+            }
+            for (crit, s) in criteria.iter().zip(&series) {
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    series_line(&format!("{} {}", patterns.method(), crit.label()), s)
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+    emit("fig5", &out);
+}

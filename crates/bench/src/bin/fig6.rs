@@ -1,0 +1,62 @@
+//! **Fig 6**: detection rates under random soft errors on all six SDC
+//! criteria, for AET, C-TP and O-TP on both benchmarks
+//! (LeNet-5: p ∈ {0.5%, 1%}; ConvNet-7: p ∈ {0.1%, 0.3%}).
+
+use healthmon::report::{percent, TextTable};
+use healthmon::{Detector, SdcCriterion};
+use healthmon_bench::harness::{
+    campaign_accuracy, emit, models_per_level, pattern_suite, train_or_load, Benchmark,
+    CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let criteria = SdcCriterion::paper_suite();
+    let count = models_per_level();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 6 — detection rate under random soft errors ({count} fault models per point)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let _ = writeln!(out, "== {} ==", benchmark.label());
+        for p in benchmark.soft_error_grid() {
+            let fault = FaultModel::RandomSoftError { probability: p };
+            let acc = campaign_accuracy(&trained, &fault, count.min(20), CAMPAIGN_SEED);
+            let _ = writeln!(
+                out,
+                "-- p = {}% (mean fault-model accuracy {}) --",
+                p * 100.0,
+                percent(acc)
+            );
+            let mut header = vec!["method".to_owned()];
+            header.extend(criteria.iter().map(|c| c.label()));
+            let mut table = TextTable::new(header);
+            for patterns in suite.methods() {
+                let detector = Detector::new(&mut trained.model, patterns.clone());
+                let mut row = vec![patterns.method().to_owned()];
+                for crit in &criteria {
+                    if patterns.method() == "O-TP" && crit.uses_top_class() {
+                        row.push("-".to_owned());
+                        continue;
+                    }
+                    let rate = detector.detection_rate(
+                        &trained.model,
+                        &fault,
+                        count,
+                        CAMPAIGN_SEED,
+                        *crit,
+                    );
+                    row.push(percent(rate));
+                }
+                table.push_row(row);
+            }
+            let _ = writeln!(out, "{}", table.render());
+        }
+        let _ = writeln!(out);
+    }
+    emit("fig6", &out);
+}

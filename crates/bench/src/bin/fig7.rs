@@ -1,0 +1,75 @@
+//! **Fig 7**: standard deviation of the confidence distance across fault
+//! models as a function of the number of test patterns used — the
+//! efficiency analysis. AET needs ~150+ images before its estimate
+//! stabilizes, C-TP converges by ~50, and O-TP is stable with 10.
+
+use healthmon::efficiency::pattern_count_sweep;
+use healthmon::report::series_line;
+use healthmon::{AetGenerator, CtpGenerator, Detector};
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED, PATTERN_SEED,
+};
+use healthmon_faults::FaultModel;
+use healthmon_tensor::SeededRng;
+use std::fmt::Write as _;
+
+fn main() {
+    let count = models_per_level();
+    // Mid-grid error level, as in the paper's convergence discussion.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 7 — std of confidence distance vs number of test patterns\n\
+         ({count} fault models per point, programming variation at mid sigma)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let sigma = match benchmark {
+            Benchmark::Lenet5Digits => 0.25,
+            Benchmark::Convnet7Objects => 0.15,
+        };
+        let fault = FaultModel::ProgrammingVariation { sigma };
+        let _ = writeln!(out, "== {} (sigma = {sigma}) ==", benchmark.label());
+
+        // Large AET / C-TP sets for the long sweep.
+        let mut rng = SeededRng::new(PATTERN_SEED ^ 0xF16_7);
+        let pool = benchmark.ctp_pool();
+        let aet200 = AetGenerator::new(200, 0.15).generate(&mut trained.model, &pool, &mut rng);
+        let ctp200 = CtpGenerator::new(200).select(&mut trained.model, &pool);
+        let long_counts = [10usize, 25, 50, 100, 150, 200];
+        for set in [aet200, ctp200] {
+            let detector = Detector::new(&mut trained.model, set.clone());
+            let curve = pattern_count_sweep(
+                &detector,
+                &trained.model,
+                &fault,
+                count,
+                CAMPAIGN_SEED,
+                &long_counts,
+            );
+            let top: Vec<(f32, f32)> =
+                curve.iter().map(|p| (p.patterns as f32, p.std_top_ranked)).collect();
+            let all: Vec<(f32, f32)> =
+                curve.iter().map(|p| (p.patterns as f32, p.std_all_classes)).collect();
+            let _ = writeln!(out, "{}", series_line(&format!("{} std(top-ranked)", set.method()), &top));
+            let _ = writeln!(out, "{}", series_line(&format!("{} std(all-class)", set.method()), &all));
+        }
+
+        // O-TP: the 50-pattern suite set, swept down to its native 10.
+        let detector = Detector::new(&mut trained.model, suite.otp.clone());
+        let curve = pattern_count_sweep(
+            &detector,
+            &trained.model,
+            &fault,
+            count,
+            CAMPAIGN_SEED,
+            &[10, 20, 30, 40, 50],
+        );
+        let all: Vec<(f32, f32)> =
+            curve.iter().map(|p| (p.patterns as f32, p.std_all_classes)).collect();
+        let _ = writeln!(out, "{}", series_line("O-TP std(all-class)", &all));
+        let _ = writeln!(out);
+    }
+    emit("fig7", &out);
+}

@@ -1,0 +1,78 @@
+//! **Fig 8**: relationship between confidence distance and fault-model
+//! accuracy across programming-variation σ, for original test images,
+//! AET, C-TP and O-TP on LeNet-5. An ideal health monitor shows a wide,
+//! monotone confidence-distance range that tracks the accuracy drop.
+
+use healthmon::report::{distance, percent, TextTable};
+use healthmon::Detector;
+use healthmon_bench::harness::{
+    campaign_accuracy, emit, models_per_level, pattern_suite, train_or_load, Benchmark,
+    CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let benchmark = Benchmark::Lenet5Digits;
+    let count = models_per_level();
+    let mut trained = train_or_load(benchmark);
+    let suite = pattern_suite(&mut trained);
+    let sets = [&suite.original, &suite.aet, &suite.ctp, &suite.otp];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 8 — confidence distance vs model accuracy, LeNet-5\n\
+         ({count} fault models per sigma; distances are mean all-class confidence distance)\n"
+    );
+    let mut header = vec!["sigma".to_owned(), "accuracy".to_owned()];
+    header.extend(sets.iter().map(|s| s.method().to_owned()));
+    let mut table = TextTable::new(header);
+
+    let detectors: Vec<Detector> = sets
+        .iter()
+        .map(|s| Detector::new(&mut trained.model, (*s).clone()))
+        .collect();
+
+    for sigma in benchmark.sigma_grid() {
+        let fault = FaultModel::ProgrammingVariation { sigma };
+        let acc = campaign_accuracy(&trained, &fault, count.min(20), CAMPAIGN_SEED);
+        let mut row = vec![format!("{sigma:.2}"), percent(acc)];
+        for det in &detectors {
+            let d = det.campaign_distances(&trained.model, &fault, count, CAMPAIGN_SEED);
+            let mean = d.iter().map(|x| x.all_classes).sum::<f32>() / d.len() as f32;
+            row.push(distance(mean));
+        }
+        table.push_row(row);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    // Confidence-variance levels (0.01 units), the paper's resolution
+    // argument: range of distance divided by 0.01.
+    let _ = writeln!(out, "confidence-distance range in 0.01-unit levels:");
+    for (i, set) in sets.iter().enumerate() {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for sigma in benchmark.sigma_grid() {
+            let d = detectors[i].campaign_distances(
+                &trained.model,
+                &FaultModel::ProgrammingVariation { sigma },
+                count.min(20),
+                CAMPAIGN_SEED,
+            );
+            let mean = d.iter().map(|x| x.all_classes).sum::<f32>() / d.len() as f32;
+            min = min.min(mean);
+            max = max.max(mean);
+        }
+        let levels = ((max - min) / 0.01).round() as i32;
+        let _ = writeln!(
+            out,
+            "  {:>8}: range [{:.4}, {:.4}] = {} levels",
+            set.method(),
+            min,
+            max,
+            levels
+        );
+    }
+    emit("fig8", &out);
+}

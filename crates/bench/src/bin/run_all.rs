@@ -1,0 +1,32 @@
+//! Runs every table/figure experiment in sequence. Outputs are printed
+//! and mirrored to `artifacts/*.txt`; set `HEALTHMON_MODELS_PER_LEVEL`
+//! (default 100) and `HEALTHMON_ACC_SAMPLES` (default 500) to trade
+//! fidelity for speed.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "ablations",
+    ];
+    let self_path = std::env::current_exe().expect("current exe path");
+    let bin_dir = self_path.parent().expect("exe has a parent dir").to_path_buf();
+    let mut failed = Vec::new();
+    for bin in bins {
+        eprintln!("=== running {bin} ===");
+        let status = Command::new(bin_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            eprintln!("!!! {bin} exited with {status}");
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("all experiments completed; outputs in artifacts/");
+    } else {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

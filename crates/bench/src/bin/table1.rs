@@ -1,0 +1,33 @@
+//! **Table I**: accuracy of the original LeNet-5 model and fault models
+//! `f_w'(σ)` under programming variation, σ ∈ {0.05 … 0.5}.
+
+use healthmon::report::{percent, TextTable};
+use healthmon_bench::harness::{
+    campaign_accuracy, emit, models_per_level, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+
+fn main() {
+    let trained = train_or_load(Benchmark::Lenet5Digits);
+    let count = models_per_level();
+    let mut header = vec!["weight error (sigma)".to_owned(), "0 (original)".to_owned()];
+    let mut row = vec!["LeNet-5 accuracy".to_owned(), percent(trained.test_accuracy)];
+    for sigma in trained.benchmark.sigma_grid() {
+        let acc = campaign_accuracy(
+            &trained,
+            &FaultModel::ProgrammingVariation { sigma },
+            count,
+            CAMPAIGN_SEED,
+        );
+        header.push(format!("{sigma:.2}"));
+        row.push(percent(acc));
+    }
+    let mut table = TextTable::new(header);
+    table.push_row(row);
+    let content = format!(
+        "Table I — LeNet-5 (SynthDigits) accuracy vs programming-variation sigma\n\
+         ({count} fault models per sigma, campaign seed {CAMPAIGN_SEED})\n\n{}",
+        table.render()
+    );
+    emit("table1", &content);
+}

@@ -1,0 +1,58 @@
+//! **Table III**: average detection rate of AET, C-TP and O-TP over all
+//! programming-variation σ, on every SDC criterion, for both benchmarks.
+//!
+//! O-TP cells for top-class criteria are dashes, matching the paper.
+
+use healthmon::report::{percent, TextTable};
+use healthmon::{Detector, SdcCriterion};
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let criteria = SdcCriterion::paper_suite();
+    let count = models_per_level();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III — average detection rate over all sigma ({count} fault models per sigma)\n"
+    );
+    for benchmark in [Benchmark::Lenet5Digits, Benchmark::Convnet7Objects] {
+        let mut trained = train_or_load(benchmark);
+        let suite = pattern_suite(&mut trained);
+        let sigmas = benchmark.sigma_grid();
+        let _ = writeln!(out, "== {} ==", benchmark.label());
+        let mut header = vec!["method".to_owned()];
+        header.extend(criteria.iter().map(|c| c.label()));
+        let mut table = TextTable::new(header);
+        for patterns in suite.methods() {
+            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let mut sums = vec![0.0f32; criteria.len()];
+            for &sigma in &sigmas {
+                let rates = detector.detection_rates(
+                    &trained.model,
+                    &FaultModel::ProgrammingVariation { sigma },
+                    count,
+                    CAMPAIGN_SEED,
+                    &criteria,
+                );
+                for (s, r) in sums.iter_mut().zip(&rates) {
+                    *s += r;
+                }
+            }
+            let mut row = vec![patterns.method().to_owned()];
+            for (crit, sum) in criteria.iter().zip(&sums) {
+                if patterns.method() == "O-TP" && crit.uses_top_class() {
+                    row.push("-".to_owned());
+                } else {
+                    row.push(percent(sum / sigmas.len() as f32));
+                }
+            }
+            table.push_row(row);
+        }
+        let _ = writeln!(out, "{}", table.render());
+    }
+    emit("table3", &out);
+}

@@ -1,0 +1,57 @@
+//! **Table IV**: coefficient of variation (CV = σ/μ) of the confidence
+//! distance for AET, C-TP and O-TP on LeNet-5, per programming-variation
+//! σ. Smaller CV = more stable testing.
+//!
+//! The CV is computed on the all-class confidence distance (the measure
+//! all three methods share); AET and C-TP CVs on the top-ranked distance
+//! are reported as a second table for completeness.
+
+use healthmon::report::TextTable;
+use healthmon::stability::stability;
+use healthmon::Detector;
+use healthmon_bench::harness::{
+    emit, models_per_level, pattern_suite, train_or_load, Benchmark, CAMPAIGN_SEED,
+};
+use healthmon_faults::FaultModel;
+use std::fmt::Write as _;
+
+fn main() {
+    let benchmark = Benchmark::Lenet5Digits;
+    let count = models_per_level();
+    let mut trained = train_or_load(benchmark);
+    let suite = pattern_suite(&mut trained);
+    let sigmas = benchmark.sigma_grid();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table IV — CV of confidence distance on LeNet-5 ({count} fault models per sigma)\n"
+    );
+    for (title, pick_top) in [("all-class confidence distance", false), ("top-ranked confidence distance", true)] {
+        let _ = writeln!(out, "-- CV of {title} --");
+        let mut header = vec!["weight variance (sigma)".to_owned()];
+        header.extend(sigmas.iter().map(|s| format!("{s:.2}")));
+        let mut table = TextTable::new(header);
+        for patterns in suite.methods() {
+            if pick_top && patterns.method() == "O-TP" {
+                continue;
+            }
+            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let mut row = vec![patterns.method().to_owned()];
+            for &sigma in &sigmas {
+                let distances = detector.campaign_distances(
+                    &trained.model,
+                    &FaultModel::ProgrammingVariation { sigma },
+                    count,
+                    CAMPAIGN_SEED,
+                );
+                let report = stability(&distances);
+                let cv = if pick_top { report.top_ranked.cv } else { report.all_classes.cv };
+                row.push(format!("{cv:.2}"));
+            }
+            table.push_row(row);
+        }
+        let _ = writeln!(out, "{}", table.render());
+    }
+    emit("table4", &out);
+}

@@ -1,0 +1,121 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program name).
+    ///
+    /// Grammar: `<command> (--key value)*`.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut iter = argv.iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| "missing subcommand".to_owned())?
+            .clone();
+        let mut options = BTreeMap::new();
+        while let Some(flag) = iter.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found `{flag}`"))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("flag --{key} is missing a value"))?;
+            if options.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// Rejects unknown flags (catches typos early).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key} for `{}`", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = ParsedArgs::parse(&argv("train --arch lenet5 --epochs 4")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.required("arch").unwrap(), "lenet5");
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = ParsedArgs::parse(&argv("train")).unwrap();
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert!(a.optional("out").is_none());
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(ParsedArgs::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(ParsedArgs::parse(&argv("train --arch")).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flag() {
+        assert!(ParsedArgs::parse(&argv("train --arch a --arch b")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let a = ParsedArgs::parse(&argv("train --bogus 1")).unwrap();
+        assert!(a.expect_only(&["arch"]).is_err());
+        assert!(a.expect_only(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_unparsable_value() {
+        let a = ParsedArgs::parse(&argv("train --epochs banana")).unwrap();
+        assert!(a.get_or("epochs", 1usize).is_err());
+    }
+}

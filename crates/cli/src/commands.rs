@@ -1,0 +1,318 @@
+//! Subcommand implementations.
+
+use crate::args::ParsedArgs;
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::trainer::accuracy;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::{SeededRng, Tensor};
+use std::process::ExitCode;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "usage:
+  healthmon train    --arch <lenet5|convnet7|mlp> --out <model.json>
+                     [--epochs N] [--seed N] [--train-size N] [--quiet true]
+  healthmon inject   --arch <A> --model <model.json> --fault <spec> --out <faulty.json>
+                     [--seed N]            spec: pv:<sigma> | soft:<p> | stuck:<sa0>,<sa1> | drift:<nu>,<t>
+  healthmon generate --arch <A> --model <model.json> --method <ctp|otp|aet> --out <patterns.json>
+                     [--count N] [--seed N]
+  healthmon check    --arch <A> --model <golden.json> --target <device.json> --patterns <patterns.json>
+                     [--threshold F]       exit 0 = healthy, 2 = faulty
+  healthmon accuracy --arch <A> --model <model.json> [--seed N]";
+
+/// Dispatches a parsed command line. Returns the process exit code.
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let args = ParsedArgs::parse(argv)?;
+    match args.command.as_str() {
+        "train" => cmd_train(&args),
+        "inject" => cmd_inject(&args),
+        "generate" => cmd_generate(&args),
+        "check" => cmd_check(&args),
+        "accuracy" => cmd_accuracy(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Architectures the CLI can build; the dataset is implied by the
+/// architecture (digits for lenet5/mlp, objects for convnet7).
+fn build_arch(arch: &str, rng: &mut SeededRng) -> Result<Network, String> {
+    match arch {
+        "lenet5" => Ok(lenet5(rng)),
+        "convnet7" => Ok(convnet7(rng)),
+        "mlp" => Ok(tiny_mlp(28 * 28, 64, 10, rng)),
+        other => Err(format!("unknown architecture `{other}` (lenet5|convnet7|mlp)")),
+    }
+}
+
+fn dataset_for(arch: &str, seed: u64, train_size: usize) -> Result<DataSplit, String> {
+    let spec = DatasetSpec { train: train_size, test: train_size / 4, seed, noise: 0.12 };
+    let mut split = match arch {
+        "lenet5" | "mlp" => SynthDigits::new(spec).generate(),
+        "convnet7" => SynthObjects::new(spec).generate(),
+        other => return Err(format!("unknown architecture `{other}`")),
+    };
+    if arch == "mlp" {
+        let flat = |d: &Dataset| {
+            Dataset::new(
+                d.images
+                    .reshape(&[d.len(), 28 * 28])
+                    .expect("flatten preserves count"),
+                d.labels.clone(),
+                d.num_classes,
+            )
+        };
+        split = DataSplit { train: flat(&split.train), test: flat(&split.test) };
+    }
+    Ok(split)
+}
+
+fn load_model(arch: &str, path: &str, seed: u64) -> Result<Network, String> {
+    let mut rng = SeededRng::new(seed);
+    let mut net = build_arch(arch, &mut rng)?;
+    net.load_weights(path)
+        .map_err(|e| format!("loading `{path}`: {e}"))?;
+    Ok(net)
+}
+
+fn load_patterns(path: &str) -> Result<TestPatternSet, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let images: Tensor =
+        serde_json::from_str(&json).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    Ok(TestPatternSet::new("file", images))
+}
+
+/// Parses a fault spec like `pv:0.3`, `soft:0.01`, `stuck:0.02,0.01`,
+/// `drift:0.1,2.0`.
+fn parse_fault(spec: &str) -> Result<FaultModel, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("fault spec `{spec}` must look like kind:params"))?;
+    let nums: Vec<f64> = rest
+        .split(',')
+        .map(|p| p.parse().map_err(|_| format!("bad number `{p}` in fault spec")))
+        .collect::<Result<_, _>>()?;
+    match (kind, nums.as_slice()) {
+        ("pv", [sigma]) => Ok(FaultModel::ProgrammingVariation { sigma: *sigma as f32 }),
+        ("soft", [p]) => Ok(FaultModel::RandomSoftError { probability: *p }),
+        ("stuck", [sa0, sa1]) => Ok(FaultModel::StuckAt { sa0: *sa0, sa1: *sa1 }),
+        ("drift", [nu, t]) => Ok(FaultModel::Drift { nu: *nu as f32, time: *t as f32 }),
+        _ => Err(format!(
+            "unknown fault `{spec}` (pv:<sigma> | soft:<p> | stuck:<sa0>,<sa1> | drift:<nu>,<t>)"
+        )),
+    }
+}
+
+fn cmd_train(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "out", "epochs", "seed", "train-size", "quiet"])?;
+    let arch = args.required("arch")?;
+    let out = args.required("out")?;
+    let epochs: usize = args.get_or("epochs", 4)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let train_size: usize = args.get_or("train-size", 2000)?;
+    let quiet: bool = args.get_or("quiet", false)?;
+
+    let split = dataset_for(arch, seed, train_size)?;
+    let mut rng = SeededRng::new(seed);
+    let mut net = build_arch(arch, &mut rng)?;
+    let config = TrainConfig { epochs, batch_size: 32, verbose: !quiet, ..TrainConfig::default() };
+    let report = Trainer::new(&mut net, Sgd::new(0.05).momentum(0.9), config).fit(
+        &split.train.images,
+        &split.train.labels,
+        Some((&split.test.images, &split.test.labels)),
+    );
+    net.save_weights(out).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!(
+        "trained {arch}: test accuracy {:.2}%, saved to {out}",
+        report.test_accuracy.expect("test set provided") * 100.0
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_inject(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "model", "fault", "out", "seed"])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let fault = parse_fault(args.required("fault")?)?;
+    let out = args.required("out")?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+
+    let net = load_model(arch, model, seed)?;
+    let faulty = FaultCampaign::new(&net, seed).model(&fault, 0);
+    faulty.save_weights(out).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!("injected {} into {model}, saved to {out}", fault.describe());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_generate(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "model", "method", "out", "count", "seed"])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let method = args.required("method")?;
+    let out = args.required("out")?;
+    let count: usize = args.get_or("count", 50)?;
+    let seed: u64 = args.get_or("seed", 777)?;
+
+    let mut net = load_model(arch, model, seed)?;
+    let mut rng = SeededRng::new(seed);
+    let pool = dataset_for(arch, seed ^ 0xC1D, count.max(50) * 20)?.test;
+    let set = match method {
+        "ctp" => CtpGenerator::new(count).select(&mut net, &pool),
+        "aet" => AetGenerator::new(count, 0.15).generate(&mut net, &pool, &mut rng),
+        "otp" => {
+            let reference = FaultCampaign::new(&net, seed)
+                .model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+            let classes = pool.num_classes;
+            let per_class = count.div_ceil(classes).max(1);
+            let (set, outcomes) = OtpGenerator::new()
+                .per_class(per_class)
+                .generate(&net, &reference, &mut rng);
+            eprintln!(
+                "O-TP: {}/{} patterns fully converged",
+                outcomes.iter().filter(|o| o.converged).count(),
+                outcomes.len()
+            );
+            set
+        }
+        other => return Err(format!("unknown method `{other}` (ctp|otp|aet)")),
+    };
+    let json = serde_json::to_string(set.images()).expect("tensors serialize");
+    std::fs::write(out, json).map_err(|e| format!("writing `{out}`: {e}"))?;
+    println!("generated {} {} patterns, saved to {out}", set.len(), set.method());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "model", "target", "patterns", "threshold", "seed"])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let target = args.required("target")?;
+    let patterns = load_patterns(args.required("patterns")?)?;
+    let threshold: f32 = args.get_or("threshold", 0.03)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+
+    let mut golden = load_model(arch, model, seed)?;
+    let mut device = load_model(arch, target, seed)?;
+    let detector = Detector::new(&mut golden, patterns);
+    let distance = detector.confidence_distance(&mut device);
+    let faulty = detector.is_faulty(&mut device, SdcCriterion::SdcA { threshold });
+    println!(
+        "confidence distance: all-class {:.4}, top-ranked {:.4} (threshold {threshold})",
+        distance.all_classes, distance.top_ranked
+    );
+    if faulty {
+        println!("verdict: FAULTY");
+        Ok(ExitCode::from(2))
+    } else {
+        println!("verdict: healthy");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_accuracy(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "model", "seed"])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let mut net = load_model(arch, model, seed)?;
+    let split = dataset_for(arch, seed, 2000)?;
+    let acc = accuracy(&mut net, &split.test.images, &split.test.labels, 64);
+    println!("test accuracy: {:.2}%", acc * 100.0);
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            parse_fault("pv:0.3").unwrap(),
+            FaultModel::ProgrammingVariation { sigma: 0.3 }
+        );
+        assert_eq!(
+            parse_fault("soft:0.01").unwrap(),
+            FaultModel::RandomSoftError { probability: 0.01 }
+        );
+        assert_eq!(
+            parse_fault("stuck:0.02,0.01").unwrap(),
+            FaultModel::StuckAt { sa0: 0.02, sa1: 0.01 }
+        );
+        assert_eq!(
+            parse_fault("drift:0.1,2.5").unwrap(),
+            FaultModel::Drift { nu: 0.1, time: 2.5 }
+        );
+        assert!(parse_fault("pv").is_err());
+        assert!(parse_fault("pv:a").is_err());
+        assert!(parse_fault("nope:1").is_err());
+        assert!(parse_fault("stuck:0.1").is_err());
+    }
+
+    #[test]
+    fn arch_construction() {
+        let mut rng = SeededRng::new(0);
+        assert!(build_arch("lenet5", &mut rng).is_ok());
+        assert!(build_arch("mlp", &mut rng).is_ok());
+        assert!(build_arch("resnet", &mut rng).is_err());
+    }
+
+    #[test]
+    fn mlp_dataset_is_flattened() {
+        let split = dataset_for("mlp", 1, 40).unwrap();
+        assert_eq!(split.train.sample_shape(), &[784]);
+        let split = dataset_for("lenet5", 1, 40).unwrap();
+        assert_eq!(split.train.sample_shape(), &[1, 28, 28]);
+    }
+
+    #[test]
+    fn unknown_subcommand_is_rejected() {
+        let argv = vec!["frobnicate".to_owned()];
+        assert!(run(&argv).is_err());
+    }
+
+    #[test]
+    fn end_to_end_cli_workflow_mlp() {
+        // train -> inject -> generate -> check, through temp files.
+        let dir = std::env::temp_dir().join("healthmon_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_owned).collect() };
+
+        let model = p("model.json");
+        let faulty = p("faulty.json");
+        let patterns = p("patterns.json");
+
+        run(&argv(&format!(
+            "train --arch mlp --out {model} --epochs 2 --train-size 300 --quiet true"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "inject --arch mlp --model {model} --fault pv:0.5 --out {faulty}"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "generate --arch mlp --model {model} --method ctp --out {patterns} --count 10"
+        )))
+        .unwrap();
+        // Golden device: healthy (exit 0).
+        let healthy = run(&argv(&format!(
+            "check --arch mlp --model {model} --target {model} --patterns {patterns}"
+        )))
+        .unwrap();
+        assert_eq!(healthy, ExitCode::SUCCESS);
+        // Heavily damaged device: faulty (exit 2).
+        let verdict = run(&argv(&format!(
+            "check --arch mlp --model {model} --target {faulty} --patterns {patterns}"
+        )))
+        .unwrap();
+        assert_eq!(verdict, ExitCode::from(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

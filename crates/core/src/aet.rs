@@ -1,0 +1,178 @@
+//! AET: the adversarial-example testing baseline (Li et al., ICCD 2019),
+//! reproduced for comparison.
+
+use crate::TestPatternSet;
+use healthmon_data::{Dataset, INPUT_MAX, INPUT_MIN};
+use healthmon_nn::loss::SoftmaxCrossEntropy;
+use healthmon_nn::trainer::gather_batch;
+use healthmon_nn::Network;
+use healthmon_tensor::SeededRng;
+
+/// Generates FGSM adversarial examples as test patterns.
+///
+/// This is the paper's comparison baseline: pick random test images and
+/// push each one step along the sign of the input gradient of its loss,
+/// `x' = clamp(x + ε·sign(∇ₓ L(x, y)))`. Adversarial inputs sit near
+/// decision boundaries, which makes them more weight-error-sensitive than
+/// ordinary images — but, as the paper shows, less sensitive and less
+/// stable than C-TP/O-TP.
+///
+/// # Example
+///
+/// ```
+/// use healthmon::AetGenerator;
+/// use healthmon_data::{DatasetSpec, SynthDigits};
+/// use healthmon_nn::models::lenet5;
+/// use healthmon_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut model = lenet5(&mut rng);
+/// let pool = SynthDigits::new(DatasetSpec { train: 1, test: 20, seed: 1, ..Default::default() })
+///     .generate()
+///     .test;
+/// let patterns = AetGenerator::new(8, 0.15).generate(&mut model, &pool, &mut rng);
+/// assert_eq!(patterns.len(), 8);
+/// assert_eq!(patterns.method(), "AET");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AetGenerator {
+    count: usize,
+    epsilon: f32,
+}
+
+impl AetGenerator {
+    /// Creates a generator producing `count` FGSM examples with
+    /// perturbation budget `epsilon` (in pixel units; the paper-scale
+    /// default for comparisons is 0.1–0.2 on `[0,1]` images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `epsilon` is not positive.
+    pub fn new(count: usize, epsilon: f32) -> Self {
+        assert!(count > 0, "pattern count must be non-zero");
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        AetGenerator { count, epsilon }
+    }
+
+    /// Number of patterns generated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The FGSM perturbation budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// Draws `count` random images from `pool` and perturbs each with one
+    /// FGSM step against its true label on `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has fewer than `count` samples or sample shapes
+    /// do not match the network input.
+    pub fn generate(
+        &self,
+        net: &mut Network,
+        pool: &Dataset,
+        rng: &mut SeededRng,
+    ) -> TestPatternSet {
+        assert!(
+            pool.len() >= self.count,
+            "pool has {} samples but {} were requested",
+            pool.len(),
+            self.count
+        );
+        net.set_training(false);
+        let picks = rng.sample_indices(pool.len(), self.count);
+        let batch = gather_batch(&pool.images, &picks);
+        let labels: Vec<usize> = picks.iter().map(|&i| pool.labels[i]).collect();
+
+        let logits = net.forward(&batch);
+        let loss = SoftmaxCrossEntropy::with_labels(&logits, &labels);
+        net.zero_grads();
+        let grad_input = net.backward(&loss.grad);
+
+        let mut adv = batch.zip_map(&grad_input, |x, g| x + self.epsilon * g.signum());
+        adv.clamp_inplace(INPUT_MIN, INPUT_MAX);
+        TestPatternSet::new("AET", adv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::Tensor;
+
+    fn pool(n: usize, dim: usize, rng: &mut SeededRng) -> Dataset {
+        let images = Tensor::rand_uniform(&[n, dim], 0.2, 0.8, rng);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(images, labels, 3)
+    }
+
+    #[test]
+    fn perturbation_bounded_by_epsilon() {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(8, 16, 3, &mut rng);
+        let pool = pool(20, 8, &mut rng);
+        let eps = 0.1;
+        let gen = AetGenerator::new(20, eps);
+        // Deterministic picks: use a fresh rng with the same seed to know
+        // which samples were drawn.
+        let mut pick_rng = SeededRng::new(5);
+        let picks = pick_rng.sample_indices(20, 20);
+        let mut gen_rng = SeededRng::new(5);
+        let set = gen.generate(&mut net, &pool, &mut gen_rng);
+        for (row, &src) in picks.iter().enumerate() {
+            let orig = pool.sample(src);
+            let adv = set.pattern(row);
+            let linf = orig.linf_distance(&adv);
+            assert!(linf <= eps + 1e-5, "perturbation {linf} exceeds epsilon");
+        }
+    }
+
+    #[test]
+    fn stays_in_image_range() {
+        let mut rng = SeededRng::new(2);
+        let mut net = tiny_mlp(8, 16, 3, &mut rng);
+        let images = Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng);
+        let pool = Dataset::new(images, vec![0; 10], 3);
+        let set = AetGenerator::new(10, 0.5).generate(&mut net, &pool, &mut rng);
+        assert!(set.images().min() >= INPUT_MIN);
+        assert!(set.images().max() <= INPUT_MAX);
+    }
+
+    #[test]
+    fn increases_loss_against_true_label() {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_mlp(8, 32, 3, &mut rng);
+        let p = pool(30, 8, &mut rng);
+        // Compare pool loss vs adversarial loss on the same picked samples.
+        let mut pick_rng = SeededRng::new(9);
+        let picks = pick_rng.sample_indices(30, 15);
+        let labels: Vec<usize> = picks.iter().map(|&i| p.labels[i]).collect();
+        let clean = gather_batch(&p.images, &picks);
+        let clean_loss = SoftmaxCrossEntropy::with_labels(&net.forward(&clean), &labels).loss;
+        let mut gen_rng = SeededRng::new(9);
+        let set = AetGenerator::new(15, 0.2).generate(&mut net, &p, &mut gen_rng);
+        let adv_loss = SoftmaxCrossEntropy::with_labels(&net.forward(set.images()), &labels).loss;
+        assert!(adv_loss > clean_loss, "FGSM must increase loss: {clean_loss} -> {adv_loss}");
+    }
+
+    #[test]
+    fn deterministic_from_rng() {
+        let mut rng = SeededRng::new(4);
+        let mut net = tiny_mlp(8, 16, 3, &mut rng);
+        let p = pool(20, 8, &mut rng);
+        let a = AetGenerator::new(5, 0.1).generate(&mut net, &p, &mut SeededRng::new(7));
+        let b = AetGenerator::new(5, 0.1).generate(&mut net, &p, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_epsilon() {
+        AetGenerator::new(5, 0.0);
+    }
+}

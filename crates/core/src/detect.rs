@@ -1,0 +1,242 @@
+//! The concurrent-test detector: golden responses, fault decisions, and
+//! campaign-level detection rates.
+
+use crate::confidence::{ConfidenceDistance, ResponseSet};
+use crate::metrics::SdcCriterion;
+use crate::patterns::TestPatternSet;
+use healthmon_faults::{par_map_models, FaultModel};
+use healthmon_nn::Network;
+
+/// A concurrent-test detector: a pattern set plus the golden model's
+/// responses to it.
+///
+/// In deployment the golden responses are computed once (at the cloud, on
+/// a known-good model) and shipped with the patterns; the accelerator
+/// periodically runs the patterns and compares. Here the same object also
+/// drives the statistical campaigns of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    patterns: TestPatternSet,
+    golden: ResponseSet,
+}
+
+impl Detector {
+    /// Builds a detector by recording `golden_net`'s responses on
+    /// `patterns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pattern shapes do not match the network input.
+    pub fn new(golden_net: &mut Network, patterns: TestPatternSet) -> Self {
+        let golden = ResponseSet::from_logits(patterns.logits(golden_net));
+        Detector { patterns, golden }
+    }
+
+    /// The pattern set.
+    pub fn patterns(&self) -> &TestPatternSet {
+        &self.patterns
+    }
+
+    /// The golden responses.
+    pub fn golden(&self) -> &ResponseSet {
+        &self.golden
+    }
+
+    /// A detector over only the first `k` patterns (and the matching
+    /// golden responses) — used by the efficiency analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the pattern count.
+    pub fn truncated(&self, k: usize) -> Detector {
+        Detector { patterns: self.patterns.truncated(k), golden: self.golden.truncated(k) }
+    }
+
+    /// Evaluates a target model's responses on the pattern set.
+    pub fn responses(&self, target: &mut Network) -> ResponseSet {
+        ResponseSet::from_logits(self.patterns.logits(target))
+    }
+
+    /// Confidence distance of a target model from the golden responses.
+    pub fn confidence_distance(&self, target: &mut Network) -> ConfidenceDistance {
+        ConfidenceDistance::between(&self.golden, &self.responses(target))
+    }
+
+    /// Whether `criterion` flags the target model as faulty.
+    pub fn is_faulty(&self, target: &mut Network, criterion: SdcCriterion) -> bool {
+        criterion.detects(&self.golden, &self.responses(target))
+    }
+
+    /// Detection rate over a fault campaign: the fraction of `count` fault
+    /// models (derived from `golden_net` with `fault` under `seed`) that
+    /// `criterion` flags. This is the paper's headline metric.
+    pub fn detection_rate(
+        &self,
+        golden_net: &Network,
+        fault: &FaultModel,
+        count: usize,
+        seed: u64,
+        criterion: SdcCriterion,
+    ) -> f32 {
+        let rates = self.detection_rates(golden_net, fault, count, seed, &[criterion]);
+        rates[0]
+    }
+
+    /// Detection rates for several criteria over a single campaign pass
+    /// (each fault model is evaluated once; all criteria are applied to
+    /// its responses).
+    pub fn detection_rates(
+        &self,
+        golden_net: &Network,
+        fault: &FaultModel,
+        count: usize,
+        seed: u64,
+        criteria: &[SdcCriterion],
+    ) -> Vec<f32> {
+        if count == 0 {
+            return vec![0.0; criteria.len()];
+        }
+        let verdicts: Vec<Vec<bool>> =
+            par_map_models(golden_net, fault, seed, count, |_, net| {
+                let responses = self.responses(net);
+                criteria
+                    .iter()
+                    .map(|c| c.detects(&self.golden, &responses))
+                    .collect()
+            });
+        (0..criteria.len())
+            .map(|ci| {
+                verdicts.iter().filter(|v| v[ci]).count() as f32 / count as f32
+            })
+            .collect()
+    }
+
+    /// Confidence distance of every fault model in a campaign, in index
+    /// order — the raw series behind Fig 3, Table IV and Fig 7.
+    pub fn campaign_distances(
+        &self,
+        golden_net: &Network,
+        fault: &FaultModel,
+        count: usize,
+        seed: u64,
+    ) -> Vec<ConfidenceDistance> {
+        par_map_models(golden_net, fault, seed, count, |_, net| {
+            self.confidence_distance(net)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::{SeededRng, Tensor};
+
+    fn setup() -> (Network, Detector) {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns =
+            TestPatternSet::new("rand", Tensor::rand_uniform(&[12, 8], 0.0, 1.0, &mut rng));
+        let detector = Detector::new(&mut net, patterns);
+        (net, detector)
+    }
+
+    #[test]
+    fn golden_model_is_never_flagged() {
+        let (mut net, detector) = setup();
+        for crit in SdcCriterion::paper_suite() {
+            // SDC-5 requires >=5 classes; our toy model has 4.
+            if matches!(crit, SdcCriterion::Sdc5) {
+                continue;
+            }
+            assert!(!detector.is_faulty(&mut net, crit), "{} flagged the golden model", crit.label());
+        }
+        let d = detector.confidence_distance(&mut net);
+        assert_eq!(d.top_ranked, 0.0);
+        assert_eq!(d.all_classes, 0.0);
+    }
+
+    #[test]
+    fn heavy_fault_is_detected() {
+        let (net, detector) = setup();
+        let mut faulty = net.clone();
+        FaultModel::RandomSoftError { probability: 0.6 }
+            .apply(&mut faulty, &mut SeededRng::new(9));
+        let d = detector.confidence_distance(&mut faulty);
+        assert!(d.all_classes > 0.01, "heavy fault left distance {}", d.all_classes);
+        assert!(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.01 }));
+    }
+
+    #[test]
+    fn detection_rate_monotone_in_severity() {
+        let (net, detector) = setup();
+        let crit = SdcCriterion::SdcA { threshold: 0.02 };
+        let mild = detector.detection_rate(
+            &net,
+            &FaultModel::ProgrammingVariation { sigma: 0.01 },
+            16,
+            5,
+            crit,
+        );
+        let severe = detector.detection_rate(
+            &net,
+            &FaultModel::ProgrammingVariation { sigma: 0.8 },
+            16,
+            5,
+            crit,
+        );
+        assert!(severe >= mild, "severity must not reduce detection: {mild} vs {severe}");
+        assert!(severe > 0.8, "σ=0.8 should be detected nearly always, got {severe}");
+    }
+
+    #[test]
+    fn detection_rates_consistent_with_single() {
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let criteria = [
+            SdcCriterion::Sdc1,
+            SdcCriterion::SdcA { threshold: 0.03 },
+        ];
+        let both = detector.detection_rates(&net, &fault, 10, 3, &criteria);
+        let one = detector.detection_rate(&net, &fault, 10, 3, criteria[1]);
+        assert_eq!(both[1], one);
+    }
+
+    #[test]
+    fn campaign_distances_len_and_determinism() {
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+        let a = detector.campaign_distances(&net, &fault, 7, 11);
+        let b = detector.campaign_distances(&net, &fault, 7, 11);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_detector_consistency() {
+        let (net, detector) = setup();
+        let t = detector.truncated(5);
+        assert_eq!(t.patterns().len(), 5);
+        assert_eq!(t.golden().len(), 5);
+        let mut faulty = net.clone();
+        FaultModel::ProgrammingVariation { sigma: 0.3 }
+            .apply(&mut faulty, &mut SeededRng::new(2));
+        // Truncated distance computed on prefix only.
+        let d_full = detector.confidence_distance(&mut faulty);
+        let d_trunc = t.confidence_distance(&mut faulty);
+        assert!(d_full.all_classes > 0.0 && d_trunc.all_classes > 0.0);
+    }
+
+    #[test]
+    fn zero_count_campaign() {
+        let (net, detector) = setup();
+        let r = detector.detection_rates(
+            &net,
+            &FaultModel::ProgrammingVariation { sigma: 0.1 },
+            0,
+            0,
+            &[SdcCriterion::Sdc1],
+        );
+        assert_eq!(r, vec![0.0]);
+    }
+}

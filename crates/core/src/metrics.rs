@@ -1,0 +1,173 @@
+//! SDC detection criteria.
+//!
+//! The paper adopts the SDC (silent data corruption) metric family of
+//! Li et al. (SC'17) and adds two averaged-confidence criteria of its own.
+//! Each criterion decides, from the responses of an ideal and a target
+//! model on the same pattern set, whether the target is faulty.
+
+use crate::confidence::{ConfidenceDistance, ResponseSet};
+
+/// A detection criterion over (ideal, target) response pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SdcCriterion {
+    /// **SDC-1**: faulty if any pattern's top-1 class differs.
+    Sdc1,
+    /// **SDC-5**: faulty if any pattern's top-5 class *set* differs.
+    Sdc5,
+    /// **SDC-T**: faulty if the mean top-ranked confidence distance
+    /// exceeds `threshold` (paper uses 5% and 10%).
+    SdcT {
+        /// Detection threshold on the top-ranked confidence distance.
+        threshold: f32,
+    },
+    /// **SDC-A**: faulty if the mean all-class confidence distance exceeds
+    /// `threshold` (paper introduces 3% and 5%). This is the criterion
+    /// O-TP is designed for — it does not rely on the top-ranked class.
+    SdcA {
+        /// Detection threshold on the all-class confidence distance.
+        threshold: f32,
+    },
+}
+
+impl SdcCriterion {
+    /// The six criteria of the paper's Table III, in column order.
+    pub fn paper_suite() -> [SdcCriterion; 6] {
+        [
+            SdcCriterion::Sdc1,
+            SdcCriterion::Sdc5,
+            SdcCriterion::SdcT { threshold: 0.05 },
+            SdcCriterion::SdcT { threshold: 0.10 },
+            SdcCriterion::SdcA { threshold: 0.03 },
+            SdcCriterion::SdcA { threshold: 0.05 },
+        ]
+    }
+
+    /// Display label matching the paper (`SDC-1`, `SDC-T5%`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            SdcCriterion::Sdc1 => "SDC-1".to_owned(),
+            SdcCriterion::Sdc5 => "SDC-5".to_owned(),
+            SdcCriterion::SdcT { threshold } => format!("SDC-T{}%", (threshold * 100.0).round()),
+            SdcCriterion::SdcA { threshold } => format!("SDC-A{}%", (threshold * 100.0).round()),
+        }
+    }
+
+    /// Decides whether `target` is faulty relative to `ideal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response sets cover different patterns/classes, or a
+    /// top-5 criterion is evaluated with fewer than 5 classes.
+    pub fn detects(&self, ideal: &ResponseSet, target: &ResponseSet) -> bool {
+        assert_eq!(ideal.len(), target.len(), "response sets must cover the same patterns");
+        match self {
+            SdcCriterion::Sdc1 => {
+                (0..ideal.len()).any(|p| ideal.top1(p) != target.top1(p))
+            }
+            SdcCriterion::Sdc5 => {
+                assert!(ideal.classes() >= 5, "SDC-5 needs at least 5 classes");
+                (0..ideal.len()).any(|p| ideal.topk_set(p, 5) != target.topk_set(p, 5))
+            }
+            SdcCriterion::SdcT { threshold } => {
+                ConfidenceDistance::between(ideal, target).top_ranked > *threshold
+            }
+            SdcCriterion::SdcA { threshold } => {
+                ConfidenceDistance::between(ideal, target).all_classes > *threshold
+            }
+        }
+    }
+
+    /// Whether the criterion depends on the top-ranked class. The paper
+    /// omits SDC-1/5/T results for O-TP (Table III dashes) because O-TP's
+    /// patterns are built to have *no* meaningful top class on the clean
+    /// model.
+    pub fn uses_top_class(&self) -> bool {
+        matches!(self, SdcCriterion::Sdc1 | SdcCriterion::Sdc5 | SdcCriterion::SdcT { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::Tensor;
+
+    fn set(rows: &[&[f32]]) -> ResponseSet {
+        let tensors: Vec<Tensor> = rows.iter().map(|r| Tensor::from_slice(r)).collect();
+        ResponseSet::from_logits(Tensor::stack_rows(&tensors))
+    }
+
+    fn ten(vals: [f32; 10]) -> Vec<f32> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn sdc1_detects_top_class_flip() {
+        let ideal = set(&[&[2.0, 0.0, 1.0]]);
+        let same = set(&[&[1.9, 0.1, 1.0]]);
+        let flipped = set(&[&[0.0, 2.0, 1.0]]);
+        assert!(!SdcCriterion::Sdc1.detects(&ideal, &same));
+        assert!(SdcCriterion::Sdc1.detects(&ideal, &flipped));
+    }
+
+    #[test]
+    fn sdc1_any_pattern_triggers() {
+        let ideal = set(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let one_flip = set(&[&[2.0, 0.0], &[2.0, 0.0]]);
+        assert!(SdcCriterion::Sdc1.detects(&ideal, &one_flip));
+    }
+
+    #[test]
+    fn sdc5_ignores_order_within_top5() {
+        let a = ten([9.0, 8.0, 7.0, 6.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // Same membership, different internal order.
+        let b = ten([5.0, 6.0, 7.0, 8.0, 9.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // Membership changed: class 5 replaces class 0.
+        let c = ten([0.0, 8.0, 7.0, 6.0, 5.0, 9.0, 0.0, 0.0, 0.0, 0.0]);
+        let ideal = set(&[&a]);
+        assert!(!SdcCriterion::Sdc5.detects(&ideal, &set(&[&b])));
+        assert!(SdcCriterion::Sdc5.detects(&ideal, &set(&[&c])));
+    }
+
+    #[test]
+    fn sdc_t_threshold_behaviour() {
+        let ideal = set(&[&[3.0, 0.0]]);
+        let slight = set(&[&[2.7, 0.0]]);
+        let strong = set(&[&[0.5, 0.0]]);
+        let crit = SdcCriterion::SdcT { threshold: 0.05 };
+        assert!(!crit.detects(&ideal, &slight));
+        assert!(crit.detects(&ideal, &strong));
+    }
+
+    #[test]
+    fn sdc_a_threshold_behaviour() {
+        let ideal = set(&[&[0.0, 0.0]]); // (0.5, 0.5)
+        let slight = set(&[&[0.05, 0.0]]);
+        let strong = set(&[&[2.0, 0.0]]);
+        let crit = SdcCriterion::SdcA { threshold: 0.03 };
+        assert!(!crit.detects(&ideal, &slight));
+        assert!(crit.detects(&ideal, &strong));
+    }
+
+    #[test]
+    fn identical_responses_never_detect() {
+        let a = set(&[&ten([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])]);
+        for crit in SdcCriterion::paper_suite() {
+            assert!(!crit.detects(&a, &a), "{} false positive", crit.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<String> =
+            SdcCriterion::paper_suite().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["SDC-1", "SDC-5", "SDC-T5%", "SDC-T10%", "SDC-A3%", "SDC-A5%"]);
+    }
+
+    #[test]
+    fn uses_top_class_classification() {
+        assert!(SdcCriterion::Sdc1.uses_top_class());
+        assert!(SdcCriterion::Sdc5.uses_top_class());
+        assert!(SdcCriterion::SdcT { threshold: 0.05 }.uses_top_class());
+        assert!(!SdcCriterion::SdcA { threshold: 0.03 }.uses_top_class());
+    }
+}

@@ -1,0 +1,297 @@
+//! In-field health monitoring built on top of the [`Detector`]: the
+//! paper's deployment story as a reusable state machine.
+//!
+//! The paper motivates concurrent test with a repair hierarchy: cheap
+//! fixes (fault-aware remapping) for mild degradation, expensive fixes
+//! (cloud retraining) for severe degradation. [`HealthMonitor`] turns a
+//! stream of confidence-distance observations into triaged
+//! [`HealthState`]s with hysteresis, and keeps the history a maintenance
+//! log needs.
+
+use crate::confidence::ConfidenceDistance;
+use crate::detect::Detector;
+use healthmon_nn::Network;
+
+/// Triage verdict for a monitored accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Confidence distance below the watch threshold: no action.
+    Healthy,
+    /// Distance in the watch band: schedule cheap repair (e.g.
+    /// fault-aware remapping) at the next maintenance window.
+    Watch,
+    /// Distance beyond the critical threshold: the model needs
+    /// reprogramming or cloud retraining now.
+    Critical,
+}
+
+impl HealthState {
+    /// The repair action the paper's hierarchy associates with the state.
+    pub fn recommended_action(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "none",
+            HealthState::Watch => "fault-aware remapping",
+            HealthState::Critical => "weight reprogramming / cloud retraining",
+        }
+    }
+}
+
+/// One entry of the monitoring log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkup {
+    /// Monotone check index (0-based).
+    pub index: usize,
+    /// Observed confidence distance at this check.
+    pub distance: ConfidenceDistance,
+    /// State after applying thresholds and hysteresis.
+    pub state: HealthState,
+}
+
+/// Thresholds and hysteresis for [`HealthMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorPolicy {
+    /// All-class confidence distance at which the device enters `Watch`.
+    pub watch_threshold: f32,
+    /// All-class confidence distance at which the device is `Critical`.
+    pub critical_threshold: f32,
+    /// Consecutive observations required before *escalating* (hysteresis
+    /// against one-off noise). De-escalation is immediate: a repaired or
+    /// recovered device should read healthy right away.
+    pub escalation_count: usize,
+}
+
+impl Default for MonitorPolicy {
+    fn default() -> Self {
+        MonitorPolicy { watch_threshold: 0.02, critical_threshold: 0.06, escalation_count: 1 }
+    }
+}
+
+impl MonitorPolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are non-positive or inverted, or
+    /// `escalation_count` is zero.
+    pub fn validate(&self) {
+        assert!(
+            0.0 < self.watch_threshold && self.watch_threshold < self.critical_threshold,
+            "thresholds must satisfy 0 < watch ({}) < critical ({})",
+            self.watch_threshold,
+            self.critical_threshold
+        );
+        assert!(self.escalation_count > 0, "escalation count must be non-zero");
+    }
+
+    fn raw_state(&self, distance: f32) -> HealthState {
+        if distance >= self.critical_threshold {
+            HealthState::Critical
+        } else if distance >= self.watch_threshold {
+            HealthState::Watch
+        } else {
+            HealthState::Healthy
+        }
+    }
+}
+
+/// A stateful health monitor wrapping a [`Detector`].
+///
+/// # Example
+///
+/// ```
+/// use healthmon::{Detector, HealthMonitor, HealthState, MonitorPolicy, TestPatternSet};
+/// use healthmon_nn::models::tiny_mlp;
+/// use healthmon_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut model = tiny_mlp(8, 16, 4, &mut rng);
+/// let patterns = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 8], 0.0, 1.0, &mut rng));
+/// let detector = Detector::new(&mut model, patterns);
+/// let mut monitor = HealthMonitor::new(detector, MonitorPolicy::default());
+///
+/// let mut accelerator = model.clone();
+/// let checkup = monitor.check(&mut accelerator);
+/// assert_eq!(checkup.state, HealthState::Healthy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    detector: Detector,
+    policy: MonitorPolicy,
+    history: Vec<Checkup>,
+    pending_state: HealthState,
+    pending_count: usize,
+    current: HealthState,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn new(detector: Detector, policy: MonitorPolicy) -> Self {
+        policy.validate();
+        HealthMonitor {
+            detector,
+            policy,
+            history: Vec::new(),
+            pending_state: HealthState::Healthy,
+            pending_count: 0,
+            current: HealthState::Healthy,
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The monitoring policy.
+    pub fn policy(&self) -> &MonitorPolicy {
+        &self.policy
+    }
+
+    /// The current (hysteresis-filtered) health state.
+    pub fn state(&self) -> HealthState {
+        self.current
+    }
+
+    /// The full check history, oldest first.
+    pub fn history(&self) -> &[Checkup] {
+        &self.history
+    }
+
+    /// Runs one concurrent-test checkup against the accelerator and
+    /// updates the state machine.
+    pub fn check(&mut self, accelerator: &mut Network) -> Checkup {
+        let distance = self.detector.confidence_distance(accelerator);
+        let observed = self.policy.raw_state(distance.all_classes);
+        // Escalations need `escalation_count` consecutive confirmations;
+        // de-escalations apply immediately.
+        if observed <= self.current {
+            self.current = observed;
+            self.pending_count = 0;
+        } else if observed == self.pending_state {
+            self.pending_count += 1;
+            if self.pending_count >= self.policy.escalation_count {
+                self.current = observed;
+                self.pending_count = 0;
+            }
+        } else {
+            self.pending_state = observed;
+            self.pending_count = 1;
+            if self.pending_count >= self.policy.escalation_count {
+                self.current = observed;
+                self.pending_count = 0;
+            }
+        }
+        let checkup = Checkup { index: self.history.len(), distance, state: self.current };
+        self.history.push(checkup);
+        checkup
+    }
+
+    /// Notifies the monitor that the accelerator was repaired (weights
+    /// reprogrammed): resets the state machine but keeps the log.
+    pub fn acknowledge_repair(&mut self) {
+        self.current = HealthState::Healthy;
+        self.pending_state = HealthState::Healthy;
+        self.pending_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::TestPatternSet;
+    use healthmon_faults::FaultModel;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::{SeededRng, Tensor};
+
+    fn setup(escalation: usize) -> (Network, HealthMonitor) {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns =
+            TestPatternSet::new("t", Tensor::rand_uniform(&[8, 8], 0.0, 1.0, &mut rng));
+        let detector = Detector::new(&mut net, patterns);
+        let policy = MonitorPolicy { escalation_count: escalation, ..MonitorPolicy::default() };
+        (net, HealthMonitor::new(detector, policy))
+    }
+
+    #[test]
+    fn healthy_device_stays_healthy() {
+        let (net, mut monitor) = setup(1);
+        let mut device = net.clone();
+        for _ in 0..3 {
+            assert_eq!(monitor.check(&mut device).state, HealthState::Healthy);
+        }
+        assert_eq!(monitor.history().len(), 3);
+    }
+
+    #[test]
+    fn degraded_device_escalates() {
+        let (net, mut monitor) = setup(1);
+        let mut device = net.clone();
+        FaultModel::RandomSoftError { probability: 0.5 }
+            .apply(&mut device, &mut SeededRng::new(2));
+        let checkup = monitor.check(&mut device);
+        assert!(checkup.state >= HealthState::Watch, "state {:?}", checkup.state);
+        assert!(checkup.distance.all_classes > 0.02);
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_confirmations() {
+        let (net, mut monitor) = setup(2);
+        let mut bad = net.clone();
+        FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
+        // First bad reading: still healthy (pending).
+        assert_eq!(monitor.check(&mut bad).state, HealthState::Healthy);
+        // Second consecutive: escalates.
+        assert_ne!(monitor.check(&mut bad).state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn recovery_deescalates_immediately() {
+        let (net, mut monitor) = setup(1);
+        let mut bad = net.clone();
+        FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
+        monitor.check(&mut bad);
+        assert_ne!(monitor.state(), HealthState::Healthy);
+        let mut repaired = net.clone();
+        assert_eq!(monitor.check(&mut repaired).state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn acknowledge_repair_resets_state() {
+        let (net, mut monitor) = setup(1);
+        let mut bad = net.clone();
+        FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
+        monitor.check(&mut bad);
+        monitor.acknowledge_repair();
+        assert_eq!(monitor.state(), HealthState::Healthy);
+        // History preserved.
+        assert_eq!(monitor.history().len(), 1);
+    }
+
+    #[test]
+    fn states_order_by_severity() {
+        assert!(HealthState::Healthy < HealthState::Watch);
+        assert!(HealthState::Watch < HealthState::Critical);
+    }
+
+    #[test]
+    fn recommended_actions() {
+        assert_eq!(HealthState::Healthy.recommended_action(), "none");
+        assert!(HealthState::Critical.recommended_action().contains("retraining"));
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must satisfy")]
+    fn rejects_inverted_thresholds() {
+        let (_, monitor) = setup(1);
+        let detector = monitor.detector().clone();
+        HealthMonitor::new(
+            detector,
+            MonitorPolicy { watch_threshold: 0.5, critical_threshold: 0.1, escalation_count: 1 },
+        );
+    }
+}

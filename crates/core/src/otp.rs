@@ -1,0 +1,374 @@
+//! O-TP: optimization-based test pattern generation (paper §III-B,
+//! Algorithm 1).
+
+use crate::TestPatternSet;
+use healthmon_data::{INPUT_MAX, INPUT_MIN};
+use healthmon_nn::loss::SoftmaxCrossEntropy;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// Generates "white noise" test patterns from scratch by gradient descent
+/// on the paper's joint objective:
+///
+/// ```text
+/// argmin_X −( α·Σ lᵢ·log f_w(X)  +  (1−α)·Σ l'ᵢ·log f_w'(X) )
+/// ```
+///
+/// where `l` is the uniform soft label (the *clean* model `f_w` should be
+/// maximally confused by the pattern, so it carries no bias toward any
+/// weights) and `l'` is a one-hot hard label on a *reference fault model*
+/// `f_w'` (so that when real errors accumulate, the response snaps toward
+/// a confident class, producing a large confidence distance).
+///
+/// One pattern is generated per class (`k = 1` in the paper's notation;
+/// `per_class` raises `k`), so a 10-class problem needs only 10 patterns.
+///
+/// Optimization stops per-pattern when `std(f_w(X)) < ε₁` **and**
+/// `‖f_w'(X) − T‖₁ < ε₂` (Algorithm 1 line 16), or globally at
+/// `max_iters`.
+#[derive(Debug, Clone, Copy)]
+pub struct OtpGenerator {
+    per_class: usize,
+    alpha: f32,
+    eps1: f32,
+    eps2: f32,
+    learning_rate: f32,
+    max_iters: usize,
+}
+
+/// Convergence record for one generated pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtpOutcome {
+    /// Target class of the hard label.
+    pub class: usize,
+    /// Iterations executed before this pattern met both constraints (or
+    /// `max_iters` if it never did).
+    pub iterations: usize,
+    /// Whether both ε-constraints were met.
+    pub converged: bool,
+    /// Final `std(f_w(X))` (constraint 1, target < ε₁).
+    pub final_std: f32,
+    /// Final `‖f_w'(X) − T‖₁` (constraint 2, target < ε₂).
+    pub final_l1: f32,
+}
+
+impl Default for OtpGenerator {
+    /// Paper defaults: `k = 1`, `α = 0.5`, `ε₁ = ε₂ = 1e-3`.
+    fn default() -> Self {
+        OtpGenerator {
+            per_class: 1,
+            alpha: 0.5,
+            eps1: 1e-3,
+            eps2: 1e-3,
+            learning_rate: 0.05,
+            max_iters: 600,
+        }
+    }
+}
+
+impl OtpGenerator {
+    /// Creates a generator with the paper's defaults (`α = 0.5`,
+    /// `ε₁ = ε₂ = 1e-3`, one pattern per class).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of patterns per class (`k`; paper finds `k = 1`
+    /// suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn per_class(mut self, k: usize) -> Self {
+        assert!(k > 0, "per-class pattern count must be non-zero");
+        self.per_class = k;
+        self
+    }
+
+    /// Sets the loss-balance coefficient `α ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha {alpha} must be in (0, 1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the constraint thresholds `ε₁` (clean-model output std) and
+    /// `ε₂` (fault-model L1 distance to the hard label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is not in `(0, 1)`.
+    pub fn tolerances(mut self, eps1: f32, eps2: f32) -> Self {
+        assert!(eps1 > 0.0 && eps1 < 1.0 && eps2 > 0.0 && eps2 < 1.0,
+            "tolerances must be in (0, 1), got {eps1}, {eps2}");
+        self.eps1 = eps1;
+        self.eps2 = eps2;
+        self
+    }
+
+    /// Sets the gradient-descent step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the iteration cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        assert!(iters > 0, "iteration cap must be non-zero");
+        self.max_iters = iters;
+        self
+    }
+
+    /// Runs Algorithm 1: optimizes `per_class × classes` patterns jointly
+    /// (as one batch) against the clean model `clean` and the reference
+    /// fault model `reference_fault`.
+    ///
+    /// Returns the pattern set and a per-pattern convergence record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks have different input shapes or class
+    /// counts.
+    pub fn generate(
+        &self,
+        clean: &Network,
+        reference_fault: &Network,
+        rng: &mut SeededRng,
+    ) -> (TestPatternSet, Vec<OtpOutcome>) {
+        let mut clean = clean.clone();
+        let mut faulty = reference_fault.clone();
+        clean.set_training(false);
+        faulty.set_training(false);
+        assert_eq!(
+            clean.input_shape(),
+            faulty.input_shape(),
+            "clean and fault models must share an input shape"
+        );
+
+        // Probe class count from a zero input.
+        let probe = Tensor::zeros(clean.input_shape());
+        let classes = clean.forward_single(&probe).len();
+        assert_eq!(
+            classes,
+            faulty.forward_single(&probe).len(),
+            "clean and fault models must share a class count"
+        );
+
+        let n = classes * self.per_class;
+        let mut batch_shape = vec![n];
+        batch_shape.extend_from_slice(clean.input_shape());
+        // X^TP ~ U(0, 1): "input image with random noise" (Alg. 1 line 3).
+        let mut x = Tensor::rand_uniform(&batch_shape, INPUT_MIN, INPUT_MAX, rng);
+
+        // Soft labels: uniform confidence rows (line 8).
+        let soft = Tensor::full(&[n, classes], 1.0 / classes as f32);
+        // Hard labels: one-hot per pattern, classes cycling (line 9).
+        let mut hard = Tensor::zeros(&[n, classes]);
+        for p in 0..n {
+            *hard.at_mut(&[p, p % classes]) = 1.0;
+        }
+
+        let mut iterations = vec![self.max_iters; n];
+        let mut converged = vec![false; n];
+        let mut final_std = vec![f32::INFINITY; n];
+        let mut final_l1 = vec![f32::INFINITY; n];
+
+        // Adam moments on the input (Algorithm 1 says "solved with
+        // algorithms such as stochastic gradient descent"; adaptive steps
+        // reach the ε-constraints in far fewer iterations than plain GD).
+        let mut m = Tensor::zeros(x.shape());
+        let mut v = Tensor::zeros(x.shape());
+        let (beta1, beta2, adam_eps) = (0.9f32, 0.999f32, 1e-8f32);
+
+        for iter in 0..self.max_iters {
+            // Forward both models, measure the constraints.
+            let logits_clean = clean.forward(&x);
+            let logits_fault = faulty.forward(&x);
+            let probs_clean = logits_clean.softmax_rows();
+            let probs_fault = logits_fault.softmax_rows();
+            let mut all_done = true;
+            for p in 0..n {
+                final_std[p] = probs_clean.row(p).std();
+                final_l1[p] = probs_fault.row(p).l1_distance(&hard.row(p));
+                let done = final_std[p] < self.eps1 && final_l1[p] < self.eps2;
+                if done && !converged[p] {
+                    converged[p] = true;
+                    iterations[p] = iter;
+                }
+                all_done &= done;
+            }
+            if all_done {
+                break;
+            }
+
+            // Joint gradient: α·∇CE(f_w, soft) + (1−α)·∇CE(f_w', hard).
+            let loss_clean = SoftmaxCrossEntropy::with_soft_targets(&logits_clean, &soft);
+            let loss_fault = SoftmaxCrossEntropy::with_soft_targets(&logits_fault, &hard);
+            clean.zero_grads();
+            faulty.zero_grads();
+            let g_clean = clean.backward(&loss_clean.grad);
+            let g_fault = faulty.backward(&loss_fault.grad);
+            let grad = g_clean
+                .scale(self.alpha)
+                .add(&g_fault.scale(1.0 - self.alpha))
+                .scale(n as f32); // undo batch-mean scaling
+            let bc1 = 1.0 - beta1.powi(iter as i32 + 1);
+            let bc2 = 1.0 - beta2.powi(iter as i32 + 1);
+            for ((xv, &g), (mv, vv)) in x
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mv = beta1 * *mv + (1.0 - beta1) * g;
+                *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                *xv -= self.learning_rate * (*mv / bc1) / ((*vv / bc2).sqrt() + adam_eps);
+            }
+            x.clamp_inplace(INPUT_MIN, INPUT_MAX); // line 14: clip to bounds
+        }
+
+        let outcomes = (0..n)
+            .map(|p| OtpOutcome {
+                class: p % classes,
+                iterations: iterations[p],
+                converged: converged[p],
+                final_std: final_std[p],
+                final_l1: final_l1[p],
+            })
+            .collect();
+        (TestPatternSet::new("O-TP", x), outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_faults::FaultModel;
+    use healthmon_nn::models::tiny_mlp;
+
+    fn setup() -> (Network, Network) {
+        let mut rng = SeededRng::new(1);
+        let clean = tiny_mlp(12, 24, 4, &mut rng);
+        let mut faulty = clean.clone();
+        FaultModel::ProgrammingVariation { sigma: 0.3 }
+            .apply(&mut faulty, &mut SeededRng::new(2));
+        (clean, faulty)
+    }
+
+    #[test]
+    fn generates_one_pattern_per_class() {
+        let (clean, faulty) = setup();
+        let gen = OtpGenerator::new().max_iters(50);
+        let (set, outcomes) = gen.generate(&clean, &faulty, &mut SeededRng::new(3));
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.method(), "O-TP");
+        let classes: Vec<usize> = outcomes.iter().map(|o| o.class).collect();
+        assert_eq!(classes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_class_multiplies_count() {
+        let (clean, faulty) = setup();
+        let gen = OtpGenerator::new().per_class(3).max_iters(20);
+        let (set, _) = gen.generate(&clean, &faulty, &mut SeededRng::new(3));
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn optimization_reduces_clean_model_logit_spread() {
+        // The two objective terms only decouple when the reference fault
+        // model differs substantially from the clean model (for identical
+        // models the optimum is p = α·u + (1−α)·e_i, which has large
+        // std by construction) — so use a heavy reference fault here.
+        let mut rng = SeededRng::new(1);
+        let clean = tiny_mlp(12, 24, 4, &mut rng);
+        let mut faulty = clean.clone();
+        FaultModel::RandomSoftError { probability: 0.6 }
+            .apply(&mut faulty, &mut SeededRng::new(2));
+        let mut clean_mut = clean.clone();
+        // Baseline: spread of random noise inputs.
+        let mut noise_rng = SeededRng::new(4);
+        let noise = Tensor::rand_uniform(&[4, 12], 0.0, 1.0, &mut noise_rng);
+        let base_std: f32 = {
+            let probs = clean_mut.forward(&noise).softmax_rows();
+            (0..4).map(|p| probs.row(p).std()).sum::<f32>() / 4.0
+        };
+        let gen = OtpGenerator::new().max_iters(400).learning_rate(0.05);
+        let (set, outcomes) = gen.generate(&clean, &faulty, &mut SeededRng::new(4));
+        let opt_std: f32 = {
+            let probs = clean_mut.forward(set.images()).softmax_rows();
+            (0..4).map(|p| probs.row(p).std()).sum::<f32>() / 4.0
+        };
+        assert!(
+            opt_std < base_std * 0.6,
+            "optimization should flatten clean responses: {base_std} -> {opt_std}"
+        );
+        // Constraint metrics must have improved over a random start.
+        assert!(outcomes.iter().all(|o| o.final_std < 0.15));
+    }
+
+    #[test]
+    fn optimization_biases_fault_model_toward_target_class() {
+        let (clean, faulty) = setup();
+        let gen = OtpGenerator::new().max_iters(400).learning_rate(0.1);
+        let (set, _) = gen.generate(&clean, &faulty, &mut SeededRng::new(5));
+        let mut faulty_mut = faulty.clone();
+        let probs = faulty_mut.forward(set.images()).softmax_rows();
+        // Each pattern's target class should have above-uniform confidence
+        // on the reference fault model.
+        let mut wins = 0;
+        for p in 0..4 {
+            if probs.at(&[p, p % 4]) > 1.0 / 4.0 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "only {wins}/4 patterns pulled toward their hard label");
+    }
+
+    #[test]
+    fn patterns_stay_in_image_range() {
+        let (clean, faulty) = setup();
+        let gen = OtpGenerator::new().max_iters(100).learning_rate(0.5);
+        let (set, _) = gen.generate(&clean, &faulty, &mut SeededRng::new(6));
+        assert!(set.images().min() >= INPUT_MIN);
+        assert!(set.images().max() <= INPUT_MAX);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let (clean, faulty) = setup();
+        let gen = OtpGenerator::new().max_iters(30);
+        let (a, _) = gen.generate(&clean, &faulty, &mut SeededRng::new(7));
+        let (b, _) = gen.generate(&clean, &faulty, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn does_not_mutate_inputs() {
+        let (clean, faulty) = setup();
+        let c0 = clean.state_dict();
+        let f0 = faulty.state_dict();
+        OtpGenerator::new().max_iters(10).generate(&clean, &faulty, &mut SeededRng::new(8));
+        assert_eq!(clean.state_dict(), c0);
+        assert_eq!(faulty.state_dict(), f0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_alpha_one() {
+        OtpGenerator::new().alpha(1.0);
+    }
+}

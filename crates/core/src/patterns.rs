@@ -1,0 +1,168 @@
+//! Test pattern sets: the deliverable of every generator.
+
+use healthmon_nn::Network;
+use healthmon_tensor::Tensor;
+
+/// A named set of test patterns (images) shaped for a particular network.
+///
+/// Stored as one batched tensor `[N, ...sample_shape]` so a whole set is
+/// evaluated with a single forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestPatternSet {
+    method: String,
+    images: Tensor,
+}
+
+impl TestPatternSet {
+    /// Creates a pattern set from a batched image tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` has fewer than 2 dimensions (it must be
+    /// batched) or `method` is empty.
+    pub fn new(method: impl Into<String>, images: Tensor) -> Self {
+        let method = method.into();
+        assert!(!method.is_empty(), "pattern set needs a method name");
+        assert!(images.ndim() >= 2, "pattern images must be batched, got {:?}", images.shape());
+        TestPatternSet { method, images }
+    }
+
+    /// Creates a pattern set by stacking individual samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or shapes differ.
+    pub fn from_samples(method: impl Into<String>, samples: &[Tensor]) -> Self {
+        assert!(!samples.is_empty(), "pattern set cannot be empty");
+        let sample_shape = samples[0].shape().to_vec();
+        let flat: Vec<Tensor> = samples
+            .iter()
+            .map(|s| {
+                assert_eq!(s.shape(), &sample_shape[..], "pattern shapes must agree");
+                s.reshape(&[s.len()]).expect("flatten preserves count")
+            })
+            .collect();
+        let stacked = Tensor::stack_rows(&flat);
+        let mut shape = vec![samples.len()];
+        shape.extend_from_slice(&sample_shape);
+        let images = stacked.reshape(&shape).expect("restack preserves count");
+        Self::new(method, images)
+    }
+
+    /// The generating method's name (`"C-TP"`, `"O-TP"`, `"AET"`, ...).
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.images.shape()[0]
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The batched image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Pattern `index` as an owned sample tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn pattern(&self, index: usize) -> Tensor {
+        assert!(index < self.len(), "pattern index {index} out of bounds for {}", self.len());
+        let sample_shape = &self.images.shape()[1..];
+        let sample_len: usize = sample_shape.iter().product();
+        let start = index * sample_len;
+        Tensor::from_vec(
+            self.images.as_slice()[start..start + sample_len].to_vec(),
+            sample_shape,
+        )
+        .expect("sample slice matches sample shape")
+    }
+
+    /// A new set containing only the first `k` patterns (used by the
+    /// efficiency analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the set size.
+    pub fn truncated(&self, k: usize) -> TestPatternSet {
+        assert!(k > 0 && k <= self.len(), "cannot truncate {} patterns to {k}", self.len());
+        let sample_len: usize = self.images.shape()[1..].iter().product();
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = k;
+        let images = Tensor::from_vec(
+            self.images.as_slice()[..k * sample_len].to_vec(),
+            &shape,
+        )
+        .expect("prefix preserves sample shape");
+        TestPatternSet { method: self.method.clone(), images }
+    }
+
+    /// Evaluates the set on `net`, returning the raw logits `[N, classes]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern shape does not match the network input shape.
+    pub fn logits(&self, net: &mut Network) -> Tensor {
+        net.set_training(false);
+        net.forward(&self.images)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::SeededRng;
+
+    #[test]
+    fn from_samples_round_trip() {
+        let s0 = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let s1 = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        let set = TestPatternSet::from_samples("test", &[s0.clone(), s1.clone()]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.pattern(0), s0);
+        assert_eq!(set.pattern(1), s1);
+        assert_eq!(set.method(), "test");
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let samples: Vec<Tensor> =
+            (0..5).map(|i| Tensor::full(&[4], i as f32)).collect();
+        let set = TestPatternSet::from_samples("t", &samples);
+        let t = set.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pattern(1), samples[1]);
+        assert_eq!(t.method(), "t");
+    }
+
+    #[test]
+    fn logits_shape() {
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(4, 8, 3, &mut rng);
+        let set = TestPatternSet::new("t", Tensor::randn(&[5, 4], &mut rng));
+        assert_eq!(set.logits(&mut net).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn multichannel_patterns() {
+        let samples: Vec<Tensor> = (0..3).map(|_| Tensor::zeros(&[1, 4, 4])).collect();
+        let set = TestPatternSet::from_samples("t", &samples);
+        assert_eq!(set.images().shape(), &[3, 1, 4, 4]);
+        assert_eq!(set.pattern(0).shape(), &[1, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn rejects_empty() {
+        TestPatternSet::from_samples("t", &[]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain-text report formatting for experiment outputs.
+//!
+//! The experiment binaries in `healthmon-bench` print the same rows and
+//! series the paper's tables and figures report; these helpers keep the
+//! formatting consistent and testable.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use healthmon::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["sigma".into(), "accuracy".into()]);
+/// t.push_row(vec!["0.1".into(), "98.87%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("sigma"));
+/// assert!(s.contains("98.87%"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for c in 0..cols {
+                let _ = write!(out, "| {:width$} ", cells[c], width = widths[c]);
+            }
+            out.push_str("|\n");
+        };
+        fmt_row(&mut out, &self.header);
+        for (c, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if c == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, paper style
+/// (`0.948` → `"94.8%"`).
+pub fn percent(fraction: f32) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a confidence distance with 4 decimals.
+pub fn distance(d: f32) -> String {
+    format!("{d:.4}")
+}
+
+/// Renders an `(x, y)` series as a compact single-line list, the form the
+/// figure binaries print for each curve.
+pub fn series_line(label: &str, points: &[(f32, f32)]) -> String {
+    let body: Vec<String> = points.iter().map(|(x, y)| format!("({x:.3}, {y:.4})")).collect();
+    format!("{label}: {}", body.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["a".into(), "long header".into()]);
+        t.push_row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(1.0), "100.0%");
+        assert_eq!(percent(0.948), "94.8%");
+        assert_eq!(percent(0.0), "0.0%");
+    }
+
+    #[test]
+    fn distance_formatting() {
+        assert_eq!(distance(0.12345), "0.1235");
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = series_line("C-TP", &[(0.1, 0.02), (0.2, 0.05)]);
+        assert!(s.starts_with("C-TP:"));
+        assert!(s.contains("(0.100, 0.0200)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Stability analysis: coefficient of variation of confidence distances
+//! (paper Table IV).
+//!
+//! A good testing method should report *consistent* confidence distances
+//! across different fault models drawn from the same error level; the
+//! paper quantifies this with the coefficient of variation `CV = σ/μ`
+//! (smaller is more stable).
+
+use crate::confidence::ConfidenceDistance;
+
+/// Mean, standard deviation and coefficient of variation of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Coefficient of variation `std / mean` (0 when the mean is 0).
+    pub cv: f32,
+}
+
+/// Computes series statistics.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn series_stats(values: &[f32]) -> SeriesStats {
+    assert!(!values.is_empty(), "statistics of an empty series are undefined");
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+    let cv = if mean.abs() < f64::EPSILON { 0.0 } else { std / mean };
+    SeriesStats { mean: mean as f32, std: std as f32, cv: cv as f32 }
+}
+
+/// Stability of a campaign's confidence distances: the CV of the
+/// top-ranked distance series and of the all-class distance series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityReport {
+    /// Stats of the top-ranked confidence-distance series.
+    pub top_ranked: SeriesStats,
+    /// Stats of the all-class confidence-distance series.
+    pub all_classes: SeriesStats,
+}
+
+/// Computes the paper's Table IV quantity from a campaign's distances
+/// (see [`crate::Detector::campaign_distances`]).
+///
+/// # Panics
+///
+/// Panics if `distances` is empty.
+pub fn stability(distances: &[ConfidenceDistance]) -> StabilityReport {
+    let top: Vec<f32> = distances.iter().map(|d| d.top_ranked).collect();
+    let all: Vec<f32> = distances.iter().map(|d| d.all_classes).collect();
+    StabilityReport { top_ranked: series_stats(&top), all_classes: series_stats(&all) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_hand_example() {
+        let s = series_stats(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-6);
+        assert!((s.std - 2.0).abs() < 1e-6);
+        assert!((s.cv - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_series_has_zero_cv() {
+        let s = series_stats(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn zero_mean_cv_defined_as_zero() {
+        let s = series_stats(&[0.0, 0.0]);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn tighter_series_has_smaller_cv() {
+        let loose = series_stats(&[1.0, 5.0, 9.0]);
+        let tight = series_stats(&[4.5, 5.0, 5.5]);
+        assert!(tight.cv < loose.cv);
+    }
+
+    #[test]
+    fn stability_report_from_distances() {
+        let distances = vec![
+            ConfidenceDistance { top_ranked: 0.10, all_classes: 0.02 },
+            ConfidenceDistance { top_ranked: 0.12, all_classes: 0.03 },
+            ConfidenceDistance { top_ranked: 0.08, all_classes: 0.01 },
+        ];
+        let report = stability(&distances);
+        assert!((report.top_ranked.mean - 0.10).abs() < 1e-6);
+        assert!(report.all_classes.cv > report.top_ranked.cv);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn rejects_empty() {
+        series_stats(&[]);
+    }
+}

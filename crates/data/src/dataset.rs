@@ -1,0 +1,186 @@
+//! Labelled dataset containers.
+
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// A labelled image dataset: sample-major image tensor plus class labels.
+///
+/// Images are stored `[N, C, H, W]` with values in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Image tensor, `[N, C, H, W]`.
+    pub images: Tensor,
+    /// Class label per sample, each `< num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating label/sample agreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the sample count or any label
+    /// is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert!(images.ndim() >= 2, "images must be batched, got {:?}", images.shape());
+        assert_eq!(
+            labels.len(),
+            images.shape()[0],
+            "label count {} != sample count {}",
+            labels.len(),
+            images.shape()[0]
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < {num_classes}"
+        );
+        Dataset { images, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-sample shape (without the batch dimension).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// The sample at `index` as an owned tensor of [`Dataset::sample_shape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn sample(&self, index: usize) -> Tensor {
+        assert!(index < self.len(), "sample index {index} out of bounds for {}", self.len());
+        let sample_len: usize = self.sample_shape().iter().product();
+        let start = index * sample_len;
+        let flat = &self.images.as_slice()[start..start + sample_len];
+        Tensor::from_vec(flat.to_vec(), self.sample_shape())
+            .expect("sample slice matches sample shape")
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect()
+    }
+
+    /// A new dataset containing only the samples at `indices` (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let sample_len: usize = self.sample_shape().iter().product();
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = indices.len().max(1);
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "subset index {i} out of bounds");
+            let start = i * sample_len;
+            data.extend_from_slice(&self.images.as_slice()[start..start + sample_len]);
+            labels.push(self.labels[i]);
+        }
+        assert!(!indices.is_empty(), "subset of zero samples is not representable");
+        let images = Tensor::from_vec(data, &shape).expect("subset preserves sample shape");
+        Dataset { images, labels, num_classes: self.num_classes }
+    }
+
+    /// A random subset of `k` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the dataset size.
+    pub fn random_subset(&self, k: usize, rng: &mut SeededRng) -> Dataset {
+        let idx = rng.sample_indices(self.len(), k);
+        self.subset(&idx)
+    }
+
+    /// Fraction of samples carrying each label, indexed by class.
+    pub fn class_distribution(&self) -> Vec<f32> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts.into_iter().map(|c| c as f32 / self.len().max(1) as f32).collect()
+    }
+}
+
+/// A train/test split produced by a generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSplit {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec((0..12).map(|v| v as f32 / 12.0).collect(), &[3, 2, 2]).unwrap();
+        Dataset::new(images, vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.sample_shape(), &[2, 2]);
+        assert_eq!(d.sample(1).as_slice(), &[4.0 / 12.0, 5.0 / 12.0, 6.0 / 12.0, 7.0 / 12.0]);
+    }
+
+    #[test]
+    fn class_queries() {
+        let d = toy();
+        assert_eq!(d.indices_of_class(0), vec![0, 2]);
+        assert_eq!(d.indices_of_class(1), vec![1]);
+        let dist = d.class_distribution();
+        assert!((dist[0] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subset_preserves_pairing() {
+        let d = toy();
+        let s = d.subset(&[2, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![0, 1]);
+        assert_eq!(s.sample(0), d.sample(2));
+        assert_eq!(s.sample(1), d.sample(1));
+    }
+
+    #[test]
+    fn random_subset_draws_distinct() {
+        let d = toy();
+        let mut rng = SeededRng::new(1);
+        let s = d.random_subset(2, &mut rng);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn rejects_label_mismatch() {
+        Dataset::new(Tensor::zeros(&[3, 2]), vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn rejects_out_of_range_label() {
+        Dataset::new(Tensor::zeros(&[2, 2]), vec![0, 5], 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! A tiny software rasterizer used by the dataset generators.
+//!
+//! Operates on single-channel planes stored row-major as `&mut [f32]`
+//! with values in `[0, 1]`; drawing is additive-saturating (`max`), so
+//! overlapping strokes do not over-brighten.
+
+/// A single-channel drawing surface of `width × height` pixels.
+#[derive(Debug)]
+pub(crate) struct Canvas<'a> {
+    pub data: &'a mut [f32],
+    pub width: usize,
+    pub height: usize,
+}
+
+impl<'a> Canvas<'a> {
+    pub fn new(data: &'a mut [f32], width: usize, height: usize) -> Self {
+        assert_eq!(data.len(), width * height, "canvas buffer size mismatch");
+        Canvas { data, width, height }
+    }
+
+    /// Deposits `v` at `(x, y)` with saturation (keeps the max).
+    fn deposit(&mut self, x: isize, y: isize, v: f32) {
+        if x < 0 || y < 0 || x >= self.width as isize || y >= self.height as isize {
+            return;
+        }
+        let idx = y as usize * self.width + x as usize;
+        self.data[idx] = self.data[idx].max(v.clamp(0.0, 1.0));
+    }
+
+    /// Draws an anti-aliased thick line from `(x0, y0)` to `(x1, y1)` in
+    /// continuous pixel coordinates with the given stroke half-width and
+    /// intensity.
+    pub fn line(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, half_width: f32, intensity: f32) {
+        let (dx, dy) = (x1 - x0, y1 - y0);
+        let len_sq = dx * dx + dy * dy;
+        let pad = half_width.ceil() as isize + 1;
+        let min_x = x0.min(x1).floor() as isize - pad;
+        let max_x = x0.max(x1).ceil() as isize + pad;
+        let min_y = y0.min(y1).floor() as isize - pad;
+        let max_y = y0.max(y1).ceil() as isize + pad;
+        for py in min_y..=max_y {
+            for px in min_x..=max_x {
+                let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+                // Distance from pixel center to the segment.
+                let t = if len_sq > 0.0 {
+                    (((fx - x0) * dx + (fy - y0) * dy) / len_sq).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let (cx, cy) = (x0 + t * dx, y0 + t * dy);
+                let dist = ((fx - cx).powi(2) + (fy - cy).powi(2)).sqrt();
+                // 1-pixel anti-aliasing falloff at the stroke edge.
+                let alpha = (half_width + 0.5 - dist).clamp(0.0, 1.0);
+                if alpha > 0.0 {
+                    self.deposit(px, py, intensity * alpha);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled axis-aligned rectangle (continuous coordinates).
+    pub fn fill_rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, intensity: f32) {
+        let (x0, x1) = (x0.min(x1), x0.max(x1));
+        let (y0, y1) = (y0.min(y1), y0.max(y1));
+        for py in y0.floor() as isize..=y1.ceil() as isize {
+            for px in x0.floor() as isize..=x1.ceil() as isize {
+                let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+                if fx >= x0 && fx <= x1 && fy >= y0 && fy <= y1 {
+                    self.deposit(px, py, intensity);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled circle with a 1-pixel anti-aliased rim.
+    pub fn fill_circle(&mut self, cx: f32, cy: f32, radius: f32, intensity: f32) {
+        let pad = radius.ceil() as isize + 1;
+        for py in cy as isize - pad..=cy as isize + pad {
+            for px in cx as isize - pad..=cx as isize + pad {
+                let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+                let dist = ((fx - cx).powi(2) + (fy - cy).powi(2)).sqrt();
+                let alpha = (radius + 0.5 - dist).clamp(0.0, 1.0);
+                if alpha > 0.0 {
+                    self.deposit(px, py, intensity * alpha);
+                }
+            }
+        }
+    }
+
+    /// Draws a circle outline of the given stroke half-width.
+    pub fn ring(&mut self, cx: f32, cy: f32, radius: f32, half_width: f32, intensity: f32) {
+        let pad = (radius + half_width).ceil() as isize + 1;
+        for py in cy as isize - pad..=cy as isize + pad {
+            for px in cx as isize - pad..=cx as isize + pad {
+                let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+                let dist = ((fx - cx).powi(2) + (fy - cy).powi(2)).sqrt();
+                let alpha = (half_width + 0.5 - (dist - radius).abs()).clamp(0.0, 1.0);
+                if alpha > 0.0 {
+                    self.deposit(px, py, intensity * alpha);
+                }
+            }
+        }
+    }
+
+    /// Draws a filled triangle via half-plane tests.
+    pub fn fill_triangle(
+        &mut self,
+        (ax, ay): (f32, f32),
+        (bx, by): (f32, f32),
+        (cx, cy): (f32, f32),
+        intensity: f32,
+    ) {
+        let min_x = ax.min(bx).min(cx).floor() as isize;
+        let max_x = ax.max(bx).max(cx).ceil() as isize;
+        let min_y = ay.min(by).min(cy).floor() as isize;
+        let max_y = ay.max(by).max(cy).ceil() as isize;
+        let edge = |x0: f32, y0: f32, x1: f32, y1: f32, px: f32, py: f32| {
+            (px - x0) * (y1 - y0) - (py - y0) * (x1 - x0)
+        };
+        for py in min_y..=max_y {
+            for px in min_x..=max_x {
+                let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+                let e0 = edge(ax, ay, bx, by, fx, fy);
+                let e1 = edge(bx, by, cx, cy, fx, fy);
+                let e2 = edge(cx, cy, ax, ay, fx, fy);
+                let inside = (e0 >= 0.0 && e1 >= 0.0 && e2 >= 0.0)
+                    || (e0 <= 0.0 && e1 <= 0.0 && e2 <= 0.0);
+                if inside {
+                    self.deposit(px, py, intensity);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas_sum(f: impl FnOnce(&mut Canvas<'_>)) -> (Vec<f32>, f32) {
+        let mut buf = vec![0.0f32; 16 * 16];
+        {
+            let mut c = Canvas::new(&mut buf, 16, 16);
+            f(&mut c);
+        }
+        let sum = buf.iter().sum();
+        (buf, sum)
+    }
+
+    #[test]
+    fn line_deposits_ink() {
+        let (buf, sum) = canvas_sum(|c| c.line(2.0, 2.0, 14.0, 2.0, 1.0, 1.0));
+        assert!(sum > 10.0, "line too faint: {sum}");
+        // Ink concentrated near row 2.
+        let row2: f32 = buf[2 * 16..3 * 16].iter().sum();
+        assert!(row2 > sum * 0.3);
+    }
+
+    #[test]
+    fn vertical_and_diagonal_lines() {
+        let (_, v) = canvas_sum(|c| c.line(8.0, 1.0, 8.0, 15.0, 1.0, 1.0));
+        let (_, d) = canvas_sum(|c| c.line(1.0, 1.0, 15.0, 15.0, 1.0, 1.0));
+        assert!(v > 10.0 && d > 10.0);
+    }
+
+    #[test]
+    fn circle_area_scales_with_radius() {
+        let (_, small) = canvas_sum(|c| c.fill_circle(8.0, 8.0, 2.0, 1.0));
+        let (_, large) = canvas_sum(|c| c.fill_circle(8.0, 8.0, 5.0, 1.0));
+        assert!(large > small * 3.0, "small {small} large {large}");
+    }
+
+    #[test]
+    fn ring_is_hollow() {
+        let (buf, _) = canvas_sum(|c| c.ring(8.0, 8.0, 5.0, 1.0, 1.0));
+        // Center empty, rim inked.
+        assert_eq!(buf[8 * 16 + 8], 0.0);
+        assert!(buf[8 * 16 + 13] > 0.3);
+    }
+
+    #[test]
+    fn rect_inside_only() {
+        let (buf, _) = canvas_sum(|c| c.fill_rect(4.0, 4.0, 8.0, 8.0, 0.9));
+        assert!(buf[6 * 16 + 6] > 0.8);
+        assert_eq!(buf[1 * 16 + 1], 0.0);
+    }
+
+    #[test]
+    fn triangle_orientation_independent() {
+        let (_, a) = canvas_sum(|c| c.fill_triangle((2.0, 2.0), (14.0, 2.0), (8.0, 14.0), 1.0));
+        let (_, b) = canvas_sum(|c| c.fill_triangle((8.0, 14.0), (14.0, 2.0), (2.0, 2.0), 1.0));
+        assert!((a - b).abs() < 1e-3);
+        assert!(a > 20.0);
+    }
+
+    #[test]
+    fn out_of_bounds_drawing_is_safe() {
+        let (_, sum) = canvas_sum(|c| {
+            c.line(-10.0, -10.0, 30.0, 30.0, 2.0, 1.0);
+            c.fill_circle(-5.0, -5.0, 3.0, 1.0);
+        });
+        assert!(sum > 0.0); // Did not panic, clipped correctly.
+    }
+
+    #[test]
+    fn values_saturate_at_one() {
+        let (buf, _) = canvas_sum(|c| {
+            for _ in 0..10 {
+                c.fill_rect(4.0, 4.0, 8.0, 8.0, 1.0);
+            }
+        });
+        assert!(buf.iter().all(|&v| v <= 1.0));
+    }
+}

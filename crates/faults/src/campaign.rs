@@ -1,0 +1,197 @@
+//! Fault campaigns: statistical fleets of fault models derived from one
+//! golden network.
+//!
+//! The paper reports detection rates averaged over 100 fault models per
+//! error level; [`FaultCampaign`] reproduces that protocol with exact
+//! per-index determinism, and [`par_map_models`] fans evaluation out
+//! across threads.
+
+use crate::FaultModel;
+use healthmon_nn::Network;
+use healthmon_tensor::SeededRng;
+
+/// A generator of faulty copies of a golden network.
+///
+/// Fault model `i` of a campaign is always identical for the same
+/// `(golden weights, campaign seed, fault spec, i)` regardless of how many
+/// other models were generated or in what order — each index derives its
+/// own RNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultCampaign<'a> {
+    golden: &'a Network,
+    seed: u64,
+}
+
+impl<'a> FaultCampaign<'a> {
+    /// Creates a campaign over `golden` with the given seed.
+    pub fn new(golden: &'a Network, seed: u64) -> Self {
+        FaultCampaign { golden, seed }
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG stream for fault-model `index`.
+    fn stream(&self, index: usize) -> SeededRng {
+        SeededRng::new(self.seed).fork(index as u64)
+    }
+
+    /// Builds fault model `index`: a clone of the golden network with
+    /// `fault` applied under the index's own RNG stream.
+    pub fn model(&self, fault: &FaultModel, index: usize) -> Network {
+        let mut net = self.golden.clone();
+        let mut rng = self.stream(index);
+        fault.apply(&mut net, &mut rng);
+        net
+    }
+
+    /// Iterates over the first `count` fault models.
+    pub fn models<'b>(
+        &'b self,
+        fault: &'b FaultModel,
+        count: usize,
+    ) -> impl Iterator<Item = Network> + 'b {
+        (0..count).map(move |i| self.model(fault, i))
+    }
+}
+
+/// Evaluates `f` on `count` fault models in parallel, returning results in
+/// index order.
+///
+/// `f` receives the fault-model index and a mutable reference to that
+/// index's faulty network (mutable because inference through
+/// [`Network::forward`] caches activations).
+///
+/// Determinism matches [`FaultCampaign::model`]: the result for index `i`
+/// does not depend on thread count.
+pub fn par_map_models<T, F>(
+    golden: &Network,
+    fault: &FaultModel,
+    seed: u64,
+    count: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Network) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count.max(1));
+    let campaign = FaultCampaign::new(golden, seed);
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let mut net = campaign.model(fault, i);
+            *slot = Some(f(i, &mut net));
+        }
+    } else {
+        let chunk = count.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, slots) in results.chunks_mut(chunk).enumerate() {
+                let campaign = &campaign;
+                let f = &f;
+                let fault = &*fault;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        let i = t * chunk + j;
+                        let mut net = campaign.model(fault, i);
+                        *slot = Some(f(i, &mut net));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::Tensor;
+
+    fn golden() -> Network {
+        let mut rng = SeededRng::new(1);
+        tiny_mlp(4, 8, 3, &mut rng)
+    }
+
+    fn weights(net: &Network) -> Vec<f32> {
+        let mut v = Vec::new();
+        net.for_each_param(|_, t| v.extend_from_slice(t.as_slice()));
+        v
+    }
+
+    #[test]
+    fn model_index_is_deterministic() {
+        let g = golden();
+        let c = FaultCampaign::new(&g, 5);
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+        let a = c.model(&fault, 3);
+        let b = c.model(&fault, 3);
+        assert_eq!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let g = golden();
+        let c = FaultCampaign::new(&g, 5);
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+        assert_ne!(weights(&c.model(&fault, 0)), weights(&c.model(&fault, 1)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+        let a = FaultCampaign::new(&g, 1).model(&fault, 0);
+        let b = FaultCampaign::new(&g, 2).model(&fault, 0);
+        assert_ne!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn golden_model_unchanged_by_campaign() {
+        let g = golden();
+        let before = weights(&g);
+        let c = FaultCampaign::new(&g, 5);
+        let _ = c
+            .models(&FaultModel::RandomSoftError { probability: 0.5 }, 4)
+            .collect::<Vec<_>>();
+        assert_eq!(before, weights(&g));
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let x = Tensor::ones(&[4]);
+        let seq: Vec<f32> = FaultCampaign::new(&g, 9)
+            .models(&fault, 8)
+            .map(|mut net| net.forward_single(&x).sum())
+            .collect();
+        let par = par_map_models(&g, &fault, 9, 8, |_, net| net.forward_single(&x).sum());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.1 };
+        let idx = par_map_models(&g, &fault, 0, 13, |i, _| i);
+        assert_eq!(idx, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_zero_count_is_empty() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.1 };
+        let out: Vec<usize> = par_map_models(&g, &fault, 0, 0, |i, _| i);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the fault-injection engine.
+
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::Network;
+use healthmon_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn golden(seed: u64) -> Network {
+    let mut rng = SeededRng::new(seed);
+    tiny_mlp(6, 10, 4, &mut rng)
+}
+
+fn weights(net: &Network) -> Vec<f32> {
+    let mut v = Vec::new();
+    net.for_each_param(|k, t| {
+        if k.ends_with("weight") {
+            v.extend_from_slice(t.as_slice());
+        }
+    });
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn programming_variation_preserves_signs(seed in 0u64..10_000, sigma in 0.0f32..1.0) {
+        let mut net = golden(1);
+        let before = weights(&net);
+        FaultModel::ProgrammingVariation { sigma }.apply(&mut net, &mut SeededRng::new(seed));
+        let after = weights(&net);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert_eq!(b.signum(), a.signum());
+        }
+    }
+
+    #[test]
+    fn injection_deterministic(seed in 0u64..10_000, sigma in 0.01f32..0.8) {
+        let fault = FaultModel::ProgrammingVariation { sigma };
+        let mut a = golden(2);
+        let mut b = golden(2);
+        fault.apply(&mut a, &mut SeededRng::new(seed));
+        fault.apply(&mut b, &mut SeededRng::new(seed));
+        prop_assert_eq!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn soft_error_corruption_fraction_tracks_p(seed in 0u64..10_000, p in 0.05f64..0.9) {
+        let mut net = golden(3);
+        let before = weights(&net);
+        FaultModel::RandomSoftError { probability: p }.apply(&mut net, &mut SeededRng::new(seed));
+        let after = weights(&net);
+        let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let frac = changed as f64 / before.len() as f64;
+        // Binomial bounds (n = 100 weights): generous 4-sigma window.
+        let tol = 4.0 * (p * (1.0 - p) / before.len() as f64).sqrt() + 0.02;
+        prop_assert!((frac - p).abs() < tol, "p={p}, observed {frac}");
+    }
+
+    #[test]
+    fn stuck_at_fraction_bounded(seed in 0u64..10_000, sa in 0.0f64..0.5) {
+        let mut net = golden(4);
+        FaultModel::StuckAt { sa0: sa, sa1: 0.0 }.apply(&mut net, &mut SeededRng::new(seed));
+        let after = weights(&net);
+        let zeros = after.iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / after.len() as f64;
+        prop_assert!(frac <= sa + 0.25, "sa0={sa}, zero fraction {frac}");
+    }
+
+    #[test]
+    fn drift_never_increases_magnitudes(seed in 0u64..10_000, nu in 0.0f32..1.0, t in 0.0f32..4.0) {
+        let mut net = golden(5);
+        let before = weights(&net);
+        FaultModel::Drift { nu, time: t }.apply(&mut net, &mut SeededRng::new(seed));
+        let after = weights(&net);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a.abs() <= b.abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn perturbation_grows_with_sigma(seed in 0u64..10_000) {
+        let net = golden(6);
+        let campaign = FaultCampaign::new(&net, seed);
+        let distance = |sigma: f32| {
+            let faulty = campaign.model(&FaultModel::ProgrammingVariation { sigma }, 0);
+            weights(&net)
+                .iter()
+                .zip(weights(&faulty))
+                .map(|(b, a)| (b - a).abs())
+                .sum::<f32>()
+        };
+        let small = distance(0.05);
+        let large = distance(0.8);
+        prop_assert!(large > small, "sigma=0.8 moved less ({large}) than 0.05 ({small})");
+    }
+
+    #[test]
+    fn campaign_indices_distinct(seed in 0u64..10_000) {
+        let net = golden(7);
+        let campaign = FaultCampaign::new(&net, seed);
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let a = campaign.model(&fault, 0);
+        let b = campaign.model(&fault, 1);
+        prop_assert_ne!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn compound_order_matters_but_is_deterministic(seed in 0u64..10_000) {
+        let fault = FaultModel::Compound(vec![
+            FaultModel::ProgrammingVariation { sigma: 0.2 },
+            FaultModel::Drift { nu: 0.2, time: 1.0 },
+        ]);
+        let mut a = golden(8);
+        let mut b = golden(8);
+        fault.apply(&mut a, &mut SeededRng::new(seed));
+        fault.apply(&mut b, &mut SeededRng::new(seed));
+        prop_assert_eq!(weights(&a), weights(&b));
+    }
+}

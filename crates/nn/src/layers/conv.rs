@@ -1,0 +1,411 @@
+//! 2-D convolution via im2col + matmul.
+
+use super::Layer;
+use crate::init::Init;
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// A 2-D convolution layer over `[N, C, H, W]` inputs.
+///
+/// Kernels are stored `[filters, in_channels, kh, kw]` and applied through
+/// an im2col transformation so the inner loop is a single (thread-parallel)
+/// matrix multiplication — the same dataflow a ReRAM crossbar realizes in
+/// analog, which is why the fault models in `healthmon-faults` perturb
+/// these weights directly.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_nn::layers::{Conv2d, Layer};
+/// use healthmon_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut conv = Conv2d::new(1, 6, 5, 1, 2, &mut rng); // 6@5x5, stride 1, pad 2
+/// let y = conv.forward(&Tensor::zeros(&[2, 1, 28, 28]));
+/// assert_eq!(y.shape(), &[2, 6, 28, 28]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    filters: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// `[filters, in_channels * kernel * kernel]` — the crossbar-mapped view.
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_col: Option<Tensor>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal kernels and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "conv kernel/stride must be non-zero");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = filters * kernel * kernel;
+        Conv2d {
+            in_channels,
+            filters,
+            kernel,
+            stride,
+            padding,
+            weight: Init::HeNormal.sample(&[filters, fan_in], fan_in, fan_out, rng),
+            bias: Tensor::zeros(&[filters]),
+            grad_weight: Tensor::zeros(&[filters, fan_in]),
+            grad_bias: Tensor::zeros(&[filters]),
+            cached_col: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Number of output filters.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Spatial output extent for a given input extent.
+    fn out_extent(&self, input: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "conv kernel {} larger than padded input extent {padded}",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// im2col: unfold input patches into a `[C·K·K, N·OH·OW]` matrix.
+    fn im2col(&self, input: &Tensor, oh: usize, ow: usize) -> Tensor {
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let k = self.kernel;
+        let ckk = c * k * k;
+        let cols = n * oh * ow;
+        let x = input.as_slice();
+        let mut col = Tensor::zeros(&[ckk, cols]);
+        let cm = col.as_mut_slice();
+        for ci in 0..c {
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ci * k + kh) * k + kw;
+                    let row_base = row * cols;
+                    for ni in 0..n {
+                        let plane = (ni * c + ci) * h * w;
+                        let col_base = ni * oh * ow;
+                        for ph in 0..oh {
+                            let ih = (ph * self.stride + kh) as isize - self.padding as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            let in_row = plane + ih as usize * w;
+                            let out_row = row_base + col_base + ph * ow;
+                            for pw in 0..ow {
+                                let iw = (pw * self.stride + kw) as isize - self.padding as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                cm[out_row + pw] = x[in_row + iw as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// col2im: fold a `[C·K·K, N·OH·OW]` gradient matrix back onto the
+    /// input, accumulating overlapping patches.
+    fn col2im(&self, col: &Tensor, input_shape: &[usize], oh: usize, ow: usize) -> Tensor {
+        let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+        let k = self.kernel;
+        let cols = n * oh * ow;
+        let cm = col.as_slice();
+        let mut out = Tensor::zeros(input_shape);
+        let o = out.as_mut_slice();
+        for ci in 0..c {
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ci * k + kh) * k + kw;
+                    let row_base = row * cols;
+                    for ni in 0..n {
+                        let plane = (ni * c + ci) * h * w;
+                        let col_base = ni * oh * ow;
+                        for ph in 0..oh {
+                            let ih = (ph * self.stride + kh) as isize - self.padding as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            let in_row = plane + ih as usize * w;
+                            let src_row = row_base + col_base + ph * ow;
+                            for pw in 0..ow {
+                                let iw = (pw * self.stride + kw) as isize - self.padding as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                o[in_row + iw as usize] += cm[src_row + pw];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `[F, N·OH·OW]` → `[N, F, OH, OW]`.
+    fn gather_output(&self, mat: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+        let f = self.filters;
+        let plane = oh * ow;
+        let cols = n * plane;
+        let m = mat.as_slice();
+        let mut out = Tensor::zeros(&[n, f, oh, ow]);
+        let o = out.as_mut_slice();
+        for fi in 0..f {
+            let src = fi * cols;
+            for ni in 0..n {
+                let dst = (ni * f + fi) * plane;
+                let s = src + ni * plane;
+                o[dst..dst + plane].copy_from_slice(&m[s..s + plane]);
+            }
+        }
+        out
+    }
+
+    /// `[N, F, OH, OW]` → `[F, N·OH·OW]` (inverse of `gather_output`).
+    fn scatter_grad(&self, grad: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+        let f = self.filters;
+        let plane = oh * ow;
+        let cols = n * plane;
+        let g = grad.as_slice();
+        let mut out = Tensor::zeros(&[f, cols]);
+        let o = out.as_mut_slice();
+        for ni in 0..n {
+            for fi in 0..f {
+                let src = (ni * f + fi) * plane;
+                let dst = fi * cols + ni * plane;
+                o[dst..dst + plane].copy_from_slice(&g[src..src + plane]);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "conv2d expects [N,C,H,W], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "conv2d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
+        let oh = self.out_extent(h);
+        let ow = self.out_extent(w);
+        let col = self.im2col(input, oh, ow);
+        let mut out_mat = self.weight.matmul(&col); // [F, N*OH*OW]
+        let cols = n * oh * ow;
+        let bias = self.bias.as_slice();
+        let om = out_mat.as_mut_slice();
+        for (fi, &b) in bias.iter().enumerate() {
+            if b != 0.0 {
+                for v in &mut om[fi * cols..(fi + 1) * cols] {
+                    *v += b;
+                }
+            }
+        }
+        let out = self.gather_output(&out_mat, n, oh, ow);
+        self.cached_col = Some(col);
+        self.cached_input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let col = self.cached_col.take().expect("conv2d backward before forward");
+        let input_shape = self
+            .cached_input_shape
+            .clone()
+            .expect("conv2d backward before forward");
+        let (n, h, w) = (input_shape[0], input_shape[2], input_shape[3]);
+        let oh = self.out_extent(h);
+        let ow = self.out_extent(w);
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.filters, oh, ow],
+            "conv2d grad shape mismatch"
+        );
+        let g_mat = self.scatter_grad(grad_out, n, oh, ow); // [F, N*OH*OW]
+        // dW = G · colᵀ, db = row sums of G, dcol = Wᵀ · G
+        self.grad_weight += &g_mat.matmul_bt(&col);
+        {
+            let cols = n * oh * ow;
+            let g = g_mat.as_slice();
+            for (fi, gb) in self.grad_bias.as_mut_slice().iter_mut().enumerate() {
+                *gb += g[fi * cols..(fi + 1) * cols].iter().sum::<f32>();
+            }
+        }
+        let grad_col = self.weight.matmul_at(&g_mat); // [CKK, N*OH*OW]
+        self.col2im(&grad_col, &input_shape, oh, ow)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn param_names(&self) -> Vec<&'static str> {
+        vec!["weight", "bias"]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    /// Direct (reference) convolution for testing the im2col path.
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Tensor {
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = (h + 2 * padding - kernel) / stride + 1;
+        let ow = (w + 2 * padding - kernel) / stride + 1;
+        let mut out = Tensor::zeros(&[n, filters, oh, ow]);
+        for ni in 0..n {
+            for fi in 0..filters {
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut acc = bias.as_slice()[fi];
+                        for ci in 0..c {
+                            for kh in 0..kernel {
+                                for kw in 0..kernel {
+                                    let ih = (ph * stride + kh) as isize - padding as isize;
+                                    let iw = (pw * stride + kw) as isize - padding as isize;
+                                    if ih < 0 || iw < 0 || ih >= h as isize || iw >= w as isize {
+                                        continue;
+                                    }
+                                    let x = input.at(&[ni, ci, ih as usize, iw as usize]);
+                                    let wv =
+                                        weight.at(&[fi, (ci * kernel + kh) * kernel + kw]);
+                                    acc += x * wv;
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, fi, ph, pw]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let mut rng = SeededRng::new(1);
+        for &(c, f, k, s, p, h) in &[(1, 2, 3, 1, 0, 5), (2, 3, 3, 1, 1, 6), (3, 4, 5, 2, 2, 9)] {
+            let mut conv = Conv2d::new(c, f, k, s, p, &mut rng);
+            // Random bias so the bias path is exercised too.
+            for b in conv.bias.as_mut_slice() {
+                *b = rng.normal(0.0, 0.5);
+            }
+            let x = Tensor::randn(&[2, c, h, h], &mut rng);
+            let got = conv.forward(&x);
+            let want = naive_conv(&x, &conv.weight, &conv.bias, f, k, s, p);
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "conv mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_shape_formulas() {
+        let mut rng = SeededRng::new(2);
+        // "same" padding keeps extent with stride 1.
+        let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        assert_eq!(conv.forward(&Tensor::zeros(&[1, 1, 7, 7])).shape(), &[1, 4, 7, 7]);
+        // valid 5x5 shrinks by 4.
+        let mut conv = Conv2d::new(1, 4, 5, 1, 0, &mut rng);
+        assert_eq!(conv.forward(&Tensor::zeros(&[1, 1, 14, 14])).shape(), &[1, 4, 10, 10]);
+        // stride 2 halves.
+        let mut conv = Conv2d::new(1, 4, 2, 2, 0, &mut rng);
+        assert_eq!(conv.forward(&Tensor::zeros(&[1, 1, 8, 8])).shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let err = gradcheck::input_gradient_error(&mut conv, &x);
+        assert!(err < 1e-2, "conv input grad error {err}");
+    }
+
+    #[test]
+    fn param_gradient_check() {
+        let mut rng = SeededRng::new(4);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        let x = Tensor::randn(&[2, 1, 5, 5], &mut rng);
+        let err = gradcheck::param_gradient_error(&mut conv, &x);
+        assert!(err < 1e-2, "conv param grad error {err}");
+    }
+
+    #[test]
+    fn strided_gradient_check() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 7, 7], &mut rng);
+        let err = gradcheck::input_gradient_error(&mut conv, &x);
+        assert!(err < 1e-2, "strided conv grad error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn rejects_wrong_channel_count() {
+        let mut rng = SeededRng::new(6);
+        Conv2d::new(3, 2, 3, 1, 1, &mut rng).forward(&Tensor::zeros(&[1, 1, 8, 8]));
+    }
+}

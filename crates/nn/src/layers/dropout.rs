@@ -1,0 +1,125 @@
+//! Inverted dropout for regularization during training.
+
+use super::Layer;
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; during inference
+/// the layer is the identity.
+///
+/// Holds its own [`SeededRng`] so a trained model is reproducible from the
+/// construction seed.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    rng: SeededRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, rng: &mut SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} must be in [0, 1)");
+        Dropout { p, training: true, rng: rng.fork(0xD80), cached_mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut mask = Tensor::zeros(input.shape());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.chance(keep as f64) { 1.0 / keep } else { 0.0 };
+        }
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn set_training(&mut self, on: bool) {
+        self.training = on;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut rng = SeededRng::new(1);
+        let mut l = Dropout::new(0.5, &mut rng);
+        l.set_training(false);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(l.forward(&x), x);
+    }
+
+    #[test]
+    fn drops_roughly_p_fraction() {
+        let mut rng = SeededRng::new(2);
+        let mut l = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[10_000]);
+        let y = l.forward(&x);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4500..5500).contains(&zeros), "dropped {zeros}");
+        // Survivors are scaled by 1/keep.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expectation_preserved() {
+        let mut rng = SeededRng::new(3);
+        let mut l = Dropout::new(0.3, &mut rng);
+        let x = Tensor::ones(&[50_000]);
+        let y = l.forward(&x);
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = SeededRng::new(4);
+        let mut l = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[100]);
+        let y = l.forward(&x);
+        let g = l.backward(&Tensor::ones(&[100]));
+        // Gradient passes exactly where the forward pass passed.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn rejects_p_one() {
+        Dropout::new(1.0, &mut SeededRng::new(0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Network layers.
+//!
+//! Each layer implements [`Layer`]: a `forward` pass that caches whatever
+//! the matching `backward` pass needs, and `backward` both accumulates
+//! parameter gradients *and* returns the gradient with respect to the
+//! layer input. Input gradients flow all the way back to the image, which
+//! is what O-TP pattern optimization and FGSM adversarial generation
+//! require.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use healthmon_tensor::Tensor;
+use std::fmt;
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches activations, `backward` consumes
+/// them. A `forward` must precede each `backward` with the same batch.
+///
+/// The trait is object-safe; networks store `Box<dyn Layer>` so
+/// heterogeneous stacks (conv → pool → dense) compose freely.
+pub trait Layer: fmt::Debug + Send + Sync {
+    /// Short human-readable layer kind, e.g. `"dense"` or `"conv2d"`.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for a batch, caching anything `backward`
+    /// will need.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the input shape is incompatible with the
+    /// layer configuration.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output) backwards: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`, or if `grad_out`
+    /// does not match the cached forward shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's trainable parameter tensors, in a
+    /// stable order. Empty for parameter-free layers.
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable views of the trainable parameters, same order as
+    /// [`Layer::params`]. Fault injectors use this to perturb weights.
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Stable names for the parameters, same order as [`Layer::params`]
+    /// (e.g. `["weight", "bias"]`). Used to build state-dict keys.
+    fn param_names(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
+
+    /// Mutable (parameter, gradient) pairs, same order as
+    /// [`Layer::params`]. Optimizers consume this.
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    /// Resets all accumulated parameter gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Switches training-only behaviour (e.g. dropout) on or off.
+    /// Inference-only layers ignore this.
+    fn set_training(&mut self, _on: bool) {}
+
+    /// Clones the layer into a box. Needed because `Clone` is not
+    /// object-safe; fault campaigns clone whole networks per fault model.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+
+    use super::Layer;
+    use healthmon_tensor::Tensor;
+
+    /// Max relative error between analytic and numeric input gradients.
+    pub fn input_gradient_error(layer: &mut dyn Layer, input: &Tensor) -> f32 {
+        // Scalar loss L = sum(forward(x)) so dL/dy = ones.
+        let out = layer.forward(input);
+        let grad_out = Tensor::ones(out.shape());
+        let analytic = layer.backward(&grad_out);
+
+        let eps = 1e-2f32;
+        let mut max_err = 0.0f32;
+        for i in 0..input.len() {
+            let mut xp = input.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = input.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = layer.forward(&xp).sum();
+            let fm = layer.forward(&xm).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            max_err = max_err.max((a - numeric).abs() / denom);
+        }
+        max_err
+    }
+
+    /// Max relative error between analytic and numeric parameter gradients.
+    pub fn param_gradient_error(layer: &mut dyn Layer, input: &Tensor) -> f32 {
+        let out = layer.forward(input);
+        let grad_out = Tensor::ones(out.shape());
+        layer.zero_grads();
+        layer.backward(&grad_out);
+        let analytic: Vec<Tensor> = layer
+            .params_and_grads()
+            .into_iter()
+            .map(|(_, g)| g.clone())
+            .collect();
+
+        let eps = 1e-2f32;
+        let mut max_err = 0.0f32;
+        let n_params = analytic.len();
+        for p in 0..n_params {
+            for i in 0..analytic[p].len() {
+                let orig = layer.params()[p].as_slice()[i];
+                layer.params_mut()[p].as_mut_slice()[i] = orig + eps;
+                let fp = layer.forward(input).sum();
+                layer.params_mut()[p].as_mut_slice()[i] = orig - eps;
+                let fm = layer.forward(input).sum();
+                layer.params_mut()[p].as_mut_slice()[i] = orig;
+                let numeric = (fp - fm) / (2.0 * eps);
+                let a = analytic[p].as_slice()[i];
+                let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+                max_err = max_err.max((a - numeric).abs() / denom);
+            }
+        }
+        max_err
+    }
+}

@@ -1,0 +1,282 @@
+//! Spatial pooling layers over `[N, C, H, W]` feature maps.
+
+use super::Layer;
+use healthmon_tensor::Tensor;
+
+fn pooled_extent(input: usize, kernel: usize, stride: usize) -> usize {
+    assert!(input >= kernel, "pool kernel {kernel} larger than input extent {input}");
+    (input - kernel) / stride + 1
+}
+
+/// 2-D max pooling.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_nn::layers::{Layer, MaxPool2d};
+/// use healthmon_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2, 2);
+/// let y = pool.forward(&Tensor::zeros(&[1, 3, 8, 8]));
+/// assert_eq!(y.shape(), &[1, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_input_shape: Option<Vec<usize>>,
+    /// Linear index (into the input buffer) of each output's winner.
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with square kernel and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be non-zero");
+        MaxPool2d { kernel, stride, cached_input_shape: None, cached_argmax: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "maxpool expects [N,C,H,W], got {:?}", input.shape());
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = pooled_extent(h, self.kernel, self.stride);
+        let ow = pooled_extent(w, self.kernel, self.stride);
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.cached_argmax = vec![0usize; n * c * oh * ow];
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kh in 0..self.kernel {
+                            let row = plane + (ph * self.stride + kh) * w + pw * self.stride;
+                            for kw in 0..self.kernel {
+                                let v = x[row + kw];
+                                if v > best {
+                                    best = v;
+                                    best_idx = row + kw;
+                                }
+                            }
+                        }
+                        o[oi] = best;
+                        self.cached_argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("maxpool backward before forward");
+        assert_eq!(grad_out.len(), self.cached_argmax.len(), "maxpool grad shape mismatch");
+        let mut grad_in = Tensor::zeros(shape);
+        let gi = grad_in.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(&self.cached_argmax) {
+            gi[idx] += g;
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// 2-D average pooling.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with square kernel and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be non-zero");
+        AvgPool2d { kernel, stride, cached_input_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "avgpool expects [N,C,H,W], got {:?}", input.shape());
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = pooled_extent(h, self.kernel, self.stride);
+        let ow = pooled_extent(w, self.kernel, self.stride);
+        let x = input.as_slice();
+        let inv_area = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut acc = 0.0f32;
+                        for kh in 0..self.kernel {
+                            let row = plane + (ph * self.stride + kh) * w + pw * self.stride;
+                            for kw in 0..self.kernel {
+                                acc += x[row + kw];
+                            }
+                        }
+                        o[oi] = acc * inv_area;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("avgpool backward before forward")
+            .clone();
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = pooled_extent(h, self.kernel, self.stride);
+        let ow = pooled_extent(w, self.kernel, self.stride);
+        let inv_area = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut grad_in = Tensor::zeros(&shape);
+        let gi = grad_in.as_mut_slice();
+        let g = grad_out.as_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let share = g[oi] * inv_area;
+                        for kh in 0..self.kernel {
+                            let row = plane + (ph * self.stride + kh) * w + pw * self.stride;
+                            for kw in 0..self.kernel {
+                                gi[row + kw] += share;
+                            }
+                        }
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use healthmon_tensor::SeededRng;
+
+    #[test]
+    fn maxpool_hand_example() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winner() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x);
+        let g = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap());
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avgpool_hand_example() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x);
+        assert_eq!(y.as_slice(), &[2.5]);
+        let g = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]).unwrap());
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let mut rng = SeededRng::new(6);
+        // Distinct values so the argmax is stable under the FD epsilon.
+        let mut x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v += (i as f32) * 0.1;
+        }
+        let mut pool = MaxPool2d::new(2, 2);
+        let err = gradcheck::input_gradient_error(&mut pool, &x);
+        assert!(err < 1e-2, "maxpool grad error {err}");
+    }
+
+    #[test]
+    fn avgpool_gradient_check() {
+        let mut rng = SeededRng::new(7);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let mut pool = AvgPool2d::new(2, 2);
+        let err = gradcheck::input_gradient_error(&mut pool, &x);
+        assert!(err < 1e-2, "avgpool grad error {err}");
+    }
+
+    #[test]
+    fn stride_one_overlapping_windows() {
+        let mut pool = MaxPool2d::new(2, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
+            .unwrap();
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn rejects_kernel_larger_than_input() {
+        MaxPool2d::new(3, 1).forward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+}

@@ -1,0 +1,188 @@
+//! Loss functions.
+//!
+//! The paper's O-TP objective is a *weighted sum of two cross-entropies*
+//! (one against a uniform soft label on the clean model, one against a
+//! hard label on the reference fault model), so the cross-entropy here
+//! accepts arbitrary probability-vector targets, not just class indices.
+
+use healthmon_tensor::Tensor;
+
+/// Loss value and gradient with respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, shape `[N, classes]`.
+    pub grad: Tensor,
+}
+
+/// Softmax followed by cross-entropy, fused for numerical stability.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_nn::SoftmaxCrossEntropy;
+/// use healthmon_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0], &[1, 3])?;
+/// let out = SoftmaxCrossEntropy::with_labels(&logits, &[0]);
+/// assert!(out.loss < 1.0); // confident and correct => small loss
+/// # Ok::<(), healthmon_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Cross-entropy of `logits` (`[N, C]`) against integer class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != N` or any label is out of range.
+    pub fn with_labels(logits: &Tensor, labels: &[usize]) -> LossOutput {
+        let classes = logits.shape()[1];
+        let mut targets = Tensor::zeros(logits.shape());
+        assert_eq!(labels.len(), logits.shape()[0], "label count must match batch size");
+        for (row, &label) in labels.iter().enumerate() {
+            assert!(label < classes, "label {label} out of range for {classes} classes");
+            *targets.at_mut(&[row, label]) = 1.0;
+        }
+        Self::with_soft_targets(logits, &targets)
+    }
+
+    /// Cross-entropy of `logits` against probability-vector targets of the
+    /// same shape (soft labels), as used by the O-TP objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or either tensor is not 2-D.
+    pub fn with_soft_targets(logits: &Tensor, targets: &Tensor) -> LossOutput {
+        assert_eq!(logits.ndim(), 2, "loss expects [N, classes] logits");
+        assert_eq!(
+            logits.shape(),
+            targets.shape(),
+            "loss target shape {:?} != logits shape {:?}",
+            targets.shape(),
+            logits.shape()
+        );
+        let n = logits.shape()[0];
+        let mut loss = 0.0f32;
+        let mut grad_rows = Vec::with_capacity(n);
+        for row in 0..n {
+            let z = logits.row(row);
+            let t = targets.row(row);
+            loss += z.cross_entropy_with(&t);
+            // d/dz of -sum t_i log softmax(z)_i = softmax(z) * sum(t) - t.
+            // For probability targets sum(t) = 1 giving the familiar p - t.
+            let t_sum = t.sum();
+            let p = z.softmax();
+            grad_rows.push(&p.scale(t_sum) - &t);
+        }
+        let inv_n = 1.0 / n as f32;
+        LossOutput {
+            loss: loss * inv_n,
+            grad: Tensor::stack_rows(&grad_rows).scale(inv_n),
+        }
+    }
+}
+
+/// Mean squared error, `mean((pred - target)^2)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanSquaredError;
+
+impl MeanSquaredError {
+    /// MSE of predictions against same-shape targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn compute(pred: &Tensor, target: &Tensor) -> LossOutput {
+        assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+        let diff = pred - target;
+        let n = pred.len() as f32;
+        LossOutput {
+            loss: diff.as_slice().iter().map(|&d| d * d).sum::<f32>() / n,
+            grad: diff.scale(2.0 / n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::SeededRng;
+
+    #[test]
+    fn uniform_logits_loss_is_ln_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = SoftmaxCrossEntropy::with_labels(&logits, &[0, 3]);
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_is_softmax_minus_target() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let out = SoftmaxCrossEntropy::with_labels(&logits, &[2]);
+        let p = logits.row(0).softmax();
+        for (i, g) in out.grad.as_slice().iter().enumerate() {
+            let want = p.as_slice()[i] - if i == 2 { 1.0 } else { 0.0 };
+            assert!((g - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn soft_targets_uniform() {
+        // O-TP's first term: uniform soft label. Perfectly uniform logits
+        // give loss ln(C) and zero gradient.
+        let logits = Tensor::zeros(&[1, 10]);
+        let target = Tensor::full(&[1, 10], 0.1);
+        let out = SoftmaxCrossEntropy::with_soft_targets(&logits, &target);
+        assert!((out.loss - 10.0f32.ln()).abs() < 1e-5);
+        assert!(out.grad.as_slice().iter().all(|&g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn loss_decreases_along_negative_gradient() {
+        let mut rng = SeededRng::new(1);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let labels = [0usize, 2, 4];
+        let out = SoftmaxCrossEntropy::with_labels(&logits, &labels);
+        let stepped = &logits - &out.grad.scale(1.0);
+        let out2 = SoftmaxCrossEntropy::with_labels(&stepped, &labels);
+        assert!(out2.loss < out.loss, "{} !< {}", out2.loss, out.loss);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = SeededRng::new(2);
+        let logits = Tensor::randn(&[2, 4], &mut rng);
+        let labels = [1usize, 3];
+        let out = SoftmaxCrossEntropy::with_labels(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fp = SoftmaxCrossEntropy::with_labels(&lp, &labels).loss;
+            let fm = SoftmaxCrossEntropy::with_labels(&lm, &labels).loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = out.grad.as_slice()[i];
+            assert!((numeric - analytic).abs() < 1e-3, "{numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn mse_hand_example() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let out = MeanSquaredError::compute(&p, &t);
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        SoftmaxCrossEntropy::with_labels(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

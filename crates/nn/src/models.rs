@@ -1,0 +1,142 @@
+//! Factory functions for the paper's two evaluation models.
+//!
+//! * [`lenet5`] — the classic LeNet-5 topology for 28×28×1 digit images
+//!   (LeCun et al., 1998), the model the paper trains on MNIST.
+//! * [`convnet7`] — a 7-layer CNN (4 convolutional + 3 fully-connected
+//!   layers) for 32×32×3 images, matching the paper's "ConvNet-7" for
+//!   CIFAR10. The paper gives only the layer-count topology; channel widths
+//!   here are chosen to train in reasonable time on CPU while keeping the
+//!   4-conv + 3-fc structure.
+
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::Network;
+use healthmon_tensor::SeededRng;
+
+/// Number of classes in both evaluation problems.
+pub const NUM_CLASSES: usize = 10;
+
+/// Builds LeNet-5 for `[1, 28, 28]` inputs and 10 classes.
+///
+/// Topology: conv 6@5×5 (pad 2) → pool 2 → conv 16@5×5 → pool 2 →
+/// fc 400→120 → fc 120→84 → fc 84→10, with ReLU activations.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_nn::models::lenet5;
+/// use healthmon_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = lenet5(&mut rng);
+/// let logits = net.forward(&Tensor::zeros(&[1, 1, 28, 28]));
+/// assert_eq!(logits.shape(), &[1, 10]);
+/// ```
+pub fn lenet5(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![1, 28, 28]);
+    net.push(Conv2d::new(1, 6, 5, 1, 2, rng)); // 6 x 28 x 28
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2)); // 6 x 14 x 14
+    net.push(Conv2d::new(6, 16, 5, 1, 0, rng)); // 16 x 10 x 10
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2)); // 16 x 5 x 5
+    net.push(Flatten::new()); // 400
+    net.push(Dense::new(400, 120, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(120, 84, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(84, NUM_CLASSES, rng));
+    net
+}
+
+/// Builds ConvNet-7 (4 conv + 3 fc) for `[3, 32, 32]` inputs and 10
+/// classes.
+///
+/// Topology: conv 16@3×3 → conv 16@3×3 → pool 2 → conv 32@3×3 →
+/// conv 32@3×3 → pool 2 → fc 2048→128 → fc 128→64 → fc 64→10, with ReLU
+/// activations.
+pub fn convnet7(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![3, 32, 32]);
+    net.push(Conv2d::new(3, 16, 3, 1, 1, rng)); // 16 x 32 x 32
+    net.push(Relu::new());
+    net.push(Conv2d::new(16, 16, 3, 1, 1, rng)); // 16 x 32 x 32
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2)); // 16 x 16 x 16
+    net.push(Conv2d::new(16, 32, 3, 1, 1, rng)); // 32 x 16 x 16
+    net.push(Relu::new());
+    net.push(Conv2d::new(32, 32, 3, 1, 1, rng)); // 32 x 16 x 16
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2)); // 32 x 8 x 8
+    net.push(Flatten::new()); // 2048
+    net.push(Dense::new(2048, 128, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(128, 64, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, NUM_CLASSES, rng));
+    net
+}
+
+/// Builds a deliberately tiny MLP for fast tests: `in → hidden → classes`
+/// with one ReLU.
+pub fn tiny_mlp(inputs: usize, hidden: usize, classes: usize, rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![inputs]);
+    net.push(Dense::new(inputs, hidden, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(hidden, classes, rng));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::Tensor;
+
+    #[test]
+    fn lenet5_shapes_and_size() {
+        let mut rng = SeededRng::new(0);
+        let mut net = lenet5(&mut rng);
+        let logits = net.forward(&Tensor::zeros(&[2, 1, 28, 28]));
+        assert_eq!(logits.shape(), &[2, 10]);
+        // Classic LeNet-5 parameter count with this layout:
+        // conv1 6*25+6=156, conv2 16*150+16=2416,
+        // fc1 400*120+120=48120, fc2 120*84+84=10164, fc3 84*10+10=850
+        assert_eq!(net.num_params(), 156 + 2416 + 48120 + 10164 + 850);
+    }
+
+    #[test]
+    fn convnet7_shapes_and_structure() {
+        let mut rng = SeededRng::new(0);
+        let mut net = convnet7(&mut rng);
+        let logits = net.forward(&Tensor::zeros(&[1, 3, 32, 32]));
+        assert_eq!(logits.shape(), &[1, 10]);
+        // 4 conv + 3 dense = 7 parameterized layers.
+        let conv_count = net.layers().iter().filter(|l| l.name() == "conv2d").count();
+        let dense_count = net.layers().iter().filter(|l| l.name() == "dense").count();
+        assert_eq!(conv_count, 4);
+        assert_eq!(dense_count, 3);
+    }
+
+    #[test]
+    fn lenet5_backward_reaches_input() {
+        let mut rng = SeededRng::new(1);
+        let mut net = lenet5(&mut rng);
+        let x = Tensor::randn(&[1, 1, 28, 28], &mut rng);
+        let out = net.forward(&x);
+        let g = net.backward(&Tensor::ones(out.shape()));
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.norm_l2() > 0.0, "input gradient must be non-trivial");
+    }
+
+    #[test]
+    fn models_deterministic_from_seed() {
+        let mut a = SeededRng::new(5);
+        let mut b = SeededRng::new(5);
+        assert_eq!(lenet5(&mut a).state_dict(), lenet5(&mut b).state_dict());
+    }
+
+    #[test]
+    fn tiny_mlp_shape() {
+        let mut rng = SeededRng::new(2);
+        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        assert_eq!(net.forward(&Tensor::zeros(&[3, 8])).shape(), &[3, 4]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Optimizers: SGD with momentum, and Adam.
+//!
+//! Optimizers operate on a [`Network`]'s `(parameter, gradient)` pairs;
+//! state (momentum/moment buffers) is keyed by parameter position, so an
+//! optimizer must be used with a single network for its lifetime.
+
+use crate::Network;
+use healthmon_tensor::Tensor;
+
+/// An optimization algorithm that applies accumulated gradients to a
+/// network's parameters.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step from the currently-accumulated gradients
+    /// (does not zero them; call [`Network::zero_grads`] afterwards).
+    fn step(&mut self, net: &mut Network);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_nn::optim::{Optimizer, Sgd};
+///
+/// let mut sgd = Sgd::new(0.1).momentum(0.9).weight_decay(1e-4);
+/// assert_eq!(sgd.learning_rate(), 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not in `[0, 1)`.
+    pub fn momentum(mut self, m: f32) -> Self {
+        assert!((0.0..1.0).contains(&m), "momentum {m} must be in [0, 1)");
+        self.momentum = m;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd < 0`.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative, got {wd}");
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Network) {
+        let pairs = net.params_and_grads();
+        if self.velocity.is_empty() {
+            self.velocity = pairs.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            pairs.len(),
+            "optimizer was initialized against a different network"
+        );
+        for ((param, grad), vel) in pairs.into_iter().zip(&mut self.velocity) {
+            if self.weight_decay > 0.0 {
+                // L2 decay folded into the gradient.
+                for (g, p) in grad.as_mut_slice().iter_mut().zip(param.as_slice()) {
+                    *g += self.weight_decay * p;
+                }
+            }
+            if self.momentum > 0.0 {
+                *vel *= self.momentum;
+                vel.axpy(1.0, grad);
+                param.axpy(-self.lr, vel);
+            } else {
+                param.axpy(-self.lr, grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default betas
+    /// `(0.9, 0.999)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Overrides the exponential decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either beta is not in `[0, 1)`.
+    pub fn betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Network) {
+        let pairs = net.params_and_grads();
+        if self.m.is_empty() {
+            self.m = pairs.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+            self.v = pairs.iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+        }
+        assert_eq!(self.m.len(), pairs.len(), "optimizer was initialized against a different network");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (param, grad)) in pairs.into_iter().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((p, &g), (mv, vv)) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::loss::SoftmaxCrossEntropy;
+    use healthmon_tensor::{SeededRng, Tensor};
+
+    fn setup() -> (Network, Tensor, Vec<usize>) {
+        let mut rng = SeededRng::new(1);
+        let mut net = Network::new(vec![4]);
+        net.push(Dense::new(4, 3, &mut rng));
+        let x = Tensor::randn(&[8, 4], &mut rng);
+        let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1];
+        (net, x, labels)
+    }
+
+    fn train_steps(net: &mut Network, opt: &mut dyn Optimizer, x: &Tensor, labels: &[usize], steps: usize) -> (f32, f32) {
+        let first = SoftmaxCrossEntropy::with_labels(&net.forward(x), labels).loss;
+        let mut last = first;
+        for _ in 0..steps {
+            net.zero_grads();
+            let out = SoftmaxCrossEntropy::with_labels(&net.forward(x), labels);
+            net.backward(&out.grad);
+            opt.step(net);
+            last = out.loss;
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let (mut net, x, labels) = setup();
+        let mut opt = Sgd::new(0.5);
+        let (first, last) = train_steps(&mut net, &mut opt, &x, &labels, 50);
+        assert!(last < first * 0.5, "sgd failed to learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let (mut net_a, x, labels) = setup();
+        let mut net_b = net_a.clone();
+        let mut plain = Sgd::new(0.05);
+        let mut heavy = Sgd::new(0.05).momentum(0.9);
+        let (_, a) = train_steps(&mut net_a, &mut plain, &x, &labels, 30);
+        let (_, b) = train_steps(&mut net_b, &mut heavy, &x, &labels, 30);
+        assert!(b < a, "momentum should converge faster: plain {a} vs momentum {b}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let (mut net, x, labels) = setup();
+        let mut opt = Adam::new(0.05);
+        let (first, last) = train_steps(&mut net, &mut opt, &x, &labels, 50);
+        assert!(last < first * 0.5, "adam failed to learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let (mut net, x, labels) = setup();
+        let mut decayed = net.clone();
+        let mut opt_plain = Sgd::new(0.1);
+        let mut opt_decay = Sgd::new(0.1).weight_decay(0.1);
+        train_steps(&mut net, &mut opt_plain, &x, &labels, 30);
+        train_steps(&mut decayed, &mut opt_decay, &x, &labels, 30);
+        assert!(decayed.param_stats().l2 < net.param_stats().l2);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        let mut adam = Adam::new(0.2).betas(0.8, 0.99);
+        adam.set_learning_rate(0.002);
+        assert_eq!(adam.learning_rate(), 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Repair mechanisms for faulty ReRAM neural-network accelerators.
+//!
+//! The paper's introduction motivates concurrent test with a *repair
+//! hierarchy*: once the fault status of a running accelerator is known,
+//! an appropriately-priced fix can be applied —
+//!
+//! * **fault-aware remapping** ([`remap_rows`]) — reorder how logical
+//!   weight-matrix rows are assigned to physical crossbar word lines so
+//!   that stuck cells coincide with small-magnitude weights. Zero
+//!   hardware cost, fixes mild damage.
+//! * **spare-column redundancy** ([`repair_with_spares`]) — swap the most
+//!   damaged bit lines onto spare defect-free columns, as provisioned by
+//!   redundancy-equipped arrays. Small hardware cost.
+//! * **fault-aware retraining** ([`retrain_with_faults`]) — fine-tune the
+//!   remaining healthy weights around the frozen faulty cells
+//!   (cloud-side). Expensive but handles severe damage.
+//!
+//! All three operate on a [`DefectMap`] — the per-parameter list of stuck
+//! cells — which in deployment comes from march-style array test and here
+//! can be sampled synthetically.
+//!
+//! # Example
+//!
+//! ```
+//! use healthmon_repair::{remap_rows, DefectMap};
+//! use healthmon_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let weights = Tensor::randn(&[8, 4], &mut rng);
+//! let defects = DefectMap::sample_for_matrix(&weights, 0.1, &mut rng);
+//! let repair = remap_rows(&weights, &defects);
+//! // The remap never makes things worse than the identity assignment.
+//! assert!(repair.repaired_error <= repair.unrepaired_error);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod defects;
+mod redundancy;
+mod remap;
+mod retrain;
+
+pub use defects::{DefectMap, StuckCell};
+pub use redundancy::{repair_with_spares, SpareRepair};
+pub use remap::{remap_rows, RowRemap};
+pub use retrain::{retrain_with_faults, FaultyRetrainConfig, RetrainOutcome};

@@ -1,0 +1,112 @@
+//! Spare-column redundancy (the hardware repair).
+//!
+//! Redundancy-equipped crossbars provision a few spare bit lines; the
+//! column multiplexer can substitute a spare for any regular column.
+//! Repair picks the columns whose defects inflict the most weight damage.
+
+use crate::defects::{DefectMap, StuckCell};
+use healthmon_tensor::Tensor;
+
+/// Result of a spare-column repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpareRepair {
+    /// Columns that were replaced by spares, in decreasing damage order.
+    pub replaced_columns: Vec<usize>,
+    /// L1 weight damage before the repair.
+    pub unrepaired_error: f32,
+    /// L1 weight damage after the repair.
+    pub repaired_error: f32,
+    /// The weight matrix as the repaired array realizes it.
+    pub repaired_weights: Tensor,
+}
+
+/// Replaces up to `spares` of the most damaged columns with defect-free
+/// spare columns.
+///
+/// # Panics
+///
+/// Panics if `weights` is not 2-D or a defect lies outside the matrix.
+pub fn repair_with_spares(weights: &Tensor, defects: &DefectMap, spares: usize) -> SpareRepair {
+    assert_eq!(weights.ndim(), 2, "spare repair operates on 2-D matrices");
+    let cols = weights.shape()[1];
+    let identity: Vec<usize> = (0..weights.shape()[0]).collect();
+    let unrepaired_error = defects.damage(weights, &identity);
+
+    // Damage per column.
+    let mut damage: Vec<(usize, f32)> = (0..cols)
+        .map(|c| {
+            let d = defects
+                .cells_in_col(c)
+                .map(|cell| (weights.at(&[cell.row, c]) - cell.value).abs())
+                .sum::<f32>();
+            (c, d)
+        })
+        .filter(|&(_, d)| d > 0.0)
+        .collect();
+    damage.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let replaced_columns: Vec<usize> = damage.iter().take(spares).map(|&(c, _)| c).collect();
+
+    // Surviving defects = those not on a replaced column.
+    let surviving: Vec<StuckCell> = defects
+        .cells()
+        .iter()
+        .copied()
+        .filter(|cell| !replaced_columns.contains(&cell.col))
+        .collect();
+    let surviving_map = DefectMap::new(surviving);
+    let repaired_error = surviving_map.damage(weights, &identity);
+    let repaired_weights = surviving_map.apply(weights);
+    SpareRepair { replaced_columns, unrepaired_error, repaired_error, repaired_weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::SeededRng;
+
+    #[test]
+    fn zero_spares_changes_nothing() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[8, 6], &mut rng);
+        let defects = DefectMap::sample_for_matrix(&w, 0.1, &mut rng);
+        let repair = repair_with_spares(&w, &defects, 0);
+        assert_eq!(repair.unrepaired_error, repair.repaired_error);
+        assert!(repair.replaced_columns.is_empty());
+    }
+
+    #[test]
+    fn replaces_most_damaged_column_first() {
+        let w = Tensor::ones(&[2, 3]);
+        let defects = DefectMap::new(vec![
+            StuckCell { row: 0, col: 0, value: 0.0 }, // damage 1
+            StuckCell { row: 0, col: 2, value: 0.0 }, // damage 2 (two cells)
+            StuckCell { row: 1, col: 2, value: 0.0 },
+        ]);
+        let repair = repair_with_spares(&w, &defects, 1);
+        assert_eq!(repair.replaced_columns, vec![2]);
+        assert_eq!(repair.repaired_error, 1.0); // col 0's defect survives
+    }
+
+    #[test]
+    fn enough_spares_fully_repair() {
+        let mut rng = SeededRng::new(2);
+        let w = Tensor::randn(&[10, 5], &mut rng);
+        let defects = DefectMap::sample_for_matrix(&w, 0.2, &mut rng);
+        let repair = repair_with_spares(&w, &defects, 5);
+        assert_eq!(repair.repaired_error, 0.0);
+        assert_eq!(repair.repaired_weights, w);
+    }
+
+    #[test]
+    fn more_spares_never_hurt() {
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::randn(&[12, 8], &mut rng);
+        let defects = DefectMap::sample_for_matrix(&w, 0.15, &mut rng);
+        let mut prev = f32::INFINITY;
+        for spares in 0..=8 {
+            let repair = repair_with_spares(&w, &defects, spares);
+            assert!(repair.repaired_error <= prev + 1e-6);
+            prev = repair.repaired_error;
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fault-aware retraining (the expensive, cloud-side repair).
+//!
+//! When remapping and redundancy cannot absorb the damage, the healthy
+//! weights can be fine-tuned *around* the stuck cells: gradients update
+//! every weight, but after each optimizer step the stuck positions are
+//! clamped back to their frozen values, so the network learns to
+//! compensate (cf. Liu et al., DAC'17, cited by the paper as a repair
+//! mechanism).
+
+use crate::defects::DefectMap;
+use healthmon_nn::loss::SoftmaxCrossEntropy;
+use healthmon_nn::optim::{Optimizer, Sgd};
+use healthmon_nn::trainer::gather_batch;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// Configuration for fault-aware fine-tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyRetrainConfig {
+    /// Fine-tuning epochs (few are needed; the network is near a
+    /// solution).
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate (smaller than initial training).
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for FaultyRetrainConfig {
+    fn default() -> Self {
+        FaultyRetrainConfig { epochs: 2, batch_size: 32, learning_rate: 0.02, seed: 0 }
+    }
+}
+
+/// Outcome of a fault-aware retraining run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainOutcome {
+    /// Mean minibatch loss of the first epoch.
+    pub initial_loss: f32,
+    /// Mean minibatch loss of the final epoch.
+    pub final_loss: f32,
+}
+
+/// Clamps the stuck positions of the parameter named `key` (if any
+/// defects target it) back to their frozen values.
+fn clamp_defects(net: &mut Network, defect_layers: &[(String, DefectMap)]) {
+    net.for_each_param_mut(|key, tensor| {
+        for (dkey, map) in defect_layers {
+            if dkey == key {
+                let cols = tensor.shape()[1];
+                for cell in map.cells() {
+                    tensor.as_mut_slice()[cell.row * cols + cell.col] = cell.value;
+                }
+            }
+        }
+    });
+}
+
+/// Fine-tunes `net` on `(images, labels)` while keeping the stuck cells
+/// described by `defect_layers` (pairs of state-dict key and that
+/// matrix's defect map) frozen at their fault values.
+///
+/// On entry the defects are applied to the network (a faulty device
+/// cannot store anything else at those cells); on exit every healthy
+/// weight has been fine-tuned to compensate.
+///
+/// # Panics
+///
+/// Panics if a defect key does not name a 2-D parameter of the network,
+/// or shapes mismatch.
+pub fn retrain_with_faults(
+    net: &mut Network,
+    defect_layers: &[(String, DefectMap)],
+    images: &Tensor,
+    labels: &[usize],
+    config: FaultyRetrainConfig,
+) -> RetrainOutcome {
+    assert!(config.epochs > 0 && config.batch_size > 0, "retrain config must be non-trivial");
+    clamp_defects(net, defect_layers);
+    let n = images.shape()[0];
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut rng = SeededRng::new(config.seed);
+    let mut opt = Sgd::new(config.learning_rate).momentum(0.9);
+    let mut first_epoch_loss = 0.0f32;
+    let mut last_epoch_loss = 0.0f32;
+    for epoch in 0..config.epochs {
+        net.set_training(true);
+        let order = rng.permutation(n);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let batch = gather_batch(images, chunk);
+            let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            net.zero_grads();
+            let logits = net.forward(&batch);
+            let out = SoftmaxCrossEntropy::with_labels(&logits, &batch_labels);
+            net.backward(&out.grad);
+            opt.step(net);
+            // The stuck cells cannot move: clamp them back.
+            clamp_defects(net, defect_layers);
+            loss_sum += out.loss as f64;
+            batches += 1;
+        }
+        let mean = (loss_sum / batches.max(1) as f64) as f32;
+        if epoch == 0 {
+            first_epoch_loss = mean;
+        }
+        last_epoch_loss = mean;
+    }
+    net.set_training(false);
+    RetrainOutcome { initial_loss: first_epoch_loss, final_loss: last_epoch_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defects::StuckCell;
+    use healthmon_data::{DatasetSpec, SynthDigits};
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_nn::trainer::accuracy;
+    use healthmon_nn::{TrainConfig, Trainer};
+
+    fn trained_with_data() -> (Network, Tensor, Vec<usize>, Tensor, Vec<usize>) {
+        let spec = DatasetSpec { train: 600, test: 200, seed: 4, noise: 0.1 };
+        let raw = SynthDigits::new(spec).generate();
+        let n_pixels = 28 * 28;
+        let train_x = raw.train.images.reshape(&[raw.train.len(), n_pixels]).unwrap();
+        let test_x = raw.test.images.reshape(&[raw.test.len(), n_pixels]).unwrap();
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(n_pixels, 32, 10, &mut rng);
+        let config = TrainConfig { epochs: 3, batch_size: 32, ..TrainConfig::default() };
+        Trainer::new(&mut net, Sgd::new(0.1).momentum(0.9), config).fit(
+            &train_x,
+            &raw.train.labels,
+            None,
+        );
+        (net, train_x, raw.train.labels.clone(), test_x, raw.test.labels.clone())
+    }
+
+    #[test]
+    fn retraining_recovers_accuracy() {
+        let (net, train_x, train_y, test_x, test_y) = trained_with_data();
+        let clean_acc = accuracy(&mut net.clone(), &test_x, &test_y, 64);
+
+        // Damage the first layer heavily.
+        let dict = net.state_dict();
+        let (key, w0) = &dict[0];
+        let mut rng = SeededRng::new(7);
+        let defects = DefectMap::sample_for_matrix(w0, 0.05, &mut rng);
+        let defect_layers = vec![(key.clone(), defects)];
+
+        let mut damaged = net.clone();
+        clamp_defects(&mut damaged, &defect_layers);
+        let damaged_acc = accuracy(&mut damaged, &test_x, &test_y, 64);
+        assert!(damaged_acc < clean_acc, "defects should cost accuracy");
+
+        let mut repaired = net.clone();
+        let outcome = retrain_with_faults(
+            &mut repaired,
+            &defect_layers,
+            &train_x,
+            &train_y,
+            FaultyRetrainConfig::default(),
+        );
+        let repaired_acc = accuracy(&mut repaired, &test_x, &test_y, 64);
+        assert!(
+            repaired_acc > damaged_acc,
+            "retraining must recover accuracy: {damaged_acc} -> {repaired_acc}"
+        );
+        assert!(outcome.final_loss <= outcome.initial_loss * 1.05);
+    }
+
+    #[test]
+    fn stuck_cells_stay_stuck_after_retraining() {
+        let (net, train_x, train_y, _, _) = trained_with_data();
+        let dict = net.state_dict();
+        let (key, _) = &dict[0];
+        let defects = DefectMap::new(vec![
+            StuckCell { row: 3, col: 5, value: 0.0 },
+            StuckCell { row: 10, col: 2, value: 0.25 },
+        ]);
+        let defect_layers = vec![(key.clone(), defects)];
+        let mut repaired = net.clone();
+        retrain_with_faults(
+            &mut repaired,
+            &defect_layers,
+            &train_x,
+            &train_y,
+            FaultyRetrainConfig { epochs: 1, ..Default::default() },
+        );
+        let mut seen = false;
+        repaired.for_each_param(|k, t| {
+            if k == key {
+                let cols = t.shape()[1];
+                assert_eq!(t.as_slice()[3 * cols + 5], 0.0);
+                assert_eq!(t.as_slice()[10 * cols + 2], 0.25);
+                seen = true;
+            }
+        });
+        assert!(seen, "defective layer not found");
+    }
+
+    #[test]
+    fn empty_defect_list_is_plain_fine_tuning() {
+        let (net, train_x, train_y, test_x, test_y) = trained_with_data();
+        let mut tuned = net.clone();
+        retrain_with_faults(
+            &mut tuned,
+            &[],
+            &train_x,
+            &train_y,
+            FaultyRetrainConfig { epochs: 1, ..Default::default() },
+        );
+        let acc = accuracy(&mut tuned, &test_x, &test_y, 64);
+        assert!(acc > 0.8, "fine-tuning should not destroy the model: {acc}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Crossbar array configuration.
+
+/// Geometry and precision parameters of a ReRAM crossbar tile.
+///
+/// Defaults follow the ISAAC-class designs the paper cites: 128×128
+/// arrays, 2-bit-per-cell conductance storage used in differential pairs,
+/// 8-bit DACs on the word lines and 8-bit ADCs on the bit lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarConfig {
+    /// Word lines per tile (input dimension of one tile).
+    pub rows: usize,
+    /// Bit lines per tile (output dimension of one tile).
+    pub cols: usize,
+    /// Bits of conductance resolution per cell; a weight is stored as a
+    /// differential pair of cells, so effective weight levels are
+    /// `2^(bits+1) − 1`.
+    pub cell_bits: u32,
+    /// Input DAC resolution in bits (0 disables input quantization).
+    pub dac_bits: u32,
+    /// Output ADC resolution in bits (0 disables output quantization).
+    pub adc_bits: u32,
+    /// Minimum programmable conductance (normalized units). Represents the
+    /// high-resistance state; must be ≥ 0.
+    pub g_min: f32,
+    /// Maximum programmable conductance (normalized units). Represents the
+    /// low-resistance state; must exceed `g_min`.
+    pub g_max: f32,
+    /// Lognormal σ of conductance write noise applied at programming time
+    /// (0 for ideal writes).
+    pub write_noise: f32,
+}
+
+impl CrossbarConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range (zero geometry, inverted
+    /// conductance window, negative noise).
+    pub fn validate(&self) {
+        assert!(self.rows > 0 && self.cols > 0, "crossbar geometry must be non-zero");
+        assert!(self.cell_bits >= 1, "cells need at least 1 bit of resolution");
+        assert!(
+            self.g_min >= 0.0 && self.g_max > self.g_min,
+            "conductance window [{}, {}] invalid",
+            self.g_min,
+            self.g_max
+        );
+        assert!(self.write_noise >= 0.0, "write noise must be non-negative");
+    }
+
+    /// Number of programmable conductance levels per cell.
+    pub fn levels(&self) -> usize {
+        1usize << self.cell_bits
+    }
+
+    /// An ideal configuration: no write noise and converters disabled —
+    /// useful as a baseline in equivalence tests.
+    pub fn ideal() -> Self {
+        CrossbarConfig { write_noise: 0.0, dac_bits: 0, adc_bits: 0, cell_bits: 16, ..Self::default() }
+    }
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig {
+            rows: 128,
+            cols: 128,
+            cell_bits: 4,
+            dac_bits: 8,
+            adc_bits: 8,
+            g_min: 0.0,
+            g_max: 1.0,
+            write_noise: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CrossbarConfig::default().validate();
+        CrossbarConfig::ideal().validate();
+    }
+
+    #[test]
+    fn levels_from_bits() {
+        let c = CrossbarConfig { cell_bits: 4, ..CrossbarConfig::default() };
+        assert_eq!(c.levels(), 16);
+        let c = CrossbarConfig { cell_bits: 1, ..CrossbarConfig::default() };
+        assert_eq!(c.levels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn rejects_zero_rows() {
+        CrossbarConfig { rows: 0, ..CrossbarConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "conductance window")]
+    fn rejects_inverted_window() {
+        CrossbarConfig { g_min: 1.0, g_max: 0.5, ..CrossbarConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,371 @@
+//! A single crossbar tile: differential conductance pairs, DAC/ADC
+//! conversion, and device-level fault injection.
+
+use crate::{CrossbarConfig, Quantizer};
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// A permanent device fault affecting one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    /// Cell frozen in the high-resistance state (conductance = `g_min`),
+    /// i.e. stuck-at-zero in weight terms.
+    StuckLow,
+    /// Cell frozen in the low-resistance state (conductance = `g_max`),
+    /// i.e. stuck-at-one.
+    StuckHigh,
+}
+
+/// One programmed crossbar tile storing a weight matrix `[rows, cols]` as
+/// differential conductance pairs.
+///
+/// The tile keeps the scaling needed to map analog bit-line currents back
+/// into weight-domain dot products, so [`Crossbar::matvec`] is directly
+/// comparable to an ideal `wᵀx`.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    rows: usize,
+    cols: usize,
+    /// Positive-path conductances, `[rows, cols]`.
+    g_pos: Tensor,
+    /// Negative-path conductances, `[rows, cols]`.
+    g_neg: Tensor,
+    /// Weight-domain scale: `w = (g_pos − g_neg) * scale`.
+    scale: f32,
+    /// Largest |input| the DAC was calibrated for.
+    input_range: f32,
+}
+
+impl Crossbar {
+    /// Programs a weight matrix (`[rows, cols]`, at most the tile
+    /// geometry) into a fresh tile, applying cell quantization and the
+    /// configured lognormal write noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not 2-D, exceeds the tile geometry, or the
+    /// config is invalid.
+    pub fn program(weights: &Tensor, config: &CrossbarConfig, rng: &mut SeededRng) -> Self {
+        config.validate();
+        assert_eq!(weights.ndim(), 2, "crossbar stores a 2-D weight matrix");
+        let (rows, cols) = (weights.shape()[0], weights.shape()[1]);
+        assert!(
+            rows <= config.rows && cols <= config.cols,
+            "weights {rows}x{cols} exceed tile geometry {}x{}",
+            config.rows,
+            config.cols
+        );
+        let w_max = weights
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(f32::MIN_POSITIVE);
+        // w = (g+ − g−)·scale with g ∈ [g_min, g_max]; full-scale weight
+        // uses the full conductance window.
+        let window = config.g_max - config.g_min;
+        let scale = w_max / window;
+        let cell_q = Quantizer::new(config.g_min, config.g_max, config.cell_bits);
+        let mut g_pos = Tensor::zeros(&[rows, cols]);
+        let mut g_neg = Tensor::zeros(&[rows, cols]);
+        for ((gp, gn), &w) in g_pos
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g_neg.as_mut_slice())
+            .zip(weights.as_slice())
+        {
+            let magnitude = (w.abs() / w_max) * window; // ∈ [0, window]
+            let (p, n) = if w >= 0.0 {
+                (config.g_min + magnitude, config.g_min)
+            } else {
+                (config.g_min, config.g_min + magnitude)
+            };
+            let mut p = cell_q.quantize(p);
+            let mut n = cell_q.quantize(n);
+            if config.write_noise > 0.0 {
+                p = (p * rng.lognormal(0.0, config.write_noise)).clamp(config.g_min, config.g_max);
+                n = (n * rng.lognormal(0.0, config.write_noise)).clamp(config.g_min, config.g_max);
+            }
+            *gp = p;
+            *gn = n;
+        }
+        Crossbar { config: *config, rows, cols, g_pos, g_neg, scale, input_range: 1.0 }
+    }
+
+    /// Number of word lines in use.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines in use.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Calibrates the DAC full-scale range to the largest |input| the tile
+    /// will see (default 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive.
+    pub fn set_input_range(&mut self, range: f32) {
+        assert!(range > 0.0, "input range must be positive, got {range}");
+        self.input_range = range;
+    }
+
+    /// Reads the effective weight matrix back from the conductances —
+    /// what the analog computation actually uses.
+    pub fn effective_weights(&self) -> Tensor {
+        self.g_pos.zip_map(&self.g_neg, |p, n| p - n).scale(self.scale)
+    }
+
+    /// Analog matrix-vector product `wᵀ·x` realized on the tile:
+    /// DAC-quantize the inputs, accumulate bit-line currents, ADC-quantize
+    /// the outputs. Input is indexed by word line (`rows` long), output by
+    /// bit line (`cols` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != rows()`.
+    pub fn matvec(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.len(),
+            self.rows,
+            "input length {} != word-line count {}",
+            input.len(),
+            self.rows
+        );
+        // DAC: quantize voltages.
+        let mut v = input.clone();
+        if self.config.dac_bits > 0 {
+            let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
+            q.quantize_slice(v.as_mut_slice());
+        }
+        // Analog accumulate: I_j = Σ_i v_i (g+_ij − g−_ij).
+        let mut out = vec![0.0f32; self.cols];
+        let gp = self.g_pos.as_slice();
+        let gn = self.g_neg.as_slice();
+        for (i, &vi) in v.as_slice().iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = i * self.cols;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += vi * (gp[row + j] - gn[row + j]);
+            }
+        }
+        // Back to weight domain, then ADC.
+        for o in &mut out {
+            *o *= self.scale;
+        }
+        if self.config.adc_bits > 0 {
+            // ADC full scale sized to the worst-case current of the tile.
+            let full_scale = self.input_range
+                * self.rows as f32
+                * (self.config.g_max - self.config.g_min)
+                * self.scale;
+            let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
+            q.quantize_slice(&mut out);
+        }
+        Tensor::from_vec(out, &[self.cols]).expect("output length matches bit-line count")
+    }
+
+    /// Freezes a fraction of cells (chosen uniformly over both
+    /// differential paths) in the given fault state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn inject_stuck_cells(&mut self, fault: CellFault, fraction: f64, rng: &mut SeededRng) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} outside [0, 1]");
+        let target = match fault {
+            CellFault::StuckLow => self.config.g_min,
+            CellFault::StuckHigh => self.config.g_max,
+        };
+        for g in self
+            .g_pos
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.g_neg.as_mut_slice())
+        {
+            if rng.chance(fraction) {
+                *g = target;
+            }
+        }
+    }
+
+    /// Applies lognormal conductance disturbance to every cell,
+    /// `g' = g · e^θ` with `θ ~ N(0, σ²)`, clamped to the conductance
+    /// window — the in-field counterpart of programming variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn disturb(&mut self, sigma: f32, rng: &mut SeededRng) {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        let (lo, hi) = (self.config.g_min, self.config.g_max);
+        for g in self
+            .g_pos
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.g_neg.as_mut_slice())
+        {
+            *g = (*g * rng.lognormal(0.0, sigma)).clamp(lo, hi);
+        }
+    }
+
+    /// Applies deterministic conductance drift toward the high-resistance
+    /// state: `g' = g_min + (g − g_min)·e^(−ν·t)` per cell with
+    /// `ν ~ |N(0, nu)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` or `time` is negative.
+    pub fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
+        assert!(nu >= 0.0 && time >= 0.0, "drift parameters must be non-negative");
+        let lo = self.config.g_min;
+        for g in self
+            .g_pos
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.g_neg.as_mut_slice())
+        {
+            let rate = rng.normal(0.0, nu).abs();
+            *g = lo + (*g - lo) * (-rate * time).exp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_config() -> CrossbarConfig {
+        CrossbarConfig::ideal()
+    }
+
+    #[test]
+    fn program_read_back_ideal() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[6, 4], &mut rng);
+        let xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        let back = xbar.effective_weights();
+        for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "read-back mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_ideal_dot_product() {
+        let mut rng = SeededRng::new(2);
+        let w = Tensor::randn(&[8, 5], &mut rng);
+        let xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        let x = Tensor::randn(&[8], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let y = xbar.matvec(&x);
+        // Ideal: y_j = Σ_i w_ij x_i = (Wᵀ x)_j
+        let ideal = w.transpose().matvec(&x);
+        for (a, b) in y.as_slice().iter().zip(ideal.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "matvec mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_bounds_error() {
+        let mut rng = SeededRng::new(3);
+        let w = Tensor::randn(&[8, 8], &mut rng);
+        let config = CrossbarConfig { cell_bits: 4, dac_bits: 0, adc_bits: 0, write_noise: 0.0, ..CrossbarConfig::default() };
+        let xbar = Crossbar::program(&w, &config, &mut rng);
+        let back = xbar.effective_weights();
+        let w_max = w.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let step = w_max / 15.0; // 4-bit magnitude levels
+        for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-5, "quantization error too large: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn coarser_cells_give_larger_error() {
+        let mut rng = SeededRng::new(4);
+        let w = Tensor::randn(&[16, 16], &mut rng);
+        let err_for_bits = |bits: u32, rng: &mut SeededRng| {
+            let config = CrossbarConfig { cell_bits: bits, dac_bits: 0, adc_bits: 0, ..CrossbarConfig::default() };
+            let xbar = Crossbar::program(&w, &config, rng);
+            w.l1_distance(&xbar.effective_weights())
+        };
+        let coarse = err_for_bits(2, &mut rng);
+        let fine = err_for_bits(6, &mut rng);
+        assert!(coarse > fine * 2.0, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn write_noise_perturbs_weights() {
+        let mut rng = SeededRng::new(5);
+        let w = Tensor::randn(&[8, 8], &mut rng);
+        let config = CrossbarConfig { write_noise: 0.2, cell_bits: 16, dac_bits: 0, adc_bits: 0, ..CrossbarConfig::default() };
+        let xbar = Crossbar::program(&w, &config, &mut rng);
+        let dist = w.l1_distance(&xbar.effective_weights());
+        assert!(dist > 0.1, "write noise had no effect: {dist}");
+    }
+
+    #[test]
+    fn stuck_high_saturates_cells() {
+        let mut rng = SeededRng::new(6);
+        let w = Tensor::full(&[4, 4], 0.5);
+        let mut xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        xbar.inject_stuck_cells(CellFault::StuckHigh, 1.0, &mut rng);
+        // All cells at g_max: differential pairs cancel, weights -> 0.
+        let back = xbar.effective_weights();
+        assert!(back.as_slice().iter().all(|&v| v.abs() < 1e-5));
+    }
+
+    #[test]
+    fn stuck_low_zeroes_positive_weights() {
+        let mut rng = SeededRng::new(7);
+        let w = Tensor::full(&[4, 4], 0.5);
+        let mut xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        xbar.inject_stuck_cells(CellFault::StuckLow, 1.0, &mut rng);
+        let back = xbar.effective_weights();
+        assert!(back.as_slice().iter().all(|&v| v.abs() < 1e-5));
+    }
+
+    #[test]
+    fn drift_decays_toward_zero_weight() {
+        let mut rng = SeededRng::new(8);
+        let w = Tensor::randn(&[6, 6], &mut rng);
+        let mut xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        let before = xbar.effective_weights().norm_l1();
+        xbar.drift(0.5, 2.0, &mut rng);
+        let after = xbar.effective_weights().norm_l1();
+        assert!(after < before, "drift should shrink weights: {before} -> {after}");
+    }
+
+    #[test]
+    fn disturb_stays_in_window() {
+        let mut rng = SeededRng::new(9);
+        let w = Tensor::randn(&[6, 6], &mut rng);
+        let mut xbar = Crossbar::program(&w, &CrossbarConfig::default(), &mut rng);
+        xbar.disturb(0.5, &mut rng);
+        for &g in xbar.g_pos.as_slice().iter().chain(xbar.g_neg.as_slice()) {
+            assert!((0.0..=1.0).contains(&g), "conductance {g} escaped window");
+        }
+    }
+
+    #[test]
+    fn dac_quantization_changes_result() {
+        let mut rng = SeededRng::new(10);
+        let w = Tensor::randn(&[8, 4], &mut rng);
+        let coarse_cfg = CrossbarConfig { dac_bits: 2, adc_bits: 0, cell_bits: 16, write_noise: 0.0, ..CrossbarConfig::default() };
+        let xbar_c = Crossbar::program(&w, &coarse_cfg, &mut rng);
+        let xbar_i = Crossbar::program(&w, &ideal_config(), &mut rng);
+        let x = Tensor::randn(&[8], &mut rng).map(|v| (v * 0.3).clamp(-1.0, 1.0));
+        let diff = xbar_c.matvec(&x).l1_distance(&xbar_i.matvec(&x));
+        assert!(diff > 1e-4, "2-bit DAC should visibly distort the product");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed tile geometry")]
+    fn rejects_oversized_matrix() {
+        let mut rng = SeededRng::new(11);
+        let w = Tensor::zeros(&[200, 4]);
+        Crossbar::program(&w, &CrossbarConfig::default(), &mut rng);
+    }
+}

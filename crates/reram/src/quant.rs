@@ -1,0 +1,141 @@
+//! Uniform quantization shared by the DAC, ADC and cell-programming
+//! models.
+
+/// A uniform mid-tread quantizer over a closed range.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_reram::Quantizer;
+///
+/// let q = Quantizer::new(0.0, 1.0, 2); // 4 levels: 0, 1/3, 2/3, 1
+/// assert_eq!(q.quantize(0.4), 1.0 / 3.0);
+/// assert_eq!(q.quantize(0.55), 2.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    lo: f32,
+    hi: f32,
+    levels: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with `2^bits` levels spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bits` is 0 or > 24.
+    pub fn new(lo: f32, hi: f32, bits: u32) -> Self {
+        assert!(lo < hi, "quantizer range [{lo}, {hi}] inverted");
+        assert!((1..=24).contains(&bits), "bits {bits} out of supported range 1..=24");
+        Quantizer { lo, hi, levels: 1u32 << bits }
+    }
+
+    /// Number of representable levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The step between adjacent levels.
+    pub fn step(&self) -> f32 {
+        (self.hi - self.lo) / (self.levels - 1) as f32
+    }
+
+    /// Snaps `v` to the nearest representable level (values outside the
+    /// range clamp to the endpoints).
+    pub fn quantize(&self, v: f32) -> f32 {
+        let clamped = v.clamp(self.lo, self.hi);
+        let idx = ((clamped - self.lo) / self.step()).round();
+        self.lo + idx * self.step()
+    }
+
+    /// The level index `v` snaps to.
+    pub fn index_of(&self, v: f32) -> u32 {
+        let clamped = v.clamp(self.lo, self.hi);
+        ((clamped - self.lo) / self.step()).round() as u32
+    }
+
+    /// The value of level `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= levels()`.
+    pub fn value_of(&self, index: u32) -> f32 {
+        assert!(index < self.levels, "level index {index} out of range");
+        self.lo + index as f32 * self.step()
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.quantize(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let q = Quantizer::new(-1.0, 1.0, 3);
+        assert_eq!(q.quantize(-1.0), -1.0);
+        assert_eq!(q.quantize(1.0), 1.0);
+        assert_eq!(q.quantize(-5.0), -1.0); // clamps
+        assert_eq!(q.quantize(5.0), 1.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = Quantizer::new(0.0, 2.0, 4);
+        for i in 0..100 {
+            let v = i as f32 * 0.02;
+            let once = q.quantize(v);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = Quantizer::new(0.0, 1.0, 5);
+        let half = q.step() / 2.0;
+        for i in 0..=100 {
+            let v = i as f32 / 100.0;
+            assert!((q.quantize(v) - v).abs() <= half + 1e-6);
+        }
+    }
+
+    #[test]
+    fn index_value_round_trip() {
+        let q = Quantizer::new(-2.0, 2.0, 4);
+        for idx in 0..q.levels() {
+            assert_eq!(q.index_of(q.value_of(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn monotone() {
+        let q = Quantizer::new(0.0, 1.0, 3);
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..=50 {
+            let v = q.quantize(i as f32 / 50.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn slice_quantization() {
+        let q = Quantizer::new(0.0, 1.0, 1);
+        let mut vals = vec![0.2, 0.7, 0.5];
+        q.quantize_slice(&mut vals);
+        assert_eq!(vals, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_range() {
+        Quantizer::new(1.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,265 @@
+//! Tiled mapping of arbitrary weight matrices onto fixed-geometry
+//! crossbar tiles.
+
+use crate::{CellFault, Crossbar, CrossbarConfig};
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// A weight matrix `[m, n]` partitioned across a grid of crossbar tiles.
+///
+/// Row blocks map to word-line groups and column blocks to bit-line
+/// groups; a matvec accumulates the partial bit-line sums of every tile in
+/// a row block, exactly as ISAAC-class accelerators sum partial products
+/// across arrays.
+///
+/// # Example
+///
+/// ```
+/// use healthmon_reram::{CrossbarConfig, TiledMatrix};
+/// use healthmon_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let w = Tensor::randn(&[300, 50], &mut rng); // larger than one 128x128 tile
+/// let tiled = TiledMatrix::program(&w, &CrossbarConfig::ideal(), &mut rng);
+/// assert_eq!(tiled.tile_grid(), (3, 1));
+/// let x = Tensor::randn(&[300], &mut rng);
+/// assert_eq!(tiled.matvec(&x).shape(), &[50]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TiledMatrix {
+    rows: usize,
+    cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    /// Tiles in row-major grid order.
+    tiles: Vec<Crossbar>,
+}
+
+impl TiledMatrix {
+    /// Programs `weights` (`[m, n]`) across as many tiles as the config
+    /// geometry requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not 2-D or the config is invalid.
+    pub fn program(weights: &Tensor, config: &CrossbarConfig, rng: &mut SeededRng) -> Self {
+        config.validate();
+        assert_eq!(weights.ndim(), 2, "tiled mapping requires a 2-D matrix");
+        let (m, n) = (weights.shape()[0], weights.shape()[1]);
+        let grid_r = m.div_ceil(config.rows);
+        let grid_c = n.div_ceil(config.cols);
+        let mut tiles = Vec::with_capacity(grid_r * grid_c);
+        for br in 0..grid_r {
+            let r0 = br * config.rows;
+            let r1 = (r0 + config.rows).min(m);
+            for bc in 0..grid_c {
+                let c0 = bc * config.cols;
+                let c1 = (c0 + config.cols).min(n);
+                let mut block = Tensor::zeros(&[r1 - r0, c1 - c0]);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        *block.at_mut(&[r - r0, c - c0]) = weights.at(&[r, c]);
+                    }
+                }
+                tiles.push(Crossbar::program(&block, config, rng));
+            }
+        }
+        TiledMatrix { rows: m, cols: n, tile_rows: grid_r, tile_cols: grid_c, tiles }
+    }
+
+    /// Logical matrix dimensions `[m, n]`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of tile blocks `(row_blocks, col_blocks)`.
+    pub fn tile_grid(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Mutable access to every tile (for injecting device faults
+    /// array-by-array).
+    pub fn tiles_mut(&mut self) -> &mut [Crossbar] {
+        &mut self.tiles
+    }
+
+    /// The effective weight matrix the tiles actually store.
+    pub fn effective_weights(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        for br in 0..self.tile_rows {
+            for bc in 0..self.tile_cols {
+                let tile = &self.tiles[br * self.tile_cols + bc];
+                let block = tile.effective_weights();
+                let (bh, bw) = (block.shape()[0], block.shape()[1]);
+                for r in 0..bh {
+                    for c in 0..bw {
+                        *out.at_mut(&[br * self.tile_rows_extent() + r, bc * self.tile_cols_extent() + c]) =
+                            block.at(&[r, c]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn tile_rows_extent(&self) -> usize {
+        self.tiles[0].rows()
+    }
+
+    fn tile_cols_extent(&self) -> usize {
+        // First tile of the first row block has the full column extent
+        // unless there is a single, narrower block.
+        self.tiles[0].cols()
+    }
+
+    /// Crossbar-backed matrix-vector product `Wᵀ·x` over all tiles
+    /// (`x` has `m` elements, result has `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != m`.
+    pub fn matvec(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.rows, "input length {} != {}", input.len(), self.rows);
+        let mut out = Tensor::zeros(&[self.cols]);
+        let x = input.as_slice();
+        let row_extent = self.tiles[0].rows();
+        let col_extent = self.tiles[0].cols();
+        for br in 0..self.tile_rows {
+            let r0 = br * row_extent;
+            for bc in 0..self.tile_cols {
+                let tile = &self.tiles[br * self.tile_cols + bc];
+                let c0 = bc * col_extent;
+                let seg = Tensor::from_vec(x[r0..r0 + tile.rows()].to_vec(), &[tile.rows()])
+                    .expect("segment length matches tile rows");
+                let partial = tile.matvec(&seg);
+                for (j, &p) in partial.as_slice().iter().enumerate() {
+                    *out.at_mut(&[c0 + j]) += p;
+                }
+            }
+        }
+        out
+    }
+
+    /// Crossbar-backed matrix product `X·W` for a batch `X` of shape
+    /// `[batch, m]`, returning `[batch, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not 2-D with `m` columns.
+    pub fn matmul(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 2, "batched matmul expects 2-D input");
+        assert_eq!(input.shape()[1], self.rows, "inner dimension mismatch");
+        let batch = input.shape()[0];
+        let rows: Vec<Tensor> = (0..batch).map(|b| self.matvec(&input.row(b))).collect();
+        Tensor::stack_rows(&rows)
+    }
+
+    /// Injects stuck cells into every tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn inject_stuck_cells(&mut self, fault: CellFault, fraction: f64, rng: &mut SeededRng) {
+        for tile in &mut self.tiles {
+            tile.inject_stuck_cells(fault, fraction, rng);
+        }
+    }
+
+    /// Applies lognormal conductance disturbance to every tile.
+    pub fn disturb(&mut self, sigma: f32, rng: &mut SeededRng) {
+        for tile in &mut self.tiles {
+            tile.disturb(sigma, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_matches_crossbar() {
+        let mut rng = SeededRng::new(1);
+        let w = Tensor::randn(&[10, 6], &mut rng);
+        let tiled = TiledMatrix::program(&w, &CrossbarConfig::ideal(), &mut rng);
+        assert_eq!(tiled.tile_count(), 1);
+        let x = Tensor::randn(&[10], &mut rng);
+        let ideal = w.transpose().matvec(&x);
+        let got = tiled.matvec(&x);
+        for (a, b) in got.as_slice().iter().zip(ideal.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn multi_tile_partition_and_accumulate() {
+        let mut rng = SeededRng::new(2);
+        // 130x140 over 128x128 tiles -> 2x2 grid.
+        let w = Tensor::randn(&[130, 140], &mut rng);
+        let tiled = TiledMatrix::program(&w, &CrossbarConfig::ideal(), &mut rng);
+        assert_eq!(tiled.tile_grid(), (2, 2));
+        assert_eq!(tiled.tile_count(), 4);
+        let x = Tensor::randn(&[130], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let ideal = w.transpose().matvec(&x);
+        let got = tiled.matvec(&x);
+        let rel = got.l1_distance(&ideal) / ideal.norm_l1().max(1e-6);
+        assert!(rel < 1e-3, "tiled matvec relative error {rel}");
+    }
+
+    #[test]
+    fn small_tiles_stress_partitioning() {
+        let mut rng = SeededRng::new(3);
+        let config = CrossbarConfig { rows: 4, cols: 3, ..CrossbarConfig::ideal() };
+        let w = Tensor::randn(&[10, 8], &mut rng);
+        let tiled = TiledMatrix::program(&w, &config, &mut rng);
+        assert_eq!(tiled.tile_grid(), (3, 3));
+        let x = Tensor::randn(&[10], &mut rng);
+        let ideal = w.transpose().matvec(&x);
+        let got = tiled.matvec(&x);
+        for (a, b) in got.as_slice().iter().zip(ideal.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batched_matmul_matches_rows() {
+        let mut rng = SeededRng::new(4);
+        let w = Tensor::randn(&[6, 5], &mut rng);
+        let tiled = TiledMatrix::program(&w, &CrossbarConfig::ideal(), &mut rng);
+        let x = Tensor::randn(&[3, 6], &mut rng);
+        let batch = tiled.matmul(&x);
+        for b in 0..3 {
+            let single = tiled.matvec(&x.row(b));
+            assert_eq!(batch.row(b), single);
+        }
+    }
+
+    #[test]
+    fn effective_weights_round_trip() {
+        let mut rng = SeededRng::new(5);
+        let config = CrossbarConfig { rows: 4, cols: 4, ..CrossbarConfig::ideal() };
+        let w = Tensor::randn(&[7, 9], &mut rng);
+        let tiled = TiledMatrix::program(&w, &config, &mut rng);
+        let back = tiled.effective_weights();
+        assert_eq!(back.shape(), w.shape());
+        for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stuck_cells_degrade_accuracy_of_product() {
+        let mut rng = SeededRng::new(6);
+        let w = Tensor::randn(&[20, 10], &mut rng);
+        let mut tiled = TiledMatrix::program(&w, &CrossbarConfig::ideal(), &mut rng);
+        let x = Tensor::randn(&[20], &mut rng);
+        let clean = tiled.matvec(&x);
+        tiled.inject_stuck_cells(CellFault::StuckLow, 0.3, &mut rng);
+        let faulty = tiled.matvec(&x);
+        assert!(clean.l1_distance(&faulty) > 0.01);
+    }
+}

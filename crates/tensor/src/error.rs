@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible tensor construction and reshaping.
+///
+/// Most element-wise tensor operations in this crate panic on shape
+/// mismatch (like indexing out of bounds, a shape mismatch is a programming
+/// error, not a recoverable condition); the fallible constructors such as
+/// [`crate::Tensor::from_vec`] return this error instead so callers building
+/// tensors from external data can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested shape dimensions.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested whose element count differs from the tensor's.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// A shape with zero dimensions was supplied where a non-scalar shape is
+    /// required.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "shape requires {expected} elements but {actual} were provided")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor of shape {from:?} into {to:?}")
+            }
+            TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert_eq!(err.to_string(), "shape requires 6 elements but 5 were provided");
+    }
+
+    #[test]
+    fn display_reshape_mismatch() {
+        let err = TensorError::ReshapeMismatch { from: vec![2, 3], to: vec![4, 2] };
+        assert!(err.to_string().contains("[2, 3]"));
+        assert!(err.to_string().contains("[4, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything backprop needs without materializing
+//! transposes: `A·B`, `Aᵀ·B`, and `A·Bᵀ`. All use an `ikj` loop order so the
+//! innermost loop streams both operands, and fan work out across threads by
+//! row-block when the problem is large enough to amortize spawn cost.
+
+use crate::Tensor;
+
+/// Below this many multiply-accumulates, threading costs more than it saves.
+const PAR_THRESHOLD: usize = 1 << 18;
+
+fn thread_count(rows: usize, work: usize) -> usize {
+    if work < PAR_THRESHOLD {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(rows).max(1)
+}
+
+/// Sequential kernel for `C[r0..r1] = A[r0..r1] * B`, with A laid out `m×k`
+/// and B `k×n`.
+fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    for i in r0..r1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[(i - r0) * n..(i - r0 + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs` for 2-D tensors (`m×k` times `k×n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(rhs.ndim(), 2, "matmul rhs must be 2-D, got {:?}", rhs.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let work = m * k * n;
+        let threads = thread_count(m, work);
+        let mut out = vec![0.0f32; m * n];
+        if threads <= 1 {
+            matmul_block(a, b, &mut out, 0, m, k, n);
+        } else {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                    let r0 = t * chunk;
+                    let r1 = (r0 + chunk).min(m);
+                    s.spawn(move || matmul_block(a, b, out_chunk, r0, r1, k, n));
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent by construction")
+    }
+
+    /// Matrix product `selfᵀ · rhs` (`k×m`ᵀ times `k×n` → `m×n`) without
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_at(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_at lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul_at rhs must be 2-D");
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul_at shared dimension mismatch: {k} vs {k2}");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        // C[i,j] = sum_p A[p,i] * B[p,j]: each output row i reads column i
+        // of A, so rows are independent and parallelize cleanly.
+        let kernel = |r0: usize, r1: usize, out_chunk: &mut [f32]| {
+            for i in r0..r1 {
+                let c_row = &mut out_chunk[(i - r0) * n..(i - r0 + 1) * n];
+                for p in 0..k {
+                    let a_pi = a[p * m + i];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                        *c_v += a_pi * b_v;
+                    }
+                }
+            }
+        };
+        let work = m * k * n;
+        let threads = thread_count(m, work);
+        let mut out = vec![0.0f32; m * n];
+        if threads <= 1 {
+            kernel(0, m, &mut out);
+        } else {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                    let r0 = t * chunk;
+                    let r1 = (r0 + chunk).min(m);
+                    s.spawn(move || kernel(r0, r1, out_chunk));
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul_at output shape is consistent")
+    }
+
+    /// Matrix product `self · rhsᵀ` (`m×k` times `n×k`ᵀ → `m×n`) without
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimension differs.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_bt lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul_bt rhs must be 2-D");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        assert_eq!(k, k2, "matmul_bt shared dimension mismatch: {k} vs {k2}");
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let work = m * k * n;
+        let threads = thread_count(m, work);
+        let kernel = |r0: usize, r1: usize, out_chunk: &mut [f32]| {
+            for i in r0..r1 {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    out_chunk[(i - r0) * n + j] = acc;
+                }
+            }
+        };
+        let mut out = vec![0.0f32; m * n];
+        if threads <= 1 {
+            kernel(0, m, &mut out);
+        } else {
+            let chunk = m.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                    let r0 = t * chunk;
+                    let r1 = (r0 + chunk).min(m);
+                    s.spawn(move || kernel(r0, r1, out_chunk));
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
+    }
+
+    /// Matrix–vector product `self · v` for a 2-D tensor and 1-D vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 2-D, `v` is not 1-D, or dimensions mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matvec matrix must be 2-D");
+        assert_eq!(v.ndim(), 1, "matvec vector must be 1-D");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(k, v.len(), "matvec dimension mismatch: {k} vs {}", v.len());
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &a[i * k..(i + 1) * k];
+            *o = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m]).expect("matvec output shape is consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "mismatch: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = SeededRng::new(3);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_close(&a.matmul(&eye), &a, 1e-6);
+        assert_close(&eye.matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = SeededRng::new(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Large enough to cross PAR_THRESHOLD (work = 96*96*96 ≈ 885k).
+        let mut rng = SeededRng::new(13);
+        let a = Tensor::randn(&[96, 96], &mut rng);
+        let b = Tensor::randn(&[96, 96], &mut rng);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(5);
+        let a = Tensor::randn(&[6, 3], &mut rng);
+        let b = Tensor::randn(&[6, 4], &mut rng);
+        assert_close(&a.matmul_at(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let mut rng = SeededRng::new(6);
+        let a = Tensor::randn(&[5, 3], &mut rng);
+        let b = Tensor::randn(&[7, 3], &mut rng);
+        assert_close(&a.matmul_bt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SeededRng::new(8);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let v = Tensor::randn(&[6], &mut rng);
+        let via_matmul = a.matmul(&v.reshape(&[6, 1]).unwrap());
+        let direct = a.matvec(&v);
+        for i in 0..4 {
+            assert!((direct.as_slice()[i] - via_matmul.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

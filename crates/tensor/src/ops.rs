@@ -1,0 +1,231 @@
+//! Element-wise arithmetic for [`Tensor`], including operator overloads.
+//!
+//! All binary operators require identical shapes and panic otherwise, in
+//! line with the explicit-over-implicit style of this workspace (no silent
+//! broadcasting).
+
+use crate::Tensor;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl Tensor {
+    /// Element-wise sum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn shift(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// In-place `self += alpha * other` (axpy), the inner-loop primitive of
+    /// every optimizer in the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Dot product of two same-shape tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot length mismatch");
+        self.as_slice().iter().zip(other.as_slice()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// L1 norm (sum of absolute values) of the flattened tensor.
+    pub fn norm_l1(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v.abs()).sum()
+    }
+
+    /// L1 distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn l1_distance(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "l1_distance length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum()
+    }
+
+    /// L-infinity distance to `other` (maximum absolute difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn linf_distance(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "linf_distance length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs)
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Tensor> for Tensor {
+    fn sub_assign(&mut self, rhs: &Tensor) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl MulAssign<f32> for Tensor {
+    fn mul_assign(&mut self, rhs: f32) {
+        self.map_inplace(|v| v * rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0, -3.0]);
+        assert_eq!(a.shift(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = t(&[1.0, 1.0]);
+        a += &t(&[2.0, 3.0]);
+        assert_eq!(a.as_slice(), &[3.0, 4.0]);
+        a -= &t(&[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+        a *= 0.5;
+        assert_eq!(a.as_slice(), &[1.0, 1.5]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = t(&[1.0, 2.0]);
+        a.axpy(0.5, &t(&[4.0, 8.0]));
+        assert_eq!(a.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = t(&[3.0, 4.0]);
+        let b = t(&[1.0, 2.0]);
+        assert_eq!(a.dot(&b), 11.0);
+        assert_eq!(a.norm_l2(), 5.0);
+        assert_eq!(a.norm_l1(), 7.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = t(&[1.0, 5.0, -1.0]);
+        let b = t(&[2.0, 2.0, -1.0]);
+        assert_eq!(a.l1_distance(&b), 4.0);
+        assert_eq!(a.linf_distance(&b), 3.0);
+        assert_eq!(a.l1_distance(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy shape mismatch")]
+    fn axpy_rejects_mismatch() {
+        let mut a = t(&[1.0]);
+        a.axpy(1.0, &t(&[1.0, 2.0]));
+    }
+}

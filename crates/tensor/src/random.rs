@@ -1,0 +1,258 @@
+//! Deterministic random source for the whole workspace.
+//!
+//! Every stochastic component — weight init, dataset synthesis, fault
+//! injection, O-TP seeding — draws from a [`SeededRng`], so any experiment
+//! is exactly reproducible from the seeds recorded in its report.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded pseudo-random number generator with the samplers the ReRAM
+/// error models need.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds Box–Muller normal / lognormal
+/// sampling (the `rand` crate alone does not ship distributions).
+///
+/// # Example
+///
+/// ```
+/// use healthmon_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(1234);
+/// let theta = rng.normal(0.0, 0.1);
+/// assert!(theta.is_finite());
+/// // lognormal multiplicative weight error, as in w' = w * e^theta
+/// let factor = rng.lognormal(0.0, 0.1);
+/// assert!(factor > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Derives an independent child generator; used to give each fault
+    /// model or worker its own stream while keeping the parent stream
+    /// untouched by how much the child consumes.
+    pub fn fork(&mut self, stream: u64) -> SeededRng {
+        let base: u64 = self.inner.random();
+        // SplitMix-style mixing of the stream id into the forked seed.
+        let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SeededRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.inner.random::<f32>()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        self.inner.random::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        (self.inner.random::<f64>()) < p
+    }
+
+    /// Normal sample with the given mean and standard deviation
+    /// (Box–Muller; the spare variate is cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev < 0`.
+    pub fn normal(&mut self, mean: f32, std_dev: f32) -> f32 {
+        assert!(std_dev >= 0.0, "negative standard deviation {std_dev}");
+        let z = if let Some(z) = self.spare_normal.take() {
+            z
+        } else {
+            // Box–Muller: two uniforms -> two independent standard normals.
+            let u1: f32 = loop {
+                let u = self.inner.random::<f32>();
+                if u > f32::MIN_POSITIVE {
+                    break u;
+                }
+            };
+            let u2: f32 = self.inner.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            self.spare_normal = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        mean + std_dev * z
+    }
+
+    /// Lognormal sample `e^N(mu, sigma^2)`, the multiplicative factor of the
+    /// paper's programming-variation error model `w' = w * e^theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn lognormal(&mut self, mu: f32, sigma: f32) -> f32 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir-free; shuffles a
+    /// prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        let mut idx = self.permutation(n);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SeededRng::new(99);
+        let mut b = SeededRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4, "streams from different seeds should differ");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let mut rng = SeededRng::new(21);
+        let n = 20_000;
+        let mut samples: Vec<f32> = (0..n).map(|_| rng.lognormal(0.0, 0.3)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median of lognormal(mu=0) is e^0 = 1.
+        let median = samples[n / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut rng = SeededRng::new(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn permutation_is_permutation() {
+        let mut rng = SeededRng::new(3);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SeededRng::new(4);
+        let s = rng.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_consumption() {
+        let mut parent1 = SeededRng::new(42);
+        let mut parent2 = SeededRng::new(42);
+        let mut c1 = parent1.fork(0);
+        let c2 = parent2.fork(0);
+        // Consuming from one child must not change the other's stream.
+        for _ in 0..10 {
+            c1.unit();
+        }
+        let mut c1b = SeededRng::new(42).fork(0);
+        for _ in 0..10 {
+            c1b.unit();
+        }
+        assert_eq!(c1.unit(), c1b.unit());
+        let _ = c2;
+    }
+
+    #[test]
+    fn fork_distinct_streams_differ() {
+        let mut parent = SeededRng::new(42);
+        // fork() consumes parent state, so fork ids must come from one parent.
+        let mut a = parent.fork(1);
+        let mut parent = SeededRng::new(42);
+        let mut b = parent.fork(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chance_rejects_out_of_range() {
+        SeededRng::new(0).chance(1.5);
+    }
+}

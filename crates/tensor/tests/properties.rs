@@ -1,0 +1,161 @@
+//! Property-based tests for tensor algebra invariants.
+
+use healthmon_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, 1..=max_len)
+        .prop_map(|v| Tensor::from_slice(&v))
+}
+
+fn tensor_pair_strategy(max_len: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f32..100.0, n),
+            prop::collection::vec(-100.0f32..100.0, n),
+        )
+            .prop_map(|(a, b)| (Tensor::from_slice(&a), Tensor::from_slice(&b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in tensor_pair_strategy(64)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_zero_is_identity(a in tensor_strategy(64)) {
+        let z = Tensor::zeros(a.shape());
+        prop_assert_eq!(&a + &z, a.clone());
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in tensor_strategy(64)) {
+        let d = &a - &a;
+        prop_assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in tensor_pair_strategy(32), s in -10.0f32..10.0) {
+        let lhs = (&a + &b).scale(s);
+        let rhs = &a.scale(s) + &b.scale(s);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric((a, b) in tensor_pair_strategy(64)) {
+        let d1 = a.dot(&b);
+        let d2 = b.dot(&a);
+        prop_assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
+    }
+
+    #[test]
+    fn l1_distance_triangle_inequality(
+        (a, b) in tensor_pair_strategy(32),
+    ) {
+        let z = Tensor::zeros(a.shape());
+        let direct = a.l1_distance(&b);
+        let via_zero = a.l1_distance(&z) + z.l1_distance(&b);
+        prop_assert!(direct <= via_zero + 1e-3 * (1.0 + via_zero.abs()));
+    }
+
+    #[test]
+    fn softmax_is_probability_vector(a in tensor_strategy(32)) {
+        let s = a.softmax();
+        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_shift_invariant(a in tensor_strategy(16), c in -50.0f32..50.0) {
+        let s1 = a.softmax();
+        let s2 = a.shift(c).softmax();
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_ranking(a in tensor_strategy(16)) {
+        let s = a.softmax();
+        prop_assert_eq!(a.argmax(), s.argmax());
+    }
+
+    #[test]
+    fn topk_descending(a in tensor_strategy(32)) {
+        let k = a.len().min(5);
+        let top = a.topk(k);
+        for w in top.values.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(top.indices.len(), k);
+    }
+
+    #[test]
+    fn std_nonnegative_and_zero_for_constants(v in -100.0f32..100.0, n in 1usize..32) {
+        let t = Tensor::full(&[n], v);
+        // Mean rounding can leave a tiny residual; the std of a constant
+        // tensor must still be negligible relative to the magnitude.
+        prop_assert!(t.std() <= 1e-4 * (1.0 + v.abs()));
+    }
+
+    #[test]
+    fn reshape_round_trips(a in tensor_strategy(64)) {
+        let n = a.len();
+        let r = a.reshape(&[n]).unwrap();
+        prop_assert_eq!(r.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_associativity(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[4, 5], &mut rng);
+        let c = Tensor::randn(&[5, 2], &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b1 = Tensor::randn(&[4, 5], &mut rng);
+        let b2 = Tensor::randn(&[4, 5], &mut rng);
+        let lhs = a.matmul(&(&b1 + &b2));
+        let rhs = &a.matmul(&b1) + &a.matmul(&b2);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(seed in 0u64..1000, m in 1usize..8, n in 1usize..8) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn lognormal_always_positive(seed in 0u64..500, sigma in 0.0f32..1.0) {
+        let mut rng = SeededRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.lognormal(0.0, sigma) > 0.0);
+        }
+    }
+
+    #[test]
+    fn seeded_rng_reproducible(seed in 0u64..10_000) {
+        let mut a = SeededRng::new(seed);
+        let mut b = SeededRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.unit(), b.unit());
+        }
+    }
+}

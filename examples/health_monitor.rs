@@ -1,0 +1,93 @@
+//! In-field health monitoring: the paper's deployment scenario.
+//!
+//! A ReRAM accelerator runs inference for weeks while its conductances
+//! drift and occasional soft errors accumulate. A tiny O-TP pattern set
+//! (one pattern per class) is executed periodically; the
+//! [`healthmon::HealthMonitor`] state machine triages the confidence
+//! distance into health states and repair actions — exactly the triage
+//! the paper motivates (remapping is cheap, cloud retraining is
+//! expensive, so knowing *how* faulty the device is matters).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p healthmon --example health_monitor
+//! ```
+
+use healthmon::{Detector, HealthMonitor, HealthState, MonitorPolicy, OtpGenerator};
+use healthmon_data::{DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+
+fn main() {
+    // Train a compact model (flattened digits through an MLP keeps this
+    // example fast; the flow is identical for CNNs).
+    let spec = DatasetSpec { train: 1500, test: 300, seed: 3, noise: 0.10 };
+    let split = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let flat_train = split.train.images.reshape(&[split.train.len(), n_pixels]).expect("flatten");
+    let flat_test = split.test.images.reshape(&[split.test.len(), n_pixels]).expect("flatten");
+
+    let mut rng = SeededRng::new(1);
+    let mut model = tiny_mlp(n_pixels, 64, 10, &mut rng);
+    println!("training the edge model ...");
+    let config = TrainConfig { epochs: 4, batch_size: 32, ..TrainConfig::default() };
+    let report = Trainer::new(&mut model, Sgd::new(0.1).momentum(0.9), config).fit(
+        &flat_train,
+        &split.train.labels,
+        Some((&flat_test, &split.test.labels)),
+    );
+    println!("deployed model accuracy: {:.1}%", report.test_accuracy.expect("test") * 100.0);
+
+    // Generate the O-TP monitoring set at the cloud: 10 patterns total.
+    let reference =
+        FaultCampaign::new(&model, 99).model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    let (patterns, outcomes) =
+        OtpGenerator::new().generate(&model, &reference, &mut SeededRng::new(5));
+    println!(
+        "generated {} O-TP patterns ({} fully converged)\n",
+        patterns.len(),
+        outcomes.iter().filter(|o| o.converged).count()
+    );
+    let detector = Detector::new(&mut model, patterns);
+    let policy = MonitorPolicy { watch_threshold: 0.02, critical_threshold: 0.06, escalation_count: 1 };
+    let mut monitor = HealthMonitor::new(detector, policy);
+
+    // Simulate 8 weeks in the field: drift accumulates weekly, plus a
+    // burst of soft errors in week 6 (e.g. a thermal event).
+    let mut accelerator = model.clone();
+    let mut field_rng = SeededRng::new(7);
+    println!("week | conf. distance | accuracy | status (action)");
+    println!("-----+----------------+----------+--------------------------------------------");
+    for week in 1..=8u32 {
+        FaultModel::Drift { nu: 0.02, time: 1.0 }.apply(&mut accelerator, &mut field_rng);
+        if week == 6 {
+            FaultModel::RandomSoftError { probability: 0.01 }
+                .apply(&mut accelerator, &mut field_rng);
+        }
+        let checkup = monitor.check(&mut accelerator);
+        let acc = healthmon_nn::trainer::accuracy(
+            &mut accelerator,
+            &flat_test,
+            &split.test.labels,
+            64,
+        );
+        println!(
+            "{week:>4} | {:>14.4} | {:>7.1}% | {:?} ({})",
+            checkup.distance.all_classes,
+            acc * 100.0,
+            checkup.state,
+            checkup.state.recommended_action(),
+        );
+        // The paper's repair loop: at CRITICAL the golden weights are
+        // reprogrammed and the monitor is told about the repair.
+        if checkup.state == HealthState::Critical {
+            accelerator = model.clone();
+            monitor.acknowledge_repair();
+            println!("     |                |          | -> accelerator repaired (weights reprogrammed)");
+        }
+    }
+    println!("\nmonitoring log kept {} checkups", monitor.history().len());
+}

@@ -1,0 +1,90 @@
+//! Pattern gallery: renders C-TP, O-TP and AET patterns as ASCII art —
+//! the terminal counterpart of the paper's Fig 2, which shows that O-TP
+//! patterns look like structured "white noise" rather than digits.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p healthmon --example pattern_gallery
+//! ```
+
+use healthmon::{AetGenerator, CtpGenerator, OtpGenerator, TestPatternSet};
+use healthmon_data::{DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::{SeededRng, Tensor};
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a `[1, 28, 28]` grayscale tensor as ASCII, downsampled 2x.
+fn ascii(image: &Tensor) -> String {
+    let mut out = String::new();
+    for y in (0..28).step_by(2) {
+        for x in (0..28).step_by(2) {
+            let v = (image.at(&[0, y, x])
+                + image.at(&[0, y + 1, x])
+                + image.at(&[0, y, x + 1])
+                + image.at(&[0, y + 1, x + 1]))
+                / 4.0;
+            let idx = ((v.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn show(title: &str, set: &TestPatternSet, count: usize) {
+    println!("=== {title} ===");
+    let blocks: Vec<Vec<String>> = (0..count.min(set.len()))
+        .map(|i| ascii(&set.pattern(i)).lines().map(str::to_owned).collect())
+        .collect();
+    for row in 0..blocks[0].len() {
+        let line: Vec<&str> = blocks.iter().map(|b| b[row].as_str()).collect();
+        println!("{}", line.join("   "));
+    }
+    println!();
+}
+
+fn main() {
+    let spec = DatasetSpec { train: 1200, test: 300, seed: 7, noise: 0.10 };
+    let split = SynthDigits::new(spec).generate();
+    let mut rng = SeededRng::new(42);
+    let mut model = Network::new(vec![1, 28, 28]);
+    model.push(Conv2d::new(1, 4, 5, 1, 2, &mut rng));
+    model.push(Relu::new());
+    model.push(MaxPool2d::new(2, 2));
+    model.push(Flatten::new());
+    model.push(Dense::new(4 * 14 * 14, 32, &mut rng));
+    model.push(Relu::new());
+    model.push(Dense::new(32, 10, &mut rng));
+    eprintln!("training (quick) ...");
+    let config = TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() };
+    Trainer::new(&mut model, Sgd::new(0.05).momentum(0.9), config).fit(
+        &split.train.images,
+        &split.train.labels,
+        None,
+    );
+
+    // Ordinary test images for contrast.
+    let originals = TestPatternSet::new(
+        "original",
+        split.test.random_subset(4, &mut rng).images.clone(),
+    );
+    show("original test images (digits)", &originals, 4);
+
+    let ctp = CtpGenerator::new(4).select(&mut model, &split.test);
+    show("C-TP corner data (hardest digits: near decision boundaries)", &ctp, 4);
+
+    let aet = AetGenerator::new(4, 0.2).generate(&mut model, &split.test, &mut rng);
+    show("AET adversarial examples (digits + FGSM noise)", &aet, 4);
+
+    let reference =
+        FaultCampaign::new(&model, 99).model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    eprintln!("optimizing O-TP patterns ...");
+    let (otp, _) = OtpGenerator::new()
+        .max_iters(300)
+        .generate(&model, &reference, &mut SeededRng::new(5));
+    show("O-TP generated patterns (cf. paper Fig 2: white-noise style)", &otp, 4);
+}

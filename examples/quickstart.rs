@@ -1,0 +1,75 @@
+//! Quickstart: the full concurrent-test flow in one file.
+//!
+//! 1. Train a small CNN on the synthetic digit dataset.
+//! 2. Record golden responses on a C-TP pattern set.
+//! 3. Simulate an accelerator accumulating programming variation.
+//! 4. Report the fault status from just 10 test patterns.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p healthmon --example quickstart
+//! ```
+
+use healthmon::{CtpGenerator, Detector, SdcCriterion};
+use healthmon_data::{DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+
+fn main() {
+    // --- 1. Data and model -------------------------------------------------
+    let spec = DatasetSpec { train: 1200, test: 300, seed: 7, noise: 0.10 };
+    let split = SynthDigits::new(spec).generate();
+    let mut rng = SeededRng::new(42);
+    let mut model = Network::new(vec![1, 28, 28]);
+    model.push(Conv2d::new(1, 4, 5, 1, 2, &mut rng));
+    model.push(Relu::new());
+    model.push(MaxPool2d::new(2, 2));
+    model.push(Flatten::new());
+    model.push(Dense::new(4 * 14 * 14, 32, &mut rng));
+    model.push(Relu::new());
+    model.push(Dense::new(32, 10, &mut rng));
+
+    println!("training a small CNN on SynthDigits ...");
+    let config = TrainConfig { epochs: 3, batch_size: 32, ..TrainConfig::default() };
+    let report = Trainer::new(&mut model, Sgd::new(0.05).momentum(0.9), config).fit(
+        &split.train.images,
+        &split.train.labels,
+        Some((&split.test.images, &split.test.labels)),
+    );
+    let golden_acc = report.test_accuracy.expect("test set provided");
+    println!("golden model accuracy: {:.1}%", golden_acc * 100.0);
+
+    // --- 2. Generate test patterns and record golden responses -------------
+    let patterns = CtpGenerator::new(10).select(&mut model, &split.test);
+    println!("selected {} C-TP corner-data patterns", patterns.len());
+    let detector = Detector::new(&mut model, patterns);
+
+    // --- 3. Simulate error accumulation on the accelerator -----------------
+    let campaign = FaultCampaign::new(&model, 2020);
+    for sigma in [0.05f32, 0.15, 0.3, 0.5] {
+        let mut accelerator =
+            campaign.model(&FaultModel::ProgrammingVariation { sigma }, 0);
+
+        // --- 4. Concurrent test: 10 inferences, one verdict ----------------
+        let d = detector.confidence_distance(&mut accelerator);
+        let faulty = detector.is_faulty(
+            &mut accelerator,
+            SdcCriterion::SdcA { threshold: 0.03 },
+        );
+        let acc = healthmon_nn::trainer::accuracy(
+            &mut accelerator,
+            &split.test.images,
+            &split.test.labels,
+            64,
+        );
+        println!(
+            "sigma {sigma:.2}: true accuracy {:>5.1}%, confidence distance {:.4} -> {}",
+            acc * 100.0,
+            d.all_classes,
+            if faulty { "FAULTY (schedule repair)" } else { "healthy" }
+        );
+    }
+}

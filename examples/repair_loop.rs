@@ -1,0 +1,138 @@
+//! The full closed loop the paper motivates: **detect → triage →
+//! repair → verify**.
+//!
+//! A trained model is deployed; stuck-at defects accumulate on its first
+//! (largest) crossbar-mapped layer. The concurrent-test detector grades
+//! the damage, and the matching repair from the hierarchy is applied:
+//! fault-aware row remapping for mild damage, fault-aware retraining for
+//! severe damage. After each repair the detector verifies the fix.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p healthmon --example repair_loop
+//! ```
+
+use healthmon::{CtpGenerator, Detector, HealthState, MonitorPolicy};
+use healthmon_data::{DatasetSpec, SynthDigits};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::trainer::accuracy;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_repair::{remap_rows, retrain_with_faults, DefectMap, FaultyRetrainConfig};
+use healthmon_tensor::{SeededRng, Tensor};
+
+const LAYER: &str = "layer0.weight";
+
+fn first_layer_weights(net: &Network) -> Tensor {
+    let mut out = None;
+    net.for_each_param(|key, t| {
+        if key == LAYER {
+            out = Some(t.clone());
+        }
+    });
+    out.expect("model has a first dense layer")
+}
+
+fn set_first_layer(net: &mut Network, weights: &Tensor) {
+    net.for_each_param_mut(|key, t| {
+        if key == LAYER {
+            *t = weights.clone();
+        }
+    });
+}
+
+fn main() {
+    // Train the golden model.
+    let spec = DatasetSpec { train: 1500, test: 300, seed: 3, noise: 0.10 };
+    let split = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let train_x = split.train.images.reshape(&[split.train.len(), n_pixels]).expect("flatten");
+    let test_x = split.test.images.reshape(&[split.test.len(), n_pixels]).expect("flatten");
+    let mut rng = SeededRng::new(1);
+    let mut model = tiny_mlp(n_pixels, 64, 10, &mut rng);
+    println!("training the golden model ...");
+    let config = TrainConfig { epochs: 4, batch_size: 32, ..TrainConfig::default() };
+    Trainer::new(&mut model, Sgd::new(0.1).momentum(0.9), config).fit(
+        &train_x,
+        &split.train.labels,
+        None,
+    );
+    let golden_acc = accuracy(&mut model, &test_x, &split.test.labels, 64);
+    println!("golden accuracy: {:.1}%\n", golden_acc * 100.0);
+
+    // Concurrent-test detector (C-TP patterns) + triage policy.
+    let test_pool = healthmon_data::Dataset::new(test_x.clone(), split.test.labels.clone(), 10);
+    let patterns = CtpGenerator::new(20).select(&mut model, &test_pool);
+    let detector = Detector::new(&mut model, patterns);
+    let policy = MonitorPolicy::default();
+    let golden_w0 = first_layer_weights(&model);
+
+    for (label, defect_rate) in [("mild endurance damage", 0.002), ("severe endurance damage", 0.04)] {
+        println!("== scenario: {label} ({:.1}% stuck cells) ==", defect_rate * 100.0);
+        let mut defect_rng = SeededRng::new(17);
+        let defects = DefectMap::sample_for_matrix(&golden_w0, defect_rate, &mut defect_rng);
+        println!("array test found {} stuck cells on {LAYER}", defects.len());
+
+        // The damaged accelerator.
+        let mut device = model.clone();
+        set_first_layer(&mut device, &defects.apply(&golden_w0));
+        let d = detector.confidence_distance(&mut device).all_classes;
+        let acc = accuracy(&mut device, &test_x, &split.test.labels, 64);
+        let state = if d >= policy.critical_threshold {
+            HealthState::Critical
+        } else if d >= policy.watch_threshold {
+            HealthState::Watch
+        } else {
+            HealthState::Healthy
+        };
+        println!(
+            "detected: distance {d:.4}, accuracy {:.1}% -> {state:?} ({})",
+            acc * 100.0,
+            state.recommended_action()
+        );
+
+        // Apply the matching repair.
+        match state {
+            HealthState::Healthy => println!("no repair needed"),
+            HealthState::Watch => {
+                let repair = remap_rows(&golden_w0, &defects);
+                set_first_layer(&mut device, &repair.repaired_weights);
+                println!(
+                    "remapped rows: weight damage {:.3} -> {:.3} ({:.0}% recovered)",
+                    repair.unrepaired_error,
+                    repair.repaired_error,
+                    repair.recovery() * 100.0
+                );
+            }
+            HealthState::Critical => {
+                // Remap first (free), then retrain around what remains.
+                let repair = remap_rows(&golden_w0, &defects);
+                set_first_layer(&mut device, &repair.repaired_weights);
+                println!(
+                    "remap recovered {:.0}%; retraining around the remaining defects ...",
+                    repair.recovery() * 100.0
+                );
+                let outcome = retrain_with_faults(
+                    &mut device,
+                    &[(LAYER.to_owned(), defects.clone())],
+                    &train_x,
+                    &split.train.labels,
+                    FaultyRetrainConfig::default(),
+                );
+                println!(
+                    "retraining loss {:.4} -> {:.4}",
+                    outcome.initial_loss, outcome.final_loss
+                );
+            }
+        }
+
+        // Verify with the same concurrent test.
+        let d_after = detector.confidence_distance(&mut device).all_classes;
+        let acc_after = accuracy(&mut device, &test_x, &split.test.labels, 64);
+        println!(
+            "verified: distance {d:.4} -> {d_after:.4}, accuracy {:.1}% -> {:.1}%\n",
+            acc * 100.0,
+            acc_after * 100.0
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration between the crossbar simulator and the detection flow:
+//! deploying a model onto simulated hardware, degrading the hardware, and
+//! catching the degradation with concurrent test.
+
+use healthmon::{CtpGenerator, Detector, SdcCriterion};
+use healthmon_data::{Dataset, DatasetSpec, SynthDigits};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_reram::{deploy, CrossbarConfig};
+use healthmon_tensor::SeededRng;
+
+fn trained() -> (Network, Dataset) {
+    let spec = DatasetSpec { train: 700, test: 200, seed: 8, noise: 0.10 };
+    let raw = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let train = Dataset::new(
+        raw.train.images.reshape(&[raw.train.len(), n_pixels]).expect("flatten"),
+        raw.train.labels.clone(),
+        10,
+    );
+    let test = Dataset::new(
+        raw.test.images.reshape(&[raw.test.len(), n_pixels]).expect("flatten"),
+        raw.test.labels.clone(),
+        10,
+    );
+    let mut rng = SeededRng::new(2);
+    let mut net = tiny_mlp(n_pixels, 40, 10, &mut rng);
+    let config = TrainConfig { epochs: 3, batch_size: 32, ..TrainConfig::default() };
+    Trainer::new(&mut net, Sgd::new(0.1).momentum(0.9), config).fit(
+        &train.images,
+        &train.labels,
+        None,
+    );
+    (net, test)
+}
+
+#[test]
+fn ideal_crossbar_deployment_preserves_accuracy() {
+    let (mut net, test) = trained();
+    let base = healthmon_nn::trainer::accuracy(&mut net, &test.images, &test.labels, 64);
+    let (mut deployed, report) =
+        deploy(&net, &CrossbarConfig::ideal(), &mut SeededRng::new(1));
+    let acc = healthmon_nn::trainer::accuracy(&mut deployed, &test.images, &test.labels, 64);
+    assert!((base - acc).abs() < 0.02, "ideal deployment moved accuracy {base} -> {acc}");
+    assert!(report.total_tiles() >= 2);
+}
+
+#[test]
+fn realistic_quantization_costs_little_accuracy() {
+    let (mut net, test) = trained();
+    let base = healthmon_nn::trainer::accuracy(&mut net, &test.images, &test.labels, 64);
+    // 4-bit cells, the ISAAC-class default.
+    let (mut deployed, _) =
+        deploy(&net, &CrossbarConfig::default(), &mut SeededRng::new(1));
+    let acc = healthmon_nn::trainer::accuracy(&mut deployed, &test.images, &test.labels, 64);
+    assert!(base - acc < 0.1, "4-bit mapping lost too much: {base} -> {acc}");
+}
+
+#[test]
+fn write_noise_degrades_monotonically_in_expectation() {
+    let (mut net, test) = trained();
+    let acc_for = |noise: f32, net: &Network, test: &Dataset| {
+        // Average over a few deployments to smooth sampling noise.
+        let mut total = 0.0f32;
+        for seed in 0..4u64 {
+            let config = CrossbarConfig { write_noise: noise, cell_bits: 8, ..CrossbarConfig::default() };
+            let (mut deployed, _) = deploy(net, &config, &mut SeededRng::new(seed));
+            total += healthmon_nn::trainer::accuracy(&mut deployed, &test.images, &test.labels, 64);
+        }
+        total / 4.0
+    };
+    let clean = acc_for(0.0, &net, &test);
+    let noisy = acc_for(0.6, &net, &test);
+    assert!(clean > noisy, "write noise must cost accuracy: {clean} vs {noisy}");
+    let _ = &mut net;
+}
+
+#[test]
+fn detector_flags_noisy_deployment() {
+    let (mut net, test) = trained();
+    let patterns = CtpGenerator::new(15).select(&mut net, &test);
+    let detector = Detector::new(&mut net, patterns);
+
+    // A clean redeployment at high precision is NOT flagged ...
+    let fine = CrossbarConfig { cell_bits: 12, ..CrossbarConfig::default() };
+    let (mut good, _) = deploy(&net, &fine, &mut SeededRng::new(3));
+    assert!(!detector.is_faulty(&mut good, SdcCriterion::SdcA { threshold: 0.03 }));
+
+    // ... while a heavily drifted / mis-programmed one is.
+    let sloppy = CrossbarConfig { cell_bits: 4, write_noise: 0.5, ..CrossbarConfig::default() };
+    let (mut bad, _) = deploy(&net, &sloppy, &mut SeededRng::new(3));
+    assert!(detector.is_faulty(&mut bad, SdcCriterion::SdcA { threshold: 0.03 }));
+}
+
+#[test]
+fn deployment_report_accounts_for_all_weight_layers() {
+    let (net, _) = trained();
+    let (_, report) = deploy(&net, &CrossbarConfig::default(), &mut SeededRng::new(4));
+    let keys: Vec<&str> = report.mappings.iter().map(|m| m.key.as_str()).collect();
+    assert_eq!(keys, ["layer0.weight", "layer2.weight"]);
+    // 784x40 over 128x128 tiles: 7x1 grid; 40x10: 1 tile.
+    assert_eq!(report.total_tiles(), 8);
+}

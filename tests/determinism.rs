@@ -1,0 +1,104 @@
+//! Whole-pipeline reproducibility: every stage of the flow must be
+//! bit-identical given the same seeds, because the experiment index in
+//! EXPERIMENTS.md promises replayability.
+
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator};
+use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+
+fn pipeline() -> (Network, Dataset, Vec<f32>) {
+    let spec = DatasetSpec { train: 300, test: 100, seed: 5, noise: 0.1 };
+    let raw = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let train = Dataset::new(
+        raw.train.images.reshape(&[raw.train.len(), n_pixels]).expect("flatten"),
+        raw.train.labels.clone(),
+        10,
+    );
+    let test = Dataset::new(
+        raw.test.images.reshape(&[raw.test.len(), n_pixels]).expect("flatten"),
+        raw.test.labels.clone(),
+        10,
+    );
+    let mut rng = SeededRng::new(1);
+    let mut net = tiny_mlp(n_pixels, 24, 10, &mut rng);
+    let config = TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() };
+    Trainer::new(&mut net, Sgd::new(0.1), config).fit(&train.images, &train.labels, None);
+
+    // Full detection pass.
+    let patterns = CtpGenerator::new(10).select(&mut net, &test);
+    let detector = Detector::new(&mut net, patterns);
+    let distances: Vec<f32> = detector
+        .campaign_distances(&net, &FaultModel::ProgrammingVariation { sigma: 0.3 }, 6, 42)
+        .iter()
+        .map(|d| d.all_classes)
+        .collect();
+    (net, test, distances)
+}
+
+#[test]
+fn full_pipeline_is_reproducible() {
+    let (net_a, _, dist_a) = pipeline();
+    let (net_b, _, dist_b) = pipeline();
+    assert_eq!(net_a.state_dict(), net_b.state_dict());
+    assert_eq!(dist_a, dist_b);
+}
+
+#[test]
+fn datasets_reproducible_across_generators() {
+    let spec = DatasetSpec { train: 50, test: 20, seed: 123, noise: 0.1 };
+    assert_eq!(SynthDigits::new(spec).generate(), SynthDigits::new(spec).generate());
+    assert_eq!(SynthObjects::new(spec).generate(), SynthObjects::new(spec).generate());
+}
+
+#[test]
+fn dataset_seed_changes_content() {
+    let a = SynthDigits::new(DatasetSpec { train: 30, test: 10, seed: 1, noise: 0.1 }).generate();
+    let b = SynthDigits::new(DatasetSpec { train: 30, test: 10, seed: 2, noise: 0.1 }).generate();
+    assert_ne!(a.train.images, b.train.images);
+}
+
+#[test]
+fn pattern_generators_reproducible() {
+    let (net, test, _) = pipeline();
+    let mut net_mut = net.clone();
+    let c1 = CtpGenerator::new(8).select(&mut net_mut, &test);
+    let c2 = CtpGenerator::new(8).select(&mut net_mut, &test);
+    assert_eq!(c1, c2);
+
+    let a1 = AetGenerator::new(8, 0.1).generate(&mut net_mut, &test, &mut SeededRng::new(9));
+    let a2 = AetGenerator::new(8, 0.1).generate(&mut net_mut, &test, &mut SeededRng::new(9));
+    assert_eq!(a1, a2);
+
+    let reference =
+        FaultCampaign::new(&net, 7).model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    let (o1, out1) = OtpGenerator::new().max_iters(50).generate(&net, &reference, &mut SeededRng::new(9));
+    let (o2, out2) = OtpGenerator::new().max_iters(50).generate(&net, &reference, &mut SeededRng::new(9));
+    assert_eq!(o1, o2);
+    assert_eq!(out1, out2);
+}
+
+#[test]
+fn campaign_models_independent_of_evaluation_order() {
+    let (net, _, _) = pipeline();
+    let fault = FaultModel::RandomSoftError { probability: 0.05 };
+    let campaign = FaultCampaign::new(&net, 31);
+    // Build index 4 directly vs after building others.
+    let direct = campaign.model(&fault, 4);
+    let _ = campaign.model(&fault, 0);
+    let _ = campaign.model(&fault, 2);
+    let again = campaign.model(&fault, 4);
+    assert_eq!(direct.state_dict(), again.state_dict());
+}
+
+#[test]
+fn split_has_no_train_test_leakage_by_construction() {
+    let split: DataSplit =
+        SynthDigits::new(DatasetSpec { train: 40, test: 40, seed: 6, noise: 0.1 }).generate();
+    // Same shapes, but disjoint RNG streams must give different pixels.
+    assert_ne!(split.train.images, split.test.images);
+}

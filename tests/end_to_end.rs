@@ -1,0 +1,189 @@
+//! End-to-end integration: train → generate patterns → inject faults →
+//! detect, across all three methods, on a small but genuinely trained
+//! model.
+
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+
+/// Trains a small MLP on flattened synthetic digits; shared by every test
+/// in this file (built once via OnceLock to keep the suite fast).
+fn trained_model() -> (Network, DataSplit) {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<(Network, DataSplit)> = OnceLock::new();
+    let (net, split) = CACHE.get_or_init(|| {
+        let spec = DatasetSpec { train: 800, test: 240, seed: 5, noise: 0.10 };
+        let raw = SynthDigits::new(spec).generate();
+        let n_pixels = 28 * 28;
+        let flatten = |d: &Dataset| {
+            Dataset::new(
+                d.images.reshape(&[d.len(), n_pixels]).expect("flatten"),
+                d.labels.clone(),
+                d.num_classes,
+            )
+        };
+        let split = DataSplit { train: flatten(&raw.train), test: flatten(&raw.test) };
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(n_pixels, 48, 10, &mut rng);
+        let config = TrainConfig { epochs: 6, batch_size: 32, ..TrainConfig::default() };
+        Trainer::new(&mut net, Sgd::new(0.1).momentum(0.9), config).fit(
+            &split.train.images,
+            &split.train.labels,
+            None,
+        );
+        (net, split)
+    });
+    (net.clone(), split.clone())
+}
+
+#[test]
+fn model_actually_learned() {
+    let (mut net, split) = trained_model();
+    let acc =
+        healthmon_nn::trainer::accuracy(&mut net, &split.test.images, &split.test.labels, 64);
+    assert!(acc > 0.88, "integration model accuracy only {acc}");
+}
+
+#[test]
+fn all_three_methods_produce_requested_counts() {
+    let (mut net, split) = trained_model();
+    let mut rng = SeededRng::new(2);
+    let ctp = CtpGenerator::new(20).select(&mut net, &split.test);
+    assert_eq!(ctp.len(), 20);
+    let aet = AetGenerator::new(20, 0.15).generate(&mut net, &split.test, &mut rng);
+    assert_eq!(aet.len(), 20);
+    let reference = FaultCampaign::new(&net, 9)
+        .model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    let (otp, _) = OtpGenerator::new().max_iters(150).generate(&net, &reference, &mut rng);
+    assert_eq!(otp.len(), 10);
+}
+
+#[test]
+fn ctp_patterns_are_more_sensitive_than_random_images() {
+    let (mut net, split) = trained_model();
+    let mut rng = SeededRng::new(3);
+    let ctp = CtpGenerator::new(15).select(&mut net, &split.test);
+    let random = TestPatternSet::new(
+        "random",
+        split.test.random_subset(15, &mut rng).images.clone(),
+    );
+    let d_ctp = Detector::new(&mut net, ctp);
+    let d_rand = Detector::new(&mut net, random);
+    // Average confidence distance over a small campaign.
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+    let mean = |det: &Detector, net: &Network| {
+        let ds = det.campaign_distances(net, &fault, 12, 77);
+        ds.iter().map(|d| d.all_classes).sum::<f32>() / ds.len() as f32
+    };
+    let ctp_dist = mean(&d_ctp, &net);
+    let rand_dist = mean(&d_rand, &net);
+    assert!(
+        ctp_dist > rand_dist,
+        "C-TP ({ctp_dist}) should out-sense random images ({rand_dist})"
+    );
+}
+
+#[test]
+fn otp_detects_without_top_class_criteria() {
+    let (net, _) = trained_model();
+    let reference = FaultCampaign::new(&net, 9)
+        .model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+    let (otp, _) = OtpGenerator::new()
+        .max_iters(300)
+        .generate(&net, &reference, &mut SeededRng::new(4));
+    let mut golden = net.clone();
+    let detector = Detector::new(&mut golden, otp);
+    let rate = detector.detection_rate(
+        &net,
+        &FaultModel::ProgrammingVariation { sigma: 0.4 },
+        12,
+        88,
+        SdcCriterion::SdcA { threshold: 0.03 },
+    );
+    assert!(rate > 0.8, "O-TP missed heavy faults: rate {rate}");
+}
+
+#[test]
+fn detection_rate_increases_with_error_severity() {
+    let (mut net, split) = trained_model();
+    let ctp = CtpGenerator::new(20).select(&mut net, &split.test);
+    let detector = Detector::new(&mut net, ctp);
+    let crit = SdcCriterion::SdcA { threshold: 0.03 };
+    let rates: Vec<f32> = [0.05f32, 0.2, 0.5]
+        .iter()
+        .map(|&sigma| {
+            detector.detection_rate(
+                &net,
+                &FaultModel::ProgrammingVariation { sigma },
+                12,
+                55,
+                crit,
+            )
+        })
+        .collect();
+    assert!(rates[2] >= rates[0], "rates must not decrease with severity: {rates:?}");
+    assert!(rates[2] > 0.8, "heavy faults must be detected: {rates:?}");
+}
+
+#[test]
+fn soft_errors_are_detected_too() {
+    let (mut net, split) = trained_model();
+    let ctp = CtpGenerator::new(20).select(&mut net, &split.test);
+    let detector = Detector::new(&mut net, ctp);
+    let rate = detector.detection_rate(
+        &net,
+        &FaultModel::RandomSoftError { probability: 0.02 },
+        12,
+        66,
+        SdcCriterion::SdcT { threshold: 0.05 },
+    );
+    assert!(rate > 0.5, "2% soft errors mostly missed: rate {rate}");
+}
+
+#[test]
+fn golden_model_is_not_flagged_by_any_method() {
+    let (mut net, split) = trained_model();
+    let mut rng = SeededRng::new(6);
+    let sets = vec![
+        CtpGenerator::new(10).select(&mut net, &split.test),
+        AetGenerator::new(10, 0.15).generate(&mut net, &split.test, &mut rng),
+    ];
+    for set in sets {
+        let detector = Detector::new(&mut net, set);
+        let mut same = net.clone();
+        for crit in SdcCriterion::paper_suite() {
+            assert!(
+                !detector.is_faulty(&mut same, crit),
+                "{} false positive on the golden model",
+                crit.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8_shape_distance_tracks_accuracy_loss() {
+    // The core claim of Fig 8: as sigma grows, accuracy falls and the
+    // confidence distance rises.
+    let (mut net, split) = trained_model();
+    let ctp = CtpGenerator::new(15).select(&mut net, &split.test);
+    let detector = Detector::new(&mut net, ctp);
+    let mut prev_distance = -1.0f32;
+    let mut distances = Vec::new();
+    for sigma in [0.1f32, 0.3, 0.5] {
+        let ds = detector.campaign_distances(
+            &net,
+            &FaultModel::ProgrammingVariation { sigma },
+            10,
+            44,
+        );
+        let mean = ds.iter().map(|d| d.all_classes).sum::<f32>() / ds.len() as f32;
+        distances.push(mean);
+        assert!(mean > prev_distance, "distance must grow with sigma: {distances:?}");
+        prev_distance = mean;
+    }
+}

@@ -1,0 +1,180 @@
+//! Small-scale assertions of the paper's headline qualitative results
+//! ("shape" tests): who wins, in which regime. Full-scale numbers come
+//! from the `healthmon-bench` experiment binaries; these tests pin the
+//! orderings at a size that runs in CI.
+
+use healthmon::stability::stability;
+use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon_data::{Dataset, DatasetSpec, SynthDigits};
+use healthmon_faults::{FaultCampaign, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    net: Network,
+    test: Dataset,
+    aet: TestPatternSet,
+    ctp: TestPatternSet,
+    otp: TestPatternSet,
+}
+
+fn fixture() -> &'static Fixture {
+    static CACHE: OnceLock<Fixture> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let spec = DatasetSpec { train: 1000, test: 300, seed: 5, noise: 0.10 };
+        let raw = SynthDigits::new(spec).generate();
+        let n_pixels = 28 * 28;
+        let flat = |d: &Dataset| {
+            Dataset::new(
+                d.images.reshape(&[d.len(), n_pixels]).expect("flatten"),
+                d.labels.clone(),
+                10,
+            )
+        };
+        let (train, test) = (flat(&raw.train), flat(&raw.test));
+        let mut rng = SeededRng::new(1);
+        let mut net = tiny_mlp(n_pixels, 64, 10, &mut rng);
+        let config = TrainConfig { epochs: 5, batch_size: 32, ..TrainConfig::default() };
+        Trainer::new(&mut net, Sgd::new(0.1).momentum(0.9), config).fit(
+            &train.images,
+            &train.labels,
+            None,
+        );
+
+        let aet = AetGenerator::new(20, 0.15).generate(&mut net, &test, &mut SeededRng::new(2));
+        // C-TP needs a deep candidate pool for genuine corner data (the
+        // paper searches the full 10K inference set); a 300-image test
+        // split leaves too thin a boundary tail.
+        let pool_raw = SynthDigits::new(DatasetSpec { train: 1, test: 2500, seed: 99, noise: 0.10 })
+            .generate()
+            .test;
+        let pool = flat(&pool_raw);
+        let ctp = CtpGenerator::new(20).select(&mut net, &pool);
+        let reference = FaultCampaign::new(&net, 777)
+            .model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
+        let (otp, _) = OtpGenerator::new()
+            .per_class(2)
+            .max_iters(400)
+            .generate(&net, &reference, &mut SeededRng::new(3));
+        Fixture { net, test, aet, ctp, otp }
+    })
+}
+
+fn mean_all_distance(set: &TestPatternSet, sigma: f32, count: usize) -> f32 {
+    let f = fixture();
+    let mut golden = f.net.clone();
+    let detector = Detector::new(&mut golden, set.clone());
+    let ds = detector.campaign_distances(
+        &f.net,
+        &FaultModel::ProgrammingVariation { sigma },
+        count,
+        2020,
+    );
+    ds.iter().map(|d| d.all_classes).sum::<f32>() / ds.len() as f32
+}
+
+/// Fig 3's ordering: the proposed methods produce a larger confidence
+/// distance than the AET baseline at the same error level.
+#[test]
+fn proposed_methods_beat_aet_on_confidence_distance() {
+    let f = fixture();
+    let sigma = 0.25;
+    let aet = mean_all_distance(&f.aet, sigma, 16);
+    let ctp = mean_all_distance(&f.ctp, sigma, 16);
+    let otp = mean_all_distance(&f.otp, sigma, 16);
+    assert!(ctp > aet, "C-TP ({ctp}) must out-distance AET ({aet})");
+    assert!(otp > aet, "O-TP ({otp}) must out-distance AET ({aet})");
+}
+
+/// Table III's ordering on the SDC-A criteria at a small error level,
+/// where AET collapses in the paper.
+#[test]
+fn ctp_detection_dominates_aet_at_small_sigma() {
+    let f = fixture();
+    let crit = SdcCriterion::SdcA { threshold: 0.03 };
+    let rate = |set: &TestPatternSet| {
+        let mut golden = f.net.clone();
+        Detector::new(&mut golden, set.clone()).detection_rate(
+            &f.net,
+            &FaultModel::ProgrammingVariation { sigma: 0.15 },
+            16,
+            2020,
+            crit,
+        )
+    };
+    let aet = rate(&f.aet);
+    let ctp = rate(&f.ctp);
+    assert!(
+        ctp >= aet,
+        "C-TP ({ctp}) must detect at least as often as AET ({aet}) at small sigma"
+    );
+}
+
+/// Table IV's shape: the proposed methods are more stable (smaller CV of
+/// confidence distance) than AET.
+#[test]
+fn proposed_methods_are_more_stable_than_aet() {
+    let f = fixture();
+    let cv = |set: &TestPatternSet| {
+        let mut golden = f.net.clone();
+        let detector = Detector::new(&mut golden, set.clone());
+        let ds = detector.campaign_distances(
+            &f.net,
+            &FaultModel::ProgrammingVariation { sigma: 0.25 },
+            20,
+            2020,
+        );
+        stability(&ds).all_classes.cv
+    };
+    let aet = cv(&f.aet);
+    let ctp = cv(&f.ctp);
+    assert!(
+        ctp < aet * 1.2,
+        "C-TP CV ({ctp}) should not be substantially worse than AET's ({aet})"
+    );
+}
+
+/// SDC-5 saturates for every method (paper: "top-5 is easily changed when
+/// weight variance occurs").
+#[test]
+fn sdc5_saturates_at_moderate_sigma() {
+    let f = fixture();
+    for set in [&f.aet, &f.ctp] {
+        let mut golden = f.net.clone();
+        let rate = Detector::new(&mut golden, (*set).clone()).detection_rate(
+            &f.net,
+            &FaultModel::ProgrammingVariation { sigma: 0.4 },
+            12,
+            2020,
+            SdcCriterion::Sdc5,
+        );
+        assert!(rate > 0.9, "{} SDC-5 rate only {rate}", set.method());
+    }
+}
+
+/// Fig 7's shape: O-TP with its native 10 patterns is at least as stable
+/// an estimator as AET with the same budget.
+#[test]
+fn otp_estimate_stable_with_few_patterns() {
+    let f = fixture();
+    let std_with = |set: &TestPatternSet, k: usize| {
+        let mut golden = f.net.clone();
+        let detector = Detector::new(&mut golden, set.clone()).truncated(k);
+        let ds = detector.campaign_distances(
+            &f.net,
+            &FaultModel::ProgrammingVariation { sigma: 0.25 },
+            16,
+            2020,
+        );
+        stability(&ds).all_classes.std / stability(&ds).all_classes.mean.max(1e-9)
+    };
+    let otp10 = std_with(&f.otp, 10);
+    let aet10 = std_with(&f.aet, 10);
+    assert!(
+        otp10 < aet10 * 1.5,
+        "O-TP@10 relative spread ({otp10}) should be comparable or better than AET@10 ({aet10})"
+    );
+}
