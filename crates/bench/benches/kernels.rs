@@ -1,73 +1,62 @@
-//! Criterion micro-benchmarks for the numeric kernels underlying every
-//! experiment: matmul, crossbar matvec vs ideal, forward/backward passes.
+//! Micro-benchmarks for the numeric kernels underlying every experiment:
+//! matmul, crossbar matvec vs ideal, forward/backward passes.
+//!
+//! Runs on the in-tree [`healthmon_bench::timing`] harness
+//! (`cargo bench --bench kernels`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use healthmon_bench::timing::TimingHarness;
 use healthmon_nn::models::lenet5;
 use healthmon_reram::{Crossbar, CrossbarConfig, TiledMatrix};
 use healthmon_tensor::{SeededRng, Tensor};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul() {
+    let mut group = TimingHarness::new("matmul");
     let mut rng = SeededRng::new(1);
     for &n in &[32usize, 128, 256] {
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
-        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)));
-        });
+        group.case(&format!("square/{n}"), || black_box(a.matmul(&b)));
     }
-    group.finish();
 }
 
-fn bench_crossbar_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossbar");
+fn bench_crossbar_matvec() {
+    let mut group = TimingHarness::new("crossbar");
     let mut rng = SeededRng::new(2);
     let w = Tensor::randn(&[128, 128], &mut rng);
     let x = Tensor::randn(&[128], &mut rng).map(|v| v.clamp(-1.0, 1.0));
 
     let analog = Crossbar::program(&w, &CrossbarConfig::default(), &mut rng);
-    group.bench_function("tile_matvec_8bit_converters", |b| {
-        b.iter(|| black_box(analog.matvec(&x)));
-    });
+    group.case("tile_matvec_8bit_converters", || black_box(analog.matvec(&x)));
 
     let ideal = Crossbar::program(&w, &CrossbarConfig::ideal(), &mut rng);
-    group.bench_function("tile_matvec_ideal", |b| {
-        b.iter(|| black_box(ideal.matvec(&x)));
-    });
+    group.case("tile_matvec_ideal", || black_box(ideal.matvec(&x)));
 
-    group.bench_function("digital_matvec_reference", |b| {
-        let wt = w.transpose();
-        b.iter(|| black_box(wt.matvec(&x)));
-    });
+    let wt = w.transpose();
+    group.case("digital_matvec_reference", || black_box(wt.matvec(&x)));
 
     let big = Tensor::randn(&[512, 256], &mut rng);
     let bx = Tensor::randn(&[512], &mut rng);
     let tiled = TiledMatrix::program(&big, &CrossbarConfig::default(), &mut rng);
-    group.bench_function("tiled_512x256_matvec", |b| {
-        b.iter(|| black_box(tiled.matvec(&bx)));
-    });
-    group.finish();
+    group.case("tiled_512x256_matvec", || black_box(tiled.matvec(&bx)));
 }
 
-fn bench_model_passes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lenet5");
-    group.sample_size(20);
+fn bench_model_passes() {
+    let mut group = TimingHarness::new("lenet5").samples(5);
     let mut rng = SeededRng::new(3);
     let mut net = lenet5(&mut rng);
     let batch = Tensor::rand_uniform(&[16, 1, 28, 28], 0.0, 1.0, &mut rng);
-    group.bench_function("forward_batch16", |b| {
-        b.iter(|| black_box(net.forward(&batch)));
+    group.case("forward_batch16", || black_box(net.forward(&batch)));
+    let mut net2 = lenet5(&mut SeededRng::new(3));
+    group.case("forward_backward_batch16", || {
+        let out = net2.forward(&batch);
+        net2.zero_grads();
+        black_box(net2.backward(&Tensor::ones(out.shape())))
     });
-    group.bench_function("forward_backward_batch16", |b| {
-        b.iter(|| {
-            let out = net.forward(&batch);
-            net.zero_grads();
-            black_box(net.backward(&Tensor::ones(out.shape())))
-        });
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_crossbar_matvec, bench_model_passes);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_crossbar_matvec();
+    bench_model_passes();
+}

@@ -1,9 +1,12 @@
-//! Criterion benchmarks of the test-generation and detection pipeline:
-//! the costs a deployment actually pays (pattern generation is one-time
-//! at the cloud; detection runs concurrently on-device).
+//! Benchmarks of the test-generation and detection pipeline: the costs a
+//! deployment actually pays (pattern generation is one-time at the cloud;
+//! detection runs concurrently on-device).
+//!
+//! Runs on the in-tree [`healthmon_bench::timing`] harness
+//! (`cargo bench --bench testgen`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon_bench::timing::TimingHarness;
 use healthmon_data::{Dataset, DatasetSpec, SynthDigits};
 use healthmon_faults::{FaultCampaign, FaultModel};
 use healthmon_nn::models::tiny_mlp;
@@ -25,44 +28,38 @@ fn fixture() -> (Network, Dataset) {
     (net, test)
 }
 
-fn bench_generators(c: &mut Criterion) {
+fn bench_generators() {
     let (net, pool) = fixture();
-    let mut group = c.benchmark_group("generation");
-    group.sample_size(10);
+    let mut group = TimingHarness::new("generation").samples(5);
 
-    group.bench_function("ctp_select_50_of_300", |b| {
-        let mut net = net.clone();
-        b.iter(|| black_box(CtpGenerator::new(50).select(&mut net, &pool)));
+    let mut ctp_net = net.clone();
+    group.case("ctp_select_50_of_300", || {
+        black_box(CtpGenerator::new(50).select(&mut ctp_net, &pool))
     });
 
-    group.bench_function("aet_fgsm_50", |b| {
-        let mut net = net.clone();
-        b.iter(|| {
-            let mut rng = SeededRng::new(2);
-            black_box(AetGenerator::new(50, 0.15).generate(&mut net, &pool, &mut rng))
-        });
+    let mut aet_net = net.clone();
+    group.case("aet_fgsm_50", || {
+        let mut rng = SeededRng::new(2);
+        black_box(AetGenerator::new(50, 0.15).generate(&mut aet_net, &pool, &mut rng))
     });
 
     let reference =
         FaultCampaign::new(&net, 7).model(&FaultModel::ProgrammingVariation { sigma: 0.3 }, 0);
     for iters in [50usize, 200] {
-        group.bench_with_input(BenchmarkId::new("otp_10_patterns", iters), &iters, |b, &iters| {
-            b.iter(|| {
-                let mut rng = SeededRng::new(3);
-                black_box(
-                    OtpGenerator::new()
-                        .max_iters(iters)
-                        .generate(&net, &reference, &mut rng),
-                )
-            });
+        group.case(&format!("otp_10_patterns/{iters}"), || {
+            let mut rng = SeededRng::new(3);
+            black_box(
+                OtpGenerator::new()
+                    .max_iters(iters)
+                    .generate(&net, &reference, &mut rng),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_detection(c: &mut Criterion) {
+fn bench_detection() {
     let (net, _) = fixture();
-    let mut group = c.benchmark_group("detection");
+    let mut group = TimingHarness::new("detection");
     let mut rng = SeededRng::new(4);
     let mut golden = net.clone();
 
@@ -75,38 +72,31 @@ fn bench_detection(c: &mut Criterion) {
         let mut faulty = net.clone();
         FaultModel::ProgrammingVariation { sigma: 0.3 }
             .apply(&mut faulty, &mut SeededRng::new(5));
-        group.bench_with_input(
-            BenchmarkId::new("concurrent_test_single_device", patterns),
-            &patterns,
-            |b, _| {
-                b.iter(|| {
-                    black_box(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 }))
-                });
-            },
-        );
+        group.case(&format!("concurrent_test_single_device/{patterns}"), || {
+            black_box(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 }))
+        });
     }
-    group.finish();
 }
 
-fn bench_fault_injection(c: &mut Criterion) {
+fn bench_fault_injection() {
     let (net, _) = fixture();
-    let mut group = c.benchmark_group("fault_injection");
+    let mut group = TimingHarness::new("fault_injection");
     for (name, fault) in [
         ("programming_variation", FaultModel::ProgrammingVariation { sigma: 0.2 }),
         ("soft_error_1pct", FaultModel::RandomSoftError { probability: 0.01 }),
         ("stuck_at", FaultModel::StuckAt { sa0: 0.05, sa1: 0.05 }),
         ("drift", FaultModel::Drift { nu: 0.1, time: 1.0 }),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut copy = net.clone();
-                fault.apply(&mut copy, &mut SeededRng::new(6));
-                black_box(copy)
-            });
+        group.case(name, || {
+            let mut copy = net.clone();
+            fault.apply(&mut copy, &mut SeededRng::new(6));
+            black_box(copy)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_generators, bench_detection, bench_fault_injection);
-criterion_main!(benches);
+fn main() {
+    bench_generators();
+    bench_detection();
+    bench_fault_injection();
+}

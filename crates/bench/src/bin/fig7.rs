@@ -33,7 +33,7 @@ fn main() {
         let _ = writeln!(out, "== {} (sigma = {sigma}) ==", benchmark.label());
 
         // Large AET / C-TP sets for the long sweep.
-        let mut rng = SeededRng::new(PATTERN_SEED ^ 0xF16_7);
+        let mut rng = SeededRng::new(PATTERN_SEED ^ 0xF167);
         let pool = benchmark.ctp_pool();
         let aet200 = AetGenerator::new(200, 0.15).generate(&mut trained.model, &pool, &mut rng);
         let ctp200 = CtpGenerator::new(200).select(&mut trained.model, &pool);

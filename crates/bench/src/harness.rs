@@ -260,13 +260,13 @@ fn pattern_cache_path(benchmark: Benchmark, name: &str) -> PathBuf {
 fn load_patterns(benchmark: Benchmark, name: &str, method: &str) -> Option<TestPatternSet> {
     let path = pattern_cache_path(benchmark, name);
     let json = std::fs::read_to_string(path).ok()?;
-    let images: Tensor = serde_json::from_str(&json).ok()?;
+    let images: Tensor = healthmon_serdes::from_str(&json).ok()?;
     Some(TestPatternSet::new(method, images))
 }
 
 fn store_patterns(benchmark: Benchmark, name: &str, set: &TestPatternSet) {
     let path = pattern_cache_path(benchmark, name);
-    let json = serde_json::to_string(set.images()).expect("tensors serialize");
+    let json = healthmon_serdes::to_string(set.images());
     std::fs::write(path, json).expect("artifact cache must be writable");
 }
 

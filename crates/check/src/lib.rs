@@ -1,0 +1,196 @@
+//! **healthmon-check** — a tiny deterministic property-test harness.
+//!
+//! A drop-in, offline replacement for the slice of `proptest` this
+//! workspace used: run a property over `N` generated cases, failing with
+//! the case index so a failure reproduces exactly. There is no shrinking —
+//! cases are seeded deterministically from their index, so re-running a
+//! single failing case is `run_case(index, property)`.
+//!
+//! # Example
+//!
+//! ```
+//! use healthmon_check::{run_cases, Gen};
+//!
+//! // Property: absolute value is non-negative.
+//! run_cases(64, |g: &mut Gen| {
+//!     let x = g.f32_in(-100.0, 100.0);
+//!     assert!(x.abs() >= 0.0);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A deterministic case generator (SplitMix64 stream).
+///
+/// Every case of [`run_cases`] gets its own `Gen` seeded from the case
+/// index, so the inputs of case `i` never depend on how many draws earlier
+/// cases made.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+    /// The index of the case this generator belongs to.
+    case: usize,
+}
+
+impl Gen {
+    /// Creates a generator for the given case index.
+    pub fn for_case(case: usize) -> Self {
+        // Fixed harness salt keeps case streams stable across releases.
+        Gen { state: (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D, case }
+    }
+
+    /// The case index this generator was seeded from.
+    pub fn case(&self) -> usize {
+        self.case
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `u64` seed suitable for seeding downstream RNGs.
+    pub fn seed(&mut self) -> u64 {
+        self.u64()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "usize_in bounds inverted: [{lo}, {hi})");
+        let span = (hi - lo) as u128;
+        lo + ((self.u64() as u128 * span) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "f32_in bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.unit_f64() as f32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "f64_in bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// A vector of `len` uniform `f32` values in `[lo, hi)`.
+    pub fn vec_f32(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..len).map(|_| self.f32_in(lo, hi)).collect()
+    }
+}
+
+/// Runs `property` over `cases` deterministic cases.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the failing case index,
+/// so `cargo test` output pinpoints the reproduction (`run_case(i, ..)`).
+pub fn run_cases(cases: usize, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut gen = Gen::for_case(case);
+            property(&mut gen);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!("property failed at case {case} of {cases}; rerun with run_case({case}, ..)");
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Runs a single case — the reproduction entry point for a failure
+/// reported by [`run_cases`].
+pub fn run_case(case: usize, mut property: impl FnMut(&mut Gen)) {
+    let mut gen = Gen::for_case(case);
+    property(&mut gen);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Gen::for_case(7);
+        let mut b = Gen::for_case(7);
+        for _ in 0..32 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn distinct_cases_diverge() {
+        let mut a = Gen::for_case(1);
+        let mut b = Gen::for_case(2);
+        let same = (0..32).filter(|_| a.u64() == b.u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        run_cases(128, |g| {
+            let n = g.usize_in(3, 10);
+            assert!((3..10).contains(&n));
+            let x = g.f32_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let v = g.vec_f32(n, 0.0, 1.0);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        });
+    }
+
+    #[test]
+    fn unit_f64_covers_the_interval() {
+        let mut g = Gen::for_case(0);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = g.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn failing_case_is_reported() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(16, |g| {
+                assert!(g.case() < 5, "deliberate failure at case {}", g.case());
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_case_reproduces_case_stream() {
+        let mut seen = 0u64;
+        run_case(9, |g| seen = g.u64());
+        assert_eq!(seen, Gen::for_case(9).u64());
+    }
+}

@@ -42,11 +42,6 @@ impl ParsedArgs {
             .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
-    /// An optional string option.
-    pub fn optional(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
-    }
-
     /// An optional parsed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
@@ -88,7 +83,7 @@ mod tests {
     fn defaults_apply() {
         let a = ParsedArgs::parse(&argv("train")).unwrap();
         assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
-        assert!(a.optional("out").is_none());
+        assert_eq!(a.get_or("out", String::from("-")).unwrap(), "-");
     }
 
     #[test]

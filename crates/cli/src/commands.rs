@@ -84,7 +84,7 @@ fn load_model(arch: &str, path: &str, seed: u64) -> Result<Network, String> {
 fn load_patterns(path: &str) -> Result<TestPatternSet, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
     let images: Tensor =
-        serde_json::from_str(&json).map_err(|e| format!("parsing `{path}`: {e}"))?;
+        healthmon_serdes::from_str(&json).map_err(|e| format!("parsing `{path}`: {e}"))?;
     Ok(TestPatternSet::new("file", images))
 }
 
@@ -182,7 +182,7 @@ fn cmd_generate(args: &ParsedArgs) -> Result<ExitCode, String> {
         }
         other => return Err(format!("unknown method `{other}` (ctp|otp|aet)")),
     };
-    let json = serde_json::to_string(set.images()).expect("tensors serialize");
+    let json = healthmon_serdes::to_string(set.images());
     std::fs::write(out, json).map_err(|e| format!("writing `{out}`: {e}"))?;
     println!("generated {} {} patterns, saved to {out}", set.len(), set.method());
     Ok(ExitCode::SUCCESS)

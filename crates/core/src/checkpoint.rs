@@ -1,0 +1,257 @@
+//! Resumable fault campaigns: a [`CampaignCheckpoint`] records which fault
+//! models of a detection sweep have been evaluated and what each one's
+//! per-criterion verdicts were, so an interrupted 100-model campaign can
+//! resume exactly where it stopped.
+//!
+//! Because fault model `i` depends only on `(golden weights, seed, fault,
+//! i)` — never on evaluation order or thread count — a resumed sweep is
+//! bit-identical to an uninterrupted one. Checkpoints serialize through
+//! `healthmon-serdes`, keeping the artifact format dependency-free.
+
+use crate::error::HealthmonError;
+use crate::metrics::SdcCriterion;
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
+
+/// The saved state of a partially-evaluated detection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    seed: u64,
+    count: usize,
+    /// Criterion labels, recorded so a resume with *different* criteria is
+    /// rejected instead of silently mixing verdict columns.
+    criteria: Vec<String>,
+    /// Completed `(model index, per-criterion verdicts)` rows, sorted by
+    /// index.
+    rows: Vec<(usize, Vec<bool>)>,
+}
+
+impl CampaignCheckpoint {
+    /// Starts an empty checkpoint for a sweep of `count` fault models
+    /// under `seed`, evaluated against `criteria`.
+    pub fn new(seed: u64, count: usize, criteria: &[SdcCriterion]) -> Self {
+        CampaignCheckpoint {
+            seed,
+            count,
+            criteria: criteria.iter().map(SdcCriterion::label).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The total number of fault models in the sweep.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// How many fault models have been evaluated so far.
+    pub fn completed(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether every fault model has been evaluated.
+    pub fn is_complete(&self) -> bool {
+        self.rows.len() == self.count
+    }
+
+    /// The indices still to be evaluated, ascending.
+    pub fn remaining(&self) -> Vec<usize> {
+        let done: Vec<usize> = self.rows.iter().map(|(i, _)| *i).collect();
+        (0..self.count).filter(|i| !done.contains(i)).collect()
+    }
+
+    /// Verifies that `criteria` are the ones this checkpoint was started
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointMismatch`] on any difference.
+    pub fn verify_criteria(&self, criteria: &[SdcCriterion]) -> Result<(), HealthmonError> {
+        let labels: Vec<String> = criteria.iter().map(SdcCriterion::label).collect();
+        if labels != self.criteria {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "checkpoint was recorded for criteria {:?}, resume requested {:?}",
+                self.criteria, labels
+            )));
+        }
+        Ok(())
+    }
+
+    /// Records the verdicts for fault model `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointMismatch`] if `index` is out of range
+    /// or already recorded, or the verdict row has the wrong width.
+    pub fn record(&mut self, index: usize, verdicts: Vec<bool>) -> Result<(), HealthmonError> {
+        if index >= self.count {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "model index {index} out of range for a {}-model sweep",
+                self.count
+            )));
+        }
+        if verdicts.len() != self.criteria.len() {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "verdict row has {} entries, expected {} criteria",
+                verdicts.len(),
+                self.criteria.len()
+            )));
+        }
+        match self.rows.binary_search_by_key(&index, |(i, _)| *i) {
+            Ok(_) => Err(HealthmonError::CheckpointMismatch(format!(
+                "model index {index} already recorded"
+            ))),
+            Err(pos) => {
+                self.rows.insert(pos, (index, verdicts));
+                Ok(())
+            }
+        }
+    }
+
+    /// Per-criterion detection rates over the *completed* rows, as a
+    /// fraction of the full sweep size. Equal to the final rates once
+    /// [`is_complete`](Self::is_complete) holds.
+    pub fn rates(&self) -> Vec<f32> {
+        if self.count == 0 {
+            return vec![0.0; self.criteria.len()];
+        }
+        (0..self.criteria.len())
+            .map(|ci| {
+                self.rows.iter().filter(|(_, v)| v[ci]).count() as f32 / self.count as f32
+            })
+            .collect()
+    }
+
+    /// Serializes the checkpoint to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        healthmon_serdes::to_string(self)
+    }
+
+    /// Deserializes a checkpoint from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::Json`] if the text is not a valid checkpoint.
+    pub fn from_json_str(text: &str) -> Result<Self, HealthmonError> {
+        Ok(healthmon_serdes::from_str(text)?)
+    }
+}
+
+impl ToJson for CampaignCheckpoint {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            // Seeds are full 64-bit values; rendered as a decimal string
+            // so they survive the f64 JSON number type exactly.
+            ("seed".to_owned(), Json::String(self.seed.to_string())),
+            ("count".to_owned(), self.count.to_json()),
+            ("criteria".to_owned(), self.criteria.to_json()),
+            ("rows".to_owned(), self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CampaignCheckpoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let seed_field = value.field("seed")?;
+        let seed = seed_field
+            .as_str()?
+            .parse::<u64>()
+            .map_err(|_| JsonError::invalid("checkpoint seed is not a decimal u64"))?;
+        let count = usize::from_json(value.field("count")?)?;
+        let criteria = Vec::<String>::from_json(value.field("criteria")?)?;
+        let rows = Vec::<(usize, Vec<bool>)>::from_json(value.field("rows")?)?;
+        let mut last: Option<usize> = None;
+        for (i, v) in &rows {
+            if *i >= count {
+                return Err(JsonError::invalid(format!(
+                    "checkpoint row index {i} out of range for count {count}"
+                )));
+            }
+            if v.len() != criteria.len() {
+                return Err(JsonError::invalid(format!(
+                    "checkpoint row {i} has {} verdicts, expected {}",
+                    v.len(),
+                    criteria.len()
+                )));
+            }
+            if last.is_some_and(|p| p >= *i) {
+                return Err(JsonError::invalid(
+                    "checkpoint rows must be sorted by index without duplicates",
+                ));
+            }
+            last = Some(*i);
+        }
+        Ok(CampaignCheckpoint { seed, count, criteria, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn criteria() -> Vec<SdcCriterion> {
+        vec![SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }]
+    }
+
+    #[test]
+    fn fresh_checkpoint_has_everything_remaining() {
+        let cp = CampaignCheckpoint::new(7, 5, &criteria());
+        assert_eq!(cp.remaining(), vec![0, 1, 2, 3, 4]);
+        assert!(!cp.is_complete());
+        assert_eq!(cp.rates(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn recording_shrinks_the_remainder() {
+        let mut cp = CampaignCheckpoint::new(7, 3, &criteria());
+        cp.record(1, vec![true, false]).unwrap();
+        assert_eq!(cp.remaining(), vec![0, 2]);
+        cp.record(0, vec![true, true]).unwrap();
+        cp.record(2, vec![false, false]).unwrap();
+        assert!(cp.is_complete());
+        assert_eq!(cp.rates(), vec![2.0 / 3.0, 1.0 / 3.0]);
+    }
+
+    #[test]
+    fn record_rejects_bad_rows() {
+        let mut cp = CampaignCheckpoint::new(7, 3, &criteria());
+        assert!(cp.record(3, vec![true, true]).is_err());
+        assert!(cp.record(0, vec![true]).is_err());
+        cp.record(0, vec![true, true]).unwrap();
+        assert!(cp.record(0, vec![true, true]).is_err());
+    }
+
+    #[test]
+    fn verify_criteria_catches_a_swap() {
+        let cp = CampaignCheckpoint::new(7, 3, &criteria());
+        assert!(cp.verify_criteria(&criteria()).is_ok());
+        let other = vec![SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.05 }];
+        assert!(cp.verify_criteria(&other).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut cp = CampaignCheckpoint::new(u64::MAX - 3, 4, &criteria());
+        cp.record(2, vec![true, false]).unwrap();
+        cp.record(0, vec![false, false]).unwrap();
+        let restored = CampaignCheckpoint::from_json_str(&cp.to_json_string()).unwrap();
+        assert_eq!(restored, cp);
+        // u64 seeds beyond 2^53 survive (stored as a decimal string).
+        assert_eq!(restored.seed(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn from_json_rejects_corruption() {
+        let cp = CampaignCheckpoint::new(1, 2, &criteria());
+        let good = cp.to_json_string();
+        // Out-of-range row index.
+        let bad = good.replace("\"rows\":[]", "\"rows\":[[9,[true,true]]]");
+        assert!(CampaignCheckpoint::from_json_str(&bad).is_err());
+        // Non-numeric seed.
+        let bad = good.replace("\"seed\":\"1\"", "\"seed\":\"xyz\"");
+        assert!(CampaignCheckpoint::from_json_str(&bad).is_err());
+    }
+}

@@ -19,12 +19,23 @@ pub struct ResponseSet {
 impl ResponseSet {
     /// Builds a response set from raw logits.
     ///
+    /// A poisoned accelerator emits non-finite logits; the softmax kernel
+    /// (rightly) refuses NaN input, so instead of panicking the monitor,
+    /// every probability is marked NaN — which
+    /// [`ConfidenceDistance::between`] maps to
+    /// [`ConfidenceDistance::POISONED`].
+    ///
     /// # Panics
     ///
     /// Panics if `logits` is not 2-D.
     pub fn from_logits(logits: Tensor) -> Self {
         assert_eq!(logits.ndim(), 2, "responses must be [patterns, classes]");
-        let probs = logits.softmax_rows();
+        let probs = if logits.all_finite() {
+            logits.softmax_rows()
+        } else {
+            Tensor::from_vec(vec![f32::NAN; logits.len()], logits.shape())
+                .expect("poisoned probs keep the logit shape")
+        };
         ResponseSet { logits, probs }
     }
 
@@ -96,8 +107,25 @@ pub struct ConfidenceDistance {
 }
 
 impl ConfidenceDistance {
+    /// The distance reported for a poisoned comparison: both aggregates
+    /// at `+inf`, which is `>=` every finite monitoring threshold.
+    pub const POISONED: ConfidenceDistance =
+        ConfidenceDistance { top_ranked: f32::INFINITY, all_classes: f32::INFINITY };
+
+    /// Whether either aggregate is non-finite — i.e. one of the compared
+    /// response sets contained NaN or infinite probabilities.
+    pub fn is_poisoned(&self) -> bool {
+        !self.top_ranked.is_finite() || !self.all_classes.is_finite()
+    }
+
     /// Computes both distances between an ideal (golden) response set and
     /// a target (possibly faulty) one.
+    ///
+    /// If either set contains a non-finite probability (a NaN or infinite
+    /// logit poisons the whole softmax row) the result is
+    /// [`ConfidenceDistance::POISONED`] rather than a NaN-laced mean:
+    /// `NaN >= threshold` is false for every threshold, so propagating the
+    /// NaN would make a dead accelerator read *healthy* downstream.
     ///
     /// # Panics
     ///
@@ -105,6 +133,9 @@ impl ConfidenceDistance {
     pub fn between(ideal: &ResponseSet, target: &ResponseSet) -> Self {
         assert_eq!(ideal.len(), target.len(), "response sets must cover the same patterns");
         assert_eq!(ideal.classes(), target.classes(), "response sets must share classes");
+        if !ideal.probs.all_finite() || !target.probs.all_finite() {
+            return ConfidenceDistance::POISONED;
+        }
         let n = ideal.len();
         let classes = ideal.classes();
         let pi = ideal.probs.as_slice();
@@ -206,6 +237,33 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.top1(0), a.top1(0));
         assert_eq!(t.top1(1), a.top1(1));
+    }
+
+    #[test]
+    fn non_finite_target_poisons_the_distance() {
+        let ideal = set(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let target = set(&[&[1.0, 0.0], &[f32::NAN, 1.0]]);
+        let d = ConfidenceDistance::between(&ideal, &target);
+        assert!(d.is_poisoned());
+        assert_eq!(d.top_ranked, f32::INFINITY);
+        assert_eq!(d.all_classes, f32::INFINITY);
+        // Symmetric: a poisoned golden set is equally invalid.
+        let d = ConfidenceDistance::between(&target, &ideal);
+        assert!(d.is_poisoned());
+    }
+
+    #[test]
+    fn infinite_logits_poison_too() {
+        let ideal = set(&[&[1.0, 0.0]]);
+        // exp(inf - inf) = NaN in the softmax row.
+        let target = set(&[&[f32::INFINITY, f32::INFINITY]]);
+        assert!(ConfidenceDistance::between(&ideal, &target).is_poisoned());
+    }
+
+    #[test]
+    fn finite_distances_are_not_poisoned() {
+        let a = set(&[&[1.0, 2.0, 3.0]]);
+        assert!(!ConfidenceDistance::between(&a, &a).is_poisoned());
     }
 
     #[test]

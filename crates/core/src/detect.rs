@@ -1,10 +1,12 @@
 //! The concurrent-test detector: golden responses, fault decisions, and
 //! campaign-level detection rates.
 
+use crate::checkpoint::CampaignCheckpoint;
 use crate::confidence::{ConfidenceDistance, ResponseSet};
+use crate::error::HealthmonError;
 use crate::metrics::SdcCriterion;
 use crate::patterns::TestPatternSet;
-use healthmon_faults::{par_map_models, FaultModel};
+use healthmon_faults::{par_map_indices, par_map_models, FaultModel};
 use healthmon_nn::Network;
 
 /// A concurrent-test detector: a pattern set plus the golden model's
@@ -50,6 +52,21 @@ impl Detector {
     /// Panics if `k` is zero or exceeds the pattern count.
     pub fn truncated(&self, k: usize) -> Detector {
         Detector { patterns: self.patterns.truncated(k), golden: self.golden.truncated(k) }
+    }
+
+    /// Non-panicking [`Detector::truncated`]: a detector over the first
+    /// `k` patterns, or a descriptive error when `k` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::InvalidTruncation`] if `k` is zero or exceeds
+    /// the pattern count.
+    pub fn subset(&self, k: usize) -> Result<Detector, HealthmonError> {
+        let available = self.patterns.len();
+        if k == 0 || k > available {
+            return Err(HealthmonError::InvalidTruncation { requested: k, available });
+        }
+        Ok(self.truncated(k))
     }
 
     /// Evaluates a target model's responses on the pattern set.
@@ -109,6 +126,48 @@ impl Detector {
                 verdicts.iter().filter(|v| v[ci]).count() as f32 / count as f32
             })
             .collect()
+    }
+
+    /// Advances a checkpointed detection sweep by up to `budget` fault
+    /// models (all remaining ones when `budget` is `None`), recording
+    /// each evaluated model's verdicts into `checkpoint`.
+    ///
+    /// Returns `Some(rates)` once the sweep is complete, `None` while
+    /// models remain. Because fault model `i` is a pure function of
+    /// `(golden weights, checkpoint seed, fault, i)`, a sweep interrupted
+    /// at any point and resumed — even from a checkpoint that was
+    /// serialized and reloaded — produces rates bit-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointMismatch`] if `criteria` differ from
+    /// the ones the checkpoint was started with.
+    pub fn detection_rates_resumable(
+        &self,
+        golden_net: &Network,
+        fault: &FaultModel,
+        criteria: &[SdcCriterion],
+        checkpoint: &mut CampaignCheckpoint,
+        budget: Option<usize>,
+    ) -> Result<Option<Vec<f32>>, HealthmonError> {
+        checkpoint.verify_criteria(criteria)?;
+        let mut todo = checkpoint.remaining();
+        if let Some(limit) = budget {
+            todo.truncate(limit);
+        }
+        let verdicts: Vec<Vec<bool>> =
+            par_map_indices(golden_net, fault, checkpoint.seed(), &todo, |_, net| {
+                let responses = self.responses(net);
+                criteria
+                    .iter()
+                    .map(|c| c.detects(&self.golden, &responses))
+                    .collect()
+            });
+        for (i, row) in todo.into_iter().zip(verdicts) {
+            checkpoint.record(i, row)?;
+        }
+        Ok(if checkpoint.is_complete() { Some(checkpoint.rates()) } else { None })
     }
 
     /// Confidence distance of every fault model in a campaign, in index
@@ -225,6 +284,68 @@ mod tests {
         let d_full = detector.confidence_distance(&mut faulty);
         let d_trunc = t.confidence_distance(&mut faulty);
         assert!(d_full.all_classes > 0.0 && d_trunc.all_classes > 0.0);
+    }
+
+    #[test]
+    fn subset_rejects_degenerate_sizes() {
+        let (_, detector) = setup();
+        let n = detector.patterns().len();
+        let err = detector.subset(0).unwrap_err();
+        assert!(matches!(
+            err,
+            HealthmonError::InvalidTruncation { requested: 0, available } if available == n
+        ));
+        assert!(err.to_string().contains("subset of 0"));
+        assert!(detector.subset(n + 1).is_err());
+    }
+
+    #[test]
+    fn subset_matches_truncated_in_range() {
+        let (net, detector) = setup();
+        let s = detector.subset(5).unwrap();
+        let t = detector.truncated(5);
+        assert_eq!(s.patterns().len(), t.patterns().len());
+        let mut device = net.clone();
+        let a = s.confidence_distance(&mut device);
+        let b = t.confidence_distance(&mut device);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resumable_sweep_matches_one_shot() {
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let criteria = [SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }];
+        let one_shot = detector.detection_rates(&net, &fault, 12, 3, &criteria);
+
+        let mut cp = CampaignCheckpoint::new(3, 12, &criteria);
+        // Advance in uneven bites, round-tripping through JSON between
+        // them, as an interrupted process would.
+        let mut rates = None;
+        for budget in [5usize, 1, 100] {
+            cp = CampaignCheckpoint::from_json_str(&cp.to_json_string()).unwrap();
+            rates = detector
+                .detection_rates_resumable(&net, &fault, &criteria, &mut cp, Some(budget))
+                .unwrap();
+        }
+        assert_eq!(rates.unwrap(), one_shot);
+    }
+
+    #[test]
+    fn resumable_sweep_rejects_swapped_criteria() {
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let mut cp = CampaignCheckpoint::new(3, 4, &[SdcCriterion::Sdc1]);
+        let err = detector
+            .detection_rates_resumable(
+                &net,
+                &fault,
+                &[SdcCriterion::SdcA { threshold: 0.03 }],
+                &mut cp,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, HealthmonError::CheckpointMismatch(_)));
     }
 
     #[test]

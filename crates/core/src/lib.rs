@@ -64,10 +64,12 @@
 #![warn(missing_debug_implementations)]
 
 mod aet;
+mod checkpoint;
 mod confidence;
 mod ctp;
 mod detect;
 pub mod efficiency;
+mod error;
 mod metrics;
 mod monitor;
 mod otp;
@@ -76,9 +78,11 @@ pub mod report;
 pub mod stability;
 
 pub use aet::AetGenerator;
+pub use checkpoint::CampaignCheckpoint;
 pub use confidence::{ConfidenceDistance, ResponseSet};
 pub use ctp::CtpGenerator;
 pub use detect::Detector;
+pub use error::HealthmonError;
 pub use metrics::SdcCriterion;
 pub use monitor::{Checkup, HealthMonitor, HealthState, MonitorPolicy};
 pub use otp::{OtpGenerator, OtpOutcome};

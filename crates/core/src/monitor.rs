@@ -10,6 +10,7 @@
 
 use crate::confidence::ConfidenceDistance;
 use crate::detect::Detector;
+use crate::error::HealthmonError;
 use healthmon_nn::Network;
 
 /// Triage verdict for a monitored accelerator.
@@ -71,20 +72,47 @@ impl MonitorPolicy {
     ///
     /// # Panics
     ///
-    /// Panics if thresholds are non-positive or inverted, or
-    /// `escalation_count` is zero.
+    /// Panics if thresholds are non-positive, non-finite or inverted, or
+    /// `escalation_count` is zero. Use [`MonitorPolicy::try_validate`]
+    /// for a non-panicking check.
     pub fn validate(&self) {
-        assert!(
-            0.0 < self.watch_threshold && self.watch_threshold < self.critical_threshold,
-            "thresholds must satisfy 0 < watch ({}) < critical ({})",
-            self.watch_threshold,
-            self.critical_threshold
-        );
-        assert!(self.escalation_count > 0, "escalation count must be non-zero");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates the policy, returning the violation instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::InvalidPolicy`] if thresholds are non-positive,
+    /// non-finite or inverted, or `escalation_count` is zero.
+    pub fn try_validate(&self) -> Result<(), HealthmonError> {
+        // `0.0 < NaN` is false, so non-finite thresholds fail here too.
+        if !(0.0 < self.watch_threshold
+            && self.watch_threshold < self.critical_threshold
+            && self.critical_threshold.is_finite())
+        {
+            return Err(HealthmonError::InvalidPolicy(format!(
+                "thresholds must satisfy 0 < watch ({}) < critical ({}) < inf",
+                self.watch_threshold, self.critical_threshold
+            )));
+        }
+        if self.escalation_count == 0 {
+            return Err(HealthmonError::InvalidPolicy(
+                "escalation count must be non-zero".to_owned(),
+            ));
+        }
+        Ok(())
     }
 
     fn raw_state(&self, distance: f32) -> HealthState {
-        if distance >= self.critical_threshold {
+        // NaN fails every `>=` here, so without the explicit non-finite
+        // clause a poisoned accelerator (non-finite confidence distance)
+        // would fall through to `Healthy` — the worst possible misread of
+        // a dead device.
+        if !distance.is_finite() || distance >= self.critical_threshold {
             HealthState::Critical
         } else if distance >= self.watch_threshold {
             HealthState::Watch
@@ -166,9 +194,16 @@ impl HealthMonitor {
     pub fn check(&mut self, accelerator: &mut Network) -> Checkup {
         let distance = self.detector.confidence_distance(accelerator);
         let observed = self.policy.raw_state(distance.all_classes);
-        // Escalations need `escalation_count` consecutive confirmations;
-        // de-escalations apply immediately.
-        if observed <= self.current {
+        // A poisoned (non-finite) distance is not one-off noise to be
+        // smoothed away — the device emitted NaN/Inf. Containment demands
+        // it bypass hysteresis and read `Critical` on the spot.
+        if distance.is_poisoned() {
+            self.current = HealthState::Critical;
+            self.pending_state = HealthState::Critical;
+            self.pending_count = 0;
+        } else if observed <= self.current {
+            // Escalations need `escalation_count` consecutive
+            // confirmations; de-escalations apply immediately.
             self.current = observed;
             self.pending_count = 0;
         } else if observed == self.pending_state {
@@ -282,6 +317,33 @@ mod tests {
     fn recommended_actions() {
         assert_eq!(HealthState::Healthy.recommended_action(), "none");
         assert!(HealthState::Critical.recommended_action().contains("retraining"));
+    }
+
+    #[test]
+    fn non_finite_distance_is_always_critical() {
+        let policy = MonitorPolicy::default();
+        assert_eq!(policy.raw_state(f32::NAN), HealthState::Critical);
+        assert_eq!(policy.raw_state(f32::INFINITY), HealthState::Critical);
+        assert_eq!(policy.raw_state(f32::NEG_INFINITY), HealthState::Critical);
+        // Finite behaviour unchanged.
+        assert_eq!(policy.raw_state(0.0), HealthState::Healthy);
+        assert_eq!(policy.raw_state(1.0), HealthState::Critical);
+    }
+
+    #[test]
+    fn try_validate_reports_violations() {
+        assert!(MonitorPolicy::default().try_validate().is_ok());
+        let inverted =
+            MonitorPolicy { watch_threshold: 0.5, critical_threshold: 0.1, escalation_count: 1 };
+        let err = inverted.try_validate().unwrap_err();
+        assert!(err.to_string().contains("thresholds must satisfy"));
+        let nan = MonitorPolicy { watch_threshold: f32::NAN, ..MonitorPolicy::default() };
+        assert!(nan.try_validate().is_err());
+        let unbounded =
+            MonitorPolicy { critical_threshold: f32::INFINITY, ..MonitorPolicy::default() };
+        assert!(unbounded.try_validate().is_err());
+        let never = MonitorPolicy { escalation_count: 0, ..MonitorPolicy::default() };
+        assert!(never.try_validate().unwrap_err().to_string().contains("non-zero"));
     }
 
     #[test]

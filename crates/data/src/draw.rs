@@ -182,7 +182,7 @@ mod tests {
     fn rect_inside_only() {
         let (buf, _) = canvas_sum(|c| c.fill_rect(4.0, 4.0, 8.0, 8.0, 0.9));
         assert!(buf[6 * 16 + 6] > 0.8);
-        assert_eq!(buf[1 * 16 + 1], 0.0);
+        assert_eq!(buf[16 + 1], 0.0);
     }
 
     #[test]

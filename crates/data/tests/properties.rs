@@ -1,79 +1,96 @@
 //! Property-based tests for the synthetic dataset generators.
+//!
+//! Run on the deterministic `healthmon-check` harness; a failure at case
+//! `N` reproduces with `healthmon_check::run_case(N, ..)`.
 
+use healthmon_check::run_cases;
 use healthmon_data::{DatasetSpec, SynthDigits, SynthObjects, INPUT_MAX, INPUT_MIN};
 use healthmon_tensor::SeededRng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const CASES: usize = 12;
 
-    #[test]
-    fn digits_pixels_always_in_range(seed in 0u64..10_000, noise in 0.0f32..0.4) {
-        let spec = DatasetSpec { train: 12, test: 4, seed, noise };
+#[test]
+fn digits_pixels_always_in_range() {
+    run_cases(CASES, |g| {
+        let spec = DatasetSpec { train: 12, test: 4, seed: g.seed(), noise: g.f32_in(0.0, 0.4) };
         let split = SynthDigits::new(spec).generate();
-        prop_assert!(split.train.images.min() >= INPUT_MIN);
-        prop_assert!(split.train.images.max() <= INPUT_MAX);
-    }
+        assert!(split.train.images.min() >= INPUT_MIN);
+        assert!(split.train.images.max() <= INPUT_MAX);
+    });
+}
 
-    #[test]
-    fn objects_pixels_always_in_range(seed in 0u64..10_000, noise in 0.0f32..0.4) {
-        let spec = DatasetSpec { train: 12, test: 4, seed, noise };
+#[test]
+fn objects_pixels_always_in_range() {
+    run_cases(CASES, |g| {
+        let spec = DatasetSpec { train: 12, test: 4, seed: g.seed(), noise: g.f32_in(0.0, 0.4) };
         let split = SynthObjects::new(spec).generate();
-        prop_assert!(split.train.images.min() >= INPUT_MIN);
-        prop_assert!(split.train.images.max() <= INPUT_MAX);
-    }
+        assert!(split.train.images.min() >= INPUT_MIN);
+        assert!(split.train.images.max() <= INPUT_MAX);
+    });
+}
 
-    #[test]
-    fn digits_never_blank(seed in 0u64..10_000, digit in 0usize..10) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn digits_never_blank() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let digit = g.usize_in(0, 10);
         let img = SynthDigits::render(digit, 0.0, &mut rng);
         // Every rendered digit carries visible ink.
-        prop_assert!(img.sum() > 3.0, "digit {digit} nearly blank: {}", img.sum());
-    }
+        assert!(img.sum() > 3.0, "digit {digit} nearly blank: {}", img.sum());
+    });
+}
 
-    #[test]
-    fn generation_deterministic(seed in 0u64..10_000) {
-        let spec = DatasetSpec { train: 10, test: 5, seed, noise: 0.1 };
-        prop_assert_eq!(
-            SynthDigits::new(spec).generate(),
-            SynthDigits::new(spec).generate()
-        );
-    }
+#[test]
+fn generation_deterministic() {
+    run_cases(CASES, |g| {
+        let spec = DatasetSpec { train: 10, test: 5, seed: g.seed(), noise: 0.1 };
+        assert_eq!(SynthDigits::new(spec).generate(), SynthDigits::new(spec).generate());
+    });
+}
 
-    #[test]
-    fn labels_balanced_when_divisible(seed in 0u64..10_000, groups in 1usize..5) {
+#[test]
+fn labels_balanced_when_divisible() {
+    run_cases(CASES, |g| {
+        let groups = g.usize_in(1, 5);
         let n = groups * 10;
-        let spec = DatasetSpec { train: n, test: 10, seed, noise: 0.1 };
+        let spec = DatasetSpec { train: n, test: 10, seed: g.seed(), noise: 0.1 };
         let split = SynthDigits::new(spec).generate();
         let dist = split.train.class_distribution();
         for d in dist {
-            prop_assert!((d - 0.1).abs() < 1e-6);
+            assert!((d - 0.1).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subset_preserves_image_label_pairing(seed in 0u64..10_000, k in 1usize..10) {
+#[test]
+fn subset_preserves_image_label_pairing() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let k = g.usize_in(1, 10);
         let spec = DatasetSpec { train: 20, test: 10, seed, noise: 0.1 };
         let split = SynthDigits::new(spec).generate();
         let mut rng = SeededRng::new(seed ^ 1);
         let sub = split.train.random_subset(k, &mut rng);
-        prop_assert_eq!(sub.len(), k);
+        assert_eq!(sub.len(), k);
         // Every subset sample exists (with matching label) in the parent.
         for i in 0..k {
             let img = sub.sample(i);
             let found = (0..split.train.len()).any(|j| {
                 split.train.sample(j) == img && split.train.labels[j] == sub.labels[i]
             });
-            prop_assert!(found, "subset sample {i} not found in parent");
+            assert!(found, "subset sample {i} not found in parent");
         }
-    }
+    });
+}
 
-    #[test]
-    fn class_indices_consistent(seed in 0u64..10_000, class in 0usize..10) {
-        let spec = DatasetSpec { train: 30, test: 10, seed, noise: 0.1 };
+#[test]
+fn class_indices_consistent() {
+    run_cases(CASES, |g| {
+        let class = g.usize_in(0, 10);
+        let spec = DatasetSpec { train: 30, test: 10, seed: g.seed(), noise: 0.1 };
         let split = SynthDigits::new(spec).generate();
         for idx in split.train.indices_of_class(class) {
-            prop_assert_eq!(split.train.labels[idx], class);
+            assert_eq!(split.train.labels[idx], class);
         }
-    }
+    });
 }

@@ -9,6 +9,9 @@
 use crate::FaultModel;
 use healthmon_nn::Network;
 use healthmon_tensor::SeededRng;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A generator of faulty copies of a golden network.
 ///
@@ -57,6 +60,101 @@ impl<'a> FaultCampaign<'a> {
     }
 }
 
+/// The evaluation closure of a [`try_par_map_models`] campaign panicked.
+///
+/// The campaign is wound down in an orderly fashion (every other model's
+/// evaluation still completes) and the *lowest* panicking index is
+/// reported, so the failure is deterministic regardless of thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignPanic {
+    /// The lowest fault-model index whose evaluation panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case); a
+    /// placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for CampaignPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation of fault model {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl Error for CampaignPanic {}
+
+/// The number of worker threads to use for `len` independent items.
+fn auto_threads(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len.max(1))
+}
+
+/// Evaluates `f` on the fault models named by `indices`, using exactly
+/// `threads` worker threads (clamped to `[1, indices.len()]`), returning
+/// results in the order of `indices`.
+///
+/// This is the engine under every `par_map_*` entry point; exposed so
+/// resumable campaign drivers can evaluate an arbitrary remainder set.
+/// Determinism matches [`FaultCampaign::model`]: the result for index `i`
+/// depends only on `(golden, fault, seed, i)`, never on `threads`.
+pub fn par_map_indices_with_threads<T, F>(
+    golden: &Network,
+    fault: &FaultModel,
+    seed: u64,
+    indices: &[usize],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Network) -> T + Sync,
+{
+    let threads = threads.clamp(1, indices.len().max(1));
+    let campaign = FaultCampaign::new(golden, seed);
+    let mut results: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
+    if threads <= 1 {
+        for (&i, slot) in indices.iter().zip(results.iter_mut()) {
+            let mut net = campaign.model(fault, i);
+            *slot = Some(f(i, &mut net));
+        }
+    } else {
+        let chunk = indices.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (idx_chunk, slots) in indices.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let campaign = &campaign;
+                let f = &f;
+                let fault = &*fault;
+                s.spawn(move || {
+                    for (&i, slot) in idx_chunk.iter().zip(slots.iter_mut()) {
+                        let mut net = campaign.model(fault, i);
+                        *slot = Some(f(i, &mut net));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was evaluated"))
+        .collect()
+}
+
+/// [`par_map_indices_with_threads`] with an automatic thread count.
+pub fn par_map_indices<T, F>(
+    golden: &Network,
+    fault: &FaultModel,
+    seed: u64,
+    indices: &[usize],
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Network) -> T + Sync,
+{
+    par_map_indices_with_threads(golden, fault, seed, indices, auto_threads(indices.len()), f)
+}
+
 /// Evaluates `f` on `count` fault models in parallel, returning results in
 /// index order.
 ///
@@ -77,38 +175,64 @@ where
     T: Send,
     F: Fn(usize, &mut Network) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(count.max(1));
-    let campaign = FaultCampaign::new(golden, seed);
-    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    if threads <= 1 {
-        for (i, slot) in results.iter_mut().enumerate() {
-            let mut net = campaign.model(fault, i);
-            *slot = Some(f(i, &mut net));
-        }
-    } else {
-        let chunk = count.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (t, slots) in results.chunks_mut(chunk).enumerate() {
-                let campaign = &campaign;
-                let f = &f;
-                let fault = &*fault;
-                s.spawn(move || {
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        let i = t * chunk + j;
-                        let mut net = campaign.model(fault, i);
-                        *slot = Some(f(i, &mut net));
-                    }
-                });
+    par_map_models_with_threads(golden, fault, seed, count, auto_threads(count), f)
+}
+
+/// [`par_map_models`] with an explicit worker-thread count (clamped to
+/// `[1, count]`) — for determinism tests and for callers that must bound
+/// their parallelism.
+pub fn par_map_models_with_threads<T, F>(
+    golden: &Network,
+    fault: &FaultModel,
+    seed: u64,
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Network) -> T + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map_indices_with_threads(golden, fault, seed, &indices, threads, f)
+}
+
+/// Fault-containing variant of [`par_map_models`]: a panic in `f` is
+/// caught per model and surfaced as an orderly [`CampaignPanic`] instead
+/// of tearing down the caller.
+///
+/// All `count` evaluations run to completion (panicking or not) so the
+/// reported index is the lowest panicking one, independent of thread
+/// count and scheduling.
+pub fn try_par_map_models<T, F>(
+    golden: &Network,
+    fault: &FaultModel,
+    seed: u64,
+    count: usize,
+    f: F,
+) -> Result<Vec<T>, CampaignPanic>
+where
+    T: Send,
+    F: Fn(usize, &mut Network) -> T + Sync,
+{
+    let outcomes = par_map_models(golden, fault, seed, count, |i, net| {
+        catch_unwind(AssertUnwindSafe(|| f(i, net)))
+    });
+    let mut results = Vec::with_capacity(count);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(v) => results.push(v),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                return Err(CampaignPanic { index: i, message });
             }
-        });
+        }
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("every index was evaluated"))
-        .collect()
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -193,5 +317,64 @@ mod tests {
         let fault = FaultModel::ProgrammingVariation { sigma: 0.1 };
         let out: Vec<usize> = par_map_models(&g, &fault, 0, 0, |i, _| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.25 };
+        let x = Tensor::ones(&[4]);
+        let runs: Vec<Vec<u32>> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                par_map_models_with_threads(&g, &fault, 13, 11, threads, |_, net| {
+                    net.forward_single(&x).sum().to_bits()
+                })
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "2 threads diverged from sequential");
+        assert_eq!(runs[0], runs[2], "8 threads diverged from sequential");
+    }
+
+    #[test]
+    fn par_map_indices_matches_full_sweep() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
+        let x = Tensor::ones(&[4]);
+        let full = par_map_models(&g, &fault, 21, 10, |_, net| {
+            net.forward_single(&x).sum().to_bits()
+        });
+        let subset = [7usize, 2, 9];
+        let partial = par_map_indices(&g, &fault, 21, &subset, |_, net| {
+            net.forward_single(&x).sum().to_bits()
+        });
+        for (&i, &v) in subset.iter().zip(&partial) {
+            assert_eq!(full[i], v, "index {i} differs between full and partial sweeps");
+        }
+    }
+
+    #[test]
+    fn try_par_map_contains_a_panicking_closure() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.1 };
+        let err = try_par_map_models(&g, &fault, 0, 9, |i, _| {
+            if i >= 4 {
+                panic!("model {i} exploded");
+            }
+            i
+        })
+        .unwrap_err();
+        // Lowest panicking index, deterministically, with the payload.
+        assert_eq!(err.index, 4);
+        assert_eq!(err.message, "model 4 exploded");
+        assert!(err.to_string().contains("fault model 4"));
+    }
+
+    #[test]
+    fn try_par_map_passes_through_clean_campaigns() {
+        let g = golden();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.1 };
+        let out = try_par_map_models(&g, &fault, 3, 6, |i, _| i).unwrap();
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
     }
 }

@@ -42,5 +42,8 @@
 mod campaign;
 mod model;
 
-pub use campaign::{par_map_models, FaultCampaign};
+pub use campaign::{
+    par_map_indices, par_map_indices_with_threads, par_map_models, par_map_models_with_threads,
+    try_par_map_models, CampaignPanic, FaultCampaign,
+};
 pub use model::FaultModel;

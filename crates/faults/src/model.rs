@@ -1,6 +1,7 @@
 //! The fault model taxonomy and its weight-space semantics.
 
 use healthmon_nn::Network;
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// A device-error model applied to a network's ReRAM-mapped weights.
@@ -11,7 +12,7 @@ use healthmon_tensor::{SeededRng, Tensor};
 ///
 /// Each variant is deterministic given the injection RNG, serializable,
 /// and composable through [`FaultModel::Compound`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultModel {
     /// Programming variation: `w' = w · e^θ` with `θ ~ N(0, σ²)` — the
     /// lognormal multiplicative error of imprecise conductance writes
@@ -152,6 +153,72 @@ impl FaultModel {
                 assert!(*nu >= 0.0 && *time >= 0.0, "drift parameters must be non-negative");
             }
             FaultModel::Compound(_) => {}
+        }
+    }
+}
+
+// Externally-tagged encoding, matching what the previous serde derive
+// produced: `{"ProgrammingVariation":{"sigma":0.2}}`,
+// `{"Compound":[...]}` — so recorded campaign configs keep loading.
+impl ToJson for FaultModel {
+    fn to_json(&self) -> Json {
+        let (tag, body) = match self {
+            FaultModel::ProgrammingVariation { sigma } => (
+                "ProgrammingVariation",
+                Json::Object(vec![("sigma".to_owned(), sigma.to_json())]),
+            ),
+            FaultModel::RandomSoftError { probability } => (
+                "RandomSoftError",
+                Json::Object(vec![("probability".to_owned(), probability.to_json())]),
+            ),
+            FaultModel::StuckAt { sa0, sa1 } => (
+                "StuckAt",
+                Json::Object(vec![
+                    ("sa0".to_owned(), sa0.to_json()),
+                    ("sa1".to_owned(), sa1.to_json()),
+                ]),
+            ),
+            FaultModel::Drift { nu, time } => (
+                "Drift",
+                Json::Object(vec![
+                    ("nu".to_owned(), nu.to_json()),
+                    ("time".to_owned(), time.to_json()),
+                ]),
+            ),
+            FaultModel::Compound(members) => ("Compound", members.to_json()),
+        };
+        Json::Object(vec![(tag.to_owned(), body)])
+    }
+}
+
+impl FromJson for FaultModel {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let Json::Object(fields) = value else {
+            return Err(JsonError::type_error("fault model object", value));
+        };
+        let [(tag, body)] = fields.as_slice() else {
+            return Err(JsonError::invalid(format!(
+                "fault model must have exactly one variant tag, got {} fields",
+                fields.len()
+            )));
+        };
+        match tag.as_str() {
+            "ProgrammingVariation" => Ok(FaultModel::ProgrammingVariation {
+                sigma: f32::from_json(body.field("sigma")?)?,
+            }),
+            "RandomSoftError" => Ok(FaultModel::RandomSoftError {
+                probability: f64::from_json(body.field("probability")?)?,
+            }),
+            "StuckAt" => Ok(FaultModel::StuckAt {
+                sa0: f64::from_json(body.field("sa0")?)?,
+                sa1: f64::from_json(body.field("sa1")?)?,
+            }),
+            "Drift" => Ok(FaultModel::Drift {
+                nu: f32::from_json(body.field("nu")?)?,
+                time: f32::from_json(body.field("time")?)?,
+            }),
+            "Compound" => Ok(FaultModel::Compound(Vec::from_json(body)?)),
+            other => Err(JsonError::invalid(format!("unknown fault model variant `{other}`"))),
         }
     }
 }
@@ -328,9 +395,25 @@ mod tests {
             FaultModel::ProgrammingVariation { sigma: 0.2 },
             FaultModel::RandomSoftError { probability: 0.01 },
         ]);
-        let json = serde_json::to_string(&model).unwrap();
-        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        let json = healthmon_serdes::to_string(&model);
+        let back: FaultModel = healthmon_serdes::from_str(&json).unwrap();
         assert_eq!(model, back);
+    }
+
+    #[test]
+    fn legacy_serde_tagging_loads() {
+        // Exactly the externally-tagged layout the old serde derive wrote.
+        let json = "{\"Compound\":[{\"ProgrammingVariation\":{\"sigma\":0.2}},\
+                     {\"StuckAt\":{\"sa0\":0.1,\"sa1\":0.05}}]}";
+        let model: FaultModel = healthmon_serdes::from_str(json).unwrap();
+        assert_eq!(
+            model,
+            FaultModel::Compound(vec![
+                FaultModel::ProgrammingVariation { sigma: 0.2 },
+                FaultModel::StuckAt { sa0: 0.1, sa1: 0.05 },
+            ])
+        );
+        assert!(healthmon_serdes::from_str::<FaultModel>("{\"NoSuchFault\":{}}").is_err());
     }
 
     #[test]

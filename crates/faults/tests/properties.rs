@@ -1,10 +1,15 @@
 //! Property-based tests for the fault-injection engine.
+//!
+//! Run on the deterministic `healthmon-check` harness; a failure at case
+//! `N` reproduces with `healthmon_check::run_case(N, ..)`.
 
+use healthmon_check::{run_cases, Gen};
 use healthmon_faults::{FaultCampaign, FaultModel};
 use healthmon_nn::models::tiny_mlp;
 use healthmon_nn::Network;
 use healthmon_tensor::SeededRng;
-use proptest::prelude::*;
+
+const CASES: usize = 24;
 
 fn golden(seed: u64) -> Network {
     let mut rng = SeededRng::new(seed);
@@ -21,32 +26,40 @@ fn weights(net: &Network) -> Vec<f32> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn programming_variation_preserves_signs(seed in 0u64..10_000, sigma in 0.0f32..1.0) {
+#[test]
+fn programming_variation_preserves_signs() {
+    run_cases(CASES, |g: &mut Gen| {
+        let seed = g.seed();
+        let sigma = g.f32_in(0.0, 1.0);
         let mut net = golden(1);
         let before = weights(&net);
         FaultModel::ProgrammingVariation { sigma }.apply(&mut net, &mut SeededRng::new(seed));
         let after = weights(&net);
         for (b, a) in before.iter().zip(&after) {
-            prop_assert_eq!(b.signum(), a.signum());
+            assert_eq!(b.signum(), a.signum());
         }
-    }
+    });
+}
 
-    #[test]
-    fn injection_deterministic(seed in 0u64..10_000, sigma in 0.01f32..0.8) {
+#[test]
+fn injection_deterministic() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let sigma = g.f32_in(0.01, 0.8);
         let fault = FaultModel::ProgrammingVariation { sigma };
         let mut a = golden(2);
         let mut b = golden(2);
         fault.apply(&mut a, &mut SeededRng::new(seed));
         fault.apply(&mut b, &mut SeededRng::new(seed));
-        prop_assert_eq!(weights(&a), weights(&b));
-    }
+        assert_eq!(weights(&a), weights(&b));
+    });
+}
 
-    #[test]
-    fn soft_error_corruption_fraction_tracks_p(seed in 0u64..10_000, p in 0.05f64..0.9) {
+#[test]
+fn soft_error_corruption_fraction_tracks_p() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let p = g.f64_in(0.05, 0.9);
         let mut net = golden(3);
         let before = weights(&net);
         FaultModel::RandomSoftError { probability: p }.apply(&mut net, &mut SeededRng::new(seed));
@@ -55,32 +68,44 @@ proptest! {
         let frac = changed as f64 / before.len() as f64;
         // Binomial bounds (n = 100 weights): generous 4-sigma window.
         let tol = 4.0 * (p * (1.0 - p) / before.len() as f64).sqrt() + 0.02;
-        prop_assert!((frac - p).abs() < tol, "p={p}, observed {frac}");
-    }
+        assert!((frac - p).abs() < tol, "p={p}, observed {frac}");
+    });
+}
 
-    #[test]
-    fn stuck_at_fraction_bounded(seed in 0u64..10_000, sa in 0.0f64..0.5) {
+#[test]
+fn stuck_at_fraction_bounded() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let sa = g.f64_in(0.0, 0.5);
         let mut net = golden(4);
         FaultModel::StuckAt { sa0: sa, sa1: 0.0 }.apply(&mut net, &mut SeededRng::new(seed));
         let after = weights(&net);
         let zeros = after.iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f64 / after.len() as f64;
-        prop_assert!(frac <= sa + 0.25, "sa0={sa}, zero fraction {frac}");
-    }
+        assert!(frac <= sa + 0.25, "sa0={sa}, zero fraction {frac}");
+    });
+}
 
-    #[test]
-    fn drift_never_increases_magnitudes(seed in 0u64..10_000, nu in 0.0f32..1.0, t in 0.0f32..4.0) {
+#[test]
+fn drift_never_increases_magnitudes() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let nu = g.f32_in(0.0, 1.0);
+        let t = g.f32_in(0.0, 4.0);
         let mut net = golden(5);
         let before = weights(&net);
         FaultModel::Drift { nu, time: t }.apply(&mut net, &mut SeededRng::new(seed));
         let after = weights(&net);
         for (b, a) in before.iter().zip(&after) {
-            prop_assert!(a.abs() <= b.abs() + 1e-6);
+            assert!(a.abs() <= b.abs() + 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn perturbation_grows_with_sigma(seed in 0u64..10_000) {
+#[test]
+fn perturbation_grows_with_sigma() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let net = golden(6);
         let campaign = FaultCampaign::new(&net, seed);
         let distance = |sigma: f32| {
@@ -93,21 +118,27 @@ proptest! {
         };
         let small = distance(0.05);
         let large = distance(0.8);
-        prop_assert!(large > small, "sigma=0.8 moved less ({large}) than 0.05 ({small})");
-    }
+        assert!(large > small, "sigma=0.8 moved less ({large}) than 0.05 ({small})");
+    });
+}
 
-    #[test]
-    fn campaign_indices_distinct(seed in 0u64..10_000) {
+#[test]
+fn campaign_indices_distinct() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let net = golden(7);
         let campaign = FaultCampaign::new(&net, seed);
         let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
         let a = campaign.model(&fault, 0);
         let b = campaign.model(&fault, 1);
-        prop_assert_ne!(weights(&a), weights(&b));
-    }
+        assert_ne!(weights(&a), weights(&b));
+    });
+}
 
-    #[test]
-    fn compound_order_matters_but_is_deterministic(seed in 0u64..10_000) {
+#[test]
+fn compound_order_matters_but_is_deterministic() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let fault = FaultModel::Compound(vec![
             FaultModel::ProgrammingVariation { sigma: 0.2 },
             FaultModel::Drift { nu: 0.2, time: 1.0 },
@@ -116,6 +147,6 @@ proptest! {
         let mut b = golden(8);
         fault.apply(&mut a, &mut SeededRng::new(seed));
         fault.apply(&mut b, &mut SeededRng::new(seed));
-        prop_assert_eq!(weights(&a), weights(&b));
-    }
+        assert_eq!(weights(&a), weights(&b));
+    });
 }

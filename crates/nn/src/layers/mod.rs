@@ -143,9 +143,8 @@ pub(crate) mod gradcheck {
 
         let eps = 1e-2f32;
         let mut max_err = 0.0f32;
-        let n_params = analytic.len();
-        for p in 0..n_params {
-            for i in 0..analytic[p].len() {
+        for (p, analytic_p) in analytic.iter().enumerate() {
+            for i in 0..analytic_p.len() {
                 let orig = layer.params()[p].as_slice()[i];
                 layer.params_mut()[p].as_mut_slice()[i] = orig + eps;
                 let fp = layer.forward(input).sum();
@@ -153,7 +152,7 @@ pub(crate) mod gradcheck {
                 let fm = layer.forward(input).sum();
                 layer.params_mut()[p].as_mut_slice()[i] = orig;
                 let numeric = (fp - fm) / (2.0 * eps);
-                let a = analytic[p].as_slice()[i];
+                let a = analytic_p.as_slice()[i];
                 let denom = 1.0f32.max(a.abs()).max(numeric.abs());
                 max_err = max_err.max((a - numeric).abs() / denom);
             }

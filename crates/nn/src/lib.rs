@@ -41,5 +41,5 @@ pub mod trainer;
 
 pub use layers::Layer;
 pub use loss::SoftmaxCrossEntropy;
-pub use network::{Network, ParamStats};
+pub use network::{LoadStateError, Network, NonFiniteActivation, ParamStats};
 pub use trainer::{TrainConfig, TrainReport, Trainer};

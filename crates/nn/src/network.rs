@@ -2,6 +2,7 @@
 //! backward, parameter access and (de)serialization.
 
 use crate::layers::Layer;
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
@@ -42,7 +43,7 @@ pub enum LoadStateError {
     /// Reading the file failed.
     Io(std::io::Error),
     /// The file was not valid JSON of the expected schema.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// A parameter key in the dict does not exist in the network (or a
     /// network parameter is missing from the dict).
     KeyMismatch(String),
@@ -86,11 +87,35 @@ impl From<std::io::Error> for LoadStateError {
     }
 }
 
-impl From<serde_json::Error> for LoadStateError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for LoadStateError {
+    fn from(e: JsonError) -> Self {
         LoadStateError::Json(e)
     }
 }
+
+/// A layer emitted a non-finite activation during a checked forward pass.
+///
+/// Produced by [`Network::forward_checked`]; identifies the first layer
+/// whose output contained a `NaN` or `±∞` so a failing device can be
+/// localized instead of silently poisoning every downstream statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteActivation {
+    /// Index of the first offending layer (`usize::MAX` when the *input*
+    /// itself was non-finite).
+    pub layer: usize,
+}
+
+impl fmt::Display for NonFiniteActivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.layer == usize::MAX {
+            write!(f, "network input contains non-finite values")
+        } else {
+            write!(f, "layer {} produced non-finite activations", self.layer)
+        }
+    }
+}
+
+impl Error for NonFiniteActivation {}
 
 impl Network {
     /// Creates an empty network expecting per-sample inputs of
@@ -142,6 +167,43 @@ impl Network {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Forward pass that checks every layer output for non-finite values.
+    ///
+    /// A fault-injected (or genuinely failing) device can drive weights to
+    /// `NaN`/`±∞`; once that happens the plain [`Network::forward`] output
+    /// poisons every comparison made with it (`NaN >= t` is always false).
+    /// This variant stops at the first offending layer so callers can
+    /// contain the failure and escalate deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteActivation`] naming the first layer whose output
+    /// was non-finite (`layer == usize::MAX` means the input itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match `[N, ...input_shape]`.
+    pub fn forward_checked(&mut self, input: &Tensor) -> Result<Tensor, NonFiniteActivation> {
+        assert!(
+            input.ndim() == self.input_shape.len() + 1
+                && input.shape()[1..] == self.input_shape[..],
+            "network expects [N, {:?}] input, got {:?}",
+            self.input_shape,
+            input.shape()
+        );
+        if !input.all_finite() {
+            return Err(NonFiniteActivation { layer: usize::MAX });
+        }
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            x = layer.forward(&x);
+            if !x.all_finite() {
+                return Err(NonFiniteActivation { layer: i });
+            }
+        }
+        Ok(x)
     }
 
     /// Forward pass for a single sample of shape `input_shape`; returns a
@@ -318,9 +380,15 @@ impl Network {
     ///
     /// Returns an error if the file cannot be written.
     pub fn save_weights(&self, path: impl AsRef<Path>) -> Result<(), LoadStateError> {
+        // Same layout the old serde derive produced: a JSON array of
+        // [key, tensor] pairs, so weight files from earlier builds load.
         let dict = self.state_dict();
-        let json = serde_json::to_string(&dict)?;
-        std::fs::write(path, json)?;
+        let json = Json::Array(
+            dict.iter()
+                .map(|(k, t)| Json::Array(vec![Json::String(k.clone()), t.to_json()]))
+                .collect(),
+        );
+        std::fs::write(path, json.render())?;
         Ok(())
     }
 
@@ -332,7 +400,8 @@ impl Network {
     /// match the network structure.
     pub fn load_weights(&mut self, path: impl AsRef<Path>) -> Result<(), LoadStateError> {
         let json = std::fs::read_to_string(path)?;
-        let dict: Vec<(String, Tensor)> = serde_json::from_str(&json)?;
+        let value = healthmon_serdes::parse(&json)?;
+        let dict: Vec<(String, Tensor)> = Vec::from_json(&value)?;
         self.load_state_dict(&dict)
     }
 }
@@ -466,6 +535,42 @@ mod tests {
         let g = net.backward(&Tensor::ones(out.shape()));
         assert_eq!(g.shape(), x.shape());
         assert!(g.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn forward_checked_passes_healthy_network() {
+        let mut rng = SeededRng::new(12);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let checked = net.forward_checked(&x).unwrap();
+        let plain = net.forward(&x);
+        assert_eq!(checked, plain);
+    }
+
+    #[test]
+    fn forward_checked_names_poisoned_layer() {
+        let mut rng = SeededRng::new(13);
+        let mut net = tiny_net(&mut rng);
+        // Poison one weight of the final Dense layer (stack index 2).
+        net.for_each_param_mut(|k, t| {
+            if k == "layer2.weight" {
+                t.map_inplace(|_| f32::NAN);
+            }
+        });
+        let x = Tensor::randn(&[1, 4], &mut rng);
+        let err = net.forward_checked(&x).unwrap_err();
+        assert_eq!(err.layer, 2);
+        assert!(err.to_string().contains("layer 2"));
+    }
+
+    #[test]
+    fn forward_checked_rejects_non_finite_input() {
+        let mut rng = SeededRng::new(14);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::full(&[1, 4], f32::INFINITY);
+        let err = net.forward_checked(&x).unwrap_err();
+        assert_eq!(err.layer, usize::MAX);
+        assert!(err.to_string().contains("input"));
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Property-based tests for the NN framework: gradient correctness on
 //! randomly-configured layers and training invariants.
+//!
+//! Run on the deterministic `healthmon-check` harness; a failure at case
+//! `N` reproduces with `healthmon_check::run_case(N, ..)`.
 
+use healthmon_check::run_cases;
 use healthmon_nn::layers::{Conv2d, Dense, Layer, MaxPool2d, Relu, Tanh};
 use healthmon_nn::loss::SoftmaxCrossEntropy;
 use healthmon_nn::models::tiny_mlp;
 use healthmon_nn::optim::{Adam, Optimizer, Sgd};
 use healthmon_nn::Network;
 use healthmon_tensor::{SeededRng, Tensor};
-use proptest::prelude::*;
+
+const CASES: usize = 16;
 
 /// Finite-difference check of the input gradient for a layer given a
 /// sum-of-outputs loss. Returns the max relative error.
@@ -30,48 +35,49 @@ fn input_grad_error(layer: &mut dyn Layer, input: &Tensor) -> f32 {
     max_err
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dense_input_gradients_correct(
-        seed in 0u64..10_000,
-        inputs in 1usize..8,
-        outputs in 1usize..8,
-        batch in 1usize..4,
-    ) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn dense_input_gradients_correct() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let inputs = g.usize_in(1, 8);
+        let outputs = g.usize_in(1, 8);
+        let batch = g.usize_in(1, 4);
         let mut layer = Dense::new(inputs, outputs, &mut rng);
         let x = Tensor::randn(&[batch, inputs], &mut rng);
-        prop_assert!(input_grad_error(&mut layer, &x) < 2e-2);
-    }
+        assert!(input_grad_error(&mut layer, &x) < 2e-2);
+    });
+}
 
-    #[test]
-    fn conv_input_gradients_correct(
-        seed in 0u64..10_000,
-        channels in 1usize..3,
-        filters in 1usize..3,
-        pad in 0usize..2,
-    ) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn conv_input_gradients_correct() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let channels = g.usize_in(1, 3);
+        let filters = g.usize_in(1, 3);
+        let pad = g.usize_in(0, 2);
         let mut layer = Conv2d::new(channels, filters, 3, 1, pad, &mut rng);
         let x = Tensor::randn(&[1, channels, 5, 5], &mut rng);
-        prop_assert!(input_grad_error(&mut layer, &x) < 2e-2);
-    }
+        assert!(input_grad_error(&mut layer, &x) < 2e-2);
+    });
+}
 
-    #[test]
-    fn smooth_activation_gradients_correct(seed in 0u64..10_000, batch in 1usize..4) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn smooth_activation_gradients_correct() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let batch = g.usize_in(1, 4);
         // Tanh is smooth everywhere, so finite differences are reliable
         // at any input (unlike ReLU's kink).
         let x = Tensor::randn(&[batch, 6], &mut rng);
         let mut layer = Tanh::new();
-        prop_assert!(input_grad_error(&mut layer, &x) < 2e-2);
-    }
+        assert!(input_grad_error(&mut layer, &x) < 2e-2);
+    });
+}
 
-    #[test]
-    fn maxpool_routes_gradient_to_argmax(seed in 0u64..10_000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn maxpool_routes_gradient_to_argmax() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
         // Well-separated values keep the argmax stable.
         let mut x = Tensor::randn(&[1, 1, 4, 4], &mut rng);
         for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
@@ -79,28 +85,33 @@ proptest! {
         }
         let mut pool = MaxPool2d::new(2, 2);
         let y = pool.forward(&x);
-        let g = pool.backward(&Tensor::ones(y.shape()));
+        let grad = pool.backward(&Tensor::ones(y.shape()));
         // Exactly one gradient entry per pooling window.
-        let nonzero = g.as_slice().iter().filter(|&&v| v != 0.0).count();
-        prop_assert_eq!(nonzero, y.len());
-        prop_assert!((g.sum() - y.len() as f32).abs() < 1e-5);
-    }
+        let nonzero = grad.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, y.len());
+        assert!((grad.sum() - y.len() as f32).abs() < 1e-5);
+    });
+}
 
-    #[test]
-    fn relu_gradient_is_input_mask(seed in 0u64..10_000, n in 1usize..32) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn relu_gradient_is_input_mask() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let n = g.usize_in(1, 32);
         let x = Tensor::randn(&[1, n], &mut rng);
         let mut relu = Relu::new();
         relu.forward(&x);
-        let g = relu.backward(&Tensor::ones(&[1, n]));
-        for (xv, gv) in x.as_slice().iter().zip(g.as_slice()) {
-            prop_assert_eq!(*gv != 0.0, *xv > 0.0);
+        let grad = relu.backward(&Tensor::ones(&[1, n]));
+        for (xv, gv) in x.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*gv != 0.0, *xv > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sgd_step_moves_against_gradient(seed in 0u64..10_000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn sgd_step_moves_against_gradient() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
         let mut net = tiny_mlp(4, 8, 3, &mut rng);
         let x = Tensor::randn(&[4, 4], &mut rng);
         let labels = [0usize, 1, 2, 0];
@@ -113,11 +124,14 @@ proptest! {
             opt.step(&mut net);
         }
         let after = SoftmaxCrossEntropy::with_labels(&net.forward(&x), &labels).loss;
-        prop_assert!(after <= before + 1e-4, "loss rose: {before} -> {after}");
-    }
+        assert!(after <= before + 1e-4, "loss rose: {before} -> {after}");
+    });
+}
 
-    #[test]
-    fn adam_and_sgd_are_deterministic(seed in 0u64..10_000) {
+#[test]
+fn adam_and_sgd_are_deterministic() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let run = |use_adam: bool| -> Vec<(String, Tensor)> {
             let mut rng = SeededRng::new(seed);
             let mut net = tiny_mlp(4, 6, 3, &mut rng);
@@ -137,40 +151,48 @@ proptest! {
             }
             net.state_dict()
         };
-        prop_assert_eq!(run(false), run(false));
-        prop_assert_eq!(run(true), run(true));
-    }
+        assert_eq!(run(false), run(false));
+        assert_eq!(run(true), run(true));
+    });
+}
 
-    #[test]
-    fn state_dict_round_trip_preserves_outputs(seed in 0u64..10_000) {
+#[test]
+fn state_dict_round_trip_preserves_outputs() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let mut rng = SeededRng::new(seed);
         let src = tiny_mlp(5, 7, 4, &mut rng);
         let mut dst = tiny_mlp(5, 7, 4, &mut SeededRng::new(seed ^ 0xFFFF));
         dst.load_state_dict(&src.state_dict()).unwrap();
         let x = Tensor::randn(&[2, 5], &mut rng);
         let mut src = src;
-        prop_assert_eq!(src.forward(&x), dst.forward(&x));
-    }
+        assert_eq!(src.forward(&x), dst.forward(&x));
+    });
+}
 
-    #[test]
-    fn loss_gradient_rows_sum_to_zero(seed in 0u64..10_000, classes in 2usize..8) {
+#[test]
+fn loss_gradient_rows_sum_to_zero() {
+    run_cases(CASES, |g| {
         // softmax(z) - onehot sums to 0 across classes for each sample.
-        let mut rng = SeededRng::new(seed);
+        let mut rng = SeededRng::new(g.seed());
+        let classes = g.usize_in(2, 8);
         let logits = Tensor::randn(&[3, classes], &mut rng);
         let labels: Vec<usize> = (0..3).map(|i| i % classes).collect();
         let out = SoftmaxCrossEntropy::with_labels(&logits, &labels);
         for row in 0..3 {
-            prop_assert!(out.grad.row(row).sum().abs() < 1e-5);
+            assert!(out.grad.row(row).sum().abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn network_forward_is_pure(seed in 0u64..10_000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn network_forward_is_pure() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
         let mut net: Network = tiny_mlp(4, 8, 3, &mut rng);
         let x = Tensor::randn(&[2, 4], &mut rng);
         let a = net.forward(&x);
         let b = net.forward(&x);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

@@ -84,8 +84,8 @@ pub fn remap_rows(weights: &Tensor, defects: &DefectMap) -> RowRemap {
     for &logical in &logical_order {
         let mut best_physical = usize::MAX;
         let mut best_cost = f32::INFINITY;
-        for physical in 0..rows {
-            if taken[physical] {
+        for (physical, &is_taken) in taken.iter().enumerate() {
+            if is_taken {
                 continue;
             }
             let cost = placement_cost(weights, defects, logical, physical);

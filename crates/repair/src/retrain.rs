@@ -148,7 +148,7 @@ mod tests {
         let dict = net.state_dict();
         let (key, w0) = &dict[0];
         let mut rng = SeededRng::new(7);
-        let defects = DefectMap::sample_for_matrix(w0, 0.05, &mut rng);
+        let defects = DefectMap::sample_for_matrix(w0, 0.10, &mut rng);
         let defect_layers = vec![(key.clone(), defects)];
 
         let mut damaged = net.clone();

@@ -61,7 +61,7 @@ impl BitSlicedMatrix {
     ) -> Self {
         assert_eq!(weights.ndim(), 2, "bit slicing requires a 2-D matrix");
         assert!(
-            cell_bits >= 1 && total_bits >= cell_bits && total_bits % cell_bits == 0,
+            cell_bits >= 1 && total_bits >= cell_bits && total_bits.is_multiple_of(cell_bits),
             "total bits {total_bits} must be a positive multiple of cell bits {cell_bits}"
         );
         assert!(total_bits <= 16, "more than 16 weight bits is not supported");

@@ -1,0 +1,267 @@
+//! The [`ToJson`] / [`FromJson`] conversion traits and implementations for
+//! the primitives and containers the workspace persists.
+
+use crate::error::JsonError;
+use crate::value::Json;
+
+/// Conversion of a value into a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion of a [`Json`] tree back into a value.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the tree does not match the expected
+    /// schema.
+    fn from_json(value: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_bool()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_owned())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Number(*self)
+        } else {
+            Json::String(nonfinite_tag(*self < 0.0, self.is_nan()))
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Number(n) => Ok(*n),
+            Json::String(s) => parse_nonfinite(s).map(|v| v as f64),
+            other => Err(JsonError::type_error("number", other)),
+        }
+    }
+}
+
+/// `f32` values survive a round trip exactly: finite values render in
+/// shortest form (which re-parses to the identical `f32`), and non-finite
+/// values — which fault-injected weights can legitimately contain — are
+/// encoded as the strings `"NaN"`, `"inf"` and `"-inf"` since JSON has no
+/// non-finite numbers.
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        if self.is_finite() {
+            Json::Number(*self as f64)
+        } else {
+            Json::String(nonfinite_tag(*self < 0.0, self.is_nan()))
+        }
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Number(n) => Ok(*n as f32),
+            Json::String(s) => parse_nonfinite(s),
+            other => Err(JsonError::type_error("number", other)),
+        }
+    }
+}
+
+fn nonfinite_tag(negative: bool, nan: bool) -> String {
+    if nan {
+        "NaN".to_owned()
+    } else if negative {
+        "-inf".to_owned()
+    } else {
+        "inf".to_owned()
+    }
+}
+
+fn parse_nonfinite(s: &str) -> Result<f32, JsonError> {
+    match s {
+        "NaN" => Ok(f32::NAN),
+        "inf" => Ok(f32::INFINITY),
+        "-inf" => Ok(f32::NEG_INFINITY),
+        other => Err(JsonError::invalid(format!("expected a number, found string `{other}`"))),
+    }
+}
+
+macro_rules! impl_json_integer {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $ty {
+            fn from_json(value: &Json) -> Result<Self, JsonError> {
+                let n = value.as_number()?;
+                if n.fract() != 0.0 || n < <$ty>::MIN as f64 || n > <$ty>::MAX as f64 {
+                    return Err(JsonError::invalid(format!(
+                        "{n} is not a valid {}",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(n as $ty)
+            }
+        }
+    )*};
+}
+
+impl_json_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+/// Tuples encode as 2-element arrays (the layout `serde_json` used for the
+/// `Vec<(String, Tensor)>` state dicts, kept for artifact compatibility).
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let items = value.as_array()?;
+        if items.len() != 2 {
+            return Err(JsonError::invalid(format!(
+                "expected a 2-element array, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, to_string};
+
+    #[test]
+    fn primitive_round_trips() {
+        assert!(from_str::<bool>(&to_string(&true)).unwrap());
+        assert_eq!(from_str::<u64>(&to_string(&42u64)).unwrap(), 42);
+        assert_eq!(from_str::<i32>(&to_string(&-7i32)).unwrap(), -7);
+        assert_eq!(from_str::<String>(&to_string("hi")).unwrap(), "hi");
+        assert_eq!(from_str::<f64>(&to_string(&2.5f64)).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn f32_shortest_form_round_trips_exactly() {
+        // Values with awkward binary representations.
+        for v in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 3.402_823_5e38, -1.175_494e-38] {
+            let s = to_string(&v);
+            assert_eq!(from_str::<f32>(&s).unwrap().to_bits(), v.to_bits(), "via `{s}`");
+        }
+    }
+
+    #[test]
+    fn f32_non_finite_round_trips() {
+        assert!(from_str::<f32>(&to_string(&f32::NAN)).unwrap().is_nan());
+        assert_eq!(from_str::<f32>(&to_string(&f32::INFINITY)).unwrap(), f32::INFINITY);
+        assert_eq!(
+            from_str::<f32>(&to_string(&f32::NEG_INFINITY)).unwrap(),
+            f32::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn integer_conversions_reject_fractions_and_overflow() {
+        assert!(from_str::<u32>("2.5").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<usize>("-1").is_err());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let v: Vec<(String, Vec<f32>)> =
+            vec![("a".into(), vec![1.0, 2.0]), ("b".into(), vec![])];
+        assert_eq!(from_str::<Vec<(String, Vec<f32>)>>(&to_string(&v)).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(to_string(&o), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn tuple_requires_two_elements() {
+        assert!(from_str::<(u32, u32)>("[1,2,3]").is_err());
+        assert!(from_str::<(u32, u32)>("[1]").is_err());
+    }
+}

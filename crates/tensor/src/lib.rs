@@ -30,6 +30,7 @@ mod error;
 mod linalg;
 mod ops;
 mod random;
+mod serdes;
 mod shape;
 mod stats;
 mod tensor;

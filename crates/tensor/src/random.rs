@@ -3,15 +3,17 @@
 //! Every stochastic component — weight init, dataset synthesis, fault
 //! injection, O-TP seeding — draws from a [`SeededRng`], so any experiment
 //! is exactly reproducible from the seeds recorded in its report.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-tree xoshiro256++ seeded through SplitMix64:
+//! no registry dependency, identical streams on every platform, and fast
+//! enough that fault-campaign cloning dominates, not sampling.
 
 /// A seeded pseudo-random number generator with the samplers the ReRAM
 /// error models need.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds Box–Muller normal / lognormal
-/// sampling (the `rand` crate alone does not ship distributions).
+/// Core stream: xoshiro256++ (Blackman & Vigna), state expanded from a
+/// 64-bit seed with SplitMix64. On top of the raw stream it provides
+/// Box–Muller normal / lognormal sampling for the paper's error models.
 ///
 /// # Example
 ///
@@ -27,22 +29,56 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f32>,
+}
+
+/// One SplitMix64 step; used to expand seeds and mix fork streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        // SplitMix64 expansion guarantees a non-zero xoshiro state for
+        // every seed (the all-zero state is a fixed point of xoshiro).
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SeededRng { state, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Derives an independent child generator; used to give each fault
     /// model or worker its own stream while keeping the parent stream
     /// untouched by how much the child consumes.
     pub fn fork(&mut self, stream: u64) -> SeededRng {
-        let base: u64 = self.inner.random();
+        let base = self.next_u64();
         // SplitMix-style mixing of the stream id into the forked seed.
         let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -57,12 +93,19 @@ impl SeededRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         assert!(lo < hi, "uniform bounds inverted: [{lo}, {hi})");
-        lo + (hi - lo) * self.inner.random::<f32>()
+        lo + (hi - lo) * self.unit()
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f32 {
-        self.inner.random::<f32>()
+        // 24 high bits -> all f32 values in [0, 1) are equally likely and
+        // exactly representable.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` sample in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -72,7 +115,9 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift range reduction; bias is < n / 2^64,
+        // negligible for every n this workspace uses.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with probability `p`.
@@ -82,7 +127,7 @@ impl SeededRng {
     /// Panics if `p` is not in `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
-        (self.inner.random::<f64>()) < p
+        self.unit_f64() < p
     }
 
     /// Normal sample with the given mean and standard deviation
@@ -98,12 +143,12 @@ impl SeededRng {
         } else {
             // Box–Muller: two uniforms -> two independent standard normals.
             let u1: f32 = loop {
-                let u = self.inner.random::<f32>();
+                let u = self.unit();
                 if u > f32::MIN_POSITIVE {
                     break u;
                 }
             };
-            let u2: f32 = self.inner.random();
+            let u2: f32 = self.unit();
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
             self.spare_normal = Some(r * theta.sin());
@@ -125,7 +170,7 @@ impl SeededRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -170,6 +215,44 @@ mod tests {
         let mut b = SeededRng::new(2);
         let same = (0..32).filter(|_| a.unit() == b.unit()).count();
         assert!(same < 4, "streams from different seeds should differ");
+    }
+
+    #[test]
+    fn zero_seed_stream_is_healthy() {
+        // SplitMix64 expansion must prevent the degenerate all-zero state.
+        let mut rng = SeededRng::new(0);
+        let draws: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+        let mut dedup = draws.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), draws.len(), "xoshiro output repeated immediately");
+    }
+
+    #[test]
+    fn unit_covers_interval() {
+        let mut rng = SeededRng::new(13);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = SeededRng::new(17);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1800..2200).contains(&c), "bucket {i} count {c}");
+        }
     }
 
     #[test]

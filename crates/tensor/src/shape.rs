@@ -15,7 +15,7 @@ use std::fmt;
 /// assert_eq!(s.len(), 24);
 /// assert_eq!(s.offset(&[1, 2, 3]), 23);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

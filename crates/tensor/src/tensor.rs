@@ -18,7 +18,7 @@ use crate::{SeededRng, Shape, TensorError};
 /// assert_eq!(t.sum(), 10.0);
 /// # Ok::<(), healthmon_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
@@ -243,6 +243,16 @@ impl Tensor {
             data.extend_from_slice(r.as_slice());
         }
         Tensor { shape: Shape::new(vec![rows.len(), cols]), data }
+    }
+
+    /// Whether every element is finite (no NaN, no ±∞).
+    ///
+    /// Fault-injected weights and saturated accumulations can poison
+    /// activations with non-finite values; the detection pipeline uses
+    /// this guard so such devices escalate deterministically instead of
+    /// slipping past NaN comparisons.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
     }
 
     /// Transposes a 2-D tensor.

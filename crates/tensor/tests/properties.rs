@@ -1,161 +1,227 @@
 //! Property-based tests for tensor algebra invariants.
+//!
+//! Run on the deterministic `healthmon-check` harness: each case index
+//! seeds its own generator, so a failure reported as "case N" reproduces
+//! exactly with `healthmon_check::run_case(N, ..)`.
 
+use healthmon_check::{run_cases, Gen};
 use healthmon_tensor::{SeededRng, Tensor};
-use proptest::prelude::*;
 
-fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-100.0f32..100.0, 1..=max_len)
-        .prop_map(|v| Tensor::from_slice(&v))
+const CASES: usize = 256;
+
+fn tensor(g: &mut Gen, max_len: usize) -> Tensor {
+    let n = g.usize_in(1, max_len + 1);
+    Tensor::from_slice(&g.vec_f32(n, -100.0, 100.0))
 }
 
-fn tensor_pair_strategy(max_len: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
-    (1usize..=max_len).prop_flat_map(|n| {
-        (
-            prop::collection::vec(-100.0f32..100.0, n),
-            prop::collection::vec(-100.0f32..100.0, n),
-        )
-            .prop_map(|(a, b)| (Tensor::from_slice(&a), Tensor::from_slice(&b)))
-    })
+fn tensor_pair(g: &mut Gen, max_len: usize) -> (Tensor, Tensor) {
+    let n = g.usize_in(1, max_len + 1);
+    (
+        Tensor::from_slice(&g.vec_f32(n, -100.0, 100.0)),
+        Tensor::from_slice(&g.vec_f32(n, -100.0, 100.0)),
+    )
 }
 
-proptest! {
-    #[test]
-    fn add_commutes((a, b) in tensor_pair_strategy(64)) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
+#[test]
+fn add_commutes() {
+    run_cases(CASES, |g| {
+        let (a, b) = tensor_pair(g, 64);
+        assert_eq!(&a + &b, &b + &a);
+    });
+}
 
-    #[test]
-    fn add_zero_is_identity(a in tensor_strategy(64)) {
+#[test]
+fn add_zero_is_identity() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 64);
         let z = Tensor::zeros(a.shape());
-        prop_assert_eq!(&a + &z, a.clone());
-    }
+        assert_eq!(&a + &z, a.clone());
+    });
+}
 
-    #[test]
-    fn sub_self_is_zero(a in tensor_strategy(64)) {
+#[test]
+fn sub_self_is_zero() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 64);
         let d = &a - &a;
-        prop_assert!(d.as_slice().iter().all(|&v| v == 0.0));
-    }
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    });
+}
 
-    #[test]
-    fn scale_distributes_over_add((a, b) in tensor_pair_strategy(32), s in -10.0f32..10.0) {
+#[test]
+fn scale_distributes_over_add() {
+    run_cases(CASES, |g| {
+        let (a, b) = tensor_pair(g, 32);
+        let s = g.f32_in(-10.0, 10.0);
         let lhs = (&a + &b).scale(s);
         let rhs = &a.scale(s) + &b.scale(s);
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs().max(y.abs())));
+            assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs().max(y.abs())));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_is_symmetric((a, b) in tensor_pair_strategy(64)) {
+#[test]
+fn dot_is_symmetric() {
+    run_cases(CASES, |g| {
+        let (a, b) = tensor_pair(g, 64);
         let d1 = a.dot(&b);
         let d2 = b.dot(&a);
-        prop_assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
-    }
+        assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
+    });
+}
 
-    #[test]
-    fn l1_distance_triangle_inequality(
-        (a, b) in tensor_pair_strategy(32),
-    ) {
+#[test]
+fn l1_distance_triangle_inequality() {
+    run_cases(CASES, |g| {
+        let (a, b) = tensor_pair(g, 32);
         let z = Tensor::zeros(a.shape());
         let direct = a.l1_distance(&b);
         let via_zero = a.l1_distance(&z) + z.l1_distance(&b);
-        prop_assert!(direct <= via_zero + 1e-3 * (1.0 + via_zero.abs()));
-    }
+        assert!(direct <= via_zero + 1e-3 * (1.0 + via_zero.abs()));
+    });
+}
 
-    #[test]
-    fn softmax_is_probability_vector(a in tensor_strategy(32)) {
+#[test]
+fn softmax_is_probability_vector() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 32);
         let s = a.softmax();
-        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
-        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
-    }
+        assert!(s.as_slice().iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        assert!((s.sum() - 1.0).abs() < 1e-4);
+    });
+}
 
-    #[test]
-    fn softmax_shift_invariant(a in tensor_strategy(16), c in -50.0f32..50.0) {
+#[test]
+fn softmax_shift_invariant() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 16);
+        let c = g.f32_in(-50.0, 50.0);
         let s1 = a.softmax();
         let s2 = a.shift(c).softmax();
         for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    #[test]
-    fn softmax_preserves_ranking(a in tensor_strategy(16)) {
+#[test]
+fn softmax_preserves_ranking() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 16);
         let s = a.softmax();
-        prop_assert_eq!(a.argmax(), s.argmax());
-    }
+        assert_eq!(a.argmax(), s.argmax());
+    });
+}
 
-    #[test]
-    fn topk_descending(a in tensor_strategy(32)) {
+#[test]
+fn topk_descending() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 32);
         let k = a.len().min(5);
         let top = a.topk(k);
         for w in top.values.windows(2) {
-            prop_assert!(w[0] >= w[1]);
+            assert!(w[0] >= w[1]);
         }
-        prop_assert_eq!(top.indices.len(), k);
-    }
+        assert_eq!(top.indices.len(), k);
+    });
+}
 
-    #[test]
-    fn std_nonnegative_and_zero_for_constants(v in -100.0f32..100.0, n in 1usize..32) {
+#[test]
+fn std_nonnegative_and_zero_for_constants() {
+    run_cases(CASES, |g| {
+        let v = g.f32_in(-100.0, 100.0);
+        let n = g.usize_in(1, 32);
         let t = Tensor::full(&[n], v);
         // Mean rounding can leave a tiny residual; the std of a constant
         // tensor must still be negligible relative to the magnitude.
-        prop_assert!(t.std() <= 1e-4 * (1.0 + v.abs()));
-    }
+        assert!(t.std() <= 1e-4 * (1.0 + v.abs()));
+    });
+}
 
-    #[test]
-    fn reshape_round_trips(a in tensor_strategy(64)) {
+#[test]
+fn reshape_round_trips() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 64);
         let n = a.len();
         let r = a.reshape(&[n]).unwrap();
-        prop_assert_eq!(r.as_slice(), a.as_slice());
-    }
+        assert_eq!(r.as_slice(), a.as_slice());
+    });
+}
 
-    #[test]
-    fn matmul_associativity(seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn matmul_associativity() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
         let a = Tensor::randn(&[3, 4], &mut rng);
         let b = Tensor::randn(&[4, 5], &mut rng);
         let c = Tensor::randn(&[5, 2], &mut rng);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(seed in 0u64..1000) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn matmul_distributes_over_add() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
         let a = Tensor::randn(&[3, 4], &mut rng);
         let b1 = Tensor::randn(&[4, 5], &mut rng);
         let b2 = Tensor::randn(&[4, 5], &mut rng);
         let lhs = a.matmul(&(&b1 + &b2));
         let rhs = &a.matmul(&b1) + &a.matmul(&b2);
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_involution(seed in 0u64..1000, m in 1usize..8, n in 1usize..8) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn transpose_involution() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let m = g.usize_in(1, 8);
+        let n = g.usize_in(1, 8);
         let a = Tensor::randn(&[m, n], &mut rng);
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
 
-    #[test]
-    fn lognormal_always_positive(seed in 0u64..500, sigma in 0.0f32..1.0) {
-        let mut rng = SeededRng::new(seed);
+#[test]
+fn lognormal_always_positive() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let sigma = g.f32_in(0.0, 1.0);
         for _ in 0..32 {
-            prop_assert!(rng.lognormal(0.0, sigma) > 0.0);
+            assert!(rng.lognormal(0.0, sigma) > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn seeded_rng_reproducible(seed in 0u64..10_000) {
+#[test]
+fn seeded_rng_reproducible() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let mut a = SeededRng::new(seed);
         let mut b = SeededRng::new(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.unit(), b.unit());
+            assert_eq!(a.unit(), b.unit());
         }
-    }
+    });
+}
+
+#[test]
+fn json_round_trip_preserves_tensor() {
+    run_cases(CASES, |g| {
+        let a = tensor(g, 64);
+        let back: Tensor =
+            healthmon_serdes::from_str(&healthmon_serdes::to_string(&a)).unwrap();
+        assert_eq!(back.shape(), a.shape());
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    });
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Hermetic CI: the whole pipeline must pass offline, proving the
+# workspace builds from the standard library alone (no registry, no
+# network, no vendored sources).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline release build =="
+cargo build --release --offline --workspace
+
+echo "== offline tests =="
+cargo test -q --offline --workspace
+
+echo "== offline clippy (warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== lockfile is workspace-only =="
+if grep -E '^source = ' Cargo.lock; then
+    echo "ERROR: Cargo.lock references an external registry source" >&2
+    exit 1
+fi
+echo "ok: every locked package is a workspace member"
+
+echo "CI passed."

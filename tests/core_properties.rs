@@ -1,62 +1,79 @@
 //! Property-based tests over the core detection machinery.
+//!
+//! Run on the deterministic `healthmon-check` harness; a failure at case
+//! `N` reproduces with `healthmon_check::run_case(N, ..)`.
 
-use healthmon::{SdcCriterion, TestPatternSet};
 use healthmon::stability::series_stats;
+use healthmon::{SdcCriterion, TestPatternSet};
+use healthmon_check::run_cases;
 use healthmon_faults::FaultModel;
 use healthmon_nn::models::tiny_mlp;
 use healthmon_tensor::{SeededRng, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// A model is never "detected" against itself by any criterion.
-    #[test]
-    fn no_false_positive_against_self(seed in 0u64..500, patterns in 1usize..12) {
-        let mut rng = SeededRng::new(seed);
+/// A model is never "detected" against itself by any criterion.
+#[test]
+fn no_false_positive_against_self() {
+    run_cases(CASES, |g| {
+        let mut rng = SeededRng::new(g.seed());
+        let patterns = g.usize_in(1, 12);
         let mut net = tiny_mlp(6, 12, 5, &mut rng);
-        let set = TestPatternSet::new("t", Tensor::rand_uniform(&[patterns, 6], 0.0, 1.0, &mut rng));
+        let set =
+            TestPatternSet::new("t", Tensor::rand_uniform(&[patterns, 6], 0.0, 1.0, &mut rng));
         let mut golden = net.clone();
         let detector = healthmon::Detector::new(&mut golden, set);
         for crit in SdcCriterion::paper_suite() {
-            prop_assert!(!detector.is_faulty(&mut net, crit));
+            assert!(!detector.is_faulty(&mut net, crit));
         }
-    }
+    });
+}
 
-    /// Confidence distances are always within [0, 1].
-    #[test]
-    fn confidence_distance_bounded(seed in 0u64..500, sigma in 0.0f32..1.0) {
+/// Confidence distances are always within [0, 1].
+#[test]
+fn confidence_distance_bounded() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let sigma = g.f32_in(0.0, 1.0);
         let mut rng = SeededRng::new(seed);
         let net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 6], 0.0, 1.0, &mut rng));
         let mut golden = net.clone();
         let detector = healthmon::Detector::new(&mut golden, set);
         let mut faulty = net.clone();
-        FaultModel::ProgrammingVariation { sigma }.apply(&mut faulty, &mut SeededRng::new(seed ^ 1));
+        FaultModel::ProgrammingVariation { sigma }
+            .apply(&mut faulty, &mut SeededRng::new(seed ^ 1));
         let d = detector.confidence_distance(&mut faulty);
-        prop_assert!((0.0..=1.0).contains(&d.top_ranked));
-        prop_assert!((0.0..=1.0).contains(&d.all_classes));
-    }
+        assert!((0.0..=1.0).contains(&d.top_ranked));
+        assert!((0.0..=1.0).contains(&d.all_classes));
+    });
+}
 
-    /// A tighter SDC-A threshold can only detect at least as much.
-    #[test]
-    fn sdc_a_threshold_monotone(seed in 0u64..200) {
+/// A tighter SDC-A threshold can only detect at least as much.
+#[test]
+fn sdc_a_threshold_monotone() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let mut rng = SeededRng::new(seed);
         let net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 6], 0.0, 1.0, &mut rng));
         let mut golden = net.clone();
         let detector = healthmon::Detector::new(&mut golden, set);
         let mut faulty = net.clone();
-        FaultModel::ProgrammingVariation { sigma: 0.3 }.apply(&mut faulty, &mut SeededRng::new(seed ^ 2));
+        FaultModel::ProgrammingVariation { sigma: 0.3 }
+            .apply(&mut faulty, &mut SeededRng::new(seed ^ 2));
         let loose = detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.05 });
         let tight = detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 });
         // loose detection implies tight detection
-        prop_assert!(!loose || tight);
-    }
+        assert!(!loose || tight);
+    });
+}
 
-    /// Fault injection with sigma = 0 or p = 0 never triggers detection.
-    #[test]
-    fn null_faults_never_detected(seed in 0u64..200) {
+/// Fault injection with sigma = 0 or p = 0 never triggers detection.
+#[test]
+fn null_faults_never_detected() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
         let mut rng = SeededRng::new(seed);
         let mut net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[4, 6], 0.0, 1.0, &mut rng));
@@ -69,26 +86,35 @@ proptest! {
         ] {
             fault.apply(&mut net, &mut SeededRng::new(seed));
             for crit in SdcCriterion::paper_suite() {
-                prop_assert!(!detector.is_faulty(&mut net, crit), "{}", crit.label());
+                assert!(!detector.is_faulty(&mut net, crit), "{}", crit.label());
             }
         }
-    }
+    });
+}
 
-    /// series_stats is scale-equivariant: mean and std scale linearly, CV
-    /// is scale-invariant.
-    #[test]
-    fn series_stats_scaling(values in prop::collection::vec(0.01f32..10.0, 2..32), k in 0.1f32..10.0) {
+/// series_stats is scale-equivariant: mean and std scale linearly, CV
+/// is scale-invariant.
+#[test]
+fn series_stats_scaling() {
+    run_cases(CASES, |g| {
+        let n = g.usize_in(2, 32);
+        let values = g.vec_f32(n, 0.01, 10.0);
+        let k = g.f32_in(0.1, 10.0);
         let base = series_stats(&values);
         let scaled: Vec<f32> = values.iter().map(|v| v * k).collect();
         let s = series_stats(&scaled);
-        prop_assert!((s.mean - base.mean * k).abs() < 1e-2 * (1.0 + s.mean.abs()));
-        prop_assert!((s.std - base.std * k).abs() < 1e-2 * (1.0 + s.std.abs()));
-        prop_assert!((s.cv - base.cv).abs() < 1e-3 + 1e-2 * base.cv);
-    }
+        assert!((s.mean - base.mean * k).abs() < 1e-2 * (1.0 + s.mean.abs()));
+        assert!((s.std - base.std * k).abs() < 1e-2 * (1.0 + s.std.abs()));
+        assert!((s.cv - base.cv).abs() < 1e-3 + 1e-2 * base.cv);
+    });
+}
 
-    /// Truncating a pattern set preserves the prefix responses.
-    #[test]
-    fn truncation_consistency(seed in 0u64..200, total in 2usize..10) {
+/// Truncating a pattern set preserves the prefix responses.
+#[test]
+fn truncation_consistency() {
+    run_cases(CASES, |g| {
+        let seed = g.seed();
+        let total = g.usize_in(2, 10);
         let mut rng = SeededRng::new(seed);
         let mut net = tiny_mlp(5, 8, 4, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[total, 5], 0.0, 1.0, &mut rng));
@@ -97,8 +123,8 @@ proptest! {
         let prefix = set.truncated(k).logits(&mut net);
         for p in 0..k {
             for c in 0..4 {
-                prop_assert!((full.at(&[p, c]) - prefix.at(&[p, c])).abs() < 1e-5);
+                assert!((full.at(&[p, c]) - prefix.at(&[p, c])).abs() < 1e-5);
             }
         }
-    }
+    });
 }

@@ -29,7 +29,7 @@ fn trained_model() -> (Network, DataSplit) {
         let split = DataSplit { train: flatten(&raw.train), test: flatten(&raw.test) };
         let mut rng = SeededRng::new(1);
         let mut net = tiny_mlp(n_pixels, 48, 10, &mut rng);
-        let config = TrainConfig { epochs: 6, batch_size: 32, ..TrainConfig::default() };
+        let config = TrainConfig { epochs: 8, batch_size: 32, ..TrainConfig::default() };
         Trainer::new(&mut net, Sgd::new(0.1).momentum(0.9), config).fit(
             &split.train.images,
             &split.train.labels,

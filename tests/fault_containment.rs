@@ -1,0 +1,160 @@
+//! Fault-containment integration: a poisoned accelerator must never take
+//! the monitor down with it — or, worse, read as healthy — and an
+//! interrupted detection campaign must resume bit-identically.
+
+use healthmon::{
+    CampaignCheckpoint, Detector, HealthMonitor, HealthState, HealthmonError, MonitorPolicy,
+    SdcCriterion, TestPatternSet,
+};
+use healthmon_faults::FaultModel;
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+
+fn fixture() -> (Network, Detector) {
+    let mut rng = SeededRng::new(1);
+    let mut net = tiny_mlp(8, 16, 4, &mut rng);
+    let patterns = TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
+    let detector = Detector::new(&mut net, patterns);
+    (net, detector)
+}
+
+/// Overwrites one weight of the named layer with `value`.
+fn poison_weight(net: &mut Network, key_fragment: &str, value: f32) {
+    let mut hit = false;
+    net.for_each_param_mut(|key, tensor| {
+        if key.contains(key_fragment) && !hit {
+            tensor.as_mut_slice()[0] = value;
+            hit = true;
+        }
+    });
+    assert!(hit, "no parameter matching `{key_fragment}`");
+}
+
+/// Regression for the NaN-poisoning bug: `NaN >= threshold` is false for
+/// every threshold, so before the non-finite guard a dead device scored
+/// `Healthy`. It must escalate straight to `Critical`.
+#[test]
+fn nan_logits_drive_the_monitor_to_critical() {
+    let (net, detector) = fixture();
+    let mut monitor = HealthMonitor::new(detector, MonitorPolicy::default());
+    let mut device = net.clone();
+    poison_weight(&mut device, "layer2.bias", f32::NAN);
+
+    let checkup = monitor.check(&mut device);
+    assert!(checkup.distance.is_poisoned(), "distance {:?}", checkup.distance);
+    assert_eq!(checkup.state, HealthState::Critical);
+    assert_eq!(monitor.state(), HealthState::Critical);
+}
+
+/// Infinities poison the softmax just like NaN and must escalate too.
+#[test]
+fn infinite_weights_also_escalate() {
+    let (net, detector) = fixture();
+    let mut monitor = HealthMonitor::new(detector, MonitorPolicy::default());
+    let mut device = net.clone();
+    poison_weight(&mut device, "layer2.bias", f32::INFINITY);
+    assert_eq!(monitor.check(&mut device).state, HealthState::Critical);
+}
+
+/// Hysteresis smooths one-off noise, but a non-finite reading is
+/// unambiguous device death and bypasses it: the very first poisoned
+/// checkup reads `Critical`, even under a strict escalation count.
+#[test]
+fn poisoned_readings_bypass_hysteresis() {
+    let (net, detector) = fixture();
+    let policy = MonitorPolicy { escalation_count: 3, ..MonitorPolicy::default() };
+    let mut monitor = HealthMonitor::new(detector, policy);
+    let mut device = net.clone();
+    poison_weight(&mut device, "layer2.bias", f32::NAN);
+    assert_eq!(monitor.check(&mut device).state, HealthState::Critical);
+    // A subsequently repaired device still de-escalates immediately.
+    let mut repaired = net.clone();
+    assert_eq!(monitor.check(&mut repaired).state, HealthState::Healthy);
+}
+
+/// `forward_checked` localizes the first poisoned layer instead of
+/// letting NaN propagate silently to the output.
+#[test]
+fn forward_checked_localizes_the_poisoned_layer() {
+    let (net, _) = fixture();
+    let mut device = net.clone();
+    poison_weight(&mut device, "layer2.bias", f32::NAN);
+    let x = Tensor::ones(&[1, 8]);
+    let err = device.forward_checked(&x).unwrap_err();
+    assert_eq!(err.layer, 2);
+    let wrapped: HealthmonError = err.into();
+    assert!(wrapped.to_string().contains("layer 2"));
+}
+
+/// The acceptance scenario: a 100-model campaign interrupted mid-sweep —
+/// with the checkpoint serialized to JSON and reloaded, as a killed and
+/// restarted process would do — finishes with rates bit-identical to an
+/// uninterrupted run.
+#[test]
+fn interrupted_100_model_campaign_resumes_bit_identically() {
+    let (net, detector) = fixture();
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.25 };
+    let criteria =
+        [SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }, SdcCriterion::SdcT {
+            threshold: 0.05,
+        }];
+    let seed = 42u64;
+    let count = 100usize;
+
+    let one_shot = detector.detection_rates(&net, &fault, count, seed, &criteria);
+
+    // Uninterrupted resumable run — the reference checkpoint.
+    let mut reference = CampaignCheckpoint::new(seed, count, &criteria);
+    let reference_rates = detector
+        .detection_rates_resumable(&net, &fault, &criteria, &mut reference, None)
+        .unwrap()
+        .unwrap();
+
+    // Interrupted run: stop after 37 models, "crash", reload from JSON,
+    // finish.
+    let mut cp = CampaignCheckpoint::new(seed, count, &criteria);
+    let partial = detector
+        .detection_rates_resumable(&net, &fault, &criteria, &mut cp, Some(37))
+        .unwrap();
+    assert!(partial.is_none(), "37/100 models must not complete the sweep");
+    assert_eq!(cp.completed(), 37);
+
+    let saved = cp.to_json_string();
+    let mut resumed = CampaignCheckpoint::from_json_str(&saved).unwrap();
+    assert_eq!(resumed.completed(), 37);
+    let resumed_rates = detector
+        .detection_rates_resumable(&net, &fault, &criteria, &mut resumed, None)
+        .unwrap()
+        .unwrap();
+
+    // Bit-identical: same rates and the same per-model verdict rows.
+    assert_eq!(
+        resumed_rates.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        one_shot.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(resumed_rates, reference_rates);
+    assert_eq!(resumed, reference);
+    assert_eq!(resumed.to_json_string(), reference.to_json_string());
+}
+
+/// A checkpoint from a different criteria set is rejected up front, not
+/// silently merged.
+#[test]
+fn resume_with_wrong_criteria_is_rejected() {
+    let (net, detector) = fixture();
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.25 };
+    let mut cp = CampaignCheckpoint::new(3, 10, &[SdcCriterion::Sdc1]);
+    let err = detector
+        .detection_rates_resumable(
+            &net,
+            &fault,
+            &[SdcCriterion::SdcA { threshold: 0.03 }],
+            &mut cp,
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, HealthmonError::CheckpointMismatch(_)));
+    // The checkpoint itself is untouched by the failed resume.
+    assert_eq!(cp.completed(), 0);
+}

@@ -15,7 +15,6 @@ use std::sync::OnceLock;
 
 struct Fixture {
     net: Network,
-    test: Dataset,
     aet: TestPatternSet,
     ctp: TestPatternSet,
     otp: TestPatternSet,
@@ -59,7 +58,7 @@ fn fixture() -> &'static Fixture {
             .per_class(2)
             .max_iters(400)
             .generate(&net, &reference, &mut SeededRng::new(3));
-        Fixture { net, test, aet, ctp, otp }
+        Fixture { net, aet, ctp, otp }
     })
 }
 

@@ -94,12 +94,16 @@ fn retraining_restores_detector_health() {
     let mut golden = f.net.clone();
     let patterns = CtpGenerator::new(15).select(&mut golden, &f.test);
     let detector = Detector::new(&mut golden, patterns);
-    let crit = SdcCriterion::SdcA { threshold: 0.03 };
+    let crit = SdcCriterion::SdcT { threshold: 0.05 };
 
     let w0 = layer_weights(&f.net);
     let defects = DefectMap::sample_for_matrix(&w0, 0.05, &mut SeededRng::new(5));
     let mut damaged = with_layer(&f.net, &defects.apply(&w0));
     let damaged_acc = accuracy(&mut damaged, &f.test.images, &f.test.labels, 64);
+    assert!(
+        detector.is_faulty(&mut damaged, crit),
+        "the damaged device should be flagged before repair"
+    );
 
     retrain_with_faults(
         &mut damaged,
@@ -119,7 +123,6 @@ fn retraining_restores_detector_health() {
     // accuracy is restored near the golden level.
     let golden_acc = accuracy(&mut f.net.clone(), &f.test.images, &f.test.labels, 64);
     assert!(golden_acc - repaired_acc < 0.1, "retrained model should be near golden accuracy");
-    let _ = crit;
 }
 
 #[test]
