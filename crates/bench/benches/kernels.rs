@@ -18,6 +18,22 @@ fn bench_matmul() {
         let b = Tensor::randn(&[n, n], &mut rng);
         group.case(&format!("square/{n}"), || black_box(a.matmul(&b)));
     }
+    // The im2col GEMMs that dominate LeNet-5 / ConvNet-7 forward passes:
+    // weight [F, C·K·K] times unfolded patches [C·K·K, N·OH·OW].
+    for &(label, m, k, n) in &[
+        ("lenet5_conv2_b16", 16usize, 150usize, 3136usize),
+        ("convnet7_conv_b16", 32, 288, 4096),
+    ] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        group.case(label, || black_box(a.matmul(&b)));
+    }
+    // The backprop companions at a dense-layer shape.
+    let a = Tensor::randn(&[256, 120], &mut rng);
+    let g = Tensor::randn(&[256, 64], &mut rng);
+    group.case("matmul_at_dense", || black_box(a.matmul_at(&g)));
+    let x = Tensor::randn(&[64, 120], &mut rng);
+    group.case("matmul_bt_dense", || black_box(x.matmul_bt(&a)));
 }
 
 fn bench_crossbar_matvec() {
@@ -39,6 +55,15 @@ fn bench_crossbar_matvec() {
     let bx = Tensor::randn(&[512], &mut rng);
     let tiled = TiledMatrix::program(&big, &CrossbarConfig::default(), &mut rng);
     group.case("tiled_512x256_matvec", || black_box(tiled.matvec(&bx)));
+
+    // Batched analog inference: an N-pattern test batch through the same
+    // arrays. Post-PR this is one GEMM per tile against the cached
+    // differential-conductance matrix instead of N matvec sweeps.
+    let single = TiledMatrix::program(&w, &CrossbarConfig::default(), &mut rng);
+    let batch = Tensor::randn(&[32, 128], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+    group.case("tiled_128x128_batch32", || black_box(single.matmul(&batch)));
+    let big_batch = Tensor::randn(&[32, 512], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+    group.case("tiled_512x256_batch32", || black_box(tiled.matmul(&big_batch)));
 }
 
 fn bench_model_passes() {
@@ -59,4 +84,5 @@ fn main() {
     bench_matmul();
     bench_crossbar_matvec();
     bench_model_passes();
+    healthmon_bench::timing::write_json_report();
 }

@@ -95,8 +95,36 @@ fn bench_fault_injection() {
     }
 }
 
+/// Fig. 7-style statistical campaign: the cost profile a sweep actually
+/// pays — N fault models derived from one golden network, each evaluated
+/// on the full pattern set. This is the headline number the execution
+/// engine (persistent pool, blocked GEMM, per-worker scratch networks)
+/// is built to improve.
+fn bench_campaign() {
+    let (net, _) = fixture();
+    let mut group = TimingHarness::new("campaign").samples(5);
+    let mut rng = SeededRng::new(8);
+    let mut golden = net.clone();
+    let set = TestPatternSet::new(
+        "campaign",
+        Tensor::rand_uniform(&[20, 28 * 28], 0.0, 1.0, &mut rng),
+    );
+    let detector = Detector::new(&mut golden, set);
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+    group.case("detection_rate_40_models", || {
+        black_box(detector.detection_rate(&net, &fault, 40, 11, SdcCriterion::SdcA {
+            threshold: 0.03,
+        }))
+    });
+    group.case("campaign_distances_40_models", || {
+        black_box(detector.campaign_distances(&net, &fault, 40, 11))
+    });
+}
+
 fn main() {
     bench_generators();
     bench_detection();
     bench_fault_injection();
+    bench_campaign();
+    healthmon_bench::timing::write_json_report();
 }

@@ -8,7 +8,7 @@
 
 use crate::FaultModel;
 use healthmon_nn::Network;
-use healthmon_tensor::SeededRng;
+use healthmon_tensor::{pool, SeededRng};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,12 +82,11 @@ impl fmt::Display for CampaignPanic {
 
 impl Error for CampaignPanic {}
 
-/// The number of worker threads to use for `len` independent items.
+/// The number of worker threads to use for `len` independent items,
+/// derived from the process-wide cached budget
+/// ([`healthmon_tensor::pool::max_threads`]).
 fn auto_threads(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len.max(1))
+    pool::max_threads().min(len.max(1))
 }
 
 /// Evaluates `f` on the fault models named by `indices`, using exactly
@@ -113,27 +112,34 @@ where
     let threads = threads.clamp(1, indices.len().max(1));
     let campaign = FaultCampaign::new(golden, seed);
     let mut results: Vec<Option<T>> = (0..indices.len()).map(|_| None).collect();
-    if threads <= 1 {
-        for (&i, slot) in indices.iter().zip(results.iter_mut()) {
-            let mut net = campaign.model(fault, i);
-            *slot = Some(f(i, &mut net));
-        }
-    } else {
-        let chunk = indices.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (idx_chunk, slots) in indices.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                let campaign = &campaign;
-                let f = &f;
-                let fault = &*fault;
-                s.spawn(move || {
-                    for (&i, slot) in idx_chunk.iter().zip(slots.iter_mut()) {
-                        let mut net = campaign.model(fault, i);
-                        *slot = Some(f(i, &mut net));
-                    }
-                });
-            }
-        });
+    if results.is_empty() {
+        return Vec::new();
     }
+    let chunk = indices.len().div_ceil(threads);
+    pool::run_chunks(&mut results, chunk, |ci, slots| {
+        let idx_chunk = &indices[ci * chunk..ci * chunk + slots.len()];
+        // One scratch network per chunk: cloned once, then re-derived per
+        // index by copying the golden parameters in place. Every index
+        // sees the same reset (params = golden, grads = 0) regardless of
+        // its position in the chunk, so results are independent of chunk
+        // boundaries and thread count. Evaluation closures must not read
+        // state they did not produce (see the determinism contract in
+        // DESIGN.md).
+        let mut scratch: Option<Network> = None;
+        for (&i, slot) in idx_chunk.iter().zip(slots.iter_mut()) {
+            let net = match scratch.as_mut() {
+                Some(net) => {
+                    net.copy_params_from(golden);
+                    net
+                }
+                None => scratch.insert(golden.clone()),
+            };
+            net.zero_grads();
+            let mut rng = campaign.stream(i);
+            fault.apply(net, &mut rng);
+            *slot = Some(f(i, net));
+        }
+    });
     results
         .into_iter()
         .map(|r| r.expect("every index was evaluated"))
@@ -334,6 +340,27 @@ mod tests {
             .collect();
         assert_eq!(runs[0], runs[1], "2 threads diverged from sequential");
         assert_eq!(runs[0], runs[2], "8 threads diverged from sequential");
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_between_indices() {
+        // A sparse fault touches few weights per index, so any incomplete
+        // scratch reset between consecutive indices of a chunk would leave
+        // the previous model's corruption behind. Compare against fresh
+        // clones at several thread counts (= several chunk geometries).
+        let g = golden();
+        let fault = FaultModel::RandomSoftError { probability: 0.02 };
+        let x = Tensor::ones(&[4]);
+        let fresh: Vec<u32> = FaultCampaign::new(&g, 77)
+            .models(&fault, 12)
+            .map(|mut net| net.forward_single(&x).sum().to_bits())
+            .collect();
+        for threads in [1usize, 2, 5, 12] {
+            let reused = par_map_models_with_threads(&g, &fault, 77, 12, threads, |_, net| {
+                net.forward_single(&x).sum().to_bits()
+            });
+            assert_eq!(fresh, reused, "scratch reuse leaked state at {threads} threads");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use healthmon_nn::Network;
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
-use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_tensor::{fastmath, SeededRng, Tensor};
 
 /// A device-error model applied to a network's ReRAM-mapped weights.
 ///
@@ -71,9 +71,15 @@ impl FaultModel {
         self.validate();
         match self {
             FaultModel::ProgrammingVariation { sigma } => {
+                // One bulk draw per tensor: the block sampler is several
+                // times faster than a per-weight `lognormal()` call, and
+                // this loop is the dominant cost of a fault campaign.
+                let mut factors = Vec::new();
                 for_each_weight(net, |t| {
-                    for w in t.as_mut_slice() {
-                        *w *= rng.lognormal(0.0, *sigma);
+                    factors.resize(t.len(), 0.0);
+                    rng.fill_lognormal(&mut factors, 0.0, *sigma);
+                    for (w, &f) in t.as_mut_slice().iter_mut().zip(&factors) {
+                        *w *= f;
                     }
                 });
             }
@@ -104,10 +110,12 @@ impl FaultModel {
                 });
             }
             FaultModel::Drift { nu, time } => {
+                let mut rates = Vec::new();
                 for_each_weight(net, |t| {
-                    for w in t.as_mut_slice() {
-                        let rate = rng.normal(0.0, *nu).abs();
-                        *w *= (-rate * time).exp();
+                    rates.resize(t.len(), 0.0);
+                    rng.fill_normal(&mut rates, 0.0, *nu);
+                    for (w, &z) in t.as_mut_slice().iter_mut().zip(&rates) {
+                        *w *= fastmath::exp(-z.abs() * time);
                     }
                 });
             }

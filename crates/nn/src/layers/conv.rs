@@ -37,6 +37,10 @@ pub struct Conv2d {
     grad_bias: Tensor,
     cached_col: Option<Tensor>,
     cached_input_shape: Option<Vec<usize>>,
+    /// Retired im2col buffer, reused by the next same-shape forward so
+    /// steady-state training/inference stops allocating the largest
+    /// intermediate of the whole network every pass.
+    col_workspace: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -68,6 +72,7 @@ impl Conv2d {
             grad_bias: Tensor::zeros(&[filters]),
             cached_col: None,
             cached_input_shape: None,
+            col_workspace: None,
         }
     }
 
@@ -87,14 +92,23 @@ impl Conv2d {
         (padded - self.kernel) / self.stride + 1
     }
 
-    /// im2col: unfold input patches into a `[C·K·K, N·OH·OW]` matrix.
-    fn im2col(&self, input: &Tensor, oh: usize, ow: usize) -> Tensor {
+    /// im2col: unfold input patches into a `[C·K·K, N·OH·OW]` matrix,
+    /// reusing the retired workspace buffer when its shape still fits.
+    fn im2col(&mut self, input: &Tensor, oh: usize, ow: usize) -> Tensor {
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let k = self.kernel;
         let ckk = c * k * k;
         let cols = n * oh * ow;
         let x = input.as_slice();
-        let mut col = Tensor::zeros(&[ckk, cols]);
+        let mut col = match self.col_workspace.take() {
+            Some(mut ws) if ws.shape() == [ckk, cols] => {
+                // Padding positions are never written below, so the
+                // recycled buffer must start from zero like a fresh one.
+                ws.as_mut_slice().fill(0.0);
+                ws
+            }
+            _ => Tensor::zeros(&[ckk, cols]),
+        };
         let cm = col.as_mut_slice();
         for ci in 0..c {
             for kh in 0..k {
@@ -220,6 +234,12 @@ impl Layer for Conv2d {
         let (n, h, w) = (input.shape()[0], input.shape()[2], input.shape()[3]);
         let oh = self.out_extent(h);
         let ow = self.out_extent(w);
+        // Forward-only callers (inference sweeps) never reach backward, so
+        // retire the previous pass's unfolded patches here before they are
+        // replaced — that buffer is what im2col recycles.
+        if let Some(stale) = self.cached_col.take() {
+            self.col_workspace = Some(stale);
+        }
         let col = self.im2col(input, oh, ow);
         let mut out_mat = self.weight.matmul(&col); // [F, N*OH*OW]
         let cols = n * oh * ow;
@@ -263,7 +283,10 @@ impl Layer for Conv2d {
             }
         }
         let grad_col = self.weight.matmul_at(&g_mat); // [CKK, N*OH*OW]
-        self.col2im(&grad_col, &input_shape, oh, ow)
+        let out = self.col2im(&grad_col, &input_shape, oh, ow);
+        // Retire the unfolded-patch buffer for the next forward pass.
+        self.col_workspace = Some(col);
+        out
     }
 
     fn params(&self) -> Vec<&Tensor> {

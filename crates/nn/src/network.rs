@@ -284,6 +284,39 @@ impl Network {
         }
     }
 
+    /// Overwrites every trainable parameter with the corresponding value
+    /// from `src`, reusing this network's allocations — the fast path for
+    /// campaign scratch networks that re-derive many fault models from one
+    /// golden network without cloning each time.
+    ///
+    /// Only parameters are copied; gradients, activation caches, and layer
+    /// modes are untouched (callers typically follow with
+    /// [`Network::zero_grads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks do not have identical architectures
+    /// (layer count, parameter counts, or parameter shapes).
+    pub fn copy_params_from(&mut self, src: &Network) {
+        assert_eq!(
+            self.layers.len(),
+            src.layers.len(),
+            "copy_params_from: layer count mismatch"
+        );
+        for (dst_layer, src_layer) in self.layers.iter_mut().zip(&src.layers) {
+            let mut dst_params = dst_layer.params_mut();
+            let src_params = src_layer.params();
+            assert_eq!(
+                dst_params.len(),
+                src_params.len(),
+                "copy_params_from: parameter count mismatch"
+            );
+            for (d, s) in dst_params.iter_mut().zip(src_params) {
+                d.copy_from(s);
+            }
+        }
+    }
+
     /// Mutable (parameter, gradient) pairs across all layers, in layer
     /// order; consumed by optimizers.
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {

@@ -153,6 +153,26 @@ impl BitSlicedMatrix {
         }
         out
     }
+
+    /// Batched crossbar product with shift-add recombination: every slice
+    /// runs one tile-level GEMM over the whole `[batch, rows]` pattern set
+    /// (see [`TiledMatrix::matmul`]), then the digital periphery scales by
+    /// the slice radix and accumulates — the batch counterpart of
+    /// [`BitSlicedMatrix::matvec`], with the identical per-element
+    /// recombination order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not 2-D with `rows` columns.
+    pub fn matmul(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 2, "batched matmul expects 2-D input");
+        assert_eq!(input.shape()[1], self.rows, "inner dimension mismatch");
+        let mut out = Tensor::zeros(&[input.shape()[0], self.cols]);
+        for (slice, &scale) in self.slices.iter().zip(&self.slice_scale) {
+            out.axpy(scale, &slice.matmul(input));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +253,22 @@ mod tests {
         let back = s.effective_weights();
         for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
             assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn batched_matmul_bit_identical_to_matvec_rows() {
+        let mut rng = SeededRng::new(8);
+        let w = Tensor::randn(&[9, 5], &mut rng);
+        let s = BitSlicedMatrix::program(&w, 8, 2, &CrossbarConfig::default(), &mut rng);
+        let x = Tensor::randn(&[4, 9], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let batch = s.matmul(&x);
+        assert_eq!(batch.shape(), &[4, 5]);
+        for b in 0..4 {
+            let single = s.matvec(&x.row(b));
+            for (j, (p, q)) in batch.row(b).as_slice().iter().zip(single.as_slice()).enumerate() {
+                assert_eq!(p.to_bits(), q.to_bits(), "row {b} col {j}: {p} vs {q}");
+            }
         }
     }
 

@@ -2,7 +2,8 @@
 //! conversion, and device-level fault injection.
 
 use crate::{CrossbarConfig, Quantizer};
-use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_tensor::{fastmath, SeededRng, Tensor};
+use std::sync::OnceLock;
 
 /// A permanent device fault affecting one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,11 @@ pub struct Crossbar {
     scale: f32,
     /// Largest |input| the DAC was calibrated for.
     input_range: f32,
+    /// Lazily-computed differential conductance matrix `g_pos − g_neg`
+    /// (unscaled), shared by every inference through the tile. Every
+    /// conductance mutator replaces the cell with a fresh empty one, so a
+    /// stale matrix can never be read after fault injection.
+    diff_cache: OnceLock<Tensor>,
 }
 
 impl Crossbar {
@@ -79,16 +85,39 @@ impl Crossbar {
             } else {
                 (config.g_min, config.g_min + magnitude)
             };
-            let mut p = cell_q.quantize(p);
-            let mut n = cell_q.quantize(n);
-            if config.write_noise > 0.0 {
-                p = (p * rng.lognormal(0.0, config.write_noise)).clamp(config.g_min, config.g_max);
-                n = (n * rng.lognormal(0.0, config.write_noise)).clamp(config.g_min, config.g_max);
-            }
-            *gp = p;
-            *gn = n;
+            *gp = cell_q.quantize(p);
+            *gn = cell_q.quantize(n);
         }
-        Crossbar { config: *config, rows, cols, g_pos, g_neg, scale, input_range: 1.0 }
+        if config.write_noise > 0.0 {
+            // Bulk write-noise pass: one block-sampled lognormal draw per
+            // cell instead of two scalar draws inside the programming loop.
+            let mut noise = vec![0.0f32; g_pos.len() + g_neg.len()];
+            rng.fill_lognormal(&mut noise, 0.0, config.write_noise);
+            for (g, &f) in g_pos
+                .as_mut_slice()
+                .iter_mut()
+                .chain(g_neg.as_mut_slice())
+                .zip(&noise)
+            {
+                *g = (*g * f).clamp(config.g_min, config.g_max);
+            }
+        }
+        Crossbar {
+            config: *config,
+            rows,
+            cols,
+            g_pos,
+            g_neg,
+            scale,
+            input_range: 1.0,
+            diff_cache: OnceLock::new(),
+        }
+    }
+
+    /// The differential conductance matrix `g_pos − g_neg`, computed on
+    /// first use and cached until the next conductance mutation.
+    fn diff(&self) -> &Tensor {
+        self.diff_cache.get_or_init(|| self.g_pos.zip_map(&self.g_neg, |p, n| p - n))
     }
 
     /// Number of word lines in use.
@@ -115,7 +144,7 @@ impl Crossbar {
     /// Reads the effective weight matrix back from the conductances —
     /// what the analog computation actually uses.
     pub fn effective_weights(&self) -> Tensor {
-        self.g_pos.zip_map(&self.g_neg, |p, n| p - n).scale(self.scale)
+        self.diff().scale(self.scale)
     }
 
     /// Analog matrix-vector product `wᵀ·x` realized on the tile:
@@ -127,11 +156,41 @@ impl Crossbar {
     ///
     /// Panics if `input.len() != rows()`.
     pub fn matvec(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 1, "matvec input must be 1-D");
         assert_eq!(
             input.len(),
             self.rows,
             "input length {} != word-line count {}",
             input.len(),
+            self.rows
+        );
+        let batch = input
+            .reshape(&[1, self.rows])
+            .expect("1-D input reshapes to a single-row batch");
+        self.matmul(&batch)
+            .reshape(&[self.cols])
+            .expect("single-row output reshapes to 1-D")
+    }
+
+    /// Batched analog inference: `N` input patterns (`[batch, rows]`)
+    /// through the tile in one pass, returning `[batch, cols]`.
+    ///
+    /// The analog accumulate is a single GEMM against the cached
+    /// differential conductance matrix instead of `batch` matvec sweeps;
+    /// DAC and ADC quantization apply elementwise exactly as in
+    /// [`Crossbar::matvec`], which is itself the `batch == 1` case of this
+    /// method — so batched and per-row results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not 2-D with `rows()` columns.
+    pub fn matmul(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 2, "batched input must be [batch, rows]");
+        assert_eq!(
+            input.shape()[1],
+            self.rows,
+            "input width {} != word-line count {}",
+            input.shape()[1],
             self.rows
         );
         // DAC: quantize voltages.
@@ -140,21 +199,10 @@ impl Crossbar {
             let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
             q.quantize_slice(v.as_mut_slice());
         }
-        // Analog accumulate: I_j = Σ_i v_i (g+_ij − g−_ij).
-        let mut out = vec![0.0f32; self.cols];
-        let gp = self.g_pos.as_slice();
-        let gn = self.g_neg.as_slice();
-        for (i, &vi) in v.as_slice().iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            let row = i * self.cols;
-            for (j, o) in out.iter_mut().enumerate() {
-                *o += vi * (gp[row + j] - gn[row + j]);
-            }
-        }
+        // Analog accumulate: I_bj = Σ_i v_bi (g+_ij − g−_ij).
+        let mut out = v.matmul(self.diff());
         // Back to weight domain, then ADC.
-        for o in &mut out {
+        for o in out.as_mut_slice() {
             *o *= self.scale;
         }
         if self.config.adc_bits > 0 {
@@ -164,9 +212,9 @@ impl Crossbar {
                 * (self.config.g_max - self.config.g_min)
                 * self.scale;
             let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
-            q.quantize_slice(&mut out);
+            q.quantize_slice(out.as_mut_slice());
         }
-        Tensor::from_vec(out, &[self.cols]).expect("output length matches bit-line count")
+        out
     }
 
     /// Freezes a fraction of cells (chosen uniformly over both
@@ -191,6 +239,7 @@ impl Crossbar {
                 *g = target;
             }
         }
+        self.diff_cache = OnceLock::new();
     }
 
     /// Applies lognormal conductance disturbance to every cell,
@@ -203,14 +252,18 @@ impl Crossbar {
     pub fn disturb(&mut self, sigma: f32, rng: &mut SeededRng) {
         assert!(sigma >= 0.0, "sigma must be non-negative");
         let (lo, hi) = (self.config.g_min, self.config.g_max);
-        for g in self
+        let mut factors = vec![0.0f32; self.g_pos.len() + self.g_neg.len()];
+        rng.fill_lognormal(&mut factors, 0.0, sigma);
+        for (g, &f) in self
             .g_pos
             .as_mut_slice()
             .iter_mut()
             .chain(self.g_neg.as_mut_slice())
+            .zip(&factors)
         {
-            *g = (*g * rng.lognormal(0.0, sigma)).clamp(lo, hi);
+            *g = (*g * f).clamp(lo, hi);
         }
+        self.diff_cache = OnceLock::new();
     }
 
     /// Applies deterministic conductance drift toward the high-resistance
@@ -223,15 +276,18 @@ impl Crossbar {
     pub fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
         assert!(nu >= 0.0 && time >= 0.0, "drift parameters must be non-negative");
         let lo = self.config.g_min;
-        for g in self
+        let mut rates = vec![0.0f32; self.g_pos.len() + self.g_neg.len()];
+        rng.fill_normal(&mut rates, 0.0, nu);
+        for (g, &z) in self
             .g_pos
             .as_mut_slice()
             .iter_mut()
             .chain(self.g_neg.as_mut_slice())
+            .zip(&rates)
         {
-            let rate = rng.normal(0.0, nu).abs();
-            *g = lo + (*g - lo) * (-rate * time).exp();
+            *g = lo + (*g - lo) * fastmath::exp(-z.abs() * time);
         }
+        self.diff_cache = OnceLock::new();
     }
 }
 
@@ -359,6 +415,60 @@ mod tests {
         let x = Tensor::randn(&[8], &mut rng).map(|v| (v * 0.3).clamp(-1.0, 1.0));
         let diff = xbar_c.matvec(&x).l1_distance(&xbar_i.matvec(&x));
         assert!(diff > 1e-4, "2-bit DAC should visibly distort the product");
+    }
+
+    #[test]
+    fn batched_matmul_bit_identical_to_matvec_rows() {
+        let mut rng = SeededRng::new(20);
+        for config in [CrossbarConfig::default(), ideal_config()] {
+            let w = Tensor::randn(&[12, 7], &mut rng);
+            let xbar = Crossbar::program(&w, &config, &mut rng);
+            let batch = Tensor::randn(&[5, 12], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+            let out = xbar.matmul(&batch);
+            assert_eq!(out.shape(), &[5, 7]);
+            for b in 0..5 {
+                let row = batch.row(b);
+                let single = xbar.matvec(&row);
+                for (j, (x, y)) in out.row(b).as_slice().iter().zip(single.as_slice()).enumerate()
+                {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "batch row {b} col {j}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_invalidates_conductance_cache() {
+        let mut rng = SeededRng::new(21);
+        let w = Tensor::full(&[4, 4], 0.5);
+        let x = Tensor::full(&[1, 4], 1.0);
+        for mutate in [
+            (|x: &mut Crossbar, r: &mut SeededRng| {
+                x.inject_stuck_cells(CellFault::StuckHigh, 1.0, r)
+            }) as fn(&mut Crossbar, &mut SeededRng),
+            |x, r| x.disturb(0.8, r),
+            |x, r| x.drift(1.0, 5.0, r),
+        ] {
+            let mut xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+            let before = xbar.matmul(&x); // populates the cache
+            mutate(&mut xbar, &mut rng);
+            let after = xbar.matmul(&x);
+            assert!(
+                before.l1_distance(&after) > 1e-3,
+                "batched result unchanged after fault injection: cache went stale"
+            );
+            // The cached matrix must agree with a from-scratch read-back.
+            let fresh = xbar.g_pos.zip_map(&xbar.g_neg, |p, n| p - n).scale(xbar.scale);
+            assert_eq!(
+                xbar.effective_weights().as_slice(),
+                fresh.as_slice(),
+                "cached differential matrix differs from recomputation"
+            );
+        }
     }
 
     #[test]

@@ -124,28 +124,23 @@ impl TiledMatrix {
     /// Panics if `input.len() != m`.
     pub fn matvec(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.len(), self.rows, "input length {} != {}", input.len(), self.rows);
-        let mut out = Tensor::zeros(&[self.cols]);
-        let x = input.as_slice();
-        let row_extent = self.tiles[0].rows();
-        let col_extent = self.tiles[0].cols();
-        for br in 0..self.tile_rows {
-            let r0 = br * row_extent;
-            for bc in 0..self.tile_cols {
-                let tile = &self.tiles[br * self.tile_cols + bc];
-                let c0 = bc * col_extent;
-                let seg = Tensor::from_vec(x[r0..r0 + tile.rows()].to_vec(), &[tile.rows()])
-                    .expect("segment length matches tile rows");
-                let partial = tile.matvec(&seg);
-                for (j, &p) in partial.as_slice().iter().enumerate() {
-                    *out.at_mut(&[c0 + j]) += p;
-                }
-            }
-        }
-        out
+        let batch = input
+            .reshape(&[1, self.rows])
+            .expect("1-D input reshapes to a single-row batch");
+        self.matmul(&batch)
+            .reshape(&[self.cols])
+            .expect("single-row output reshapes to 1-D")
     }
 
     /// Crossbar-backed matrix product `X·W` for a batch `X` of shape
     /// `[batch, m]`, returning `[batch, n]`.
+    ///
+    /// One GEMM per tile against its cached differential conductance
+    /// matrix — not `batch` matvec sweeps. Partial bit-line sums
+    /// accumulate across row blocks in ascending grid order, the same
+    /// per-element order a per-row sweep uses, and [`TiledMatrix::matvec`]
+    /// is the `batch == 1` case of this method — so batched and per-row
+    /// results are bit-identical.
     ///
     /// # Panics
     ///
@@ -154,8 +149,36 @@ impl TiledMatrix {
         assert_eq!(input.ndim(), 2, "batched matmul expects 2-D input");
         assert_eq!(input.shape()[1], self.rows, "inner dimension mismatch");
         let batch = input.shape()[0];
-        let rows: Vec<Tensor> = (0..batch).map(|b| self.matvec(&input.row(b))).collect();
-        Tensor::stack_rows(&rows)
+        let x = input.as_slice();
+        let row_extent = self.tiles[0].rows();
+        let col_extent = self.tiles[0].cols();
+        let mut out = Tensor::zeros(&[batch, self.cols]);
+        let mut seg = Vec::new();
+        for br in 0..self.tile_rows {
+            let r0 = br * row_extent;
+            for bc in 0..self.tile_cols {
+                let tile = &self.tiles[br * self.tile_cols + bc];
+                let c0 = bc * col_extent;
+                // Word-line segment for this row block: input columns
+                // [r0, r0 + tile.rows()) of every batch row.
+                seg.clear();
+                for b in 0..batch {
+                    seg.extend_from_slice(&x[b * self.rows + r0..b * self.rows + r0 + tile.rows()]);
+                }
+                let seg_t = Tensor::from_vec(std::mem::take(&mut seg), &[batch, tile.rows()])
+                    .expect("segment shape matches tile rows");
+                let partial = tile.matmul(&seg_t);
+                seg = seg_t.into_vec(); // reclaim the buffer for the next tile
+                let p = partial.as_slice();
+                let o = out.as_mut_slice();
+                for b in 0..batch {
+                    for j in 0..tile.cols() {
+                        o[b * self.cols + c0 + j] += p[b * tile.cols() + j];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Injects stuck cells into every tile.

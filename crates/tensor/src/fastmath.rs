@@ -1,0 +1,169 @@
+//! Fast, branchless approximations of the transcendentals the bulk
+//! stochastic samplers need.
+//!
+//! The fault models draw one lognormal/normal variate *per weight*, so a
+//! 40-model campaign over even a small MLP evaluates `exp`/`ln`/`sin`/`cos`
+//! millions of times. libm calls are precise to 0.5 ulp but cost an
+//! out-of-line call each and cannot be vectorized by the compiler. The
+//! routines here trade that last digit of precision (relative error is
+//! bounded around `1e-6`, far below the σ-level noise the error models
+//! inject) for straight-line polynomial code that LLVM auto-vectorizes
+//! inside the block samplers of [`crate::SeededRng`].
+//!
+//! All functions are total over the documented domains: inputs are clamped
+//! or reduced before the polynomial step, so no input produces NaN or a
+//! spurious overflow. Rounding to the nearest integer uses the `2^23`
+//! magic-number trick instead of `round()`/`floor()` so the code stays
+//! branchless and vectorizable on baseline x86-64 (no SSE4.1 `roundps`
+//! needed).
+
+/// Adding and subtracting `2^23` rounds an `f32` of magnitude `< 2^22`
+/// to the nearest integer (ties to even) using the FPU's own rounding.
+const ROUND_MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+
+/// `e^x`, clamped to `x ∈ [-87, 88]` (beyond which f32 under/overflows).
+///
+/// Decomposes `x = k·ln2 + r` with `|r| ≤ ln2/2`, evaluates a degree-5
+/// Taylor polynomial for `2^(r/ln2)` and applies `2^k` by exponent-field
+/// arithmetic. Relative error ≲ 3e-6 across the clamped domain, and the
+/// result is always positive and finite.
+#[inline(always)]
+pub fn exp(x: f32) -> f32 {
+    let x = x.clamp(-87.0, 88.0);
+    let z = x * std::f32::consts::LOG2_E;
+    let kf = (z + ROUND_MAGIC) - ROUND_MAGIC; // nearest integer to z
+    let r = (z - kf) * std::f32::consts::LN_2; // |r| <= ln2/2
+    // Taylor for e^r around 0; |r| <= 0.347 keeps the tail below 3e-6.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.6666667e-1 + r * (4.1666668e-2 + r * (8.333334e-3 + r * 1.3888889e-3)))));
+    let scale = f32::from_bits((((kf as i32) + 127) as u32) << 23);
+    p * scale
+}
+
+/// `ln(x)` for strictly-positive, finite, normal `x`.
+///
+/// Splits `x = m·2^e` with `m ∈ [√2/2, √2)` and evaluates the Cephes
+/// `logf` polynomial on `t = m − 1`. Not meaningful for zero, negative,
+/// subnormal, or non-finite inputs (the samplers never produce them).
+#[inline(always)]
+pub fn ln(x: f32) -> f32 {
+    let bits = x.to_bits() as i32;
+    let mut e = ((bits >> 23) - 127) as f32;
+    let mut m = f32::from_bits(((bits & 0x007F_FFFF) as u32) | 0x3F80_0000); // [1, 2)
+    // Shift mantissas above sqrt(2) down one octave so t stays small.
+    let shift = (m >= std::f32::consts::SQRT_2) as u32 as f32;
+    m *= 1.0 - 0.5 * shift;
+    e += shift;
+    let t = m - 1.0;
+    let z = t * t;
+    // Cephes logf minimax polynomial for ln(1 + t), t in [sqrt2/2-1, sqrt2-1].
+    let mut p = 7.037_683_6e-2;
+    p = p * t - 1.151_461e-1;
+    p = p * t + 1.167_699_9e-1;
+    p = p * t - 1.242_014_1e-1;
+    p = p * t + 1.424_932_3e-1;
+    p = p * t - 1.666_805_7e-1;
+    p = p * t + 2.000_071_5e-1;
+    p = p * t - 2.499_999_4e-1;
+    p = p * t + 3.333_333e-1;
+    let y = t * z * p - 0.5 * z + t;
+    y + e * std::f32::consts::LN_2
+}
+
+/// `(sin 2πt, cos 2πt)` for `t ∈ [0, 1)`.
+///
+/// Works in half-turn units (`x = 2t` so the angle is `πx`), reduces to
+/// the nearest half-turn and evaluates Taylor polynomials of `sin πr` /
+/// `cos πr` on `|r| ≤ ½`. Absolute error ≲ 3e-6.
+#[inline(always)]
+pub fn sincos_2pi(t: f32) -> (f32, f32) {
+    let x = 2.0 * t; // angle in units of pi, [0, 2)
+    let kf = (x + ROUND_MAGIC) - ROUND_MAGIC; // nearest half-turn
+    let r = x - kf; // [-1/2, 1/2]
+    let r2 = r * r;
+    // sin(pi r) = r * (pi - pi^3/3! r^2 + pi^5/5! r^4 - pi^7/7! r^6 + pi^9/9! r^8)
+    let s = r
+        * (std::f32::consts::PI
+            + r2 * (-5.167_712
+                + r2 * (2.550_164_2 + r2 * (-0.599_264_1 + r2 * 8.214_588_6e-2))));
+    // cos(pi r) = 1 - pi^2/2! r^2 + pi^4/4! r^4 - pi^6/6! r^6 + pi^8/8! r^8 - pi^10/10! r^10
+    let c = 1.0
+        + r2 * (-4.934_802
+            + r2 * (4.058_712 + r2 * (-1.335_262_7 + r2 * (0.235_330_6 - r2 * 2.580_689e-2))));
+    // Odd half-turns flip both signs: sin(pi r + pi k) = (-1)^k sin(pi r).
+    let flip = (((kf as i32) & 1) as u32) << 31;
+    (
+        f32::from_bits(s.to_bits() ^ flip),
+        f32::from_bits(c.to_bits() ^ flip),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_matches_libm() {
+        let mut worst = 0.0f32;
+        let mut x = -86.0f32;
+        while x <= 87.0 {
+            let want = x.exp();
+            let got = exp(x);
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            x += 0.0137;
+        }
+        assert!(worst < 1e-5, "exp relative error {worst}");
+    }
+
+    #[test]
+    fn exp_is_total_and_positive() {
+        for x in [-1e30f32, -87.0, 0.0, 88.0, 1e30] {
+            let v = exp(x);
+            assert!(v.is_finite() && v > 0.0, "exp({x}) = {v}");
+        }
+        assert_eq!(exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn ln_matches_libm() {
+        let mut worst = 0.0f32;
+        let mut x = 1e-24f32;
+        while x < 1e6 {
+            let want = x.ln();
+            let got = ln(x);
+            let err = if want.abs() > 1.0 { ((got - want) / want).abs() } else { (got - want).abs() };
+            worst = worst.max(err);
+            x *= 1.0173;
+        }
+        assert!(worst < 1e-5, "ln error {worst}");
+        assert_eq!(ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn sincos_matches_libm() {
+        let mut worst = 0.0f32;
+        let mut t = 0.0f32;
+        while t < 1.0 {
+            let (s, c) = sincos_2pi(t);
+            let angle = 2.0 * std::f64::consts::PI * t as f64;
+            worst = worst.max((s as f64 - angle.sin()).abs() as f32);
+            worst = worst.max((c as f64 - angle.cos()).abs() as f32);
+            t += 1.9073e-4; // ~5000 points
+        }
+        assert!(worst < 5e-6, "sincos absolute error {worst}");
+    }
+
+    #[test]
+    fn sincos_unit_circle() {
+        let mut t = 0.0f32;
+        while t < 1.0 {
+            let (s, c) = sincos_2pi(t);
+            let norm = s * s + c * c;
+            assert!((norm - 1.0).abs() < 1e-5, "s^2+c^2 = {norm} at t = {t}");
+            t += 0.001;
+        }
+    }
+}

@@ -29,6 +29,8 @@
 mod error;
 mod linalg;
 mod ops;
+pub mod fastmath;
+pub mod pool;
 mod random;
 mod serdes;
 mod shape;

@@ -1,11 +1,30 @@
 //! Matrix multiplication kernels.
 //!
-//! Three variants cover everything backprop needs without materializing
-//! transposes: `A·B`, `Aᵀ·B`, and `A·Bᵀ`. All use an `ikj` loop order so the
-//! innermost loop streams both operands, and fan work out across threads by
-//! row-block when the problem is large enough to amortize spawn cost.
+//! Three variants cover everything backprop needs: `A·B`, `Aᵀ·B`, and
+//! `A·Bᵀ`. All three funnel into one cache-blocked, register-tiled GEMM:
+//! the right-hand operand is packed once into [`NR`]-column panels so the
+//! micro-kernel streams it contiguously, and an `MR`×`NR` register tile
+//! amortizes every packed load across [`MR`] output rows. Large problems
+//! fan out across the persistent [`crate::pool`] by row block.
+//!
+//! # Bit-exactness
+//!
+//! Each output element is produced by a single `f32` accumulator walking
+//! the shared dimension in ascending order — exactly the naive triple
+//! loop's order. Packing and tiling only change memory layout, never the
+//! float operation order, so the blocked kernels are bit-identical to the
+//! naive reference, and row-parallel execution is bit-identical at any
+//! thread count (chunks own disjoint output rows). The kernels also make
+//! no zero-skip shortcuts: `0.0 · NaN` and `0.0 · ∞` contribute `NaN` to
+//! the accumulator exactly as IEEE 754 (and the naive loop) demand.
 
+use crate::pool;
 use crate::Tensor;
+
+/// Register-tile height: output rows carried per micro-kernel call.
+const MR: usize = 4;
+/// Register-tile width: output columns per packed panel.
+const NR: usize = 8;
 
 /// Below this many multiply-accumulates, threading costs more than it saves.
 const PAR_THRESHOLD: usize = 1 << 18;
@@ -14,26 +33,263 @@ fn thread_count(rows: usize, work: usize) -> usize {
     if work < PAR_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(rows).max(1)
+    pool::max_threads().min(rows).max(1)
 }
 
-/// Sequential kernel for `C[r0..r1] = A[r0..r1] * B`, with A laid out `m×k`
-/// and B `k×n`.
-fn matmul_block(a: &[f32], b: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
-    for i in r0..r1 {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[(i - r0) * n..(i - r0 + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
+/// Packs row-major `b` (`k×n`) into `⌈n/NR⌉` column panels, each laid out
+/// `[k][NR]` contiguously and zero-padded on the right in the final panel.
+fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let n_panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; n_panels * k * NR];
+    for pi in 0..n_panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut packed[pi * k * NR..(pi + 1) * k * NR];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + w];
+            panel[p * NR..p * NR + w].copy_from_slice(src);
+        }
+    }
+    packed
+}
+
+/// Packs row-major `bt` (`n×k`, the transpose of the logical `k×n` B) into
+/// the same panel layout as [`pack_b`]: panel `pi`, entry `[p][jj]` holds
+/// `Bᵀ[j0+jj][p]`.
+fn pack_bt(bt: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let n_panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; n_panels * k * NR];
+    for pi in 0..n_panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut packed[pi * k * NR..(pi + 1) * k * NR];
+        for jj in 0..w {
+            let row = &bt[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (p, &v) in row.iter().enumerate() {
+                panel[p * NR + jj] = v;
             }
         }
     }
+    packed
+}
+
+/// Computes `ROWS` consecutive output rows against one packed panel.
+///
+/// Accumulates the full shared dimension in ascending order into a
+/// `ROWS×NR` register tile, then stores the (possibly `w`-truncated)
+/// result — one pass, one accumulator per output element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel<const ROWS: usize>(
+    a: &[f32],
+    k: usize,
+    i: usize,
+    panel: &[f32],
+    c: &mut [f32],
+    n: usize,
+    c_r0: usize,
+    j0: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f32; NR]; ROWS];
+    for (ii, acc_row) in acc.iter_mut().enumerate() {
+        let a_row = &a[(i + ii) * k..(i + ii + 1) * k];
+        // Zipped exact iterators: no bounds checks in the hot loop, and
+        // `chunks_exact` tells LLVM each `b_row` is exactly NR wide.
+        for (&a_ip, b_row) in a_row.iter().zip(panel.chunks_exact(NR)) {
+            for (acc_v, &b_v) in acc_row.iter_mut().zip(b_row) {
+                *acc_v += a_ip * b_v;
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        let dst = &mut c[(i + ii - c_r0) * n + j0..(i + ii - c_r0) * n + j0 + w];
+        dst.copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// AVX micro-kernels: the same `MR`×`NR` tile walked in the same
+/// ascending-k order, with each output element in its own vector lane —
+/// explicit 256-bit `mul` + `add` (never fused), so every lane performs
+/// the identical IEEE 754 operation sequence as the portable kernel and
+/// results stay bit-identical across the dispatch boundary.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_broadcast_ss, _mm256_loadu_ps, _mm256_mul_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+
+    /// Whether the running CPU supports AVX (checked once per process).
+    pub fn available() -> bool {
+        static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+
+    /// Stores one accumulator row into `w` output columns.
+    #[target_feature(enable = "avx")]
+    unsafe fn store_row(acc: __m256, dst: &mut [f32], w: usize) {
+        if w == NR {
+            unsafe { _mm256_storeu_ps(dst.as_mut_ptr(), acc) };
+        } else {
+            let mut buf = [0.0f32; NR];
+            unsafe { _mm256_storeu_ps(buf.as_mut_ptr(), acc) };
+            dst[..w].copy_from_slice(&buf[..w]);
+        }
+    }
+
+    /// `MR`-row AVX tile: callers guarantee rows `i..i+MR` exist.
+    #[target_feature(enable = "avx")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn tile_mr(
+        a: &[f32],
+        k: usize,
+        i: usize,
+        panel: &[f32],
+        c: &mut [f32],
+        n: usize,
+        c_r0: usize,
+        j0: usize,
+        w: usize,
+    ) {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for p in 0..k {
+            unsafe {
+                let b_v = _mm256_loadu_ps(panel.as_ptr().add(p * NR));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_broadcast_ss(&a0[p]), b_v));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_broadcast_ss(&a1[p]), b_v));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_broadcast_ss(&a2[p]), b_v));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_broadcast_ss(&a3[p]), b_v));
+            }
+        }
+        for (ii, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+            let row0 = (i + ii - c_r0) * n + j0;
+            unsafe { store_row(acc, &mut c[row0..row0 + w], w) };
+        }
+    }
+
+    /// Single-row AVX tile for the `m % MR` remainder rows.
+    #[target_feature(enable = "avx")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn tile_1(
+        a: &[f32],
+        k: usize,
+        i: usize,
+        panel: &[f32],
+        c: &mut [f32],
+        n: usize,
+        c_r0: usize,
+        j0: usize,
+        w: usize,
+    ) {
+        let a0 = &a[i * k..(i + 1) * k];
+        let mut acc0 = _mm256_setzero_ps();
+        #[allow(clippy::needless_range_loop)] // `p` also strides the raw panel pointer
+        for p in 0..k {
+            unsafe {
+                let b_v = _mm256_loadu_ps(panel.as_ptr().add(p * NR));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_broadcast_ss(&a0[p]), b_v));
+            }
+        }
+        let row0 = (i - c_r0) * n + j0;
+        unsafe { store_row(acc0, &mut c[row0..row0 + w], w) };
+    }
+
+    const _: () = assert!(MR == 4 && NR == 8, "AVX tiles are written for a 4x8 register block");
+}
+
+/// Sequential packed GEMM for output rows `[r0, r1)`: `c` holds those rows
+/// only (`(r1-r0)×n`), `a` is the full `m×k` left operand, `packed` the
+/// full panel-packed right operand.
+fn gemm_rows(a: &[f32], packed: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx::available() {
+        // SAFETY: `avx::available()` verified CPU support; the tile
+        // functions uphold the same slice bounds as the portable kernel.
+        unsafe { gemm_rows_avx(a, packed, c, r0, r1, k, n) };
+        return;
+    }
+    let n_panels = n.div_ceil(NR);
+    for pi in 0..n_panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let panel = &packed[pi * k * NR..(pi + 1) * k * NR];
+        let mut i = r0;
+        while i + MR <= r1 {
+            micro_kernel::<MR>(a, k, i, panel, c, n, r0, j0, w);
+            i += MR;
+        }
+        while i < r1 {
+            micro_kernel::<1>(a, k, i, panel, c, n, r0, j0, w);
+            i += 1;
+        }
+    }
+}
+
+/// [`gemm_rows`] walking the same tiles through the AVX micro-kernels.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_rows_avx(
+    a: &[f32],
+    packed: &[f32],
+    c: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    let n_panels = n.div_ceil(NR);
+    for pi in 0..n_panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let panel = &packed[pi * k * NR..(pi + 1) * k * NR];
+        let mut i = r0;
+        while i + MR <= r1 {
+            unsafe { avx::tile_mr(a, k, i, panel, c, n, r0, j0, w) };
+            i += MR;
+        }
+        while i < r1 {
+            unsafe { avx::tile_1(a, k, i, panel, c, n, r0, j0, w) };
+            i += 1;
+        }
+    }
+}
+
+/// Shared driver: packs nothing itself — callers pass the panel-packed
+/// right operand — and splits output rows across the pool in `MR`-aligned
+/// chunks when `threads > 1`.
+fn gemm_driver(
+    a: &[f32],
+    packed: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m * n == 0 {
+        return out;
+    }
+    let threads = threads.clamp(1, m);
+    if threads <= 1 {
+        gemm_rows(a, packed, &mut out, 0, m, k, n);
+    } else {
+        let rows_per = m.div_ceil(threads).next_multiple_of(MR);
+        pool::run_chunks(&mut out, rows_per * n, |ci, chunk| {
+            let r0 = ci * rows_per;
+            let r1 = (r0 + rows_per).min(m);
+            gemm_rows(a, packed, chunk, r0, r1, k, n);
+        });
+    }
+    out
 }
 
 impl Tensor {
@@ -43,122 +299,86 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let threads = if self.ndim() == 2 && rhs.ndim() == 2 {
+            let (m, k) = (self.shape()[0], self.shape()[1]);
+            thread_count(m, m * k * rhs.shape()[1])
+        } else {
+            1 // shape asserts below produce the real error
+        };
+        self.matmul_with_threads(rhs, threads)
+    }
+
+    /// [`Tensor::matmul`] with an explicit thread count (clamped to
+    /// `[1, m]`) — for determinism tests and callers that must bound their
+    /// parallelism. Results are bit-identical at any thread count.
+    pub fn matmul_with_threads(&self, rhs: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
         assert_eq!(rhs.ndim(), 2, "matmul rhs must be 2-D, got {:?}", rhs.shape());
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let work = m * k * n;
-        let threads = thread_count(m, work);
-        let mut out = vec![0.0f32; m * n];
-        if threads <= 1 {
-            matmul_block(a, b, &mut out, 0, m, k, n);
-        } else {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
-                    let r0 = t * chunk;
-                    let r1 = (r0 + chunk).min(m);
-                    s.spawn(move || matmul_block(a, b, out_chunk, r0, r1, k, n));
-                }
-            });
-        }
+        let packed = pack_b(rhs.as_slice(), k, n);
+        let out = gemm_driver(self.as_slice(), &packed, m, k, n, threads);
         Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent by construction")
     }
 
-    /// Matrix product `selfᵀ · rhs` (`k×m`ᵀ times `k×n` → `m×n`) without
-    /// materializing the transpose.
+    /// Matrix product `selfᵀ · rhs` (`k×m`ᵀ times `k×n` → `m×n`).
     ///
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or the shared dimension differs.
     pub fn matmul_at(&self, rhs: &Tensor) -> Tensor {
+        let threads = if self.ndim() == 2 && rhs.ndim() == 2 {
+            let (k, m) = (self.shape()[0], self.shape()[1]);
+            thread_count(m, m * k * rhs.shape()[1])
+        } else {
+            1
+        };
+        self.matmul_at_with_threads(rhs, threads)
+    }
+
+    /// [`Tensor::matmul_at`] with an explicit thread count; bit-identical
+    /// at any thread count.
+    pub fn matmul_at_with_threads(&self, rhs: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_at lhs must be 2-D");
         assert_eq!(rhs.ndim(), 2, "matmul_at rhs must be 2-D");
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul_at shared dimension mismatch: {k} vs {k2}");
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        // C[i,j] = sum_p A[p,i] * B[p,j]: each output row i reads column i
-        // of A, so rows are independent and parallelize cleanly.
-        let kernel = |r0: usize, r1: usize, out_chunk: &mut [f32]| {
-            for i in r0..r1 {
-                let c_row = &mut out_chunk[(i - r0) * n..(i - r0 + 1) * n];
-                for p in 0..k {
-                    let a_pi = a[p * m + i];
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                        *c_v += a_pi * b_v;
-                    }
-                }
-            }
-        };
-        let work = m * k * n;
-        let threads = thread_count(m, work);
-        let mut out = vec![0.0f32; m * n];
-        if threads <= 1 {
-            kernel(0, m, &mut out);
-        } else {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
-                    let r0 = t * chunk;
-                    let r1 = (r0 + chunk).min(m);
-                    s.spawn(move || kernel(r0, r1, out_chunk));
-                }
-            });
-        }
+        // Materializing the m×k transpose costs O(mk) — negligible next to
+        // the O(mkn) product — and buys the contiguous-row fast path.
+        let at = self.transpose();
+        let packed = pack_b(rhs.as_slice(), k, n);
+        let out = gemm_driver(at.as_slice(), &packed, m, k, n, threads);
         Tensor::from_vec(out, &[m, n]).expect("matmul_at output shape is consistent")
     }
 
     /// Matrix product `self · rhsᵀ` (`m×k` times `n×k`ᵀ → `m×n`) without
-    /// materializing the transpose.
+    /// materializing the transpose: packing transposes on the fly.
     ///
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or the shared dimension differs.
     pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        let threads = if self.ndim() == 2 && rhs.ndim() == 2 {
+            let (m, k) = (self.shape()[0], self.shape()[1]);
+            thread_count(m, m * k * rhs.shape()[0])
+        } else {
+            1
+        };
+        self.matmul_bt_with_threads(rhs, threads)
+    }
+
+    /// [`Tensor::matmul_bt`] with an explicit thread count; bit-identical
+    /// at any thread count.
+    pub fn matmul_bt_with_threads(&self, rhs: &Tensor, threads: usize) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_bt lhs must be 2-D");
         assert_eq!(rhs.ndim(), 2, "matmul_bt rhs must be 2-D");
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul_bt shared dimension mismatch: {k} vs {k2}");
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let work = m * k * n;
-        let threads = thread_count(m, work);
-        let kernel = |r0: usize, r1: usize, out_chunk: &mut [f32]| {
-            for i in r0..r1 {
-                let a_row = &a[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (av, bv) in a_row.iter().zip(b_row) {
-                        acc += av * bv;
-                    }
-                    out_chunk[(i - r0) * n + j] = acc;
-                }
-            }
-        };
-        let mut out = vec![0.0f32; m * n];
-        if threads <= 1 {
-            kernel(0, m, &mut out);
-        } else {
-            let chunk = m.div_ceil(threads);
-            std::thread::scope(|s| {
-                for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
-                    let r0 = t * chunk;
-                    let r1 = (r0 + chunk).min(m);
-                    s.spawn(move || kernel(r0, r1, out_chunk));
-                }
-            });
-        }
+        let packed = pack_bt(rhs.as_slice(), k, n);
+        let out = gemm_driver(self.as_slice(), &packed, m, k, n, threads);
         Tensor::from_vec(out, &[m, n]).expect("matmul_bt output shape is consistent")
     }
 
@@ -211,6 +431,26 @@ mod tests {
         }
     }
 
+    fn assert_bit_identical(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shapes differ");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs: {x} vs {y}");
+        }
+    }
+
+    /// Odd shapes that exercise every tiling edge: unit, tall/skinny,
+    /// wide, and non-multiples of both MR and NR.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 2),
+        (7, 4, 9),
+        (16, 16, 16),
+        (1, 37, 65),
+        (65, 1, 7),
+        (13, 29, 1),
+        (33, 17, 41),
+    ];
+
     #[test]
     fn matmul_hand_example() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
@@ -232,12 +472,73 @@ mod tests {
     }
 
     #[test]
-    fn matmul_matches_naive_random() {
+    fn matmul_bit_identical_to_naive() {
         let mut rng = SeededRng::new(11);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16)] {
+        for &(m, k, n) in SHAPES {
             let a = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
-            assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+            assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b), "matmul");
+        }
+    }
+
+    #[test]
+    fn matmul_at_bit_identical_to_naive() {
+        let mut rng = SeededRng::new(17);
+        for &(m, k, n) in SHAPES {
+            let a = Tensor::randn(&[k, m], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            assert_bit_identical(
+                &a.matmul_at(&b),
+                &naive_matmul(&a.transpose(), &b),
+                "matmul_at",
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_bt_bit_identical_to_naive() {
+        let mut rng = SeededRng::new(19);
+        for &(m, k, n) in SHAPES {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[n, k], &mut rng);
+            assert_bit_identical(
+                &a.matmul_bt(&b),
+                &naive_matmul(&a, &b.transpose()),
+                "matmul_bt",
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_thread_count_does_not_change_bits() {
+        let mut rng = SeededRng::new(13);
+        for &(m, k, n) in &[(33, 17, 41), (96, 96, 96), (5, 64, 3)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let one = a.matmul_with_threads(&b, 1);
+            for threads in [2, 7] {
+                assert_bit_identical(
+                    &one,
+                    &a.matmul_with_threads(&b, threads),
+                    "matmul across thread counts",
+                );
+            }
+            let bt = Tensor::randn(&[n, k], &mut rng);
+            let one_bt = a.matmul_bt_with_threads(&bt, 1);
+            let at = Tensor::randn(&[k, m], &mut rng);
+            let one_at = at.matmul_at_with_threads(&b, 1);
+            for threads in [2, 7] {
+                assert_bit_identical(
+                    &one_bt,
+                    &a.matmul_bt_with_threads(&bt, threads),
+                    "matmul_bt across thread counts",
+                );
+                assert_bit_identical(
+                    &one_at,
+                    &at.matmul_at_with_threads(&b, threads),
+                    "matmul_at across thread counts",
+                );
+            }
         }
     }
 
@@ -247,7 +548,24 @@ mod tests {
         let mut rng = SeededRng::new(13);
         let a = Tensor::randn(&[96, 96], &mut rng);
         let b = Tensor::randn(&[96, 96], &mut rng);
-        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+        assert_bit_identical(&a.matmul(&b), &naive_matmul(&a, &b), "parallel matmul");
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero() {
+        // The seed kernel skipped a_ip == 0.0 rows, silently dropping the
+        // IEEE-mandated NaN from 0·NaN and 0·∞. The blocked kernel must
+        // propagate it, exactly like the naive reference.
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 2.0], &[2, 1]).unwrap();
+        assert!(a.matmul(&b).as_slice()[0].is_nan(), "0·NaN must yield NaN");
+        let binf = Tensor::from_vec(vec![f32::INFINITY, 2.0], &[2, 1]).unwrap();
+        assert!(a.matmul(&binf).as_slice()[0].is_nan(), "0·∞ must yield NaN");
+        // matmul_at reads the same values through the transposed layout.
+        let at = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]).unwrap();
+        assert!(at.matmul_at(&b).as_slice()[0].is_nan(), "matmul_at must propagate NaN");
+        let bt = Tensor::from_vec(vec![f32::NAN, 2.0], &[1, 2]).unwrap();
+        assert!(a.matmul_bt(&bt).as_slice()[0].is_nan(), "matmul_bt must propagate NaN");
     }
 
     #[test]

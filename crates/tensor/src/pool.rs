@@ -1,0 +1,333 @@
+//! Persistent scoped worker pool shared by every parallel kernel in the
+//! workspace.
+//!
+//! The seed implementation spawned fresh `std::thread::scope` threads for
+//! every parallel matmul and every fault campaign — tens of thousands of
+//! spawns per detection sweep. This module replaces those with a single
+//! process-wide pool of long-lived workers plus a *scoped* job protocol:
+//! [`run`] fans `f(0..n_chunks)` out over the workers **and the calling
+//! thread**, and does not return until every chunk has completed, so `f`
+//! may freely borrow from the caller's stack exactly like
+//! `std::thread::scope`.
+//!
+//! # Determinism contract
+//!
+//! Chunks are pure data-parallel units: which OS thread executes chunk
+//! `i` is unspecified, so `f(i)` must depend only on `i` (plus captured
+//! immutable state). Under that contract results are bit-identical
+//! regardless of worker count, `HEALTHMON_THREADS`, or scheduling — the
+//! property the campaign and kernel tests assert.
+//!
+//! # Nesting and panics
+//!
+//! Jobs may be submitted from worker threads (a campaign chunk calling a
+//! parallel matmul): the inner caller always participates in its own job,
+//! so progress never depends on free workers and the pool cannot
+//! deadlock. A panicking chunk is caught, the remaining chunks still
+//! complete, and the first panic payload (by completion order) is
+//! re-raised on the calling thread once the job is done — workers never
+//! die, and borrowed data is never used after the caller unwinds.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The process-wide thread budget for parallel kernels.
+///
+/// Resolved once per process: the `HEALTHMON_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`]. Every parallel entry point in
+/// the workspace (matmul kernels, fault campaigns) derives its default
+/// fan-out from this single cached lookup.
+pub fn max_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(raw) = std::env::var("HEALTHMON_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// One in-flight job: a type-erased chunk closure plus claim/completion
+/// counters.
+struct Job {
+    /// The chunk closure. The `'static` lifetime is a lie told by
+    /// [`run`], which guarantees the borrow outlives every execution by
+    /// blocking until `done == n_chunks`.
+    task: &'static (dyn Fn(usize) + Sync),
+    /// Next unclaimed chunk index.
+    next: AtomicUsize,
+    /// Total chunk count.
+    n_chunks: usize,
+    /// Completed chunk count, guarded for the completion condvar.
+    done: Mutex<usize>,
+    /// Signalled when `done` reaches `n_chunks`.
+    done_cv: Condvar,
+    /// First panic payload raised by a chunk, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Pool state shared between the workers and submitting threads.
+struct Shared {
+    /// Jobs with potentially unclaimed chunks, oldest first.
+    queue: Mutex<Vec<Arc<Job>>>,
+    /// Signalled when a new job is pushed.
+    work_cv: Condvar,
+}
+
+/// Claims and executes chunks of `job` until none remain unclaimed.
+fn execute(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_chunks {
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| (job.task)(i)));
+        if let Err(payload) = outcome {
+            let mut slot = job.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut done = job.done.lock().unwrap();
+        *done += 1;
+        if *done == job.n_chunks {
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue
+                    .iter()
+                    .find(|j| j.next.load(Ordering::Relaxed) < j.n_chunks)
+                {
+                    break job.clone();
+                }
+                queue = shared.work_cv.wait(queue).unwrap();
+            }
+        };
+        execute(&job);
+    }
+}
+
+/// The lazily-started global pool. Workers are `max_threads() - 1`
+/// detached threads; the submitting thread always acts as the final
+/// worker for its own job.
+fn shared() -> &'static Arc<Shared> {
+    static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared = Arc::new(Shared { queue: Mutex::new(Vec::new()), work_cv: Condvar::new() });
+        for w in 0..max_threads().saturating_sub(1) {
+            let worker_shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("healthmon-pool-{w}"))
+                .spawn(move || worker_loop(worker_shared))
+                .expect("spawning a healthmon pool worker failed");
+        }
+        shared
+    })
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(n_chunks - 1)` across the persistent pool
+/// and the calling thread, returning once all chunks have completed.
+///
+/// `f` may borrow from the caller's stack: like `std::thread::scope`,
+/// this function does not return (or unwind) while any chunk is still
+/// executing. Chunk-to-thread assignment is unspecified; see the module
+/// docs for the determinism contract.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed among the chunks after every chunk
+/// has finished.
+pub fn run(n_chunks: usize, f: impl Fn(usize) + Sync) {
+    if n_chunks == 0 {
+        return;
+    }
+    if n_chunks == 1 || max_threads() == 1 {
+        // Inline path: same contract as the pooled path — every chunk
+        // runs, and the first panic is re-raised only afterwards.
+        let mut first_panic = None;
+        for i in 0..n_chunks {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        return;
+    }
+    let task: &(dyn Fn(usize) + Sync) = &f;
+    // SAFETY: `task` is only invoked by `execute`, every invocation
+    // finishes before `done` reaches `n_chunks`, and this function does
+    // not return or unwind until the completion wait below observes
+    // `done == n_chunks` — so the erased borrow never outlives `f`.
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
+    let job = Arc::new(Job {
+        task,
+        next: AtomicUsize::new(0),
+        n_chunks,
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let shared = shared();
+    shared.queue.lock().unwrap().push(job.clone());
+    shared.work_cv.notify_all();
+    // Participate: the caller is always one of the executors, so a job
+    // completes even if every worker is busy with other jobs (including
+    // nested jobs submitted from inside this one).
+    execute(&job);
+    let mut done = job.done.lock().unwrap();
+    while *done < n_chunks {
+        done = job.done_cv.wait(done).unwrap();
+    }
+    drop(done);
+    let mut queue = shared.queue.lock().unwrap();
+    if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+        queue.remove(pos);
+    }
+    drop(queue);
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Raw-pointer wrapper that promises cross-thread use is sound because
+/// [`run_chunks`] hands each chunk a disjoint region.
+struct SharedMutPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedMutPtr<T> {}
+
+impl<T> SharedMutPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `items` into consecutive chunks of `chunk_len` elements (the
+/// last may be shorter) and runs `f(chunk_index, chunk)` for each in
+/// parallel on the pool.
+///
+/// This is the safe mutable-output entry point the matmul kernels and
+/// fault campaigns build on: the chunks are disjoint `&mut` regions of
+/// one allocation, so no locking is needed and results are independent
+/// of how chunks are scheduled.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero; re-raises chunk panics like [`run`].
+pub fn run_chunks<T, F>(items: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SharedMutPtr(items.as_mut_ptr());
+    run(n_chunks, move |ci| {
+        let start = ci * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunk `ci` covers [start, end) and chunks are disjoint
+        // sub-ranges of `items`, which outlives `run` (it blocks until
+        // all chunks complete).
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+        f(ci, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_covers_every_chunk_once() {
+        let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+        run(23, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} executed wrong number of times");
+        }
+    }
+
+    #[test]
+    fn run_zero_chunks_is_noop() {
+        run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn run_chunks_partitions_exactly() {
+        let mut items = vec![0u32; 10];
+        run_chunks(&mut items, 4, |ci, chunk| {
+            let expected = if ci == 2 { 2 } else { 4 };
+            assert_eq!(chunk.len(), expected);
+            for v in chunk.iter_mut() {
+                *v = ci as u32 + 1;
+            }
+        });
+        assert_eq!(items, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn nested_runs_complete() {
+        let mut out = vec![0usize; 6];
+        run_chunks(&mut out, 2, |outer, chunk| {
+            let inner_sum = AtomicUsize::new(0);
+            run(3, |i| {
+                inner_sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            for v in chunk.iter_mut() {
+                *v = outer * 100 + inner_sum.load(Ordering::Relaxed);
+            }
+        });
+        assert_eq!(out, vec![6, 6, 106, 106, 206, 206]);
+    }
+
+    #[test]
+    fn panicking_chunk_is_reraised_after_completion() {
+        let completed: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(5, |i| {
+                completed[i].fetch_add(1, Ordering::Relaxed);
+                if i == 2 {
+                    panic!("chunk 2 exploded");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "chunk 2 exploded");
+        // Every chunk still ran exactly once despite the panic.
+        for c in &completed {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn max_threads_is_stable_and_positive() {
+        let a = max_threads();
+        let b = max_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b, "cached thread budget must not change between calls");
+    }
+}

@@ -34,6 +34,22 @@ pub struct SeededRng {
     spare_normal: Option<f32>,
 }
 
+/// Pairs of Box–Muller variates computed per block by the bulk samplers;
+/// sized so the scratch buffers live comfortably in L1.
+const BM_BLOCK: usize = 64;
+
+/// One Box–Muller pair from two raw 64-bit draws, on the fast polynomial
+/// transcendentals. `u1 ∈ (0, 1]` (so `ln` never sees zero) and
+/// `u2 ∈ [0, 1)`.
+#[inline(always)]
+fn box_muller(u_a: u64, u_b: u64) -> (f32, f32) {
+    let u1 = ((u_a >> 40) as f32 + 1.0) * (1.0 / (1u64 << 24) as f32);
+    let u2 = (u_b >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+    let r = (-2.0 * crate::fastmath::ln(u1)).sqrt();
+    let (s, c) = crate::fastmath::sincos_2pi(u2);
+    (r * c, r * s)
+}
+
 /// One SplitMix64 step; used to expand seeds and mix fork streams.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -167,6 +183,69 @@ impl SeededRng {
         self.normal(mu, sigma).exp()
     }
 
+    /// Fills `out` with independent `N(mean, std_dev²)` samples — the bulk
+    /// counterpart of [`SeededRng::normal`] for the per-weight error
+    /// models, where sampling cost dominates whole campaigns.
+    ///
+    /// Draws from the same underlying xoshiro stream (two raw draws per
+    /// Box–Muller pair) but computes the transform with the vectorizable
+    /// polynomial approximations in [`crate::fastmath`], so the values
+    /// differ from repeated [`SeededRng::normal`] calls in the last few
+    /// ulps and in draw order. The procedure is fully deterministic for a
+    /// given seed and length; it neither reads nor writes the cached
+    /// spare variate of the scalar sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev < 0`.
+    pub fn fill_normal(&mut self, out: &mut [f32], mean: f32, std_dev: f32) {
+        assert!(std_dev >= 0.0, "negative standard deviation {std_dev}");
+        const SCALE: f32 = 1.0 / (1u64 << 24) as f32;
+        let mut u1 = [0f32; BM_BLOCK];
+        let mut u2 = [0f32; BM_BLOCK];
+        let mut chunks = out.chunks_exact_mut(2 * BM_BLOCK);
+        for chunk in &mut chunks {
+            // Raw draws first (a serial dependency chain, converted to f32
+            // here so the block below is float-only), then the pure math,
+            // which LLVM auto-vectorizes.
+            for (a, b) in u1.iter_mut().zip(u2.iter_mut()) {
+                *a = ((self.next_u64() >> 40) as f32 + 1.0) * SCALE;
+                *b = (self.next_u64() >> 40) as f32 * SCALE;
+            }
+            let (lo, hi) = chunk.split_at_mut(BM_BLOCK);
+            for i in 0..BM_BLOCK {
+                let r = (-2.0 * crate::fastmath::ln(u1[i])).sqrt();
+                let (s, c) = crate::fastmath::sincos_2pi(u2[i]);
+                lo[i] = mean + std_dev * (r * c);
+                hi[i] = mean + std_dev * (r * s);
+            }
+        }
+        let rem = chunks.into_remainder();
+        let mut i = 0;
+        while i < rem.len() {
+            let (z0, z1) = box_muller(self.next_u64(), self.next_u64());
+            rem[i] = mean + std_dev * z0;
+            if i + 1 < rem.len() {
+                rem[i + 1] = mean + std_dev * z1;
+            }
+            i += 2;
+        }
+    }
+
+    /// Fills `out` with independent lognormal samples `e^N(mu, sigma²)` —
+    /// the bulk counterpart of [`SeededRng::lognormal`], with the same
+    /// stream semantics as [`SeededRng::fill_normal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn fill_lognormal(&mut self, out: &mut [f32], mu: f32, sigma: f32) {
+        self.fill_normal(out, mu, sigma);
+        for v in out.iter_mut() {
+            *v = crate::fastmath::exp(*v);
+        }
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -276,6 +355,56 @@ mod tests {
         // Median of lognormal(mu=0) is e^0 = 1.
         let median = samples[n / 2];
         assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn fill_normal_moments() {
+        let mut rng = SeededRng::new(7);
+        let mut samples = vec![0.0f32; 20_000];
+        rng.fill_normal(&mut samples, 2.0, 3.0);
+        let n = samples.len() as f32;
+        let mean = samples.iter().sum::<f32>() / n;
+        let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn fill_normal_deterministic_and_handles_odd_lengths() {
+        for len in [0usize, 1, 2, 3, 127, 128, 129, 300] {
+            let mut a = vec![0.0f32; len];
+            let mut b = vec![0.0f32; len];
+            SeededRng::new(31).fill_normal(&mut a, 0.0, 1.0);
+            SeededRng::new(31).fill_normal(&mut b, 0.0, 1.0);
+            assert_eq!(a, b, "length {len} not deterministic");
+            assert!(a.iter().all(|v| v.is_finite()), "non-finite sample at length {len}");
+        }
+    }
+
+    #[test]
+    fn fill_normal_zero_std_dev_is_constant() {
+        let mut samples = vec![1.0f32; 300];
+        SeededRng::new(3).fill_normal(&mut samples, 0.25, 0.0);
+        assert!(samples.iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn fill_lognormal_positive_and_median() {
+        let mut rng = SeededRng::new(21);
+        let mut samples = vec![0.0f32; 20_000];
+        rng.fill_lognormal(&mut samples, 0.0, 0.3);
+        assert!(samples.iter().all(|&v| v > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn fill_lognormal_zero_sigma_is_exact_identity_factor() {
+        // The fault models rely on sigma = 0 producing factor 1.0 exactly.
+        let mut samples = vec![0.0f32; 130];
+        SeededRng::new(9).fill_lognormal(&mut samples, 0.0, 0.0);
+        assert!(samples.iter().all(|&v| v == 1.0));
     }
 
     #[test]

@@ -130,6 +130,23 @@ impl Tensor {
         self.data
     }
 
+    /// Overwrites this tensor's elements with `src`'s, reusing the
+    /// existing allocation (the in-place counterpart of cloning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            src.shape(),
+            "copy_from shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            src.shape()
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Element at a multi-dimensional index.
     ///
     /// # Panics

@@ -2,8 +2,41 @@
 # Hermetic CI: the whole pipeline must pass offline, proving the
 # workspace builds from the standard library alone (no registry, no
 # network, no vendored sources).
+#
+# Usage: scripts/ci.sh [--bench-smoke]
+#   --bench-smoke  additionally run both bench binaries in short mode
+#                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    BENCH_SMOKE=1
+fi
+
+# Assembles BENCH_pr2.json: the checked-in back-to-back baseline
+# measurements (artifacts/bench_pr2_baseline_ab_*.json, taken at the
+# pre-engine commit) next to the current run of the same benches.
+assemble_bench_report() {
+    local mode="$1" kernels="$2" testgen="$3"
+    {
+        echo '{'
+        echo "\"mode\": \"${mode}\","
+        echo '"baseline": {'
+        echo '"kernels":'
+        cat artifacts/bench_pr2_baseline_ab_kernels.json
+        echo ', "testgen":'
+        cat artifacts/bench_pr2_baseline_ab_testgen.json
+        echo '},'
+        echo '"current": {'
+        echo '"kernels":'
+        cat "$kernels"
+        echo ', "testgen":'
+        cat "$testgen"
+        echo '}'
+        echo '}'
+    } > BENCH_pr2.json
+}
 
 echo "== offline release build =="
 cargo build --release --offline --workspace
@@ -20,5 +53,20 @@ if grep -E '^source = ' Cargo.lock; then
     exit 1
 fi
 echo "ok: every locked package is a workspace member"
+
+if [[ "$BENCH_SMOKE" == "1" ]]; then
+    echo "== bench smoke (short mode, refreshes BENCH_pr2.json) =="
+    # Absolute path: cargo runs bench binaries from the package directory.
+    report_dir="$(pwd)/target/bench-report"
+    mkdir -p "$report_dir"
+    HEALTHMON_BENCH_SMOKE=1 HEALTHMON_BENCH_JSON="$report_dir/kernels.json" \
+        cargo bench --offline --bench kernels > /dev/null
+    HEALTHMON_BENCH_SMOKE=1 HEALTHMON_BENCH_JSON="$report_dir/testgen.json" \
+        cargo bench --offline --bench testgen > /dev/null
+    assemble_bench_report smoke "$report_dir/kernels.json" "$report_dir/testgen.json"
+    echo "ok: both bench binaries ran without panicking; BENCH_pr2.json written"
+    echo "    (smoke-mode numbers: 2 samples, short calibration — for perf"
+    echo "     claims use a full 'cargo bench' run as in artifacts/)"
+fi
 
 echo "CI passed."
