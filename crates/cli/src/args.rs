@@ -42,6 +42,11 @@ impl ParsedArgs {
             .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
+    /// An optional string option, `None` when absent.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// An optional parsed option with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {

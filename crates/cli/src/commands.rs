@@ -1,7 +1,10 @@
 //! Subcommand implementations.
 
 use crate::args::ParsedArgs;
-use healthmon::{AetGenerator, CtpGenerator, Detector, OtpGenerator, SdcCriterion, TestPatternSet};
+use healthmon::{
+    AetGenerator, AgingModel, CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime,
+    MonitorPolicy, OtpGenerator, SdcCriterion, TestPatternSet, TrainData,
+};
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
 use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
@@ -21,7 +24,13 @@ pub const USAGE: &str = "usage:
                      [--count N] [--seed N]
   healthmon check    --arch <A> --model <golden.json> --target <device.json> --patterns <patterns.json>
                      [--threshold F]       exit 0 = healthy, 2 = faulty
-  healthmon accuracy --arch <A> --model <model.json> [--seed N]";
+  healthmon accuracy --arch <A> --model <model.json> [--seed N]
+  healthmon lifetime --arch <A> --model <model.json>
+                     [--epochs N] [--seed N] [--count N] [--patterns <patterns.json>]
+                     [--drift F] [--soft F] [--stuck-lambda F]
+                     [--watch F] [--critical F] [--budget N] [--train-size N]
+                     [--checkpoint <cp.json>] [--stop-after N] [--report <out.txt>]
+                     exit 0 = lifetime completed, 2 = parked in critical";
 
 /// Dispatches a parsed command line. Returns the process exit code.
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
@@ -32,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "generate" => cmd_generate(&args),
         "check" => cmd_check(&args),
         "accuracy" => cmd_accuracy(&args),
+        "lifetime" => cmd_lifetime(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -211,6 +221,122 @@ fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
         Ok(ExitCode::from(2))
     } else {
         println!("verdict: healthy");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Simulates a deployed accelerator's lifetime: aging epochs interleaved
+/// with concurrent checkups, autonomous diagnosis/repair on escalation,
+/// and an incident report if the repair budget runs out.
+///
+/// With `--checkpoint`, the run resumes from the file when it exists and
+/// rewrites it after every invocation, so an interrupted lifetime can be
+/// continued bit-identically (`--stop-after` bounds the epochs per
+/// invocation). The final report is printed on completion and also
+/// written to `--report` when given.
+fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&[
+        "arch",
+        "model",
+        "epochs",
+        "seed",
+        "count",
+        "patterns",
+        "drift",
+        "soft",
+        "stuck-lambda",
+        "watch",
+        "critical",
+        "budget",
+        "train-size",
+        "checkpoint",
+        "stop-after",
+        "report",
+    ])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let epochs: usize = args.get_or("epochs", 12)?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+    let count: usize = args.get_or("count", 10)?;
+    let drift: f32 = args.get_or("drift", 0.05)?;
+    let soft: f64 = args.get_or("soft", 0.0)?;
+    let stuck_lambda: f64 = args.get_or("stuck-lambda", 1.0)?;
+    let watch: f32 = args.get_or("watch", 0.02)?;
+    let critical: f32 = args.get_or("critical", 0.06)?;
+    let budget: usize = args.get_or("budget", 8)?;
+    let train_size: usize = args.get_or("train-size", 0)?;
+    let stop_after: usize = args.get_or("stop-after", 0)?;
+
+    let mut golden = load_model(arch, model, seed)?;
+    // The pattern set must be identical across resumes: either a fixed
+    // file, or C-TP selection — a pure function of (model, arch, seed).
+    let patterns = match args.get("patterns") {
+        Some(path) => load_patterns(path)?,
+        None => {
+            let pool = dataset_for(arch, seed ^ 0xC1D, count.max(50) * 20)?.test;
+            CtpGenerator::new(count).select(&mut golden, &pool)
+        }
+    };
+    let train = if train_size > 0 {
+        let split = dataset_for(arch, seed, train_size)?;
+        Some(TrainData { images: split.train.images, labels: split.train.labels })
+    } else {
+        None
+    };
+    let config = LifetimeConfig {
+        seed,
+        epochs,
+        aging: AgingModel {
+            drift_nu: drift,
+            drift_time: 1.0,
+            soft_error_p: soft,
+            stuck_lambda,
+        },
+        policy: MonitorPolicy {
+            watch_threshold: watch,
+            critical_threshold: critical,
+            escalation_count: 1,
+        },
+        repair_budget: budget,
+        ..LifetimeConfig::default()
+    };
+
+    let checkpoint_path = args.get("checkpoint");
+    let mut runtime = match checkpoint_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+            let runtime = LifetimeRuntime::resume(&golden, patterns, config, train, &json)
+                .map_err(|e| format!("resuming `{path}`: {e}"))?;
+            eprintln!("resumed from {path} at epoch {}", runtime.epoch());
+            runtime
+        }
+        _ => LifetimeRuntime::new(&golden, patterns, config, train),
+    };
+
+    runtime.run(if stop_after > 0 { Some(stop_after) } else { None });
+
+    if let Some(path) = checkpoint_path {
+        std::fs::write(path, runtime.checkpoint_json())
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    if !runtime.is_finished() {
+        println!(
+            "checkpointed at epoch {}/{} (state: {})",
+            runtime.epoch(),
+            runtime.config().epochs,
+            runtime.state().label()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let report = runtime.render_report();
+    print!("{report}");
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, &report).map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    if runtime.is_parked() {
+        Ok(ExitCode::from(2))
+    } else {
         Ok(ExitCode::SUCCESS)
     }
 }

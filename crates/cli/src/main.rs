@@ -7,6 +7,8 @@
 //! healthmon generate --arch lenet5 --model model.json --method ctp --out patterns.json [--count 50]
 //! healthmon check    --arch lenet5 --model model.json --target faulty.json \
 //!                    --patterns patterns.json [--threshold 0.03]
+//! healthmon lifetime --arch lenet5 --model model.json --epochs 20 \
+//!                    [--checkpoint cp.json] [--report report.txt]
 //! ```
 //!
 //! Every artifact is a JSON file: models are state dicts

@@ -5,6 +5,7 @@
 //! patterns versus a running accelerator's — through a
 //! [`ConfidenceDistance`].
 
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::Tensor;
 
 /// The softmax responses of one model on one pattern set.
@@ -104,6 +105,24 @@ pub struct ConfidenceDistance {
     /// **SDC-A distance**: mean over patterns and classes of
     /// `|p_ideal − p_target|`.
     pub all_classes: f32,
+}
+
+impl ToJson for ConfidenceDistance {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("top_ranked".to_owned(), self.top_ranked.to_json()),
+            ("all_classes".to_owned(), self.all_classes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ConfidenceDistance {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(ConfidenceDistance {
+            top_ranked: f32::from_json(value.field("top_ranked")?)?,
+            all_classes: f32::from_json(value.field("all_classes")?)?,
+        })
+    }
 }
 
 impl ConfidenceDistance {

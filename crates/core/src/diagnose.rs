@@ -1,0 +1,257 @@
+//! Fault localization: which layer of a degraded accelerator is hurting
+//! the concurrent-test responses, and which of its cells look stuck.
+//!
+//! The paper's detector answers *whether* a deployed accelerator is
+//! faulty; a repair needs to know *where*. [`diagnose`] answers that with
+//! two probes, both reusing the detector's pattern set:
+//!
+//! 1. **Containment probe** — a [`Network::forward_checked`] replay of the
+//!    patterns. A device whose weights went non-finite is localized
+//!    outright to the first poisoned layer.
+//! 2. **Substitution ranking** — for every conductance-mapped parameter,
+//!    a hybrid network (golden weights everywhere except that one layer,
+//!    which takes the device's weights) is scored by golden-response
+//!    distance. The layer whose substitution moves the responses furthest
+//!    carries the most damage.
+//!
+//! [`estimate_stuck_cells`] complements the ranking with a march-readback
+//! style defect estimate: cells whose device value deviates from the
+//! reference by more than a tolerance are flagged as stuck at their read
+//! value.
+
+use crate::confidence::ConfidenceDistance;
+use crate::detect::Detector;
+use healthmon_nn::Network;
+use healthmon_repair::{DefectMap, StuckCell};
+use healthmon_tensor::Tensor;
+
+/// One layer's entry in a [`Diagnosis`] ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDiagnosis {
+    /// State-dict key of the suspect parameter (e.g. `layer0.weight`).
+    pub key: String,
+    /// Golden-response distance of the substitution probe: how far the
+    /// responses move when *only* this layer takes the device's weights.
+    pub distance: ConfidenceDistance,
+}
+
+/// The outcome of a localization pass over a degraded device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Suspect layers, most damaging first. Poisoned (non-finite)
+    /// substitutions rank above every finite one.
+    pub ranking: Vec<LayerDiagnosis>,
+    /// The first layer index whose activations were non-finite when the
+    /// device replayed the pattern set, if any (`usize::MAX` when the
+    /// input itself was non-finite — impossible for stored patterns).
+    pub poisoned_layer: Option<usize>,
+}
+
+impl Diagnosis {
+    /// The most suspect layer, if any parameter was rankable.
+    pub fn prime_suspect(&self) -> Option<&LayerDiagnosis> {
+        self.ranking.first()
+    }
+
+    /// Keys of every layer whose substitution distance exceeds
+    /// `threshold` — the set a repair pass should touch.
+    pub fn suspects_above(&self, threshold: f32) -> Vec<&str> {
+        self.ranking
+            .iter()
+            .filter(|l| l.distance.is_poisoned() || l.distance.all_classes > threshold)
+            .map(|l| l.key.as_str())
+            .collect()
+    }
+}
+
+/// Localizes the damage of `device` relative to `golden` using
+/// `detector`'s pattern set.
+///
+/// Both probes are deterministic pure functions of the three inputs, so a
+/// diagnosis replayed from a checkpoint is bit-identical.
+///
+/// # Panics
+///
+/// Panics if `device` was not derived from `golden` (mismatched parameter
+/// keys or shapes).
+pub fn diagnose(detector: &Detector, golden: &Network, device: &Network) -> Diagnosis {
+    // Containment probe: does the device even produce finite activations?
+    let poisoned_layer = {
+        let mut probe = device.clone();
+        probe
+            .forward_checked(detector.patterns().images())
+            .err()
+            .map(|e| e.layer)
+    };
+
+    // Substitution ranking over conductance-mapped parameters.
+    let device_dict = device.state_dict();
+    let mut ranking = Vec::new();
+    for (key, device_tensor) in &device_dict {
+        if !key.ends_with("weight") {
+            continue;
+        }
+        let mut probe = golden.clone();
+        let mut replaced = false;
+        probe.for_each_param_mut(|k, t| {
+            if k == key {
+                assert_eq!(
+                    t.shape(),
+                    device_tensor.shape(),
+                    "device parameter `{key}` does not match the golden model"
+                );
+                *t = device_tensor.clone();
+                replaced = true;
+            }
+        });
+        assert!(replaced, "device parameter `{key}` missing from the golden model");
+        let distance = detector.confidence_distance(&mut probe);
+        ranking.push(LayerDiagnosis { key: key.clone(), distance });
+    }
+    // Most damaging first; poisoned distances are +inf so total_cmp ranks
+    // them on top. Ties break on the key for determinism.
+    ranking.sort_by(|a, b| {
+        b.distance
+            .all_classes
+            .total_cmp(&a.distance.all_classes)
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    Diagnosis { ranking, poisoned_layer }
+}
+
+/// March-readback style defect estimation: compares a device parameter
+/// against its reference and flags every cell deviating by more than
+/// `tolerance` as stuck at the device's read value.
+///
+/// This is a heuristic — smooth drift also moves weights — but it is what
+/// an in-field readback can actually observe, and it feeds the same
+/// [`DefectMap`] interface the repair hierarchy consumes.
+///
+/// # Panics
+///
+/// Panics if the tensors are not 2-D with identical shapes, or
+/// `tolerance` is negative or non-finite.
+pub fn estimate_stuck_cells(reference: &Tensor, device: &Tensor, tolerance: f32) -> DefectMap {
+    assert!(
+        tolerance.is_finite() && tolerance >= 0.0,
+        "tolerance must be finite and non-negative, got {tolerance}"
+    );
+    assert_eq!(reference.ndim(), 2, "defect estimation operates on 2-D matrices");
+    assert_eq!(reference.shape(), device.shape(), "reference and device shapes differ");
+    let (rows, cols) = (reference.shape()[0], reference.shape()[1]);
+    let mut cells = Vec::new();
+    for row in 0..rows {
+        for col in 0..cols {
+            let r = reference.at(&[row, col]);
+            let d = device.at(&[row, col]);
+            if !d.is_finite() || (r - d).abs() > tolerance {
+                cells.push(StuckCell { row, col, value: if d.is_finite() { d } else { 0.0 } });
+            }
+        }
+    }
+    DefectMap::new(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::TestPatternSet;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::SeededRng;
+
+    fn setup() -> (Network, Detector) {
+        let mut rng = SeededRng::new(3);
+        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns =
+            TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
+        let detector = Detector::new(&mut net, patterns);
+        (net, detector)
+    }
+
+    fn damage_layer(net: &mut Network, key: &str, scale: f32) {
+        net.for_each_param_mut(|k, t| {
+            if k == key {
+                t.map_inplace(|v| v * scale);
+            }
+        });
+    }
+
+    #[test]
+    fn healthy_device_ranks_everything_near_zero() {
+        let (net, detector) = setup();
+        let d = diagnose(&detector, &net, &net.clone());
+        assert!(d.poisoned_layer.is_none());
+        assert_eq!(d.ranking.len(), 2);
+        for layer in &d.ranking {
+            assert_eq!(layer.distance.all_classes, 0.0, "{} should be clean", layer.key);
+        }
+        assert!(d.suspects_above(0.01).is_empty());
+    }
+
+    #[test]
+    fn damaged_layer_ranks_first() {
+        let (net, detector) = setup();
+        for key in ["layer0.weight", "layer2.weight"] {
+            let mut device = net.clone();
+            damage_layer(&mut device, key, -2.0);
+            let d = diagnose(&detector, &net, &device);
+            assert_eq!(
+                d.prime_suspect().unwrap().key,
+                key,
+                "damaged {key} must top the ranking"
+            );
+            assert!(d.prime_suspect().unwrap().distance.all_classes > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisoned_device_is_localized() {
+        let (net, detector) = setup();
+        let mut device = net.clone();
+        device.for_each_param_mut(|k, t| {
+            if k == "layer2.weight" {
+                t.as_mut_slice()[0] = f32::NAN;
+            }
+        });
+        let d = diagnose(&detector, &net, &device);
+        assert!(d.poisoned_layer.is_some());
+        let suspect = d.prime_suspect().unwrap();
+        assert_eq!(suspect.key, "layer2.weight");
+        assert!(suspect.distance.is_poisoned());
+        assert_eq!(d.suspects_above(f32::MAX), vec!["layer2.weight"]);
+    }
+
+    #[test]
+    fn diagnosis_is_deterministic() {
+        let (net, detector) = setup();
+        let mut device = net.clone();
+        damage_layer(&mut device, "layer0.weight", 0.2);
+        let a = diagnose(&detector, &net, &device);
+        let b = diagnose(&detector, &net, &device);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_cell_estimation_finds_planted_defects() {
+        let mut rng = SeededRng::new(5);
+        let reference = Tensor::randn(&[6, 5], &mut rng);
+        let mut device = reference.clone();
+        *device.at_mut(&[1, 2]) = 0.0;
+        *device.at_mut(&[4, 0]) = 9.0;
+        *device.at_mut(&[5, 4]) = f32::NAN;
+        let map = estimate_stuck_cells(&reference, &device, 3.0);
+        // Only cells deviating by > 3.0 (or non-finite) are flagged.
+        assert!(map.cells().iter().any(|c| c.row == 4 && c.col == 0 && c.value == 9.0));
+        assert!(map.cells().iter().any(|c| c.row == 5 && c.col == 4 && c.value == 0.0));
+        // Exact match below tolerance: identical tensors flag nothing.
+        assert!(estimate_stuck_cells(&reference, &reference, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn estimation_rejects_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[2, 3]);
+        estimate_stuck_cells(&a, &b, 0.1);
+    }
+}

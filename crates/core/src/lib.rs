@@ -68,6 +68,7 @@ mod checkpoint;
 mod confidence;
 mod ctp;
 mod detect;
+mod diagnose;
 pub mod efficiency;
 mod error;
 mod metrics;
@@ -75,6 +76,7 @@ mod monitor;
 mod otp;
 mod patterns;
 pub mod report;
+mod runtime;
 pub mod stability;
 
 pub use aet::AetGenerator;
@@ -82,8 +84,13 @@ pub use checkpoint::CampaignCheckpoint;
 pub use confidence::{ConfidenceDistance, ResponseSet};
 pub use ctp::CtpGenerator;
 pub use detect::Detector;
+pub use diagnose::{diagnose, estimate_stuck_cells, Diagnosis, LayerDiagnosis};
 pub use error::HealthmonError;
 pub use metrics::SdcCriterion;
-pub use monitor::{Checkup, HealthMonitor, HealthState, MonitorPolicy};
+pub use monitor::{Checkup, HealthMonitor, HealthState, MonitorPolicy, MonitorSnapshot};
 pub use otp::{OtpGenerator, OtpOutcome};
 pub use patterns::TestPatternSet;
+pub use runtime::{
+    AgingModel, IncidentReport, LifetimeConfig, LifetimeEvent, LifetimeRuntime, RepairAction,
+    TrainData,
+};

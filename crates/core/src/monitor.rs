@@ -12,6 +12,7 @@ use crate::confidence::ConfidenceDistance;
 use crate::detect::Detector;
 use crate::error::HealthmonError;
 use healthmon_nn::Network;
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 
 /// Triage verdict for a monitored accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -35,6 +36,32 @@ impl HealthState {
             HealthState::Critical => "weight reprogramming / cloud retraining",
         }
     }
+
+    /// Stable lowercase label used by serialized artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Watch => "watch",
+            HealthState::Critical => "critical",
+        }
+    }
+}
+
+impl ToJson for HealthState {
+    fn to_json(&self) -> Json {
+        Json::String(self.label().to_owned())
+    }
+}
+
+impl FromJson for HealthState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "healthy" => Ok(HealthState::Healthy),
+            "watch" => Ok(HealthState::Watch),
+            "critical" => Ok(HealthState::Critical),
+            other => Err(JsonError::invalid(format!("unknown health state `{other}`"))),
+        }
+    }
 }
 
 /// One entry of the monitoring log.
@@ -46,6 +73,26 @@ pub struct Checkup {
     pub distance: ConfidenceDistance,
     /// State after applying thresholds and hysteresis.
     pub state: HealthState,
+}
+
+impl ToJson for Checkup {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("index".to_owned(), self.index.to_json()),
+            ("distance".to_owned(), self.distance.to_json()),
+            ("state".to_owned(), self.state.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Checkup {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Checkup {
+            index: usize::from_json(value.field("index")?)?,
+            distance: ConfidenceDistance::from_json(value.field("distance")?)?,
+            state: HealthState::from_json(value.field("state")?)?,
+        })
+    }
 }
 
 /// Thresholds and hysteresis for [`HealthMonitor`].
@@ -194,10 +241,21 @@ impl HealthMonitor {
     pub fn check(&mut self, accelerator: &mut Network) -> Checkup {
         let distance = self.detector.confidence_distance(accelerator);
         let observed = self.policy.raw_state(distance.all_classes);
+        self.transition(observed, distance.is_poisoned());
+        let checkup = Checkup { index: self.history.len(), distance, state: self.current };
+        self.history.push(checkup);
+        checkup
+    }
+
+    /// Applies one observation to the hysteresis state machine. Split out
+    /// of [`HealthMonitor::check`] so the transition rules are directly
+    /// unit-testable without crafting devices that hit exact distance
+    /// bands.
+    fn transition(&mut self, observed: HealthState, poisoned: bool) {
         // A poisoned (non-finite) distance is not one-off noise to be
         // smoothed away — the device emitted NaN/Inf. Containment demands
         // it bypass hysteresis and read `Critical` on the spot.
-        if distance.is_poisoned() {
+        if poisoned {
             self.current = HealthState::Critical;
             self.pending_state = HealthState::Critical;
             self.pending_count = 0;
@@ -220,9 +278,6 @@ impl HealthMonitor {
                 self.pending_count = 0;
             }
         }
-        let checkup = Checkup { index: self.history.len(), distance, state: self.current };
-        self.history.push(checkup);
-        checkup
     }
 
     /// Notifies the monitor that the accelerator was repaired (weights
@@ -231,6 +286,82 @@ impl HealthMonitor {
         self.current = HealthState::Healthy;
         self.pending_state = HealthState::Healthy;
         self.pending_count = 0;
+    }
+
+    /// Replaces the wrapped detector, keeping the state machine and log.
+    ///
+    /// Used by graceful degradation: when a damaged accelerator cannot be
+    /// fully repaired, the lifetime runtime shrinks the pattern budget
+    /// ([`Detector::subset`](crate::Detector::subset)) and keeps serving
+    /// at reduced assurance.
+    pub fn set_detector(&mut self, detector: Detector) {
+        self.detector = detector;
+    }
+
+    /// Captures the full mutable state of the monitor (state machine and
+    /// log) for checkpointing. Restoring with
+    /// [`HealthMonitor::from_snapshot`] under the same detector and policy
+    /// reproduces the monitor bit-identically.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            current: self.current,
+            pending_state: self.pending_state,
+            pending_count: self.pending_count,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from a checkpointed snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn from_snapshot(detector: Detector, policy: MonitorPolicy, snapshot: MonitorSnapshot) -> Self {
+        policy.validate();
+        HealthMonitor {
+            detector,
+            policy,
+            history: snapshot.history,
+            pending_state: snapshot.pending_state,
+            pending_count: snapshot.pending_count,
+            current: snapshot.current,
+        }
+    }
+}
+
+/// The serializable mutable state of a [`HealthMonitor`], captured by
+/// [`HealthMonitor::snapshot`] for lifetime-runtime checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// The hysteresis-filtered current state.
+    pub current: HealthState,
+    /// The state awaiting confirmation.
+    pub pending_state: HealthState,
+    /// Consecutive confirmations so far.
+    pub pending_count: usize,
+    /// Full checkup log, oldest first.
+    pub history: Vec<Checkup>,
+}
+
+impl ToJson for MonitorSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("current".to_owned(), self.current.to_json()),
+            ("pending_state".to_owned(), self.pending_state.to_json()),
+            ("pending_count".to_owned(), self.pending_count.to_json()),
+            ("history".to_owned(), self.history.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MonitorSnapshot {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(MonitorSnapshot {
+            current: HealthState::from_json(value.field("current")?)?,
+            pending_state: HealthState::from_json(value.field("pending_state")?)?,
+            pending_count: usize::from_json(value.field("pending_count")?)?,
+            history: Vec::from_json(value.field("history")?)?,
+        })
     }
 }
 
@@ -355,5 +486,79 @@ mod tests {
             detector,
             MonitorPolicy { watch_threshold: 0.5, critical_threshold: 0.1, escalation_count: 1 },
         );
+    }
+
+    #[test]
+    fn escalation_count_one_promotes_on_first_divergent_observation() {
+        // Regression for the `else` arm of the transition: with
+        // escalation_count == 1 a *new* pending state must promote
+        // immediately (pending_count = 1 >= 1), not wait a second check.
+        let (_, mut monitor) = setup(1);
+        monitor.transition(HealthState::Watch, false);
+        assert_eq!(monitor.state(), HealthState::Watch);
+        assert_eq!(monitor.pending_count, 0, "promotion must clear the pending counter");
+        // And straight to Critical from Watch, again in one observation.
+        monitor.transition(HealthState::Critical, false);
+        assert_eq!(monitor.state(), HealthState::Critical);
+    }
+
+    #[test]
+    fn state_flip_mid_confirmation_resets_pending_count() {
+        // Regression: with escalation_count == 3, two Watch observations
+        // (pending 2/3) followed by a Critical one must RESTART the count
+        // at 1 for Critical — a stale count would let the third divergent
+        // observation escalate one check early.
+        let (_, mut monitor) = setup(3);
+        monitor.transition(HealthState::Watch, false);
+        monitor.transition(HealthState::Watch, false);
+        assert_eq!(monitor.state(), HealthState::Healthy);
+        assert_eq!(monitor.pending_count, 2);
+
+        monitor.transition(HealthState::Critical, false);
+        assert_eq!(monitor.state(), HealthState::Healthy, "flip must not escalate yet");
+        assert_eq!(monitor.pending_state, HealthState::Critical);
+        assert_eq!(monitor.pending_count, 1, "flip must reset the confirmation count");
+
+        // Two more Critical confirmations complete the new count of 3.
+        monitor.transition(HealthState::Critical, false);
+        assert_eq!(monitor.state(), HealthState::Healthy);
+        monitor.transition(HealthState::Critical, false);
+        assert_eq!(monitor.state(), HealthState::Critical);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let (net, mut monitor) = setup(2);
+        let mut bad = net.clone();
+        FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
+        monitor.check(&mut bad);
+        monitor.check(&mut bad);
+        let snap = monitor.snapshot();
+        let json = healthmon_serdes::to_string(&snap);
+        let restored: MonitorSnapshot = healthmon_serdes::from_str(&json).unwrap();
+        assert_eq!(restored, snap);
+
+        let revived = HealthMonitor::from_snapshot(
+            monitor.detector().clone(),
+            *monitor.policy(),
+            restored,
+        );
+        assert_eq!(revived.state(), monitor.state());
+        assert_eq!(revived.history(), monitor.history());
+        // The revived monitor continues exactly where the original is.
+        let mut a = monitor;
+        let mut b = revived;
+        let mut device = net.clone();
+        assert_eq!(a.check(&mut device), b.check(&mut device));
+    }
+
+    #[test]
+    fn health_state_labels_round_trip() {
+        for state in [HealthState::Healthy, HealthState::Watch, HealthState::Critical] {
+            let json = healthmon_serdes::to_string(&state);
+            let back: HealthState = healthmon_serdes::from_str(&json).unwrap();
+            assert_eq!(back, state);
+        }
+        assert!(healthmon_serdes::from_str::<HealthState>("\"zombie\"").is_err());
     }
 }

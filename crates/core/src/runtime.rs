@@ -1,0 +1,1546 @@
+//! The closed-loop self-healing lifetime runtime: detect → diagnose →
+//! repair → re-validate under aging.
+//!
+//! The paper's deployment story is a loop, not a one-shot experiment: a
+//! crossbar accelerator ages in the field (drift, disturb, wear-out), a
+//! cheap concurrent checkup notices, and a repair hierarchy — remapping,
+//! spare columns, cloud retraining, graceful degradation — brings the
+//! device back before silent data corruption reaches users.
+//! [`LifetimeRuntime`] simulates that whole lifetime deterministically:
+//!
+//! * **Aging** (per epoch): resistance drift, random soft errors, and
+//!   Poisson-arriving stuck cells accumulate on the deployed network.
+//! * **Detect**: a [`HealthMonitor`] checkup after every epoch.
+//! * **Diagnose**: once the state escalates past the configured trigger,
+//!   a [`diagnose`] pass localizes the damage per layer.
+//! * **Repair**: escalating attempts — reprogram with fault-aware row
+//!   remapping, spare-column substitution, fault-aware retraining, and
+//!   finally graceful degradation of the pattern budget — each followed
+//!   by a re-validation checkup before the repair is acknowledged.
+//! * **Park**: exhausting the repair budget (or an epoch panicking)
+//!   parks the runtime in `Critical` with a structured
+//!   [`IncidentReport`].
+//!
+//! Everything is a pure function of the inputs: the per-epoch RNG is
+//! derived as `SeededRng::new(seed).fork(epoch)`, so a checkpoint needs
+//! no RNG state and a resumed run is **bit-identical** to an
+//! uninterrupted one.
+
+use crate::confidence::ConfidenceDistance;
+use crate::detect::Detector;
+use crate::diagnose::{diagnose, Diagnosis};
+use crate::error::HealthmonError;
+use crate::monitor::{HealthMonitor, HealthState, MonitorPolicy, MonitorSnapshot};
+use crate::patterns::TestPatternSet;
+use healthmon_faults::{sample_cell_arrivals, FaultModel};
+use healthmon_nn::Network;
+use healthmon_repair::{
+    remap_rows, repair_with_spares, retrain_with_faults, DefectMap, FaultyRetrainConfig, StuckCell,
+};
+use healthmon_reram::{deploy, CrossbarConfig};
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
+use healthmon_tensor::{SeededRng, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Salt for the reprogram-repair RNG streams, so they never collide with
+/// the deploy stream (`fork(0)`) or the per-epoch aging streams
+/// (`fork(epoch)`).
+const REPROGRAM_SALT: u64 = 0x5EED_0DAC_2020_0001;
+
+/// How the deployed device degrades each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// Per-epoch resistance-drift scale (`FaultModel::Drift { nu }`);
+    /// zero disables drift.
+    pub drift_nu: f32,
+    /// Elapsed drift time per epoch.
+    pub drift_time: f32,
+    /// Per-weight soft-error probability per epoch; zero disables.
+    pub soft_error_p: f64,
+    /// Expected number of *new* stuck cells arriving per epoch across the
+    /// whole device (Poisson); distributed over layers by cell count.
+    pub stuck_lambda: f64,
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel { drift_nu: 0.01, drift_time: 1.0, soft_error_p: 0.0, stuck_lambda: 0.5 }
+    }
+}
+
+impl AgingModel {
+    fn validate(&self) {
+        assert!(
+            self.drift_nu.is_finite() && self.drift_nu >= 0.0,
+            "drift_nu must be finite and non-negative, got {}",
+            self.drift_nu
+        );
+        assert!(
+            self.drift_time.is_finite() && self.drift_time >= 0.0,
+            "drift_time must be finite and non-negative, got {}",
+            self.drift_time
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.soft_error_p),
+            "soft_error_p {} outside [0, 1]",
+            self.soft_error_p
+        );
+        assert!(
+            self.stuck_lambda.is_finite() && self.stuck_lambda >= 0.0,
+            "stuck_lambda must be finite and non-negative, got {}",
+            self.stuck_lambda
+        );
+    }
+}
+
+/// Full configuration of a [`LifetimeRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifetimeConfig {
+    /// Master seed; every RNG stream of the lifetime forks off it.
+    pub seed: u64,
+    /// Number of aging epochs to simulate.
+    pub epochs: usize,
+    /// The per-epoch degradation model.
+    pub aging: AgingModel,
+    /// Thresholds and hysteresis for the health monitor.
+    pub policy: MonitorPolicy,
+    /// The crossbar hardware the golden model is deployed onto.
+    pub crossbar: CrossbarConfig,
+    /// Health state at which a repair session starts (must be above
+    /// `Healthy`).
+    pub trigger: HealthState,
+    /// Total repair attempts allowed over the whole lifetime; exhausting
+    /// it parks the runtime in `Critical`.
+    pub repair_budget: usize,
+    /// Spare bit lines provisioned per conductance-mapped layer.
+    pub spare_columns: usize,
+    /// Epochs to wait after a failed repair session before trying again;
+    /// doubles with each consecutive failure.
+    pub backoff_epochs: usize,
+    /// Graceful degradation floor: the pattern budget is never halved
+    /// below this.
+    pub min_patterns: usize,
+    /// Fault-aware retraining hyperparameters (used only when training
+    /// data is supplied).
+    pub retrain: FaultyRetrainConfig,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        LifetimeConfig {
+            seed: 0,
+            epochs: 10,
+            aging: AgingModel::default(),
+            policy: MonitorPolicy::default(),
+            crossbar: CrossbarConfig::default(),
+            trigger: HealthState::Watch,
+            repair_budget: 8,
+            spare_columns: 2,
+            backoff_epochs: 1,
+            min_patterns: 2,
+            retrain: FaultyRetrainConfig::default(),
+        }
+    }
+}
+
+impl LifetimeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero epoch count, a `Healthy` trigger, a zero pattern
+    /// floor or backoff, or invalid nested policy/aging parameters.
+    pub fn validate(&self) {
+        self.policy.validate();
+        self.aging.validate();
+        assert!(self.epochs > 0, "a lifetime needs at least one epoch");
+        assert!(
+            self.trigger > HealthState::Healthy,
+            "the repair trigger must be Watch or Critical — repairing a healthy device loops forever"
+        );
+        assert!(self.min_patterns > 0, "the degradation floor must keep at least one pattern");
+        assert!(self.backoff_epochs > 0, "backoff must be at least one epoch");
+    }
+
+    /// FNV-1a digest of the configuration, stored in checkpoints so a
+    /// resume under different parameters is rejected instead of silently
+    /// diverging.
+    pub fn digest(&self) -> u64 {
+        fnv1a(FNV_OFFSET, format!("{self:?}").bytes())
+    }
+}
+
+/// Labelled training data for the retraining rung of the repair ladder.
+#[derive(Debug, Clone)]
+pub struct TrainData {
+    /// Training inputs, `[n, features...]`.
+    pub images: Tensor,
+    /// One label per input row.
+    pub labels: Vec<usize>,
+}
+
+/// One rung of the escalating repair ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Rewrite every conductance-mapped layer from the golden copy,
+    /// parking known stuck cells via fault-aware row remapping.
+    Reprogram,
+    /// Substitute spare bit lines for the most damaged columns of the
+    /// most suspect layer, then reprogram it.
+    Spares,
+    /// Fault-aware retraining around the stuck cells (cloud-side).
+    Retrain,
+    /// Graceful degradation: halve the concurrent-test pattern budget.
+    Degrade,
+}
+
+impl RepairAction {
+    /// Stable lowercase label used by serialized artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairAction::Reprogram => "reprogram",
+            RepairAction::Spares => "spares",
+            RepairAction::Retrain => "retrain",
+            RepairAction::Degrade => "degrade",
+        }
+    }
+}
+
+impl ToJson for RepairAction {
+    fn to_json(&self) -> Json {
+        Json::String(self.label().to_owned())
+    }
+}
+
+impl FromJson for RepairAction {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "reprogram" => Ok(RepairAction::Reprogram),
+            "spares" => Ok(RepairAction::Spares),
+            "retrain" => Ok(RepairAction::Retrain),
+            "degrade" => Ok(RepairAction::Degrade),
+            other => Err(JsonError::invalid(format!("unknown repair action `{other}`"))),
+        }
+    }
+}
+
+/// One entry of the lifetime event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifetimeEvent {
+    /// The golden model was programmed onto the crossbars.
+    Deployed {
+        /// Crossbar tiles consumed.
+        tiles: usize,
+        /// Total L1 mapping error of the deployment.
+        mapping_error_l1: f32,
+    },
+    /// One epoch of aging was applied.
+    Aged {
+        /// The epoch (1-based).
+        epoch: usize,
+        /// Stuck cells that arrived this epoch.
+        new_stuck: usize,
+        /// Cumulative stuck cells on the device.
+        total_stuck: usize,
+    },
+    /// A concurrent-test checkup ran.
+    CheckupDone {
+        /// The epoch (0 = post-deployment baseline).
+        epoch: usize,
+        /// Observed confidence distance.
+        distance: ConfidenceDistance,
+        /// Hysteresis-filtered state after the checkup.
+        state: HealthState,
+    },
+    /// A diagnosis pass localized the damage.
+    Diagnosed {
+        /// The epoch.
+        epoch: usize,
+        /// State-dict key of the most suspect layer.
+        suspect: String,
+    },
+    /// One rung of the repair ladder was attempted and re-validated.
+    RepairAttempted {
+        /// The epoch.
+        epoch: usize,
+        /// Lifetime-cumulative attempt number (1-based).
+        attempt: usize,
+        /// The rung attempted.
+        action: RepairAction,
+        /// Health state after the re-validation checkup.
+        state_after: HealthState,
+        /// Whether the re-validation cleared the trigger.
+        success: bool,
+    },
+    /// The pattern budget was halved (graceful degradation).
+    Degraded {
+        /// The epoch.
+        epoch: usize,
+        /// Patterns remaining after the halving.
+        patterns: usize,
+    },
+    /// A failed repair session scheduled a backoff.
+    Backoff {
+        /// The epoch.
+        epoch: usize,
+        /// No repair session will start before this epoch.
+        until_epoch: usize,
+    },
+    /// The runtime parked in `Critical`.
+    Parked {
+        /// The epoch.
+        epoch: usize,
+        /// Why the runtime parked.
+        reason: String,
+    },
+}
+
+impl LifetimeEvent {
+    /// One deterministic human-readable line for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            LifetimeEvent::Deployed { tiles, mapping_error_l1 } => {
+                format!("[deploy] {tiles} tiles, mapping error {mapping_error_l1}")
+            }
+            LifetimeEvent::Aged { epoch, new_stuck, total_stuck } => {
+                format!("[epoch {epoch}] aged: +{new_stuck} stuck (total {total_stuck})")
+            }
+            LifetimeEvent::CheckupDone { epoch, distance, state } => {
+                format!(
+                    "[epoch {epoch}] checkup: distance {} -> {}",
+                    distance.all_classes,
+                    state.label()
+                )
+            }
+            LifetimeEvent::Diagnosed { epoch, suspect } => {
+                format!("[epoch {epoch}] diagnosis: prime suspect {suspect}")
+            }
+            LifetimeEvent::RepairAttempted { epoch, attempt, action, state_after, success } => {
+                format!(
+                    "[epoch {epoch}] repair #{attempt} ({}): {} ({})",
+                    action.label(),
+                    state_after.label(),
+                    if *success { "healed" } else { "failed" }
+                )
+            }
+            LifetimeEvent::Degraded { epoch, patterns } => {
+                format!("[epoch {epoch}] degraded to {patterns} patterns")
+            }
+            LifetimeEvent::Backoff { epoch, until_epoch } => {
+                format!("[epoch {epoch}] backing off until epoch {until_epoch}")
+            }
+            LifetimeEvent::Parked { epoch, reason } => {
+                format!("[epoch {epoch}] parked: {reason}")
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            LifetimeEvent::Deployed { .. } => "deployed",
+            LifetimeEvent::Aged { .. } => "aged",
+            LifetimeEvent::CheckupDone { .. } => "checkup",
+            LifetimeEvent::Diagnosed { .. } => "diagnosed",
+            LifetimeEvent::RepairAttempted { .. } => "repair",
+            LifetimeEvent::Degraded { .. } => "degraded",
+            LifetimeEvent::Backoff { .. } => "backoff",
+            LifetimeEvent::Parked { .. } => "parked",
+        }
+    }
+}
+
+impl ToJson for LifetimeEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_owned(), Json::String(self.kind().to_owned()))];
+        match self {
+            LifetimeEvent::Deployed { tiles, mapping_error_l1 } => {
+                fields.push(("tiles".to_owned(), tiles.to_json()));
+                fields.push(("mapping_error_l1".to_owned(), mapping_error_l1.to_json()));
+            }
+            LifetimeEvent::Aged { epoch, new_stuck, total_stuck } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("new_stuck".to_owned(), new_stuck.to_json()));
+                fields.push(("total_stuck".to_owned(), total_stuck.to_json()));
+            }
+            LifetimeEvent::CheckupDone { epoch, distance, state } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("distance".to_owned(), distance.to_json()));
+                fields.push(("state".to_owned(), state.to_json()));
+            }
+            LifetimeEvent::Diagnosed { epoch, suspect } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("suspect".to_owned(), suspect.to_json()));
+            }
+            LifetimeEvent::RepairAttempted { epoch, attempt, action, state_after, success } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("attempt".to_owned(), attempt.to_json()));
+                fields.push(("action".to_owned(), action.to_json()));
+                fields.push(("state_after".to_owned(), state_after.to_json()));
+                fields.push(("success".to_owned(), success.to_json()));
+            }
+            LifetimeEvent::Degraded { epoch, patterns } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("patterns".to_owned(), patterns.to_json()));
+            }
+            LifetimeEvent::Backoff { epoch, until_epoch } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("until_epoch".to_owned(), until_epoch.to_json()));
+            }
+            LifetimeEvent::Parked { epoch, reason } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("reason".to_owned(), reason.to_json()));
+            }
+        }
+        Json::Object(fields)
+    }
+}
+
+impl FromJson for LifetimeEvent {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = value.field("kind")?.as_str()?;
+        match kind {
+            "deployed" => Ok(LifetimeEvent::Deployed {
+                tiles: usize::from_json(value.field("tiles")?)?,
+                mapping_error_l1: f32::from_json(value.field("mapping_error_l1")?)?,
+            }),
+            "aged" => Ok(LifetimeEvent::Aged {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                new_stuck: usize::from_json(value.field("new_stuck")?)?,
+                total_stuck: usize::from_json(value.field("total_stuck")?)?,
+            }),
+            "checkup" => Ok(LifetimeEvent::CheckupDone {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                distance: ConfidenceDistance::from_json(value.field("distance")?)?,
+                state: HealthState::from_json(value.field("state")?)?,
+            }),
+            "diagnosed" => Ok(LifetimeEvent::Diagnosed {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                suspect: String::from_json(value.field("suspect")?)?,
+            }),
+            "repair" => Ok(LifetimeEvent::RepairAttempted {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                attempt: usize::from_json(value.field("attempt")?)?,
+                action: RepairAction::from_json(value.field("action")?)?,
+                state_after: HealthState::from_json(value.field("state_after")?)?,
+                success: bool::from_json(value.field("success")?)?,
+            }),
+            "degraded" => Ok(LifetimeEvent::Degraded {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                patterns: usize::from_json(value.field("patterns")?)?,
+            }),
+            "backoff" => Ok(LifetimeEvent::Backoff {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                until_epoch: usize::from_json(value.field("until_epoch")?)?,
+            }),
+            "parked" => Ok(LifetimeEvent::Parked {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                reason: String::from_json(value.field("reason")?)?,
+            }),
+            other => Err(JsonError::invalid(format!("unknown lifetime event kind `{other}`"))),
+        }
+    }
+}
+
+/// Structured report produced when the runtime parks in `Critical`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentReport {
+    /// Epoch at which the runtime parked.
+    pub epoch: usize,
+    /// Why it parked (budget exhaustion or a contained panic).
+    pub reason: String,
+    /// The final health state (always `Critical`).
+    pub final_state: HealthState,
+    /// Confidence distance of the last checkup before parking.
+    pub final_distance: ConfidenceDistance,
+    /// Repair attempts consumed over the lifetime.
+    pub repairs_attempted: usize,
+    /// Stuck cells accumulated on the device.
+    pub stuck_cells: usize,
+    /// Concurrent-test patterns still active (after any degradation).
+    pub active_patterns: usize,
+    /// The paper's recommended action for the final state.
+    pub recommended_action: String,
+}
+
+impl IncidentReport {
+    /// Deterministic multi-line rendering for operator-facing reports.
+    pub fn render(&self) -> String {
+        format!(
+            "  epoch: {}\n  reason: {}\n  final state: {}\n  final distance: {}\n  \
+             repairs attempted: {}\n  stuck cells: {}\n  active patterns: {}\n  \
+             recommended action: {}\n",
+            self.epoch,
+            self.reason,
+            self.final_state.label(),
+            self.final_distance.all_classes,
+            self.repairs_attempted,
+            self.stuck_cells,
+            self.active_patterns,
+            self.recommended_action
+        )
+    }
+}
+
+impl ToJson for IncidentReport {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("epoch".to_owned(), self.epoch.to_json()),
+            ("reason".to_owned(), self.reason.to_json()),
+            ("final_state".to_owned(), self.final_state.to_json()),
+            ("final_distance".to_owned(), self.final_distance.to_json()),
+            ("repairs_attempted".to_owned(), self.repairs_attempted.to_json()),
+            ("stuck_cells".to_owned(), self.stuck_cells.to_json()),
+            ("active_patterns".to_owned(), self.active_patterns.to_json()),
+            ("recommended_action".to_owned(), self.recommended_action.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IncidentReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(IncidentReport {
+            epoch: usize::from_json(value.field("epoch")?)?,
+            reason: String::from_json(value.field("reason")?)?,
+            final_state: HealthState::from_json(value.field("final_state")?)?,
+            final_distance: ConfidenceDistance::from_json(value.field("final_distance")?)?,
+            repairs_attempted: usize::from_json(value.field("repairs_attempted")?)?,
+            stuck_cells: usize::from_json(value.field("stuck_cells")?)?,
+            active_patterns: usize::from_json(value.field("active_patterns")?)?,
+            recommended_action: String::from_json(value.field("recommended_action")?)?,
+        })
+    }
+}
+
+/// Per-layer repair bookkeeping: accumulated physical defects, the
+/// current logical→physical row assignment, and remaining spare columns.
+#[derive(Debug, Clone, PartialEq)]
+struct LayerState {
+    key: String,
+    map: DefectMap,
+    assignment: Vec<usize>,
+    spares_left: usize,
+}
+
+impl ToJson for LayerState {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("key".to_owned(), self.key.to_json()),
+            ("defects".to_owned(), self.map.to_json()),
+            ("assignment".to_owned(), self.assignment.to_json()),
+            ("spares_left".to_owned(), self.spares_left.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LayerState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(LayerState {
+            key: String::from_json(value.field("key")?)?,
+            map: DefectMap::from_json(value.field("defects")?)?,
+            assignment: Vec::from_json(value.field("assignment")?)?,
+            spares_left: usize::from_json(value.field("spares_left")?)?,
+        })
+    }
+}
+
+/// The closed-loop lifetime simulation: see the module docs.
+#[derive(Debug, Clone)]
+pub struct LifetimeRuntime {
+    config: LifetimeConfig,
+    golden: Network,
+    patterns: TestPatternSet,
+    full_detector: Detector,
+    train: Option<TrainData>,
+    device: Network,
+    monitor: HealthMonitor,
+    layers: Vec<LayerState>,
+    epoch: usize,
+    active_patterns: usize,
+    repairs_used: usize,
+    failed_sessions: usize,
+    next_repair_epoch: usize,
+    events: Vec<LifetimeEvent>,
+    incident: Option<IncidentReport>,
+}
+
+impl LifetimeRuntime {
+    /// Deploys `golden` onto the configured crossbars and runs the
+    /// post-deployment baseline checkup.
+    ///
+    /// `train` enables the retraining rung of the repair ladder; without
+    /// it that rung is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, the pattern set is smaller than
+    /// the degradation floor, or `train` labels mismatch its images.
+    pub fn new(
+        golden: &Network,
+        patterns: TestPatternSet,
+        config: LifetimeConfig,
+        train: Option<TrainData>,
+    ) -> Self {
+        config.validate();
+        assert!(
+            patterns.len() >= config.min_patterns,
+            "pattern set ({}) smaller than the degradation floor ({})",
+            patterns.len(),
+            config.min_patterns
+        );
+        if let Some(t) = &train {
+            assert_eq!(
+                t.images.shape()[0],
+                t.labels.len(),
+                "training data needs one label per image"
+            );
+        }
+        let mut golden = golden.clone();
+        let full_detector = Detector::new(&mut golden, patterns.clone());
+        let mut deploy_rng = SeededRng::new(config.seed).fork(0);
+        let (device, report) = deploy(&golden, &config.crossbar, &mut deploy_rng);
+        let layers = golden
+            .state_dict()
+            .into_iter()
+            .filter(|(key, _)| key.ends_with("weight"))
+            .map(|(key, tensor)| LayerState {
+                key,
+                map: DefectMap::default(),
+                assignment: (0..tensor.shape()[0]).collect(),
+                spares_left: config.spare_columns,
+            })
+            .collect();
+        let monitor = HealthMonitor::new(full_detector.clone(), config.policy);
+        let active_patterns = patterns.len();
+        let mut runtime = LifetimeRuntime {
+            config,
+            golden,
+            patterns,
+            full_detector,
+            train,
+            device,
+            monitor,
+            layers,
+            epoch: 0,
+            active_patterns,
+            repairs_used: 0,
+            failed_sessions: 0,
+            next_repair_epoch: 0,
+            events: Vec::new(),
+            incident: None,
+        };
+        runtime.events.push(LifetimeEvent::Deployed {
+            tiles: report.total_tiles(),
+            mapping_error_l1: report.total_error_l1(),
+        });
+        let baseline = runtime.monitor.check(&mut runtime.device);
+        runtime.events.push(LifetimeEvent::CheckupDone {
+            epoch: 0,
+            distance: baseline.distance,
+            state: baseline.state,
+        });
+        runtime
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LifetimeConfig {
+        &self.config
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The deployed (aged, possibly repaired) device network.
+    pub fn device(&self) -> &Network {
+        &self.device
+    }
+
+    /// The golden (cloud-side) reference network.
+    pub fn golden(&self) -> &Network {
+        &self.golden
+    }
+
+    /// The health monitor, including its full checkup log.
+    pub fn monitor(&self) -> &HealthMonitor {
+        &self.monitor
+    }
+
+    /// The lifetime event log, oldest first.
+    pub fn events(&self) -> &[LifetimeEvent] {
+        &self.events
+    }
+
+    /// The incident report, if the runtime parked.
+    pub fn incident(&self) -> Option<&IncidentReport> {
+        self.incident.as_ref()
+    }
+
+    /// Repair attempts consumed so far.
+    pub fn repairs_used(&self) -> usize {
+        self.repairs_used
+    }
+
+    /// Concurrent-test patterns currently active (after degradation).
+    pub fn active_patterns(&self) -> usize {
+        self.active_patterns
+    }
+
+    /// Cumulative stuck cells across all layers.
+    pub fn total_stuck(&self) -> usize {
+        self.layers.iter().map(|l| l.map.len()).sum()
+    }
+
+    /// Whether the runtime parked in `Critical`.
+    pub fn is_parked(&self) -> bool {
+        self.incident.is_some()
+    }
+
+    /// Whether the lifetime is over (all epochs simulated, or parked).
+    pub fn is_finished(&self) -> bool {
+        self.incident.is_some() || self.epoch >= self.config.epochs
+    }
+
+    /// The current health state (`Critical` once parked).
+    pub fn state(&self) -> HealthState {
+        if self.is_parked() {
+            HealthState::Critical
+        } else {
+            self.monitor.state()
+        }
+    }
+
+    /// Runs up to `max_steps` epochs (all remaining if `None`), stopping
+    /// early if the runtime parks. Returns the resulting health state.
+    pub fn run(&mut self, max_steps: Option<usize>) -> HealthState {
+        let mut remaining = max_steps.unwrap_or(usize::MAX);
+        while !self.is_finished() && remaining > 0 {
+            self.step();
+            remaining -= 1;
+        }
+        self.state()
+    }
+
+    /// Simulates one epoch: age → checkup → (if escalated) diagnose and
+    /// repair. A panic anywhere inside the epoch is contained: the
+    /// runtime parks in `Critical` with the panic message in the
+    /// incident report instead of unwinding into the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`LifetimeRuntime::is_finished`].
+    pub fn step(&mut self) -> HealthState {
+        assert!(!self.is_finished(), "lifetime runtime already finished");
+        let epoch = self.epoch + 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.epoch_body(epoch)));
+        self.epoch = epoch;
+        if let Err(payload) = outcome {
+            let message = panic_message(payload);
+            self.park(epoch, format!("epoch {epoch} panicked: {message}"));
+        }
+        self.state()
+    }
+
+    fn epoch_body(&mut self, epoch: usize) {
+        self.age(epoch);
+        let checkup = self.monitor.check(&mut self.device);
+        self.events.push(LifetimeEvent::CheckupDone {
+            epoch,
+            distance: checkup.distance,
+            state: checkup.state,
+        });
+        if checkup.state >= self.config.trigger && epoch >= self.next_repair_epoch {
+            self.repair_session(epoch);
+        }
+    }
+
+    /// Applies one epoch of aging. The RNG is re-derived from the master
+    /// seed and the epoch number, so aging is a pure function of
+    /// `(seed, epoch)` and checkpoints need no RNG state.
+    fn age(&mut self, epoch: usize) {
+        let aging = self.config.aging;
+        let mut epoch_rng = SeededRng::new(self.config.seed).fork(epoch as u64);
+        if aging.drift_nu > 0.0 && aging.drift_time > 0.0 {
+            let mut rng = epoch_rng.fork(0);
+            FaultModel::Drift { nu: aging.drift_nu, time: aging.drift_time }
+                .apply(&mut self.device, &mut rng);
+        }
+        if aging.soft_error_p > 0.0 {
+            let mut rng = epoch_rng.fork(1);
+            FaultModel::RandomSoftError { probability: aging.soft_error_p }
+                .apply(&mut self.device, &mut rng);
+        }
+        let mut new_stuck = 0usize;
+        if aging.stuck_lambda > 0.0 {
+            let weights: Vec<Tensor> =
+                self.layers.iter().map(|l| golden_param(&self.golden, &l.key)).collect();
+            let total_cells: usize = weights.iter().map(Tensor::len).sum();
+            for (li, (layer, w)) in self.layers.iter_mut().zip(&weights).enumerate() {
+                let (rows, cols) = (w.shape()[0], w.shape()[1]);
+                let lambda = aging.stuck_lambda * (rows * cols) as f64 / total_cells as f64;
+                let mut rng = epoch_rng.fork(2 + li as u64);
+                let w_max = w.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                for arrival in sample_cell_arrivals(rows, cols, lambda, &mut rng) {
+                    let occupied = layer
+                        .map
+                        .cells()
+                        .iter()
+                        .any(|c| c.row == arrival.row && c.col == arrival.col);
+                    if occupied {
+                        continue;
+                    }
+                    // Stuck-high freezes at ±w_max keeping the sign the
+                    // cell held; stuck-low at zero conductance.
+                    let value = if arrival.stuck_high {
+                        if w.at(&[arrival.row, arrival.col]) >= 0.0 { w_max } else { -w_max }
+                    } else {
+                        0.0
+                    };
+                    let mut cells = layer.map.cells().to_vec();
+                    cells.push(StuckCell { row: arrival.row, col: arrival.col, value });
+                    layer.map = DefectMap::new(cells);
+                    new_stuck += 1;
+                }
+            }
+        }
+        self.clamp_defects();
+        self.events.push(LifetimeEvent::Aged {
+            epoch,
+            new_stuck,
+            total_stuck: self.total_stuck(),
+        });
+    }
+
+    /// Overrides the device weights at every stuck position (under the
+    /// current row assignments): a stuck cell reads its frozen value no
+    /// matter what drift or a repair wrote there.
+    fn clamp_defects(&mut self) {
+        let layers = &self.layers;
+        self.device.for_each_param_mut(|key, tensor| {
+            if let Some(layer) = layers.iter().find(|l| l.key == key) {
+                if !layer.map.is_empty() {
+                    *tensor = layer.map.apply_with_assignment(tensor, &layer.assignment);
+                }
+            }
+        });
+    }
+
+    /// One repair session: diagnose, then walk the escalating ladder,
+    /// re-validating after each rung. Success acknowledges the repair;
+    /// failure schedules an exponential backoff; exhausting the lifetime
+    /// budget parks the runtime.
+    fn repair_session(&mut self, epoch: usize) {
+        let diagnosis = diagnose(self.monitor.detector(), &self.golden, &self.device);
+        if let Some(prime) = diagnosis.prime_suspect() {
+            self.events
+                .push(LifetimeEvent::Diagnosed { epoch, suspect: prime.key.clone() });
+        }
+        let ladder = [
+            RepairAction::Reprogram,
+            RepairAction::Spares,
+            RepairAction::Retrain,
+            RepairAction::Degrade,
+        ];
+        let mut healed = false;
+        for action in ladder {
+            if self.repairs_used >= self.config.repair_budget {
+                break;
+            }
+            let applicable = match action {
+                RepairAction::Spares => {
+                    self.layers.iter().any(|l| l.spares_left > 0 && !l.map.is_empty())
+                }
+                RepairAction::Retrain => self.train.is_some(),
+                RepairAction::Degrade => self.active_patterns > self.config.min_patterns,
+                RepairAction::Reprogram => true,
+            };
+            if !applicable {
+                continue;
+            }
+            self.repairs_used += 1;
+            match action {
+                RepairAction::Reprogram => self.reprogram(),
+                RepairAction::Spares => self.consume_spares(&diagnosis),
+                RepairAction::Retrain => self.retrain(epoch),
+                RepairAction::Degrade => self.degrade(epoch),
+            }
+            let checkup = self.monitor.check(&mut self.device);
+            let success = checkup.state < self.config.trigger;
+            self.events.push(LifetimeEvent::RepairAttempted {
+                epoch,
+                attempt: self.repairs_used,
+                action,
+                state_after: checkup.state,
+                success,
+            });
+            if success {
+                self.monitor.acknowledge_repair();
+                healed = true;
+                break;
+            }
+        }
+        if healed {
+            self.failed_sessions = 0;
+            self.next_repair_epoch = 0;
+        } else if self.repairs_used >= self.config.repair_budget {
+            self.park(epoch, "repair budget exhausted with the device still degraded".to_owned());
+        } else {
+            self.failed_sessions += 1;
+            let shift = (self.failed_sessions - 1).min(8) as u32;
+            let backoff = self.config.backoff_epochs << shift;
+            self.next_repair_epoch = epoch + backoff;
+            self.events
+                .push(LifetimeEvent::Backoff { epoch, until_epoch: self.next_repair_epoch });
+        }
+    }
+
+    /// Rung 1: rewrite every conductance-mapped layer from the golden
+    /// copy through the crossbar write path, parking known stuck cells
+    /// via fault-aware row remapping.
+    fn reprogram(&mut self) {
+        let mut rng =
+            SeededRng::new(self.config.seed ^ REPROGRAM_SALT).fork(self.repairs_used as u64);
+        let (mut fresh, _) = deploy(&self.golden, &self.config.crossbar, &mut rng);
+        let layers = &mut self.layers;
+        fresh.for_each_param_mut(|key, tensor| {
+            if let Some(layer) = layers.iter_mut().find(|l| l.key == key) {
+                if layer.map.is_empty() {
+                    layer.assignment = (0..tensor.shape()[0]).collect();
+                } else {
+                    let remap = remap_rows(tensor, &layer.map);
+                    layer.assignment = remap.assignment;
+                    *tensor = remap.repaired_weights;
+                }
+            }
+        });
+        self.device = fresh;
+    }
+
+    /// Rung 2: substitute spare bit lines on the most suspect defective
+    /// layer, then reprogram that layer with a fresh remap over the
+    /// surviving defects.
+    fn consume_spares(&mut self, diagnosis: &Diagnosis) {
+        let has_work = |l: &LayerState| l.spares_left > 0 && !l.map.is_empty();
+        let target = diagnosis
+            .ranking
+            .iter()
+            .map(|d| d.key.as_str())
+            .find(|k| self.layers.iter().any(|l| l.key == *k && has_work(l)))
+            .map(str::to_owned)
+            .or_else(|| self.layers.iter().find(|l| has_work(l)).map(|l| l.key.clone()));
+        let Some(key) = target else { return };
+        let golden_w = golden_param(&self.golden, &key);
+        let layer = self.layers.iter_mut().find(|l| l.key == key).expect("target layer exists");
+        let spare = repair_with_spares(&golden_w, &layer.map, layer.spares_left);
+        layer.spares_left -= spare.replaced_columns.len();
+        let surviving: Vec<StuckCell> = layer
+            .map
+            .cells()
+            .iter()
+            .copied()
+            .filter(|c| !spare.replaced_columns.contains(&c.col))
+            .collect();
+        layer.map = DefectMap::new(surviving);
+        let remap = remap_rows(&golden_w, &layer.map);
+        layer.assignment = remap.assignment;
+        let repaired = remap.repaired_weights;
+        self.device.for_each_param_mut(|k, tensor| {
+            if k == key {
+                *tensor = repaired.clone();
+            }
+        });
+    }
+
+    /// Rung 3: fault-aware retraining around the stuck cells (in logical
+    /// coordinates under the current assignments).
+    fn retrain(&mut self, epoch: usize) {
+        let Some(train) = &self.train else { return };
+        let defect_layers: Vec<(String, DefectMap)> = self
+            .layers
+            .iter()
+            .filter(|l| !l.map.is_empty())
+            .map(|l| {
+                let mut logical_of = vec![0usize; l.assignment.len()];
+                for (logical, &physical) in l.assignment.iter().enumerate() {
+                    logical_of[physical] = logical;
+                }
+                let cells = l
+                    .map
+                    .cells()
+                    .iter()
+                    .map(|c| StuckCell { row: logical_of[c.row], col: c.col, value: c.value })
+                    .collect();
+                (l.key.clone(), DefectMap::new(cells))
+            })
+            .collect();
+        // The retrain seed mixes in (epoch, attempt) so repeated rungs
+        // explore different shuffles, while staying a pure function of
+        // checkpointed state.
+        let config = FaultyRetrainConfig {
+            seed: self
+                .config
+                .retrain
+                .seed
+                .wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(self.repairs_used as u64),
+            ..self.config.retrain
+        };
+        retrain_with_faults(&mut self.device, &defect_layers, &train.images, &train.labels, config);
+    }
+
+    /// Rung 4: graceful degradation — halve the concurrent-test pattern
+    /// budget (never below the floor) and keep serving at reduced
+    /// assurance.
+    fn degrade(&mut self, epoch: usize) {
+        let k = (self.active_patterns / 2).max(self.config.min_patterns);
+        self.active_patterns = k;
+        let detector =
+            self.full_detector.subset(k).expect("degradation stays within 1..=len");
+        self.monitor.set_detector(detector);
+        self.events.push(LifetimeEvent::Degraded { epoch, patterns: k });
+    }
+
+    /// Parks the runtime in `Critical` with a structured incident report.
+    fn park(&mut self, epoch: usize, reason: String) {
+        let final_distance = self
+            .monitor
+            .history()
+            .last()
+            .map(|c| c.distance)
+            .unwrap_or(ConfidenceDistance::POISONED);
+        self.events.push(LifetimeEvent::Parked { epoch, reason: reason.clone() });
+        self.incident = Some(IncidentReport {
+            epoch,
+            reason,
+            final_state: HealthState::Critical,
+            final_distance,
+            repairs_attempted: self.repairs_used,
+            stuck_cells: self.total_stuck(),
+            active_patterns: self.active_patterns,
+            recommended_action: HealthState::Critical.recommended_action().to_owned(),
+        });
+    }
+
+    /// Deterministic operator-facing report: byte-identical for
+    /// byte-identical lifetimes, which is what the resume tests compare.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== lifetime report ==\n");
+        out.push_str(&format!("seed: {}\n", self.config.seed));
+        out.push_str(&format!("epochs: {}/{}\n", self.epoch, self.config.epochs));
+        out.push_str(&format!("final state: {}\n", self.state().label()));
+        out.push_str(&format!("checkups: {}\n", self.monitor.history().len()));
+        out.push_str(&format!(
+            "repairs used: {}/{}\n",
+            self.repairs_used, self.config.repair_budget
+        ));
+        out.push_str(&format!("stuck cells: {}\n", self.total_stuck()));
+        out.push_str(&format!(
+            "active patterns: {}/{}\n",
+            self.active_patterns,
+            self.patterns.len()
+        ));
+        out.push_str("events:\n");
+        for event in &self.events {
+            out.push_str("  ");
+            out.push_str(&event.describe());
+            out.push('\n');
+        }
+        match &self.incident {
+            Some(incident) => {
+                out.push_str("incident:\n");
+                out.push_str(&incident.render());
+            }
+            None => out.push_str("incident: none\n"),
+        }
+        out
+    }
+
+    /// Serializes the full mutable state as a JSON checkpoint.
+    ///
+    /// The checkpoint embeds digests of the configuration, the golden
+    /// network and the pattern set, so [`LifetimeRuntime::resume`] can
+    /// reject a resume under different inputs instead of silently
+    /// diverging. It does *not* embed the inputs themselves — the caller
+    /// supplies them again, exactly as with campaign checkpoints.
+    pub fn checkpoint_json(&self) -> String {
+        let layers: Vec<Json> = self.layers.iter().map(ToJson::to_json).collect();
+        let object = Json::Object(vec![
+            ("format".to_owned(), Json::String(CHECKPOINT_FORMAT.to_owned())),
+            ("config_digest".to_owned(), Json::String(self.config.digest().to_string())),
+            ("golden_digest".to_owned(), Json::String(network_digest(&self.golden).to_string())),
+            (
+                "patterns_digest".to_owned(),
+                Json::String(patterns_digest(&self.patterns).to_string()),
+            ),
+            ("epoch".to_owned(), self.epoch.to_json()),
+            ("active_patterns".to_owned(), self.active_patterns.to_json()),
+            ("repairs_used".to_owned(), self.repairs_used.to_json()),
+            ("failed_sessions".to_owned(), self.failed_sessions.to_json()),
+            ("next_repair_epoch".to_owned(), self.next_repair_epoch.to_json()),
+            ("device".to_owned(), self.device.state_dict().to_json()),
+            ("layers".to_owned(), Json::Array(layers)),
+            ("monitor".to_owned(), self.monitor.snapshot().to_json()),
+            ("events".to_owned(), self.events.to_json()),
+            ("incident".to_owned(), self.incident.to_json()),
+        ]);
+        healthmon_serdes::to_string(&object)
+    }
+
+    /// Rebuilds a runtime from a checkpoint produced by
+    /// [`LifetimeRuntime::checkpoint_json`], given the *same* golden
+    /// network, pattern set, config and training data. The resumed
+    /// runtime continues bit-identically to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::Json`] on malformed JSON;
+    /// [`HealthmonError::CheckpointMismatch`] when the checkpoint was
+    /// written under a different config, golden network or pattern set,
+    /// or its internal state is inconsistent with them.
+    pub fn resume(
+        golden: &Network,
+        patterns: TestPatternSet,
+        config: LifetimeConfig,
+        train: Option<TrainData>,
+        checkpoint: &str,
+    ) -> Result<Self, HealthmonError> {
+        let value: Json = healthmon_serdes::from_str(checkpoint)?;
+        let format = value.field("format")?.as_str()?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "unknown checkpoint format `{format}`"
+            )));
+        }
+        let mut runtime = LifetimeRuntime::new(golden, patterns, config, train);
+        verify_digest(&value, "config_digest", runtime.config.digest(), "configuration")?;
+        verify_digest(&value, "golden_digest", network_digest(&runtime.golden), "golden network")?;
+        verify_digest(
+            &value,
+            "patterns_digest",
+            patterns_digest(&runtime.patterns),
+            "pattern set",
+        )?;
+
+        let dict: Vec<(String, Tensor)> = Vec::from_json(value.field("device")?)?;
+        runtime
+            .device
+            .load_state_dict(&dict)
+            .map_err(|e| HealthmonError::CheckpointMismatch(e.to_string()))?;
+
+        let layers: Vec<LayerState> = Vec::from_json(value.field("layers")?)?;
+        if layers.len() != runtime.layers.len()
+            || layers.iter().zip(&runtime.layers).any(|(a, b)| a.key != b.key)
+        {
+            return Err(HealthmonError::CheckpointMismatch(
+                "checkpointed layer keys do not match the golden network".to_owned(),
+            ));
+        }
+        for (restored, fresh) in layers.iter().zip(&runtime.layers) {
+            if restored.assignment.len() != fresh.assignment.len() {
+                return Err(HealthmonError::CheckpointMismatch(format!(
+                    "layer `{}` assignment covers {} rows, expected {}",
+                    restored.key,
+                    restored.assignment.len(),
+                    fresh.assignment.len()
+                )));
+            }
+        }
+        runtime.layers = layers;
+
+        runtime.epoch = usize::from_json(value.field("epoch")?)?;
+        runtime.active_patterns = usize::from_json(value.field("active_patterns")?)?;
+        runtime.repairs_used = usize::from_json(value.field("repairs_used")?)?;
+        runtime.failed_sessions = usize::from_json(value.field("failed_sessions")?)?;
+        runtime.next_repair_epoch = usize::from_json(value.field("next_repair_epoch")?)?;
+        if runtime.active_patterns == 0 || runtime.active_patterns > runtime.patterns.len() {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "active pattern count {} outside 1..={}",
+                runtime.active_patterns,
+                runtime.patterns.len()
+            )));
+        }
+        let detector = if runtime.active_patterns < runtime.patterns.len() {
+            runtime.full_detector.subset(runtime.active_patterns)?
+        } else {
+            runtime.full_detector.clone()
+        };
+        let snapshot = MonitorSnapshot::from_json(value.field("monitor")?)?;
+        runtime.monitor = HealthMonitor::from_snapshot(detector, runtime.config.policy, snapshot);
+        runtime.events = Vec::from_json(value.field("events")?)?;
+        runtime.incident = Option::from_json(value.field("incident")?)?;
+        Ok(runtime)
+    }
+}
+
+/// Checkpoint format tag; bumped on incompatible layout changes.
+const CHECKPOINT_FORMAT: &str = "healthmon-lifetime-checkpoint-v1";
+
+fn verify_digest(
+    value: &Json,
+    field: &str,
+    expected: u64,
+    what: &str,
+) -> Result<(), HealthmonError> {
+    let stored = value.field(field)?.as_str()?.parse::<u64>().map_err(|_| {
+        HealthmonError::CheckpointMismatch(format!("`{field}` is not a u64 digest"))
+    })?;
+    if stored != expected {
+        return Err(HealthmonError::CheckpointMismatch(format!(
+            "the checkpoint was written under a different {what} \
+             (digest {stored} != {expected})"
+        )));
+    }
+    Ok(())
+}
+
+fn golden_param(net: &Network, key: &str) -> Tensor {
+    let mut found = None;
+    net.for_each_param(|k, t| {
+        if k == key {
+            found = Some(t.clone());
+        }
+    });
+    found.unwrap_or_else(|| panic!("golden parameter `{key}` exists"))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    // Note the explicit reborrow: downcasting `&Box<dyn Any>` directly
+    // would question the box, not the payload, and always miss.
+    let payload: &(dyn std::any::Any + Send) = &*payload;
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over every parameter key and the exact f32 bit patterns.
+fn network_digest(net: &Network) -> u64 {
+    let mut hash = FNV_OFFSET;
+    net.for_each_param(|key, tensor| {
+        hash = fnv1a(hash, key.bytes());
+        for &v in tensor.as_slice() {
+            hash = fnv1a(hash, v.to_bits().to_le_bytes());
+        }
+    });
+    hash
+}
+
+/// FNV-1a over the pattern method, shape, and exact image bit patterns.
+fn patterns_digest(patterns: &TestPatternSet) -> u64 {
+    let mut hash = fnv1a(FNV_OFFSET, patterns.method().bytes());
+    for &dim in patterns.images().shape() {
+        hash = fnv1a(hash, (dim as u64).to_le_bytes());
+    }
+    for &v in patterns.images().as_slice() {
+        hash = fnv1a(hash, v.to_bits().to_le_bytes());
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_nn::models::tiny_mlp;
+
+    fn setup(seed: u64) -> (Network, TestPatternSet) {
+        let mut rng = SeededRng::new(seed);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns =
+            TestPatternSet::new("t", Tensor::rand_uniform(&[6, 8], 0.0, 1.0, &mut rng));
+        (net, patterns)
+    }
+
+    fn quiet_aging() -> AgingModel {
+        AgingModel { drift_nu: 0.0, drift_time: 0.0, soft_error_p: 0.0, stuck_lambda: 0.0 }
+    }
+
+    #[test]
+    fn quiet_lifetime_stays_healthy() {
+        let (net, patterns) = setup(1);
+        let config = LifetimeConfig {
+            epochs: 3,
+            aging: quiet_aging(),
+            crossbar: CrossbarConfig::ideal(),
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        assert_eq!(runtime.run(None), HealthState::Healthy);
+        assert!(runtime.is_finished() && !runtime.is_parked());
+        assert_eq!(runtime.repairs_used(), 0);
+        // deploy + baseline checkup + 3 × (aged + checkup).
+        assert_eq!(runtime.events().len(), 8);
+        assert!(runtime.render_report().contains("incident: none"));
+    }
+
+    #[test]
+    fn heavy_drift_escalates_and_reprogram_heals() {
+        let (net, patterns) = setup(2);
+        let config = LifetimeConfig {
+            epochs: 4,
+            aging: AgingModel { drift_nu: 0.6, drift_time: 1.0, ..quiet_aging() },
+            crossbar: CrossbarConfig::ideal(),
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        let state = runtime.run(None);
+        assert_eq!(state, HealthState::Healthy, "reprogram must heal pure drift");
+        assert!(runtime.incident().is_none());
+        let healed = runtime.events().iter().any(|e| {
+            matches!(e, LifetimeEvent::RepairAttempted { action, success: true, .. }
+                if *action == RepairAction::Reprogram)
+        });
+        assert!(healed, "expected a successful reprogram; events: {:#?}", runtime.events());
+    }
+
+    #[test]
+    fn stuck_cells_accumulate_monotonically() {
+        let (net, patterns) = setup(3);
+        let config = LifetimeConfig {
+            epochs: 3,
+            aging: AgingModel { stuck_lambda: 8.0, ..quiet_aging() },
+            crossbar: CrossbarConfig::ideal(),
+            // Never repair: observe raw accumulation.
+            policy: MonitorPolicy { watch_threshold: 10.0, critical_threshold: 20.0, ..MonitorPolicy::default() },
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        let mut last_total = 0usize;
+        while !runtime.is_finished() {
+            runtime.step();
+            let total = runtime.total_stuck();
+            assert!(total >= last_total, "stuck cells never vanish without a spare repair");
+            last_total = total;
+        }
+        assert!(last_total > 0, "λ=8 over 3 epochs must land some arrivals");
+        // The arrivals are recorded in the event log too.
+        let logged: usize = runtime
+            .events()
+            .iter()
+            .map(|e| match e {
+                LifetimeEvent::Aged { new_stuck, .. } => *new_stuck,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(logged, last_total);
+    }
+
+    #[test]
+    fn budget_exhaustion_parks_critical_with_complete_report() {
+        let (net, patterns) = setup(4);
+        // 2-bit cells leave a quantization floor no repair can cross with
+        // thresholds this tight, and there is nothing to retrain with.
+        let config = LifetimeConfig {
+            epochs: 10,
+            aging: quiet_aging(),
+            crossbar: CrossbarConfig { cell_bits: 2, ..CrossbarConfig::ideal() },
+            policy: MonitorPolicy {
+                watch_threshold: 1e-7,
+                critical_threshold: 1e-6,
+                escalation_count: 1,
+            },
+            repair_budget: 2,
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        let state = runtime.run(None);
+        assert_eq!(state, HealthState::Critical);
+        assert!(runtime.is_parked() && runtime.is_finished());
+        let incident = runtime.incident().expect("parked runtime carries a report");
+        assert_eq!(incident.final_state, HealthState::Critical);
+        assert_eq!(incident.repairs_attempted, 2);
+        assert!(incident.reason.contains("budget exhausted"));
+        assert!(incident.epoch >= 1);
+        assert!(incident.final_distance.all_classes > 1e-7);
+        assert!(incident.recommended_action.contains("retraining"));
+        let report = runtime.render_report();
+        assert!(report.contains("incident:"));
+        assert!(report.contains("parked: repair budget exhausted"));
+    }
+
+    #[test]
+    fn epoch_panic_is_contained_as_incident() {
+        let (net, patterns) = setup(5);
+        let train = TrainData {
+            images: Tensor::rand_uniform(&[12, 8], 0.0, 1.0, &mut SeededRng::new(6)),
+            labels: vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3],
+        };
+        // retrain.epochs == 0 makes the retrain rung panic; the runtime
+        // must park instead of unwinding into the caller.
+        let config = LifetimeConfig {
+            epochs: 5,
+            aging: quiet_aging(),
+            crossbar: CrossbarConfig { cell_bits: 2, ..CrossbarConfig::ideal() },
+            policy: MonitorPolicy {
+                watch_threshold: 1e-7,
+                critical_threshold: 1e-6,
+                escalation_count: 1,
+            },
+            retrain: FaultyRetrainConfig { epochs: 0, ..FaultyRetrainConfig::default() },
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, Some(train));
+        let state = runtime.run(None);
+        assert_eq!(state, HealthState::Critical);
+        let incident = runtime.incident().expect("contained panic parks the runtime");
+        assert!(incident.reason.contains("panicked"), "reason: {}", incident.reason);
+        assert!(incident.reason.contains("non-trivial"), "reason: {}", incident.reason);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (net, patterns) = setup(7);
+        let config = LifetimeConfig {
+            epochs: 6,
+            aging: AgingModel {
+                drift_nu: 0.3,
+                drift_time: 1.0,
+                soft_error_p: 0.002,
+                stuck_lambda: 1.5,
+            },
+            crossbar: CrossbarConfig::ideal(),
+            ..LifetimeConfig::default()
+        };
+
+        let mut uninterrupted =
+            LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        uninterrupted.run(None);
+
+        let mut first = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        first.run(Some(2));
+        let checkpoint = first.checkpoint_json();
+        drop(first); // the "kill" between the two processes
+        let mut resumed =
+            LifetimeRuntime::resume(&net, patterns, config, None, &checkpoint).unwrap();
+        resumed.run(None);
+
+        assert_eq!(resumed.events(), uninterrupted.events());
+        assert_eq!(resumed.monitor().history(), uninterrupted.monitor().history());
+        assert_eq!(
+            resumed.device().state_dict(),
+            uninterrupted.device().state_dict(),
+            "resumed device weights must be bit-identical"
+        );
+        assert_eq!(resumed.render_report(), uninterrupted.render_report());
+        assert_eq!(resumed.checkpoint_json(), uninterrupted.checkpoint_json());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        let (net, patterns) = setup(8);
+        let config =
+            LifetimeConfig { epochs: 2, aging: quiet_aging(), ..LifetimeConfig::default() };
+        let mut runtime = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        runtime.run(Some(1));
+        let checkpoint = runtime.checkpoint_json();
+
+        // Different config.
+        let other = LifetimeConfig { seed: 99, ..config };
+        let err = LifetimeRuntime::resume(&net, patterns.clone(), other, None, &checkpoint)
+            .unwrap_err();
+        assert!(matches!(err, HealthmonError::CheckpointMismatch(_)), "{err}");
+        assert!(err.to_string().contains("configuration"));
+
+        // Different golden network.
+        let (other_net, _) = setup(9);
+        let err = LifetimeRuntime::resume(&other_net, patterns.clone(), config, None, &checkpoint)
+            .unwrap_err();
+        assert!(err.to_string().contains("golden network"), "{err}");
+
+        // Different pattern set.
+        let other_patterns = TestPatternSet::new(
+            "t",
+            Tensor::rand_uniform(&[6, 8], 0.0, 1.0, &mut SeededRng::new(77)),
+        );
+        let err = LifetimeRuntime::resume(&net, other_patterns, config, None, &checkpoint)
+            .unwrap_err();
+        assert!(err.to_string().contains("pattern set"), "{err}");
+
+        // Corrupted format tag.
+        let bad = checkpoint.replace(CHECKPOINT_FORMAT, "healthmon-lifetime-checkpoint-v0");
+        let err = LifetimeRuntime::resume(&net, patterns, config, None, &bad).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let distance = ConfidenceDistance { top_ranked: 0.01, all_classes: 0.02 };
+        let events = vec![
+            LifetimeEvent::Deployed { tiles: 4, mapping_error_l1: 0.125 },
+            LifetimeEvent::Aged { epoch: 1, new_stuck: 2, total_stuck: 5 },
+            LifetimeEvent::CheckupDone { epoch: 1, distance, state: HealthState::Watch },
+            LifetimeEvent::Diagnosed { epoch: 1, suspect: "layer0.weight".to_owned() },
+            LifetimeEvent::RepairAttempted {
+                epoch: 1,
+                attempt: 3,
+                action: RepairAction::Spares,
+                state_after: HealthState::Healthy,
+                success: true,
+            },
+            LifetimeEvent::Degraded { epoch: 2, patterns: 3 },
+            LifetimeEvent::Backoff { epoch: 2, until_epoch: 4 },
+            LifetimeEvent::Parked { epoch: 5, reason: "out of budget".to_owned() },
+        ];
+        let json = healthmon_serdes::to_string(&events);
+        let back: Vec<LifetimeEvent> = healthmon_serdes::from_str(&json).unwrap();
+        assert_eq!(back, events);
+        // Every event renders a non-empty deterministic line.
+        for event in &events {
+            assert!(!event.describe().is_empty());
+            assert_eq!(event.describe(), event.describe());
+        }
+        assert!(healthmon_serdes::from_str::<LifetimeEvent>("{\"kind\":\"nope\"}").is_err());
+    }
+
+    #[test]
+    fn incident_report_round_trips_and_renders() {
+        let incident = IncidentReport {
+            epoch: 7,
+            reason: "repair budget exhausted".to_owned(),
+            final_state: HealthState::Critical,
+            final_distance: ConfidenceDistance::POISONED,
+            repairs_attempted: 8,
+            stuck_cells: 13,
+            active_patterns: 2,
+            recommended_action: "weight reprogramming / cloud retraining".to_owned(),
+        };
+        let json = healthmon_serdes::to_string(&incident);
+        let back: IncidentReport = healthmon_serdes::from_str(&json).unwrap();
+        assert_eq!(back, incident);
+        let rendered = incident.render();
+        assert!(rendered.contains("epoch: 7"));
+        assert!(rendered.contains("final state: critical"));
+        assert!(rendered.contains("stuck cells: 13"));
+    }
+
+    #[test]
+    #[should_panic(expected = "trigger must be Watch or Critical")]
+    fn rejects_healthy_trigger() {
+        LifetimeConfig { trigger: HealthState::Healthy, ..LifetimeConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn stepping_a_finished_lifetime_panics() {
+        let (net, patterns) = setup(10);
+        let config =
+            LifetimeConfig { epochs: 1, aging: quiet_aging(), ..LifetimeConfig::default() };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        runtime.run(None);
+        runtime.step();
+    }
+}

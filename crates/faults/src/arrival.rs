@@ -1,0 +1,155 @@
+//! Poisson fault-arrival sampling: how many new permanent defects show up
+//! in one epoch of field operation, and where.
+//!
+//! Lifetime simulations age a deployed accelerator in discrete epochs;
+//! within an epoch, independent rare events (electroforming failures,
+//! endurance wear-out of individual cells) arrive as a Poisson process.
+//! [`poisson_count`] draws the per-epoch arrival count and
+//! [`sample_cell_arrivals`] places each arrival uniformly over a crossbar
+//! matrix. Both are pure functions of the RNG stream, so an epoch replayed
+//! from a checkpoint produces bit-identical arrivals.
+
+use healthmon_tensor::SeededRng;
+
+/// One newly-arrived permanent cell defect in a `[rows, cols]` matrix.
+///
+/// The weight-domain value of the stuck cell is left to the caller (it
+/// depends on the mapped weight's sign and the tensor's full-scale value);
+/// the arrival only fixes the position and the resistance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellArrival {
+    /// Matrix row (word line) of the failed cell.
+    pub row: usize,
+    /// Matrix column (bit line) of the failed cell.
+    pub col: usize,
+    /// `true` for a cell frozen in the low-resistance state (stuck-at-one
+    /// in weight terms), `false` for the high-resistance state
+    /// (stuck-at-zero).
+    pub stuck_high: bool,
+}
+
+/// Draws a Poisson-distributed arrival count with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a rounded normal
+/// approximation above `lambda = 30` (where the product method would
+/// underflow and the approximation error is far below the noise floor of
+/// any campaign statistic).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson_count(lambda: f64, rng: &mut SeededRng) -> usize {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson mean must be finite and non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation, clamped to the support.
+        let draw = rng.normal(lambda as f32, (lambda.sqrt()) as f32);
+        return draw.round().max(0.0) as usize;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut product = 1.0f64;
+    loop {
+        product *= rng.unit() as f64;
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples one epoch's new stuck cells for a `[rows, cols]` matrix: the
+/// count is `Poisson(lambda)`, each arrival lands uniformly on a cell and
+/// freezes high or low with equal probability.
+///
+/// Positions may repeat across calls (a cell can be hit again later); the
+/// caller deduplicates against its cumulative defect map — a cell that is
+/// already stuck stays stuck.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `lambda` is negative or non-finite.
+pub fn sample_cell_arrivals(
+    rows: usize,
+    cols: usize,
+    lambda: f64,
+    rng: &mut SeededRng,
+) -> Vec<CellArrival> {
+    assert!(rows > 0 && cols > 0, "arrival matrix must be non-empty, got {rows}x{cols}");
+    let count = poisson_count(lambda, rng);
+    (0..count)
+        .map(|_| CellArrival {
+            row: rng.below(rows),
+            col: rng.below(cols),
+            stuck_high: rng.chance(0.5),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lambda_never_arrives() {
+        let mut rng = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(poisson_count(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_lambda_mean_is_roughly_lambda() {
+        let mut rng = SeededRng::new(2);
+        let n = 4000;
+        let total: usize = (0..n).map(|_| poisson_count(2.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((1.8..2.2).contains(&mean), "Poisson(2.0) sample mean {mean}");
+    }
+
+    #[test]
+    fn large_lambda_uses_normal_branch_sanely() {
+        let mut rng = SeededRng::new(3);
+        let n = 500;
+        let total: usize = (0..n).map(|_| poisson_count(100.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((95.0..105.0).contains(&mean), "Poisson(100) sample mean {mean}");
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_stream() {
+        let a = sample_cell_arrivals(16, 8, 3.0, &mut SeededRng::new(9));
+        let b = sample_cell_arrivals(16, 8, 3.0, &mut SeededRng::new(9));
+        assert_eq!(a, b);
+        let c = sample_cell_arrivals(16, 8, 3.0, &mut SeededRng::new(10));
+        // Overwhelmingly likely to differ in count or placement.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_stay_in_bounds() {
+        let mut rng = SeededRng::new(4);
+        for _ in 0..50 {
+            for cell in sample_cell_arrivals(7, 3, 5.0, &mut rng) {
+                assert!(cell.row < 7 && cell.col < 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_lambda() {
+        poisson_count(-1.0, &mut SeededRng::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_matrix() {
+        sample_cell_arrivals(0, 4, 1.0, &mut SeededRng::new(0));
+    }
+}

@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrival;
 mod campaign;
 mod model;
 
+pub use arrival::{poisson_count, sample_cell_arrivals, CellArrival};
 pub use campaign::{
     par_map_indices, par_map_indices_with_threads, par_map_models, par_map_models_with_threads,
     try_par_map_models, CampaignPanic, FaultCampaign,

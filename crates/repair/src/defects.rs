@@ -1,5 +1,6 @@
 //! Defect maps: where the stuck cells are.
 
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// One stuck cell in a 2-D weight matrix.
@@ -133,6 +134,38 @@ impl DefectMap {
     pub fn damage(&self, weights: &Tensor, assignment: &[usize]) -> f32 {
         let damaged = self.apply_with_assignment(weights, assignment);
         weights.l1_distance(&damaged)
+    }
+}
+
+impl ToJson for StuckCell {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("row".to_owned(), self.row.to_json()),
+            ("col".to_owned(), self.col.to_json()),
+            ("value".to_owned(), self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StuckCell {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(StuckCell {
+            row: usize::from_json(value.field("row")?)?,
+            col: usize::from_json(value.field("col")?)?,
+            value: f32::from_json(value.field("value")?)?,
+        })
+    }
+}
+
+impl ToJson for DefectMap {
+    fn to_json(&self) -> Json {
+        self.cells.to_json()
+    }
+}
+
+impl FromJson for DefectMap {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(DefectMap { cells: Vec::from_json(value)? })
     }
 }
 

@@ -15,7 +15,7 @@ use healthmon_nn::Network;
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// Configuration for fault-aware fine-tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultyRetrainConfig {
     /// Fine-tuning epochs (few are needed; the network is near a
     /// solution).

@@ -1,0 +1,115 @@
+//! Property-based edge-case tests for defect maps and the repair
+//! hierarchy built on them.
+//!
+//! Run on the deterministic `healthmon-check` harness; a failure at case
+//! `N` reproduces with `healthmon_check::run_case(N, ..)`.
+
+use healthmon_check::{run_cases, Gen};
+use healthmon_repair::{remap_rows, repair_with_spares, DefectMap, StuckCell};
+use healthmon_serdes::{FromJson, ToJson};
+use healthmon_tensor::{SeededRng, Tensor};
+
+const CASES: usize = 32;
+
+fn random_matrix(g: &mut Gen) -> Tensor {
+    let rows = g.usize_in(2, 12);
+    let cols = g.usize_in(2, 10);
+    let data = g.vec_f32(rows * cols, -2.0, 2.0);
+    Tensor::from_vec(data, &[rows, cols]).expect("shape matches data")
+}
+
+#[test]
+fn empty_map_is_a_no_op_everywhere() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let map = DefectMap::default();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.apply(&w), w, "an empty map must not touch the weights");
+
+        let remap = remap_rows(&w, &map);
+        assert_eq!(remap.unrepaired_error, 0.0);
+        assert_eq!(remap.repaired_error, 0.0);
+        assert_eq!(remap.recovery(), 0.0, "nothing to recover from");
+        assert_eq!(remap.repaired_weights, w);
+
+        let spare = repair_with_spares(&w, &map, g.usize_in(0, 4));
+        assert_eq!(spare.unrepaired_error, 0.0);
+        assert!(spare.replaced_columns.is_empty());
+    });
+}
+
+#[test]
+fn fully_defective_matrix_remaps_without_panic_and_recovers_nothing() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        // Every cell stuck at zero: damage is assignment-invariant, so
+        // remapping must survive the degenerate input and report zero
+        // recovery rather than panicking or claiming improvement.
+        let cells = (0..rows)
+            .flat_map(|row| (0..cols).map(move |col| StuckCell { row, col, value: 0.0 }))
+            .collect();
+        let map = DefectMap::new(cells);
+        let remap = remap_rows(&w, &map);
+        assert!((remap.repaired_error - remap.unrepaired_error).abs() < 1e-4);
+        assert!(remap.recovery().abs() < 1e-4, "recovery {}", remap.recovery());
+        assert!(remap.repaired_weights.as_slice().iter().all(|&v| v == 0.0));
+    });
+}
+
+#[test]
+fn single_all_defective_row_never_makes_things_worse() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let row = g.usize_in(0, rows);
+        let cells = (0..cols).map(|col| StuckCell { row, col, value: 0.0 }).collect();
+        let map = DefectMap::new(cells);
+        let remap = remap_rows(&w, &map);
+        assert!(remap.repaired_error <= remap.unrepaired_error + 1e-5);
+        assert!((0.0..=1.0 + 1e-6).contains(&remap.recovery()));
+        // The defective physical row hosts exactly one logical row.
+        let mut sorted = remap.assignment.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..rows).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn sample_for_matrix_is_deterministic_in_the_seed() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let rate = g.f64_in(0.0, 0.5);
+        let seed = g.seed();
+        let a = DefectMap::sample_for_matrix(&w, rate, &mut SeededRng::new(seed));
+        let b = DefectMap::sample_for_matrix(&w, rate, &mut SeededRng::new(seed));
+        assert_eq!(a, b, "same seed must sample the same map");
+    });
+}
+
+#[test]
+fn sample_rate_extremes_are_exact() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let seed = g.seed();
+        let none = DefectMap::sample_for_matrix(&w, 0.0, &mut SeededRng::new(seed));
+        assert!(none.is_empty(), "rate 0 must sample no defects");
+        let all = DefectMap::sample_for_matrix(&w, 1.0, &mut SeededRng::new(seed));
+        assert_eq!(all.len(), w.shape()[0] * w.shape()[1], "rate 1 must stick every cell");
+    });
+}
+
+#[test]
+fn defect_maps_round_trip_through_json() {
+    run_cases(CASES, |g: &mut Gen| {
+        let w = random_matrix(g);
+        let rate = g.f64_in(0.0, 0.4);
+        let map = DefectMap::sample_for_matrix(&w, rate, &mut SeededRng::new(g.seed()));
+        let text = healthmon_serdes::to_string(&map.to_json());
+        let parsed: DefectMap =
+            DefectMap::from_json(&healthmon_serdes::from_str(&text).expect("valid JSON"))
+                .expect("defect map decodes");
+        assert_eq!(parsed, map);
+    });
+}

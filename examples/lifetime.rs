@@ -1,0 +1,84 @@
+//! The *autonomous* closed loop: **detect → diagnose → repair →
+//! re-validate**, driven by [`healthmon::LifetimeRuntime`] instead of by
+//! hand (see `repair_loop.rs` for the manual version of the same loop).
+//!
+//! A trained model is deployed onto simulated crossbars and aged for a
+//! dozen epochs: conductances drift, soft errors flip weights, and stuck
+//! cells arrive at random. The concurrent-test monitor runs a cheap
+//! checkup every epoch; when the health state escalates past the trigger,
+//! the runtime diagnoses the damaged layer and walks the repair ladder —
+//! reprogram, spare columns, fault-aware retraining, graceful degradation
+//! — re-validating after every attempt.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p healthmon --example lifetime
+//! ```
+
+use healthmon::{
+    AgingModel, CtpGenerator, HealthState, LifetimeConfig, LifetimeRuntime, MonitorPolicy,
+    TrainData,
+};
+use healthmon_data::{DatasetSpec, SynthDigits};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::trainer::accuracy;
+use healthmon_nn::{TrainConfig, Trainer};
+use healthmon_tensor::SeededRng;
+
+fn main() {
+    // Train the golden model.
+    let spec = DatasetSpec { train: 1500, test: 300, seed: 3, noise: 0.10 };
+    let split = SynthDigits::new(spec).generate();
+    let n_pixels = 28 * 28;
+    let train_x = split.train.images.reshape(&[split.train.len(), n_pixels]).expect("flatten");
+    let test_x = split.test.images.reshape(&[split.test.len(), n_pixels]).expect("flatten");
+    let mut rng = SeededRng::new(1);
+    let mut model = tiny_mlp(n_pixels, 64, 10, &mut rng);
+    println!("training the golden model ...");
+    let config = TrainConfig { epochs: 4, batch_size: 32, ..TrainConfig::default() };
+    Trainer::new(&mut model, Sgd::new(0.1).momentum(0.9), config).fit(
+        &train_x,
+        &split.train.labels,
+        None,
+    );
+    let golden_acc = accuracy(&mut model, &test_x, &split.test.labels, 64);
+    println!("golden accuracy: {:.1}%\n", golden_acc * 100.0);
+
+    // Concurrent-test patterns: C-TP corner data from the test pool.
+    let pool = healthmon_data::Dataset::new(test_x.clone(), split.test.labels.clone(), 10);
+    let patterns = CtpGenerator::new(12).select(&mut model, &pool);
+
+    // A harsh lifetime: strong drift plus a steady trickle of stuck
+    // cells, so the monitor escalates and repairs actually happen.
+    let config = LifetimeConfig {
+        seed: 2020,
+        epochs: 12,
+        aging: AgingModel {
+            drift_nu: 0.20,
+            drift_time: 1.0,
+            soft_error_p: 1e-4,
+            stuck_lambda: 2.0,
+        },
+        policy: MonitorPolicy { escalation_count: 1, ..MonitorPolicy::default() },
+        trigger: HealthState::Watch,
+        ..LifetimeConfig::default()
+    };
+    let train = TrainData { images: train_x.clone(), labels: split.train.labels.clone() };
+    let mut lifetime = LifetimeRuntime::new(&model, patterns, config, Some(train));
+
+    println!("running {} epochs of deployment ...\n", config.epochs);
+    let final_state = lifetime.run(None);
+    println!("{}", lifetime.render_report());
+
+    // The loop is judged by what it preserves: end-of-life accuracy.
+    let device_acc = accuracy(&mut lifetime.device().clone(), &test_x, &split.test.labels, 64);
+    println!(
+        "\nend of life: state {final_state:?}, accuracy {:.1}% (golden {:.1}%), \
+         {} repair(s) spent, {} stuck cell(s) on the array",
+        device_acc * 100.0,
+        golden_acc * 100.0,
+        lifetime.repairs_used(),
+        lifetime.total_stuck(),
+    );
+}

@@ -1,5 +1,8 @@
 //! The full closed loop the paper motivates: **detect → triage →
-//! repair → verify**.
+//! repair → verify** — driven *by hand*, one decision at a time. The
+//! autonomous counterpart, where [`healthmon::LifetimeRuntime`] makes
+//! the same decisions over a multi-epoch aging simulation, is the
+//! `lifetime` example (`examples/lifetime.rs`).
 //!
 //! A trained model is deployed; stuck-at defects accumulate on its first
 //! (largest) crossbar-mapped layer. The concurrent-test detector grades

@@ -54,6 +54,32 @@ if grep -E '^source = ' Cargo.lock; then
 fi
 echo "ok: every locked package is a workspace member"
 
+echo "== lifetime smoke (checkpoint resume + thread-count determinism) =="
+lt_dir="$(pwd)/target/lifetime-smoke"
+rm -rf "$lt_dir"
+mkdir -p "$lt_dir"
+hm=./target/release/healthmon
+"$hm" train --arch mlp --out "$lt_dir/model.json" --epochs 2 --train-size 300 --quiet true
+lt_flags=(--arch mlp --model "$lt_dir/model.json" --epochs 6 --count 8 --drift 0.25 --stuck-lambda 0.5)
+# Uninterrupted reference run, then the same lifetime killed after three
+# epochs and resumed from its checkpoint: the reports must be identical
+# down to the byte.
+"$hm" lifetime "${lt_flags[@]}" --report "$lt_dir/full.txt" > /dev/null
+"$hm" lifetime "${lt_flags[@]}" --checkpoint "$lt_dir/cp.json" --stop-after 3 > /dev/null
+"$hm" lifetime "${lt_flags[@]}" --checkpoint "$lt_dir/cp.json" --report "$lt_dir/resumed.txt" > /dev/null
+cmp "$lt_dir/full.txt" "$lt_dir/resumed.txt"
+grep -q "repair #" "$lt_dir/full.txt"  # the smoke must exercise a repair session
+echo "ok: resumed lifetime report is byte-identical to the uninterrupted run"
+# The determinism contract holds at any thread count (DESIGN.md §6c):
+# HEALTHMON_THREADS is latched per process, so vary it across runs.
+for t in 1 2 7; do
+    HEALTHMON_THREADS=$t "$hm" lifetime "${lt_flags[@]}" \
+        --report "$lt_dir/threads_$t.txt" > /dev/null
+done
+cmp "$lt_dir/threads_1.txt" "$lt_dir/threads_2.txt"
+cmp "$lt_dir/threads_1.txt" "$lt_dir/threads_7.txt"
+echo "ok: lifetime report is byte-identical under HEALTHMON_THREADS=1/2/7"
+
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (short mode, refreshes BENCH_pr2.json) =="
     # Absolute path: cargo runs bench binaries from the package directory.
