@@ -61,19 +61,19 @@ fn bench_detection() {
     let (net, _) = fixture();
     let mut group = TimingHarness::new("detection");
     let mut rng = SeededRng::new(4);
-    let mut golden = net.clone();
+    let golden = net.clone();
 
     for &patterns in &[10usize, 50] {
         let set = TestPatternSet::new(
             "bench",
             Tensor::rand_uniform(&[patterns, 28 * 28], 0.0, 1.0, &mut rng),
         );
-        let detector = Detector::new(&mut golden, set);
+        let detector = Detector::new(&golden, set);
         let mut faulty = net.clone();
         FaultModel::ProgrammingVariation { sigma: 0.3 }
             .apply(&mut faulty, &mut SeededRng::new(5));
         group.case(&format!("concurrent_test_single_device/{patterns}"), || {
-            black_box(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 }))
+            black_box(detector.is_faulty(&faulty, SdcCriterion::SdcA { threshold: 0.03 }))
         });
     }
 }
@@ -104,12 +104,12 @@ fn bench_campaign() {
     let (net, _) = fixture();
     let mut group = TimingHarness::new("campaign").samples(5);
     let mut rng = SeededRng::new(8);
-    let mut golden = net.clone();
+    let golden = net.clone();
     let set = TestPatternSet::new(
         "campaign",
         Tensor::rand_uniform(&[20, 28 * 28], 0.0, 1.0, &mut rng),
     );
-    let detector = Detector::new(&mut golden, set);
+    let detector = Detector::new(&golden, set);
     let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
     group.case("detection_rate_40_models", || {
         black_box(detector.detection_rate(&net, &fault, 40, 11, SdcCriterion::SdcA {

@@ -55,7 +55,7 @@ fn main() {
             .alpha(alpha)
             .max_iters(400)
             .generate(&trained.model, &reference, &mut SeededRng::new(41));
-        let detector = Detector::new(&mut trained.model, set);
+        let detector = Detector::new(&trained.model, set);
         let (rate, mean) = evaluate(&detector, &trained.model);
         table.push_row(vec![
             format!("{alpha:.1}"),
@@ -78,7 +78,7 @@ fn main() {
             &trained.data.test,
             &mut SeededRng::new(42),
         );
-        let detector = Detector::new(&mut trained.model, set);
+        let detector = Detector::new(&trained.model, set);
         let (rate, mean) = evaluate(&detector, &trained.model);
         table.push_row(vec![format!("{eps:.2}"), distance(mean), percent(rate)]);
     }
@@ -94,7 +94,7 @@ fn main() {
         let idx: Vec<usize> = (0..pool.min(trained.data.test.len())).collect();
         let subset = trained.data.test.subset(&idx);
         let set = CtpGenerator::new(50).select(&mut trained.model, &subset);
-        let detector = Detector::new(&mut trained.model, set);
+        let detector = Detector::new(&trained.model, set);
         let (rate, mean) = evaluate(&detector, &trained.model);
         table.push_row(vec![pool.to_string(), distance(mean), percent(rate)]);
     }
@@ -112,7 +112,7 @@ fn main() {
         let (set, _) = OtpGenerator::new()
             .max_iters(400)
             .generate(&trained.model, &reference, &mut SeededRng::new(43));
-        let detector = Detector::new(&mut trained.model, set);
+        let detector = Detector::new(&trained.model, set);
         let (rate, mean) = evaluate(&detector, &trained.model);
         table.push_row(vec![format!("{ref_sigma:.1}"), distance(mean), percent(rate)]);
     }

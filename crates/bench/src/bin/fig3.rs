@@ -21,7 +21,7 @@ fn main() {
         let suite = pattern_suite(&mut trained);
         let _ = writeln!(out, "== {} ==", benchmark.label());
         for patterns in suite.methods() {
-            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let detector = Detector::new(&trained.model, patterns.clone());
             let mut top_series = Vec::new();
             let mut all_series = Vec::new();
             for sigma in benchmark.sigma_grid() {

@@ -31,7 +31,7 @@ fn main() {
         let suite = pattern_suite(&mut trained);
         let _ = writeln!(out, "== {} ==", benchmark.label());
         for patterns in suite.methods() {
-            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let detector = Detector::new(&trained.model, patterns.clone());
             let active: Vec<SdcCriterion> = criteria
                 .iter()
                 .copied()

@@ -24,7 +24,7 @@ fn main() {
         let suite = pattern_suite(&mut trained);
         let _ = writeln!(out, "== {} ==", benchmark.label());
         for patterns in [&suite.aet, &suite.ctp] {
-            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let detector = Detector::new(&trained.model, patterns.clone());
             let mut series: Vec<Vec<(f32, f32)>> = vec![Vec::new(); criteria.len()];
             for sigma in benchmark.sigma_grid() {
                 let rates = detector.detection_rates(

@@ -36,7 +36,7 @@ fn main() {
             header.extend(criteria.iter().map(|c| c.label()));
             let mut table = TextTable::new(header);
             for patterns in suite.methods() {
-                let detector = Detector::new(&mut trained.model, patterns.clone());
+                let detector = Detector::new(&trained.model, patterns.clone());
                 let mut row = vec![patterns.method().to_owned()];
                 for crit in &criteria {
                     if patterns.method() == "O-TP" && crit.uses_top_class() {

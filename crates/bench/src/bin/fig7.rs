@@ -39,7 +39,7 @@ fn main() {
         let ctp200 = CtpGenerator::new(200).select(&mut trained.model, &pool);
         let long_counts = [10usize, 25, 50, 100, 150, 200];
         for set in [aet200, ctp200] {
-            let detector = Detector::new(&mut trained.model, set.clone());
+            let detector = Detector::new(&trained.model, set.clone());
             let curve = pattern_count_sweep(
                 &detector,
                 &trained.model,
@@ -57,7 +57,7 @@ fn main() {
         }
 
         // O-TP: the 50-pattern suite set, swept down to its native 10.
-        let detector = Detector::new(&mut trained.model, suite.otp.clone());
+        let detector = Detector::new(&trained.model, suite.otp.clone());
         let curve = pattern_count_sweep(
             &detector,
             &trained.model,

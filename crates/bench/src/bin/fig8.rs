@@ -31,7 +31,7 @@ fn main() {
 
     let detectors: Vec<Detector> = sets
         .iter()
-        .map(|s| Detector::new(&mut trained.model, (*s).clone()))
+        .map(|s| Detector::new(&trained.model, (*s).clone()))
         .collect();
 
     for sigma in benchmark.sigma_grid() {

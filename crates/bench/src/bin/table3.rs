@@ -28,7 +28,7 @@ fn main() {
         header.extend(criteria.iter().map(|c| c.label()));
         let mut table = TextTable::new(header);
         for patterns in suite.methods() {
-            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let detector = Detector::new(&trained.model, patterns.clone());
             let mut sums = vec![0.0f32; criteria.len()];
             for &sigma in &sigmas {
                 let rates = detector.detection_rates(

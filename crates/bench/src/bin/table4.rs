@@ -36,7 +36,7 @@ fn main() {
             if pick_top && patterns.method() == "O-TP" {
                 continue;
             }
-            let detector = Detector::new(&mut trained.model, patterns.clone());
+            let detector = Detector::new(&trained.model, patterns.clone());
             let mut row = vec![patterns.method().to_owned()];
             for &sigma in &sigmas {
                 let distances = detector.campaign_distances(

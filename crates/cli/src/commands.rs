@@ -2,8 +2,9 @@
 
 use crate::args::ParsedArgs;
 use healthmon::{
-    AetGenerator, AgingModel, CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime,
-    MonitorPolicy, OtpGenerator, SdcCriterion, TestPatternSet, TrainData,
+    ActiveBackend, AetGenerator, AgingModel, BackendKind, BackendSpec, CrossbarConfig,
+    CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime, MonitorPolicy, OtpGenerator,
+    SdcCriterion, TestPatternSet, TrainData,
 };
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
@@ -23,13 +24,20 @@ pub const USAGE: &str = "usage:
   healthmon generate --arch <A> --model <model.json> --method <ctp|otp|aet> --out <patterns.json>
                      [--count N] [--seed N]
   healthmon check    --arch <A> --model <golden.json> --target <device.json> --patterns <patterns.json>
-                     [--threshold F]       exit 0 = healthy, 2 = faulty
+                     [--threshold F] [--backend <digital|analog|bitsliced>]
+                     exit 0 = healthy, 2 = faulty
+  healthmon campaign --arch <A> --model <model.json> --fault <spec>
+                     [--patterns <patterns.json>] [--count N] [--seed N]
+                     [--threshold F] [--backend <digital|analog|bitsliced>]
+  healthmon deploy   --arch <A> --model <model.json>
+                     [--seed N] [--probes N] [--backend <analog|bitsliced>]
   healthmon accuracy --arch <A> --model <model.json> [--seed N]
   healthmon lifetime --arch <A> --model <model.json>
                      [--epochs N] [--seed N] [--count N] [--patterns <patterns.json>]
                      [--drift F] [--soft F] [--stuck-lambda F]
                      [--watch F] [--critical F] [--budget N] [--train-size N]
                      [--checkpoint <cp.json>] [--stop-after N] [--report <out.txt>]
+                     [--backend <digital|analog|bitsliced>] (--checkpoint needs digital)
                      exit 0 = lifetime completed, 2 = parked in critical";
 
 /// Dispatches a parsed command line. Returns the process exit code.
@@ -40,6 +48,8 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "inject" => cmd_inject(&args),
         "generate" => cmd_generate(&args),
         "check" => cmd_check(&args),
+        "campaign" => cmd_campaign(&args),
+        "deploy" => cmd_deploy(&args),
         "accuracy" => cmd_accuracy(&args),
         "lifetime" => cmd_lifetime(&args),
         "help" | "--help" | "-h" => {
@@ -117,6 +127,20 @@ fn parse_fault(spec: &str) -> Result<FaultModel, String> {
             "unknown fault `{spec}` (pv:<sigma> | soft:<p> | stuck:<sa0>,<sa1> | drift:<nu>,<t>)"
         )),
     }
+}
+
+/// Resolves `--backend` into a full [`BackendSpec`] (default geometry;
+/// bit-sliced backends get 8-bit weights over the default 4-bit cells).
+fn parse_backend(args: &ParsedArgs) -> Result<BackendSpec, String> {
+    let kind: BackendKind = match args.get("backend") {
+        Some(name) => name.parse()?,
+        None => BackendKind::Digital,
+    };
+    Ok(match kind {
+        BackendKind::Digital => BackendSpec::digital(),
+        BackendKind::Analog => BackendSpec::analog(CrossbarConfig::default()),
+        BackendKind::BitSliced => BackendSpec::bitsliced(CrossbarConfig::default(), 8),
+    })
 }
 
 fn cmd_train(args: &ParsedArgs) -> Result<ExitCode, String> {
@@ -199,19 +223,25 @@ fn cmd_generate(args: &ParsedArgs) -> Result<ExitCode, String> {
 }
 
 fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
-    args.expect_only(&["arch", "model", "target", "patterns", "threshold", "seed"])?;
+    args.expect_only(&["arch", "model", "target", "patterns", "threshold", "seed", "backend"])?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
     let target = args.required("target")?;
     let patterns = load_patterns(args.required("patterns")?)?;
     let threshold: f32 = args.get_or("threshold", 0.03)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let spec = parse_backend(args)?;
 
-    let mut golden = load_model(arch, model, seed)?;
-    let mut device = load_model(arch, target, seed)?;
-    let detector = Detector::new(&mut golden, patterns);
-    let distance = detector.confidence_distance(&mut device);
-    let faulty = detector.is_faulty(&mut device, SdcCriterion::SdcA { threshold });
+    let golden = load_model(arch, model, seed)?;
+    let device = load_model(arch, target, seed)?;
+    let detector = Detector::new(&golden, patterns);
+    let mut backend_rng = SeededRng::new(seed).fork(1);
+    let backend = spec.instantiate(&device, &mut backend_rng);
+    if spec.kind != BackendKind::Digital {
+        println!("backend: {}", spec.kind.label());
+    }
+    let distance = detector.confidence_distance(&backend);
+    let faulty = detector.is_faulty(&backend, SdcCriterion::SdcA { threshold });
     println!(
         "confidence distance: all-class {:.4}, top-ranked {:.4} (threshold {threshold})",
         distance.all_classes, distance.top_ranked
@@ -223,6 +253,103 @@ fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
         println!("verdict: healthy");
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// Runs a statistical fault-injection campaign and prints the detection
+/// rates, with responses evaluated on the chosen execution backend (the
+/// digital path is byte-identical to `Detector::detection_rates`).
+fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&[
+        "arch", "model", "patterns", "fault", "count", "seed", "threshold", "backend",
+    ])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let fault = parse_fault(args.required("fault")?)?;
+    let count: usize = args.get_or("count", 32)?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+    let threshold: f32 = args.get_or("threshold", 0.03)?;
+    let spec = parse_backend(args)?;
+
+    let mut golden = load_model(arch, model, seed)?;
+    let patterns = match args.get("patterns") {
+        Some(path) => load_patterns(path)?,
+        None => {
+            let pool = dataset_for(arch, seed ^ 0xC1D, 1000)?.test;
+            CtpGenerator::new(10).select(&mut golden, &pool)
+        }
+    };
+    let detector = Detector::new(&golden, patterns);
+    let criteria = [
+        SdcCriterion::SdcA { threshold },
+        SdcCriterion::SdcT { threshold },
+    ];
+    let rates = detector.detection_rates_with(&golden, &fault, count, seed, &criteria, &spec);
+    println!("backend: {}", spec.kind.label());
+    println!("fault: {}", fault.describe());
+    println!("campaign: {count} faulty models, {} patterns", detector.patterns().len());
+    println!("detection rate SDC-A (threshold {threshold}): {:.4}", rates[0]);
+    println!("detection rate SDC-T (threshold {threshold}): {:.4}", rates[1]);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Programs the model onto an analog backend and prints the deployment
+/// profile: per-layer tiles, area utilization, ADC range usage, mapping
+/// error, and the digital-vs-analog logit divergence over a probe batch.
+fn cmd_deploy(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["arch", "model", "seed", "probes", "backend"])?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+    let probes: usize = args.get_or("probes", 16)?;
+    if probes == 0 {
+        return Err("--probes must be positive".to_owned());
+    }
+    let spec = match args.get("backend") {
+        None => BackendSpec::analog(CrossbarConfig::default()),
+        Some(_) => {
+            let spec = parse_backend(args)?;
+            if spec.kind == BackendKind::Digital {
+                return Err(
+                    "deploy profiles analog execution; pick --backend analog or bitsliced"
+                        .to_owned(),
+                );
+            }
+            spec
+        }
+    };
+
+    let golden = load_model(arch, model, seed)?;
+    let pool = dataset_for(arch, seed ^ 0xD3B, probes.max(50) * 4)?.test;
+    let probe = TestPatternSet::new("probe", pool.images.clone())
+        .truncated(probes.min(pool.len()))
+        .images()
+        .clone();
+    let mut backend_rng = SeededRng::new(seed).fork(0);
+    let report = match spec.instantiate(&golden, &mut backend_rng) {
+        ActiveBackend::Analog(b) => b.deploy_report(&probe),
+        ActiveBackend::BitSliced(b) => b.deploy_report(&probe),
+        ActiveBackend::Digital(_) => unreachable!("digital rejected above"),
+    };
+    println!("backend: {}", spec.kind.label());
+    for m in &report.mappings {
+        println!(
+            "  {}: {}x{}, {} tiles, utilization {:.1}%, adc range {:.1}%, error l1 {:.4}",
+            m.key,
+            m.shape.0,
+            m.shape.1,
+            m.tiles,
+            m.utilization * 100.0,
+            m.adc_range_used * 100.0,
+            m.mapping_error_l1
+        );
+    }
+    println!("total tiles: {}", report.total_tiles());
+    println!("total mapping error l1: {:.4}", report.total_error_l1());
+    match report.logit_divergence {
+        Some(d) => println!("logit divergence vs digital ({probes} probes): {d:.6}"),
+        None => println!("logit divergence vs digital: not profiled"),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Simulates a deployed accelerator's lifetime: aging epochs interleaved
@@ -252,6 +379,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
         "checkpoint",
         "stop-after",
         "report",
+        "backend",
     ])?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
@@ -266,6 +394,14 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
     let budget: usize = args.get_or("budget", 8)?;
     let train_size: usize = args.get_or("train-size", 0)?;
     let stop_after: usize = args.get_or("stop-after", 0)?;
+    let backend = parse_backend(args)?;
+    if backend.kind != BackendKind::Digital && args.get("checkpoint").is_some() {
+        return Err(format!(
+            "--checkpoint requires the digital backend: `{}` lifetimes keep live \
+             conductance state that checkpoints cannot capture",
+            backend.kind.label()
+        ));
+    }
 
     let mut golden = load_model(arch, model, seed)?;
     // The pattern set must be identical across resumes: either a fixed
@@ -298,6 +434,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
             escalation_count: 1,
         },
         repair_budget: budget,
+        backend,
         ..LifetimeConfig::default()
     };
 

@@ -7,7 +7,15 @@ use crate::error::HealthmonError;
 use crate::metrics::SdcCriterion;
 use crate::patterns::TestPatternSet;
 use healthmon_faults::{par_map_indices, par_map_models, FaultModel};
-use healthmon_nn::Network;
+use healthmon_nn::{InferenceBackend, Network};
+use healthmon_reram::{BackendKind, BackendSpec};
+use healthmon_tensor::SeededRng;
+
+/// Domain separator for the per-fault-model backend programming streams
+/// of [`Detector::detection_rates_with`]: keeps conductance-programming
+/// randomness statistically independent of the fault-injection streams
+/// derived from the campaign seed itself.
+const BACKEND_SALT: u64 = 0xBAC0_0DAC_2020_0004;
 
 /// A concurrent-test detector: a pattern set plus the golden model's
 /// responses to it.
@@ -26,10 +34,15 @@ impl Detector {
     /// Builds a detector by recording `golden_net`'s responses on
     /// `patterns`.
     ///
+    /// The golden responses are always digital: the reference the paper
+    /// compares against is the known-good model evaluated exactly, while
+    /// the *target* side of every comparison may run on any
+    /// [`InferenceBackend`].
+    ///
     /// # Panics
     ///
     /// Panics if pattern shapes do not match the network input.
-    pub fn new(golden_net: &mut Network, patterns: TestPatternSet) -> Self {
+    pub fn new(golden_net: &Network, patterns: TestPatternSet) -> Self {
         let golden = ResponseSet::from_logits(patterns.logits(golden_net));
         Detector { patterns, golden }
     }
@@ -69,18 +82,27 @@ impl Detector {
         Ok(self.truncated(k))
     }
 
-    /// Evaluates a target model's responses on the pattern set.
-    pub fn responses(&self, target: &mut Network) -> ResponseSet {
+    /// Evaluates a target backend's responses on the pattern set. The
+    /// target can be a plain digital [`Network`] or any live analog
+    /// backend (`AnalogBackend`, `BitSlicedBackend`, ...).
+    pub fn responses<B: InferenceBackend + ?Sized>(&self, target: &B) -> ResponseSet {
         ResponseSet::from_logits(self.patterns.logits(target))
     }
 
-    /// Confidence distance of a target model from the golden responses.
-    pub fn confidence_distance(&self, target: &mut Network) -> ConfidenceDistance {
+    /// Confidence distance of a target backend from the golden responses.
+    pub fn confidence_distance<B: InferenceBackend + ?Sized>(
+        &self,
+        target: &B,
+    ) -> ConfidenceDistance {
         ConfidenceDistance::between(&self.golden, &self.responses(target))
     }
 
-    /// Whether `criterion` flags the target model as faulty.
-    pub fn is_faulty(&self, target: &mut Network, criterion: SdcCriterion) -> bool {
+    /// Whether `criterion` flags the target backend as faulty.
+    pub fn is_faulty<B: InferenceBackend + ?Sized>(
+        &self,
+        target: &B,
+        criterion: SdcCriterion,
+    ) -> bool {
         criterion.detects(&self.golden, &self.responses(target))
     }
 
@@ -115,7 +137,51 @@ impl Detector {
         }
         let verdicts: Vec<Vec<bool>> =
             par_map_models(golden_net, fault, seed, count, |_, net| {
-                let responses = self.responses(net);
+                let responses = self.responses(&*net);
+                criteria
+                    .iter()
+                    .map(|c| c.detects(&self.golden, &responses))
+                    .collect()
+            });
+        (0..criteria.len())
+            .map(|ci| {
+                verdicts.iter().filter(|v| v[ci]).count() as f32 / count as f32
+            })
+            .collect()
+    }
+
+    /// [`Detector::detection_rates`] executed on an arbitrary backend:
+    /// every fault model's weights are *programmed onto live crossbar
+    /// state* described by `spec` before its responses are measured, so
+    /// detection rates include DAC/ADC quantization, cell resolution, and
+    /// tile partial-sum effects.
+    ///
+    /// The digital spec routes through the exact same code path as
+    /// [`Detector::detection_rates`] (byte-identical results). For analog
+    /// specs, fault model `i` is programmed under the deterministic stream
+    /// `SeededRng::new(seed ^ BACKEND_SALT).fork(i)`, so rates are
+    /// reproducible at any thread count.
+    pub fn detection_rates_with(
+        &self,
+        golden_net: &Network,
+        fault: &FaultModel,
+        count: usize,
+        seed: u64,
+        criteria: &[SdcCriterion],
+        spec: &BackendSpec,
+    ) -> Vec<f32> {
+        if spec.kind == BackendKind::Digital {
+            return self.detection_rates(golden_net, fault, count, seed, criteria);
+        }
+        spec.validate();
+        if count == 0 {
+            return vec![0.0; criteria.len()];
+        }
+        let verdicts: Vec<Vec<bool>> =
+            par_map_models(golden_net, fault, seed, count, |i, net| {
+                let mut program_rng = SeededRng::new(seed ^ BACKEND_SALT).fork(i as u64);
+                let backend = spec.instantiate(&*net, &mut program_rng);
+                let responses = self.responses(&backend);
                 criteria
                     .iter()
                     .map(|c| c.detects(&self.golden, &responses))
@@ -158,7 +224,7 @@ impl Detector {
         }
         let verdicts: Vec<Vec<bool>> =
             par_map_indices(golden_net, fault, checkpoint.seed(), &todo, |_, net| {
-                let responses = self.responses(net);
+                let responses = self.responses(&*net);
                 criteria
                     .iter()
                     .map(|c| c.detects(&self.golden, &responses))
@@ -180,7 +246,7 @@ impl Detector {
         seed: u64,
     ) -> Vec<ConfidenceDistance> {
         par_map_models(golden_net, fault, seed, count, |_, net| {
-            self.confidence_distance(net)
+            self.confidence_distance(&*net)
         })
     }
 }
@@ -193,24 +259,24 @@ mod tests {
 
     fn setup() -> (Network, Detector) {
         let mut rng = SeededRng::new(1);
-        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
         let patterns =
             TestPatternSet::new("rand", Tensor::rand_uniform(&[12, 8], 0.0, 1.0, &mut rng));
-        let detector = Detector::new(&mut net, patterns);
+        let detector = Detector::new(&net, patterns);
         (net, detector)
     }
 
     #[test]
     fn golden_model_is_never_flagged() {
-        let (mut net, detector) = setup();
+        let (net, detector) = setup();
         for crit in SdcCriterion::paper_suite() {
             // SDC-5 requires >=5 classes; our toy model has 4.
             if matches!(crit, SdcCriterion::Sdc5) {
                 continue;
             }
-            assert!(!detector.is_faulty(&mut net, crit), "{} flagged the golden model", crit.label());
+            assert!(!detector.is_faulty(&net, crit), "{} flagged the golden model", crit.label());
         }
-        let d = detector.confidence_distance(&mut net);
+        let d = detector.confidence_distance(&net);
         assert_eq!(d.top_ranked, 0.0);
         assert_eq!(d.all_classes, 0.0);
     }
@@ -221,9 +287,9 @@ mod tests {
         let mut faulty = net.clone();
         FaultModel::RandomSoftError { probability: 0.6 }
             .apply(&mut faulty, &mut SeededRng::new(9));
-        let d = detector.confidence_distance(&mut faulty);
+        let d = detector.confidence_distance(&faulty);
         assert!(d.all_classes > 0.01, "heavy fault left distance {}", d.all_classes);
-        assert!(detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.01 }));
+        assert!(detector.is_faulty(&faulty, SdcCriterion::SdcA { threshold: 0.01 }));
     }
 
     #[test]
@@ -281,8 +347,8 @@ mod tests {
         FaultModel::ProgrammingVariation { sigma: 0.3 }
             .apply(&mut faulty, &mut SeededRng::new(2));
         // Truncated distance computed on prefix only.
-        let d_full = detector.confidence_distance(&mut faulty);
-        let d_trunc = t.confidence_distance(&mut faulty);
+        let d_full = detector.confidence_distance(&faulty);
+        let d_trunc = t.confidence_distance(&faulty);
         assert!(d_full.all_classes > 0.0 && d_trunc.all_classes > 0.0);
     }
 
@@ -305,9 +371,9 @@ mod tests {
         let s = detector.subset(5).unwrap();
         let t = detector.truncated(5);
         assert_eq!(s.patterns().len(), t.patterns().len());
-        let mut device = net.clone();
-        let a = s.confidence_distance(&mut device);
-        let b = t.confidence_distance(&mut device);
+        let device = net.clone();
+        let a = s.confidence_distance(&device);
+        let b = t.confidence_distance(&device);
         assert_eq!(a, b);
     }
 
@@ -346,6 +412,68 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, HealthmonError::CheckpointMismatch(_)));
+    }
+
+    #[test]
+    fn backend_campaign_digital_spec_is_byte_identical() {
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let criteria = [SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }];
+        let plain = detector.detection_rates(&net, &fault, 10, 3, &criteria);
+        let routed = detector.detection_rates_with(
+            &net,
+            &fault,
+            10,
+            3,
+            &criteria,
+            &healthmon_reram::BackendSpec::digital(),
+        );
+        assert_eq!(
+            plain.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            routed.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn backend_campaign_exact_analog_matches_digital() {
+        use healthmon_reram::{BackendSpec, CrossbarConfig};
+        let (net, detector) = setup();
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+        let criteria = [SdcCriterion::SdcA { threshold: 0.03 }];
+        let digital = detector.detection_rates(&net, &fault, 8, 3, &criteria);
+        let spec = BackendSpec::analog(CrossbarConfig {
+            rows: 4096,
+            cols: 4096,
+            ..CrossbarConfig::exact()
+        });
+        let analog = detector.detection_rates_with(&net, &fault, 8, 3, &criteria, &spec);
+        assert_eq!(digital, analog, "exact analog campaign must reproduce digital rates");
+    }
+
+    #[test]
+    fn backend_campaign_quantization_is_visible_and_deterministic() {
+        use healthmon_reram::{BackendSpec, CrossbarConfig};
+        let (net, detector) = setup();
+        // A *clean* device on a coarse backend: cell quantization alone
+        // perturbs responses, which a tight threshold notices.
+        let fault = FaultModel::ProgrammingVariation { sigma: 0.0 };
+        let criteria = [SdcCriterion::SdcA { threshold: 1e-4 }];
+        let spec = BackendSpec::analog(CrossbarConfig {
+            cell_bits: 2,
+            dac_bits: 4,
+            adc_bits: 4,
+            ..CrossbarConfig::default()
+        });
+        let a = detector.detection_rates_with(&net, &fault, 6, 3, &criteria, &spec);
+        let b = detector.detection_rates_with(&net, &fault, 6, 3, &criteria, &spec);
+        assert_eq!(a, b, "backend campaign must be deterministic");
+        let digital = detector.detection_rates(&net, &fault, 6, 3, &criteria);
+        assert!(
+            a[0] > digital[0],
+            "coarse quantization should trip the tight criterion: analog {} vs digital {}",
+            a[0],
+            digital[0]
+        );
     }
 
     #[test]

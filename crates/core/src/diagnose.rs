@@ -5,9 +5,10 @@
 //! faulty; a repair needs to know *where*. [`diagnose`] answers that with
 //! two probes, both reusing the detector's pattern set:
 //!
-//! 1. **Containment probe** — a [`Network::forward_checked`] replay of the
-//!    patterns. A device whose weights went non-finite is localized
-//!    outright to the first poisoned layer.
+//! 1. **Containment probe** — an
+//!    [`InferenceBackend::infer_checked`] replay of the patterns. A
+//!    device whose weights went non-finite is localized outright to the
+//!    first poisoned layer.
 //! 2. **Substitution ranking** — for every conductance-mapped parameter,
 //!    a hybrid network (golden weights everywhere except that one layer,
 //!    which takes the device's weights) is scored by golden-response
@@ -21,7 +22,7 @@
 
 use crate::confidence::ConfidenceDistance;
 use crate::detect::Detector;
-use healthmon_nn::Network;
+use healthmon_nn::{InferenceBackend, Network};
 use healthmon_repair::{DefectMap, StuckCell};
 use healthmon_tensor::Tensor;
 
@@ -67,6 +68,12 @@ impl Diagnosis {
 /// Localizes the damage of `device` relative to `golden` using
 /// `detector`'s pattern set.
 ///
+/// The device may be a digital [`Network`] or any live analog backend:
+/// the containment probe replays the patterns through the backend itself
+/// (so analog non-finite poisoning is caught where it happens), and the
+/// substitution ranking operates on the backend's effective-weight
+/// read-back ([`InferenceBackend::readback`]).
+///
 /// Both probes are deterministic pure functions of the three inputs, so a
 /// diagnosis replayed from a checkpoint is bit-identical.
 ///
@@ -74,18 +81,19 @@ impl Diagnosis {
 ///
 /// Panics if `device` was not derived from `golden` (mismatched parameter
 /// keys or shapes).
-pub fn diagnose(detector: &Detector, golden: &Network, device: &Network) -> Diagnosis {
+pub fn diagnose<B: InferenceBackend + ?Sized>(
+    detector: &Detector,
+    golden: &Network,
+    device: &B,
+) -> Diagnosis {
     // Containment probe: does the device even produce finite activations?
-    let poisoned_layer = {
-        let mut probe = device.clone();
-        probe
-            .forward_checked(detector.patterns().images())
-            .err()
-            .map(|e| e.layer)
-    };
+    let poisoned_layer = device
+        .infer_checked(detector.patterns().images())
+        .err()
+        .map(|e| e.layer);
 
     // Substitution ranking over conductance-mapped parameters.
-    let device_dict = device.state_dict();
+    let device_dict = device.readback().state_dict();
     let mut ranking = Vec::new();
     for (key, device_tensor) in &device_dict {
         if !key.ends_with("weight") {
@@ -105,7 +113,7 @@ pub fn diagnose(detector: &Detector, golden: &Network, device: &Network) -> Diag
             }
         });
         assert!(replaced, "device parameter `{key}` missing from the golden model");
-        let distance = detector.confidence_distance(&mut probe);
+        let distance = detector.confidence_distance(&probe);
         ranking.push(LayerDiagnosis { key: key.clone(), distance });
     }
     // Most damaging first; poisoned distances are +inf so total_cmp ranks
@@ -161,10 +169,10 @@ mod tests {
 
     fn setup() -> (Network, Detector) {
         let mut rng = SeededRng::new(3);
-        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
         let patterns =
             TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
-        let detector = Detector::new(&mut net, patterns);
+        let detector = Detector::new(&net, patterns);
         (net, detector)
     }
 

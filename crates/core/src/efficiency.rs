@@ -101,10 +101,10 @@ mod tests {
 
     fn setup() -> (Network, Detector) {
         let mut rng = SeededRng::new(1);
-        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
         let patterns =
             TestPatternSet::new("rand", Tensor::rand_uniform(&[30, 8], 0.0, 1.0, &mut rng));
-        let det = Detector::new(&mut net, patterns);
+        let det = Detector::new(&net, patterns);
         (net, det)
     }
 

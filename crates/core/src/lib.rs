@@ -48,7 +48,7 @@
 //! // Flattened images for the MLP.
 //! let patterns = CtpGenerator::new(10)
 //!     .select_flattened(&mut model, &pool);
-//! let detector = Detector::new(&mut model, patterns);
+//! let detector = Detector::new(&model, patterns);
 //! let rate = detector.detection_rate(
 //!     &model,
 //!     &FaultModel::ProgrammingVariation { sigma: 0.4 },
@@ -93,4 +93,14 @@ pub use patterns::TestPatternSet;
 pub use runtime::{
     AgingModel, IncidentReport, LifetimeConfig, LifetimeEvent, LifetimeRuntime, RepairAction,
     TrainData,
+};
+
+// Execution-backend layer: every detection, diagnosis, campaign and
+// lifetime entry point is generic over [`InferenceBackend`], so the same
+// test stack runs against a digital reference network or live analog
+// crossbar state.
+pub use healthmon_nn::InferenceBackend;
+pub use healthmon_reram::{
+    ActiveBackend, AnalogBackend, BackendKind, BackendSpec, BitSlicedBackend, CrossbarConfig,
+    DeployReport, LayerMapping,
 };

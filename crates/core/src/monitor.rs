@@ -11,7 +11,7 @@
 use crate::confidence::ConfidenceDistance;
 use crate::detect::Detector;
 use crate::error::HealthmonError;
-use healthmon_nn::Network;
+use healthmon_nn::InferenceBackend;
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 
 /// Triage verdict for a monitored accelerator.
@@ -179,13 +179,13 @@ impl MonitorPolicy {
 /// use healthmon_tensor::{SeededRng, Tensor};
 ///
 /// let mut rng = SeededRng::new(0);
-/// let mut model = tiny_mlp(8, 16, 4, &mut rng);
+/// let model = tiny_mlp(8, 16, 4, &mut rng);
 /// let patterns = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 8], 0.0, 1.0, &mut rng));
-/// let detector = Detector::new(&mut model, patterns);
+/// let detector = Detector::new(&model, patterns);
 /// let mut monitor = HealthMonitor::new(detector, MonitorPolicy::default());
 ///
-/// let mut accelerator = model.clone();
-/// let checkup = monitor.check(&mut accelerator);
+/// let accelerator = model.clone();
+/// let checkup = monitor.check(&accelerator);
 /// assert_eq!(checkup.state, HealthState::Healthy);
 /// ```
 #[derive(Debug, Clone)]
@@ -236,9 +236,10 @@ impl HealthMonitor {
         &self.history
     }
 
-    /// Runs one concurrent-test checkup against the accelerator and
-    /// updates the state machine.
-    pub fn check(&mut self, accelerator: &mut Network) -> Checkup {
+    /// Runs one concurrent-test checkup against the accelerator — a
+    /// digital network or any live analog backend — and updates the state
+    /// machine.
+    pub fn check<B: InferenceBackend + ?Sized>(&mut self, accelerator: &B) -> Checkup {
         let distance = self.detector.confidence_distance(accelerator);
         let observed = self.policy.raw_state(distance.all_classes);
         self.transition(observed, distance.is_poisoned());
@@ -371,14 +372,15 @@ mod tests {
     use crate::patterns::TestPatternSet;
     use healthmon_faults::FaultModel;
     use healthmon_nn::models::tiny_mlp;
+    use healthmon_nn::Network;
     use healthmon_tensor::{SeededRng, Tensor};
 
     fn setup(escalation: usize) -> (Network, HealthMonitor) {
         let mut rng = SeededRng::new(1);
-        let mut net = tiny_mlp(8, 16, 4, &mut rng);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
         let patterns =
             TestPatternSet::new("t", Tensor::rand_uniform(&[8, 8], 0.0, 1.0, &mut rng));
-        let detector = Detector::new(&mut net, patterns);
+        let detector = Detector::new(&net, patterns);
         let policy = MonitorPolicy { escalation_count: escalation, ..MonitorPolicy::default() };
         (net, HealthMonitor::new(detector, policy))
     }
@@ -386,9 +388,9 @@ mod tests {
     #[test]
     fn healthy_device_stays_healthy() {
         let (net, mut monitor) = setup(1);
-        let mut device = net.clone();
+        let device = net.clone();
         for _ in 0..3 {
-            assert_eq!(monitor.check(&mut device).state, HealthState::Healthy);
+            assert_eq!(monitor.check(&device).state, HealthState::Healthy);
         }
         assert_eq!(monitor.history().len(), 3);
     }
@@ -399,7 +401,7 @@ mod tests {
         let mut device = net.clone();
         FaultModel::RandomSoftError { probability: 0.5 }
             .apply(&mut device, &mut SeededRng::new(2));
-        let checkup = monitor.check(&mut device);
+        let checkup = monitor.check(&device);
         assert!(checkup.state >= HealthState::Watch, "state {:?}", checkup.state);
         assert!(checkup.distance.all_classes > 0.02);
     }
@@ -410,9 +412,9 @@ mod tests {
         let mut bad = net.clone();
         FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
         // First bad reading: still healthy (pending).
-        assert_eq!(monitor.check(&mut bad).state, HealthState::Healthy);
+        assert_eq!(monitor.check(&bad).state, HealthState::Healthy);
         // Second consecutive: escalates.
-        assert_ne!(monitor.check(&mut bad).state, HealthState::Healthy);
+        assert_ne!(monitor.check(&bad).state, HealthState::Healthy);
     }
 
     #[test]
@@ -420,10 +422,10 @@ mod tests {
         let (net, mut monitor) = setup(1);
         let mut bad = net.clone();
         FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
-        monitor.check(&mut bad);
+        monitor.check(&bad);
         assert_ne!(monitor.state(), HealthState::Healthy);
-        let mut repaired = net.clone();
-        assert_eq!(monitor.check(&mut repaired).state, HealthState::Healthy);
+        let repaired = net.clone();
+        assert_eq!(monitor.check(&repaired).state, HealthState::Healthy);
     }
 
     #[test]
@@ -431,7 +433,7 @@ mod tests {
         let (net, mut monitor) = setup(1);
         let mut bad = net.clone();
         FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
-        monitor.check(&mut bad);
+        monitor.check(&bad);
         monitor.acknowledge_repair();
         assert_eq!(monitor.state(), HealthState::Healthy);
         // History preserved.
@@ -531,8 +533,8 @@ mod tests {
         let (net, mut monitor) = setup(2);
         let mut bad = net.clone();
         FaultModel::RandomSoftError { probability: 0.5 }.apply(&mut bad, &mut SeededRng::new(2));
-        monitor.check(&mut bad);
-        monitor.check(&mut bad);
+        monitor.check(&bad);
+        monitor.check(&bad);
         let snap = monitor.snapshot();
         let json = healthmon_serdes::to_string(&snap);
         let restored: MonitorSnapshot = healthmon_serdes::from_str(&json).unwrap();
@@ -548,8 +550,8 @@ mod tests {
         // The revived monitor continues exactly where the original is.
         let mut a = monitor;
         let mut b = revived;
-        let mut device = net.clone();
-        assert_eq!(a.check(&mut device), b.check(&mut device));
+        let device = net.clone();
+        assert_eq!(a.check(&device), b.check(&device));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Test pattern sets: the deliverable of every generator.
 
-use healthmon_nn::Network;
+use healthmon_nn::InferenceBackend;
 use healthmon_tensor::Tensor;
 
 /// A named set of test patterns (images) shaped for a particular network.
@@ -105,14 +105,15 @@ impl TestPatternSet {
         TestPatternSet { method: self.method.clone(), images }
     }
 
-    /// Evaluates the set on `net`, returning the raw logits `[N, classes]`.
+    /// Evaluates the set on an execution backend (a plain digital
+    /// [`healthmon_nn::Network`], or any analog crossbar backend),
+    /// returning the raw logits `[N, classes]`.
     ///
     /// # Panics
     ///
     /// Panics if the pattern shape does not match the network input shape.
-    pub fn logits(&self, net: &mut Network) -> Tensor {
-        net.set_training(false);
-        net.forward(&self.images)
+    pub fn logits<B: InferenceBackend + ?Sized>(&self, net: &B) -> Tensor {
+        net.infer(&self.images)
     }
 }
 
@@ -147,9 +148,9 @@ mod tests {
     #[test]
     fn logits_shape() {
         let mut rng = SeededRng::new(1);
-        let mut net = tiny_mlp(4, 8, 3, &mut rng);
+        let net = tiny_mlp(4, 8, 3, &mut rng);
         let set = TestPatternSet::new("t", Tensor::randn(&[5, 4], &mut rng));
-        assert_eq!(set.logits(&mut net).shape(), &[5, 3]);
+        assert_eq!(set.logits(&net).shape(), &[5, 3]);
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //!   parks the runtime in `Critical` with a structured
 //!   [`IncidentReport`].
 //!
+//! The lifetime can run on any execution backend
+//! ([`LifetimeConfig::backend`]): the default `digital` backend keeps the
+//! device as a weight-space [`Network`] (byte-identical to the historical
+//! behaviour), while the `analog` and `bitsliced` backends keep it as
+//! live crossbar state — drift ages the conductance planes directly,
+//! stuck cells freeze physical cells via
+//! [`healthmon_reram::AnalogBackend::stick_cell`], and repairs reprogram
+//! layers through the crossbar write path.
+//!
 //! Everything is a pure function of the inputs: the per-epoch RNG is
 //! derived as `SeededRng::new(seed).fork(epoch)`, so a checkpoint needs
 //! no RNG state and a resumed run is **bit-identical** to an
@@ -30,14 +39,16 @@ use crate::confidence::ConfidenceDistance;
 use crate::detect::Detector;
 use crate::diagnose::{diagnose, Diagnosis};
 use crate::error::HealthmonError;
-use crate::monitor::{HealthMonitor, HealthState, MonitorPolicy, MonitorSnapshot};
+use crate::monitor::{Checkup, HealthMonitor, HealthState, MonitorPolicy, MonitorSnapshot};
 use crate::patterns::TestPatternSet;
 use healthmon_faults::{sample_cell_arrivals, FaultModel};
-use healthmon_nn::Network;
+use healthmon_nn::{InferenceBackend, Network};
 use healthmon_repair::{
     remap_rows, repair_with_spares, retrain_with_faults, DefectMap, FaultyRetrainConfig, StuckCell,
 };
-use healthmon_reram::{deploy, CrossbarConfig};
+use healthmon_reram::{
+    deploy, AnalogBackend, BackendKind, BackendSpec, BitSlicedBackend, CrossbarConfig,
+};
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{SeededRng, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -104,8 +115,15 @@ pub struct LifetimeConfig {
     pub aging: AgingModel,
     /// Thresholds and hysteresis for the health monitor.
     pub policy: MonitorPolicy,
-    /// The crossbar hardware the golden model is deployed onto.
+    /// The crossbar hardware the golden model is deployed onto (the
+    /// digital deploy path; analog backends carry their own geometry in
+    /// [`LifetimeConfig::backend`]).
     pub crossbar: CrossbarConfig,
+    /// Execution backend the lifetime runs on. `digital` reproduces the
+    /// historical weight-space simulation byte-for-byte; `analog` and
+    /// `bitsliced` keep the device as live crossbar state and apply
+    /// aging at the conductance level.
+    pub backend: BackendSpec,
     /// Health state at which a repair session starts (must be above
     /// `Healthy`).
     pub trigger: HealthState,
@@ -133,6 +151,7 @@ impl Default for LifetimeConfig {
             aging: AgingModel::default(),
             policy: MonitorPolicy::default(),
             crossbar: CrossbarConfig::default(),
+            backend: BackendSpec::digital(),
             trigger: HealthState::Watch,
             repair_budget: 8,
             spare_columns: 2,
@@ -153,6 +172,7 @@ impl LifetimeConfig {
     pub fn validate(&self) {
         self.policy.validate();
         self.aging.validate();
+        self.backend.validate();
         assert!(self.epochs > 0, "a lifetime needs at least one epoch");
         assert!(
             self.trigger > HealthState::Healthy,
@@ -543,6 +563,78 @@ impl FromJson for LayerState {
     }
 }
 
+/// The deployed device: a weight-space digital simulation (the
+/// historical, byte-identical path) or live analog crossbar state.
+#[derive(Debug, Clone)]
+enum DeviceState {
+    Digital(Network),
+    Analog(AnalogBackend),
+    BitSliced(BitSlicedBackend),
+}
+
+impl DeviceState {
+    /// The programmed network image. For analog variants this carries the
+    /// structure, biases and last-written digital weights; conductance-
+    /// level aging is only visible through [`DeviceState::readback`].
+    fn network(&self) -> &Network {
+        match self {
+            DeviceState::Digital(net) => net,
+            DeviceState::Analog(b) => b.network(),
+            DeviceState::BitSliced(b) => b.network(),
+        }
+    }
+
+    /// Effective weights as the device actually computes them.
+    fn readback(&self) -> Network {
+        match self {
+            DeviceState::Digital(net) => net.clone(),
+            DeviceState::Analog(b) => b.readback(),
+            DeviceState::BitSliced(b) => b.readback(),
+        }
+    }
+
+    fn is_digital(&self) -> bool {
+        matches!(self, DeviceState::Digital(_))
+    }
+
+    fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
+        match self {
+            DeviceState::Digital(net) => FaultModel::Drift { nu, time }.apply(net, rng),
+            DeviceState::Analog(b) => b.drift(nu, time, rng),
+            DeviceState::BitSliced(b) => b.drift(nu, time, rng),
+        }
+    }
+
+    fn soft_errors(&mut self, probability: f64, rng: &mut SeededRng) {
+        match self {
+            DeviceState::Digital(net) => {
+                FaultModel::RandomSoftError { probability }.apply(net, rng);
+            }
+            // The analog image of random soft errors is read-disturb
+            // noise: lognormal conductance jitter driven by the same
+            // per-epoch probability knob.
+            DeviceState::Analog(b) => b.disturb(probability as f32, rng),
+            DeviceState::BitSliced(b) => b.disturb(probability as f32, rng),
+        }
+    }
+
+    fn stick_cell(&mut self, key: &str, row: usize, col: usize, weight: f32) {
+        match self {
+            DeviceState::Digital(_) => unreachable!("digital defects are clamped, not stuck"),
+            DeviceState::Analog(b) => b.stick_cell(key, row, col, weight),
+            DeviceState::BitSliced(b) => b.stick_cell(key, row, col, weight),
+        }
+    }
+
+    fn write_layer(&mut self, key: &str, weights: &Tensor, rng: &mut SeededRng) {
+        match self {
+            DeviceState::Digital(_) => unreachable!("digital repairs write the network directly"),
+            DeviceState::Analog(b) => b.write_layer(key, weights, rng),
+            DeviceState::BitSliced(b) => b.write_layer(key, weights, rng),
+        }
+    }
+}
+
 /// The closed-loop lifetime simulation: see the module docs.
 #[derive(Debug, Clone)]
 pub struct LifetimeRuntime {
@@ -551,7 +643,7 @@ pub struct LifetimeRuntime {
     patterns: TestPatternSet,
     full_detector: Detector,
     train: Option<TrainData>,
-    device: Network,
+    device: DeviceState,
     monitor: HealthMonitor,
     layers: Vec<LayerState>,
     epoch: usize,
@@ -594,10 +686,26 @@ impl LifetimeRuntime {
                 "training data needs one label per image"
             );
         }
-        let mut golden = golden.clone();
-        let full_detector = Detector::new(&mut golden, patterns.clone());
+        let golden = golden.clone();
+        let full_detector = Detector::new(&golden, patterns.clone());
         let mut deploy_rng = SeededRng::new(config.seed).fork(0);
-        let (device, report) = deploy(&golden, &config.crossbar, &mut deploy_rng);
+        let (device, tiles, mapping_error_l1) = match config.backend.kind {
+            BackendKind::Digital => {
+                let (net, report) = deploy(&golden, &config.crossbar, &mut deploy_rng);
+                (DeviceState::Digital(net), report.total_tiles(), report.total_error_l1())
+            }
+            BackendKind::Analog => {
+                let backend = AnalogBackend::program(&golden, &config.backend, &mut deploy_rng);
+                let report = backend.deploy_report(patterns.images());
+                (DeviceState::Analog(backend), report.total_tiles(), report.total_error_l1())
+            }
+            BackendKind::BitSliced => {
+                let backend =
+                    BitSlicedBackend::program(&golden, &config.backend, &mut deploy_rng);
+                let report = backend.deploy_report(patterns.images());
+                (DeviceState::BitSliced(backend), report.total_tiles(), report.total_error_l1())
+            }
+        };
         let layers = golden
             .state_dict()
             .into_iter()
@@ -628,11 +736,8 @@ impl LifetimeRuntime {
             events: Vec::new(),
             incident: None,
         };
-        runtime.events.push(LifetimeEvent::Deployed {
-            tiles: report.total_tiles(),
-            mapping_error_l1: report.total_error_l1(),
-        });
-        let baseline = runtime.monitor.check(&mut runtime.device);
+        runtime.events.push(LifetimeEvent::Deployed { tiles, mapping_error_l1 });
+        let baseline = runtime.run_checkup();
         runtime.events.push(LifetimeEvent::CheckupDone {
             epoch: 0,
             distance: baseline.distance,
@@ -652,8 +757,19 @@ impl LifetimeRuntime {
     }
 
     /// The deployed (aged, possibly repaired) device network.
+    ///
+    /// On analog backends this is the programmed digital image
+    /// (structure, biases, last-written weights); conductance-level
+    /// aging shows up in [`LifetimeRuntime::device_readback`] instead.
     pub fn device(&self) -> &Network {
-        &self.device
+        self.device.network()
+    }
+
+    /// The device's effective weights as the hardware actually computes
+    /// them: a crossbar read-back for analog backends, a clone of the
+    /// device network for digital.
+    pub fn device_readback(&self) -> Network {
+        self.device.readback()
     }
 
     /// The golden (cloud-side) reference network.
@@ -741,9 +857,18 @@ impl LifetimeRuntime {
         self.state()
     }
 
+    /// Runs one concurrent-test checkup against the live device state.
+    fn run_checkup(&mut self) -> Checkup {
+        match &self.device {
+            DeviceState::Digital(net) => self.monitor.check(net),
+            DeviceState::Analog(b) => self.monitor.check(b),
+            DeviceState::BitSliced(b) => self.monitor.check(b),
+        }
+    }
+
     fn epoch_body(&mut self, epoch: usize) {
         self.age(epoch);
-        let checkup = self.monitor.check(&mut self.device);
+        let checkup = self.run_checkup();
         self.events.push(LifetimeEvent::CheckupDone {
             epoch,
             distance: checkup.distance,
@@ -762,13 +887,11 @@ impl LifetimeRuntime {
         let mut epoch_rng = SeededRng::new(self.config.seed).fork(epoch as u64);
         if aging.drift_nu > 0.0 && aging.drift_time > 0.0 {
             let mut rng = epoch_rng.fork(0);
-            FaultModel::Drift { nu: aging.drift_nu, time: aging.drift_time }
-                .apply(&mut self.device, &mut rng);
+            self.device.drift(aging.drift_nu, aging.drift_time, &mut rng);
         }
         if aging.soft_error_p > 0.0 {
             let mut rng = epoch_rng.fork(1);
-            FaultModel::RandomSoftError { probability: aging.soft_error_p }
-                .apply(&mut self.device, &mut rng);
+            self.device.soft_errors(aging.soft_error_p, &mut rng);
         }
         let mut new_stuck = 0usize;
         if aging.stuck_lambda > 0.0 {
@@ -816,13 +939,38 @@ impl LifetimeRuntime {
     /// matter what drift or a repair wrote there.
     fn clamp_defects(&mut self) {
         let layers = &self.layers;
-        self.device.for_each_param_mut(|key, tensor| {
-            if let Some(layer) = layers.iter().find(|l| l.key == key) {
-                if !layer.map.is_empty() {
-                    *tensor = layer.map.apply_with_assignment(tensor, &layer.assignment);
+        match &mut self.device {
+            DeviceState::Digital(net) => net.for_each_param_mut(|key, tensor| {
+                if let Some(layer) = layers.iter().find(|l| l.key == key) {
+                    if !layer.map.is_empty() {
+                        *tensor = layer.map.apply_with_assignment(tensor, &layer.assignment);
+                    }
+                }
+            }),
+            device => {
+                // Freeze the physical cells on the live crossbars. The
+                // defect rows are physical; the backend addresses cells
+                // through the digital (logical) layout, so invert the
+                // row assignment exactly like `apply_with_assignment`.
+                for layer in layers {
+                    if layer.map.is_empty() {
+                        continue;
+                    }
+                    let mut logical_of = vec![0usize; layer.assignment.len()];
+                    for (logical, &physical) in layer.assignment.iter().enumerate() {
+                        logical_of[physical] = logical;
+                    }
+                    for cell in layer.map.cells() {
+                        device.stick_cell(
+                            &layer.key,
+                            logical_of[cell.row],
+                            cell.col,
+                            cell.value,
+                        );
+                    }
                 }
             }
-        });
+        }
     }
 
     /// One repair session: diagnose, then walk the escalating ladder,
@@ -830,7 +978,11 @@ impl LifetimeRuntime {
     /// failure schedules an exponential backoff; exhausting the lifetime
     /// budget parks the runtime.
     fn repair_session(&mut self, epoch: usize) {
-        let diagnosis = diagnose(self.monitor.detector(), &self.golden, &self.device);
+        let diagnosis = match &self.device {
+            DeviceState::Digital(net) => diagnose(self.monitor.detector(), &self.golden, net),
+            DeviceState::Analog(b) => diagnose(self.monitor.detector(), &self.golden, b),
+            DeviceState::BitSliced(b) => diagnose(self.monitor.detector(), &self.golden, b),
+        };
         if let Some(prime) = diagnosis.prime_suspect() {
             self.events
                 .push(LifetimeEvent::Diagnosed { epoch, suspect: prime.key.clone() });
@@ -864,7 +1016,7 @@ impl LifetimeRuntime {
                 RepairAction::Retrain => self.retrain(epoch),
                 RepairAction::Degrade => self.degrade(epoch),
             }
-            let checkup = self.monitor.check(&mut self.device);
+            let checkup = self.run_checkup();
             let success = checkup.state < self.config.trigger;
             self.events.push(LifetimeEvent::RepairAttempted {
                 epoch,
@@ -900,20 +1052,40 @@ impl LifetimeRuntime {
     fn reprogram(&mut self) {
         let mut rng =
             SeededRng::new(self.config.seed ^ REPROGRAM_SALT).fork(self.repairs_used as u64);
-        let (mut fresh, _) = deploy(&self.golden, &self.config.crossbar, &mut rng);
-        let layers = &mut self.layers;
-        fresh.for_each_param_mut(|key, tensor| {
-            if let Some(layer) = layers.iter_mut().find(|l| l.key == key) {
-                if layer.map.is_empty() {
-                    layer.assignment = (0..tensor.shape()[0]).collect();
-                } else {
-                    let remap = remap_rows(tensor, &layer.map);
-                    layer.assignment = remap.assignment;
-                    *tensor = remap.repaired_weights;
+        if self.device.is_digital() {
+            let (mut fresh, _) = deploy(&self.golden, &self.config.crossbar, &mut rng);
+            let layers = &mut self.layers;
+            fresh.for_each_param_mut(|key, tensor| {
+                if let Some(layer) = layers.iter_mut().find(|l| l.key == key) {
+                    if layer.map.is_empty() {
+                        layer.assignment = (0..tensor.shape()[0]).collect();
+                    } else {
+                        let remap = remap_rows(tensor, &layer.map);
+                        layer.assignment = remap.assignment;
+                        *tensor = remap.repaired_weights;
+                    }
                 }
+            });
+            self.device = DeviceState::Digital(fresh);
+        } else {
+            // Live-crossbar path: rewrite every mapped layer from the
+            // golden weights through the crossbar write path, then
+            // re-freeze the surviving physical defects.
+            for li in 0..self.layers.len() {
+                let key = self.layers[li].key.clone();
+                let golden_w = golden_param(&self.golden, &key);
+                let tensor = if self.layers[li].map.is_empty() {
+                    self.layers[li].assignment = (0..golden_w.shape()[0]).collect();
+                    golden_w
+                } else {
+                    let remap = remap_rows(&golden_w, &self.layers[li].map);
+                    self.layers[li].assignment = remap.assignment;
+                    remap.repaired_weights
+                };
+                self.device.write_layer(&key, &tensor, &mut rng);
             }
-        });
-        self.device = fresh;
+            self.clamp_defects();
+        }
     }
 
     /// Rung 2: substitute spare bit lines on the most suspect defective
@@ -944,11 +1116,21 @@ impl LifetimeRuntime {
         let remap = remap_rows(&golden_w, &layer.map);
         layer.assignment = remap.assignment;
         let repaired = remap.repaired_weights;
-        self.device.for_each_param_mut(|k, tensor| {
-            if k == key {
-                *tensor = repaired.clone();
+        match &mut self.device {
+            DeviceState::Digital(net) => net.for_each_param_mut(|k, tensor| {
+                if k == key {
+                    *tensor = repaired.clone();
+                }
+            }),
+            device => {
+                let mut rng = SeededRng::new(self.config.seed ^ REPROGRAM_SALT)
+                    .fork(self.repairs_used as u64);
+                device.write_layer(&key, &repaired, &mut rng);
             }
-        });
+        }
+        if !self.device.is_digital() {
+            self.clamp_defects();
+        }
     }
 
     /// Rung 3: fault-aware retraining around the stuck cells (in logical
@@ -985,7 +1167,36 @@ impl LifetimeRuntime {
                 .wrapping_add(self.repairs_used as u64),
             ..self.config.retrain
         };
-        retrain_with_faults(&mut self.device, &defect_layers, &train.images, &train.labels, config);
+        match &mut self.device {
+            DeviceState::Digital(net) => {
+                retrain_with_faults(net, &defect_layers, &train.images, &train.labels, config);
+            }
+            device => {
+                // Retrain digitally on the read-back effective weights,
+                // then write the conductance-mapped layers back through
+                // the crossbar write path. (Bias updates stay cloud-side:
+                // only mapped parameters have a crossbar write path.)
+                let mut snapshot = device.readback();
+                retrain_with_faults(
+                    &mut snapshot,
+                    &defect_layers,
+                    &train.images,
+                    &train.labels,
+                    config,
+                );
+                let mut rng = SeededRng::new(self.config.seed ^ REPROGRAM_SALT)
+                    .fork(self.repairs_used as u64);
+                let dict = snapshot.state_dict();
+                for layer in &self.layers {
+                    if let Some((_, tensor)) = dict.iter().find(|(k, _)| *k == layer.key) {
+                        device.write_layer(&layer.key, tensor, &mut rng);
+                    }
+                }
+            }
+        }
+        if !self.device.is_digital() {
+            self.clamp_defects();
+        }
     }
 
     /// Rung 4: graceful degradation — halve the concurrent-test pattern
@@ -1078,7 +1289,7 @@ impl LifetimeRuntime {
             ("repairs_used".to_owned(), self.repairs_used.to_json()),
             ("failed_sessions".to_owned(), self.failed_sessions.to_json()),
             ("next_repair_epoch".to_owned(), self.next_repair_epoch.to_json()),
-            ("device".to_owned(), self.device.state_dict().to_json()),
+            ("device".to_owned(), self.device.readback().state_dict().to_json()),
             ("layers".to_owned(), Json::Array(layers)),
             ("monitor".to_owned(), self.monitor.snapshot().to_json()),
             ("events".to_owned(), self.events.to_json()),
@@ -1097,7 +1308,9 @@ impl LifetimeRuntime {
     /// [`HealthmonError::Json`] on malformed JSON;
     /// [`HealthmonError::CheckpointMismatch`] when the checkpoint was
     /// written under a different config, golden network or pattern set,
-    /// or its internal state is inconsistent with them.
+    /// or its internal state is inconsistent with them — and always when
+    /// `config.backend` is not digital, because checkpoints capture
+    /// weight-space device state, not live conductance planes.
     pub fn resume(
         golden: &Network,
         patterns: TestPatternSet,
@@ -1105,6 +1318,13 @@ impl LifetimeRuntime {
         train: Option<TrainData>,
         checkpoint: &str,
     ) -> Result<Self, HealthmonError> {
+        if config.backend.kind != BackendKind::Digital {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "lifetime checkpoints capture digital device state only; \
+                 resume is not supported on the `{}` backend",
+                config.backend.kind.label()
+            )));
+        }
         let value: Json = healthmon_serdes::from_str(checkpoint)?;
         let format = value.field("format")?.as_str()?;
         if format != CHECKPOINT_FORMAT {
@@ -1123,8 +1343,10 @@ impl LifetimeRuntime {
         )?;
 
         let dict: Vec<(String, Tensor)> = Vec::from_json(value.field("device")?)?;
-        runtime
-            .device
+        let DeviceState::Digital(device_net) = &mut runtime.device else {
+            unreachable!("non-digital resume was rejected above")
+        };
+        device_net
             .load_state_dict(&dict)
             .map_err(|e| HealthmonError::CheckpointMismatch(e.to_string()))?;
 
@@ -1525,6 +1747,86 @@ mod tests {
         assert!(rendered.contains("epoch: 7"));
         assert!(rendered.contains("final state: critical"));
         assert!(rendered.contains("stuck cells: 13"));
+    }
+
+    fn analog_config(epochs: usize, aging: AgingModel) -> LifetimeConfig {
+        LifetimeConfig {
+            epochs,
+            aging,
+            backend: BackendSpec::analog(healthmon_reram::CrossbarConfig::exact()),
+            ..LifetimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn analog_heavy_drift_escalates_and_reprogram_heals() {
+        let (net, patterns) = setup(2);
+        let config =
+            analog_config(4, AgingModel { drift_nu: 0.6, drift_time: 1.0, ..quiet_aging() });
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        let state = runtime.run(None);
+        assert_eq!(state, HealthState::Healthy, "reprogram must heal pure drift");
+        let healed = runtime.events().iter().any(|e| {
+            matches!(e, LifetimeEvent::RepairAttempted { action, success: true, .. }
+                if *action == RepairAction::Reprogram)
+        });
+        assert!(healed, "expected a successful reprogram; events: {:#?}", runtime.events());
+    }
+
+    #[test]
+    fn analog_stuck_arrivals_land_on_live_conductances() {
+        let (net, patterns) = setup(3);
+        let mut config =
+            analog_config(3, AgingModel { stuck_lambda: 8.0, ..quiet_aging() });
+        // Never repair: observe the raw conductance-level accumulation.
+        config.policy = MonitorPolicy {
+            watch_threshold: 10.0,
+            critical_threshold: 20.0,
+            ..MonitorPolicy::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        runtime.run(None);
+        assert!(runtime.total_stuck() > 0, "λ=8 over 3 epochs must land some arrivals");
+        // The sticks live on the crossbars, not on the digital image: the
+        // read-back differs from the programmed network exactly there.
+        let image = runtime.device().state_dict();
+        let live = runtime.device_readback().state_dict();
+        assert_ne!(image, live, "stuck conductances must be visible in the read-back");
+    }
+
+    #[test]
+    fn analog_lifetime_is_deterministic() {
+        let (net, patterns) = setup(4);
+        let config = analog_config(
+            3,
+            AgingModel { drift_nu: 0.1, drift_time: 1.0, stuck_lambda: 2.0, ..quiet_aging() },
+        );
+        let mut a = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        let mut b = LifetimeRuntime::new(&net, patterns, config, None);
+        a.run(None);
+        b.run(None);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.render_report(), b.render_report());
+        assert_eq!(
+            a.device_readback().state_dict(),
+            b.device_readback().state_dict(),
+            "analog lifetimes must be bit-reproducible"
+        );
+    }
+
+    #[test]
+    fn analog_resume_is_rejected() {
+        let (net, patterns) = setup(5);
+        let digital =
+            LifetimeConfig { epochs: 2, aging: quiet_aging(), ..LifetimeConfig::default() };
+        let mut runtime = LifetimeRuntime::new(&net, patterns.clone(), digital, None);
+        runtime.run(Some(1));
+        let checkpoint = runtime.checkpoint_json();
+        let analog = LifetimeConfig { backend: analog_config(2, quiet_aging()).backend, ..digital };
+        let err =
+            LifetimeRuntime::resume(&net, patterns, analog, None, &checkpoint).unwrap_err();
+        assert!(matches!(err, HealthmonError::CheckpointMismatch(_)), "{err}");
+        assert!(err.to_string().contains("resume is not supported"), "{err}");
     }
 
     #[test]

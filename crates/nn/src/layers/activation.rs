@@ -1,6 +1,6 @@
 //! Element-wise activation layers.
 
-use super::Layer;
+use super::{Layer, MatmulEngine};
 use healthmon_tensor::Tensor;
 
 /// Rectified linear unit: `y = max(0, x)`.
@@ -25,6 +25,10 @@ impl Layer for Relu {
 
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
         input.map(|v| v.max(0.0))
     }
 
@@ -62,6 +66,10 @@ impl Layer for Tanh {
         out
     }
 
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        input.map(f32::tanh)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let y = self.cached_output.as_ref().expect("tanh backward before forward");
         y.zip_map(grad_out, |y, g| g * (1.0 - y * y))
@@ -94,6 +102,10 @@ impl Layer for Sigmoid {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         self.cached_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        input.map(|v| 1.0 / (1.0 + (-v).exp()))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,6 +1,6 @@
 //! Batch normalization over `[N, C, H, W]` feature maps.
 
-use super::Layer;
+use super::{Layer, MatmulEngine};
 use healthmon_tensor::Tensor;
 
 /// Per-channel batch normalization (Ioffe & Szegedy):
@@ -141,6 +141,29 @@ impl Layer for BatchNorm2d {
             x_hat,
             Tensor::from_vec(inv_std, &[self.channels]).expect("channel vector"),
         ));
+        out
+    }
+
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        self.check_input(input);
+        let shape = input.shape().to_vec();
+        let x = input.as_slice();
+        let mean = self.running_mean.as_slice();
+        let inv_std: Vec<f32> = self
+            .running_var
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let mut out = Tensor::zeros(&shape);
+        {
+            let o = out.as_mut_slice();
+            let gamma = self.gamma.as_slice();
+            let beta = self.beta.as_slice();
+            Self::for_each_channel_elem(&shape, |c, i| {
+                o[i] = gamma[c] * ((x[i] - mean[c]) * inv_std[c]) + beta[c];
+            });
+        }
         out
     }
 

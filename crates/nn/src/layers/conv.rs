@@ -1,6 +1,6 @@
 //! 2-D convolution via im2col + matmul.
 
-use super::Layer;
+use super::{Layer, MatmulEngine, MatmulOrientation};
 use crate::init::Init;
 use healthmon_tensor::{SeededRng, Tensor};
 
@@ -95,12 +95,11 @@ impl Conv2d {
     /// im2col: unfold input patches into a `[C·K·K, N·OH·OW]` matrix,
     /// reusing the retired workspace buffer when its shape still fits.
     fn im2col(&mut self, input: &Tensor, oh: usize, ow: usize) -> Tensor {
-        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (n, c) = (input.shape()[0], input.shape()[1]);
         let k = self.kernel;
         let ckk = c * k * k;
         let cols = n * oh * ow;
-        let x = input.as_slice();
-        let mut col = match self.col_workspace.take() {
+        let col = match self.col_workspace.take() {
             Some(mut ws) if ws.shape() == [ckk, cols] => {
                 // Padding positions are never written below, so the
                 // recycled buffer must start from zero like a fresh one.
@@ -109,6 +108,17 @@ impl Conv2d {
             }
             _ => Tensor::zeros(&[ckk, cols]),
         };
+        self.unfold_into(input, oh, ow, col)
+    }
+
+    /// The im2col fill loop over a zeroed `[C·K·K, N·OH·OW]` buffer; shared
+    /// by the caching `im2col` (workspace reuse) and the `&self` inference
+    /// path (fresh buffer), so both produce bitwise-identical patches.
+    fn unfold_into(&self, input: &Tensor, oh: usize, ow: usize, mut col: Tensor) -> Tensor {
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let k = self.kernel;
+        let cols = n * oh * ow;
+        let x = input.as_slice();
         let cm = col.as_mut_slice();
         for ci in 0..c {
             for kh in 0..k {
@@ -256,6 +266,39 @@ impl Layer for Conv2d {
         self.cached_col = Some(col);
         self.cached_input_shape = Some(input.shape().to_vec());
         out
+    }
+
+    fn infer(&self, input: &Tensor, key_prefix: &str, engine: &dyn MatmulEngine) -> Tensor {
+        assert_eq!(input.ndim(), 4, "conv2d expects [N,C,H,W], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "conv2d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = self.out_extent(h);
+        let ow = self.out_extent(w);
+        let ckk = c * self.kernel * self.kernel;
+        let cols = n * oh * ow;
+        let col = self.unfold_into(input, oh, ow, Tensor::zeros(&[ckk, cols]));
+        let mut out_mat =
+            engine.matmul_wx(&format!("{key_prefix}.weight"), &self.weight, &col); // [F, N*OH*OW]
+        let bias = self.bias.as_slice();
+        let om = out_mat.as_mut_slice();
+        for (fi, &b) in bias.iter().enumerate() {
+            if b != 0.0 {
+                for v in &mut om[fi * cols..(fi + 1) * cols] {
+                    *v += b;
+                }
+            }
+        }
+        self.gather_output(&out_mat, n, oh, ow)
+    }
+
+    fn matmul_orientation(&self) -> Option<MatmulOrientation> {
+        Some(MatmulOrientation::WX)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use super::Layer;
+use super::{Layer, MatmulEngine, MatmulOrientation};
 use crate::init::Init;
 use healthmon_tensor::{SeededRng, Tensor};
 
@@ -103,6 +103,32 @@ impl Layer for Dense {
             }
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor, key_prefix: &str, engine: &dyn MatmulEngine) -> Tensor {
+        assert_eq!(input.ndim(), 2, "dense expects [N, features] input, got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "dense expects {} input features, got {}",
+            self.in_features,
+            input.shape()[1]
+        );
+        let mut out = engine.matmul_xw(&format!("{key_prefix}.weight"), input, &self.weight);
+        let n = out.shape()[0];
+        let f = self.out_features;
+        let bias = self.bias.as_slice();
+        let data = out.as_mut_slice();
+        for row in 0..n {
+            for (j, &b) in bias.iter().enumerate() {
+                data[row * f + j] += b;
+            }
+        }
+        out
+    }
+
+    fn matmul_orientation(&self) -> Option<MatmulOrientation> {
+        Some(MatmulOrientation::XW)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

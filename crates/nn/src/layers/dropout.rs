@@ -1,6 +1,6 @@
 //! Inverted dropout for regularization during training.
 
-use super::Layer;
+use super::{Layer, MatmulEngine};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// Inverted dropout: during training each activation is zeroed with
@@ -52,6 +52,11 @@ impl Layer for Dropout {
         let out = input.mul(&mask);
         self.cached_mask = Some(mask);
         out
+    }
+
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        // Inference is always the identity, regardless of training mode.
+        input.clone()
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

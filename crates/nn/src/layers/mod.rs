@@ -26,6 +26,58 @@ pub use pool::{AvgPool2d, MaxPool2d};
 use healthmon_tensor::Tensor;
 use std::fmt;
 
+/// Which side of the matmul a layer's weight matrix sits on.
+///
+/// Execution backends need this to know how a layer's weight matrix meets
+/// its activations: a [`Dense`] computes `y = x · W` ([`MatmulOrientation::XW`],
+/// activations on the left), while a [`Conv2d`] computes `y = W · col(x)`
+/// ([`MatmulOrientation::WX`], weights on the left). A crossbar that
+/// programs the weight matrix once must transpose one of the two cases to
+/// drive its rows with activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulOrientation {
+    /// Activations × weights (`y = x · W`), as in [`Dense`].
+    XW,
+    /// Weights × activations (`y = W · col(x)`), as in [`Conv2d`].
+    WX,
+}
+
+/// Executes the weight-matrix multiplications of an inference pass.
+///
+/// [`crate::Network::infer_with`] threads an engine through every layer's
+/// [`Layer::infer`]; weight-bearing layers route their matmul through it
+/// (identified by the state-dict `key` of the weight, e.g.
+/// `"layer0.weight"`) while biases, activations, pooling and reshapes stay
+/// digital. [`DigitalEngine`] reproduces the plain [`Layer::forward`]
+/// arithmetic bit-for-bit; analog engines substitute conductance-mapped
+/// crossbar matmuls for the same contraction.
+pub trait MatmulEngine {
+    /// Computes `x · w` for an [`MatmulOrientation::XW`] layer
+    /// (`x: [N, in]`, `w: [in, out]`).
+    fn matmul_xw(&self, key: &str, x: &Tensor, w: &Tensor) -> Tensor;
+
+    /// Computes `w · x` for an [`MatmulOrientation::WX`] layer
+    /// (`w: [F, K]`, `x: [K, cols]`).
+    fn matmul_wx(&self, key: &str, w: &Tensor, x: &Tensor) -> Tensor;
+}
+
+/// The reference [`MatmulEngine`]: plain digital [`Tensor::matmul`].
+///
+/// Bit-identical to the layers' own `forward` arithmetic at any thread
+/// count — it calls the very same GEMM the training path uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DigitalEngine;
+
+impl MatmulEngine for DigitalEngine {
+    fn matmul_xw(&self, _key: &str, x: &Tensor, w: &Tensor) -> Tensor {
+        x.matmul(w)
+    }
+
+    fn matmul_wx(&self, _key: &str, w: &Tensor, x: &Tensor) -> Tensor {
+        w.matmul(x)
+    }
+}
+
 /// A differentiable network layer.
 ///
 /// Layers are stateful: `forward` caches activations, `backward` consumes
@@ -55,6 +107,26 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// Implementations panic if called before `forward`, or if `grad_out`
     /// does not match the cached forward shape.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Inference-mode forward pass through `&self`: no activation caching,
+    /// no training-only behaviour (dropout passes through, batch-norm uses
+    /// running statistics), with every weight matmul routed through
+    /// `engine` under the key `{key_prefix}.weight`.
+    ///
+    /// With [`DigitalEngine`] the result is bit-identical to
+    /// [`Layer::forward`] in evaluation mode.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the input shape is incompatible with the
+    /// layer configuration.
+    fn infer(&self, input: &Tensor, key_prefix: &str, engine: &dyn MatmulEngine) -> Tensor;
+
+    /// How this layer's weight matrix meets its activations, or `None` for
+    /// layers without a conductance-mappable weight matmul.
+    fn matmul_orientation(&self) -> Option<MatmulOrientation> {
+        None
+    }
 
     /// Immutable views of the layer's trainable parameter tensors, in a
     /// stable order. Empty for parameter-free layers.

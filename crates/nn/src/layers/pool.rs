@@ -1,6 +1,6 @@
 //! Spatial pooling layers over `[N, C, H, W]` feature maps.
 
-use super::Layer;
+use super::{Layer, MatmulEngine};
 use healthmon_tensor::Tensor;
 
 fn pooled_extent(input: usize, kernel: usize, stride: usize) -> usize {
@@ -84,6 +84,39 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        assert_eq!(input.ndim(), 4, "maxpool expects [N,C,H,W], got {:?}", input.shape());
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = pooled_extent(h, self.kernel, self.stride);
+        let ow = pooled_extent(w, self.kernel, self.stride);
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for kh in 0..self.kernel {
+                            let row = plane + (ph * self.stride + kh) * w + pw * self.stride;
+                            for kw in 0..self.kernel {
+                                let v = x[row + kw];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        o[oi] = best;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let shape = self
             .cached_input_shape
@@ -157,6 +190,37 @@ impl Layer for AvgPool2d {
             }
         }
         self.cached_input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn infer(&self, input: &Tensor, _key_prefix: &str, _engine: &dyn MatmulEngine) -> Tensor {
+        assert_eq!(input.ndim(), 4, "avgpool expects [N,C,H,W], got {:?}", input.shape());
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let oh = pooled_extent(h, self.kernel, self.stride);
+        let ow = pooled_extent(w, self.kernel, self.stride);
+        let x = input.as_slice();
+        let inv_area = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut acc = 0.0f32;
+                        for kh in 0..self.kernel {
+                            let row = plane + (ph * self.stride + kh) * w + pw * self.stride;
+                            for kw in 0..self.kernel {
+                                acc += x[row + kw];
+                            }
+                        }
+                        o[oi] = acc * inv_area;
+                        oi += 1;
+                    }
+                }
+            }
+        }
         out
     }
 

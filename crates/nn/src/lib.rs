@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -39,7 +40,8 @@ mod network;
 pub mod optim;
 pub mod trainer;
 
-pub use layers::Layer;
+pub use backend::{DigitalBackend, InferenceBackend};
+pub use layers::{DigitalEngine, Layer, MatmulEngine, MatmulOrientation};
 pub use loss::SoftmaxCrossEntropy;
 pub use network::{LoadStateError, Network, NonFiniteActivation, ParamStats};
 pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -1,7 +1,7 @@
 //! The [`Network`]: an ordered stack of layers with whole-model forward,
 //! backward, parameter access and (de)serialization.
 
-use crate::layers::Layer;
+use crate::layers::{DigitalEngine, Layer, MatmulEngine};
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::Tensor;
 use std::error::Error;
@@ -199,6 +199,94 @@ impl Network {
         let mut x = input.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             x = layer.forward(&x);
+            if !x.all_finite() {
+                return Err(NonFiniteActivation { layer: i });
+            }
+        }
+        Ok(x)
+    }
+
+    /// Inference pass through `&self`: evaluation-mode forward with no
+    /// activation caching, bit-identical to
+    /// `set_training(false); forward(input)`.
+    ///
+    /// This is the read-only entry point the detection stack uses: the
+    /// network is never mutated, so golden models and device-under-test
+    /// references can be shared without cloning for the borrow checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match `[N, ...input_shape]`.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        self.infer_with(input, &DigitalEngine)
+    }
+
+    /// Inference pass with every weight matmul routed through `engine`.
+    ///
+    /// Layers are keyed `layer{idx}` (so a Dense at stack index 3 asks the
+    /// engine for `layer3.weight`), matching [`Network::state_dict`] keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match `[N, ...input_shape]`.
+    pub fn infer_with(&self, input: &Tensor, engine: &dyn MatmulEngine) -> Tensor {
+        assert!(
+            input.ndim() == self.input_shape.len() + 1
+                && input.shape()[1..] == self.input_shape[..],
+            "network expects [N, {:?}] input, got {:?}",
+            self.input_shape,
+            input.shape()
+        );
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.infer(&x, &format!("layer{i}"), engine);
+        }
+        x
+    }
+
+    /// [`Network::infer`] with per-layer non-finite checking, mirroring
+    /// [`Network::forward_checked`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteActivation`] naming the first layer whose output
+    /// was non-finite (`layer == usize::MAX` means the input itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match `[N, ...input_shape]`.
+    pub fn infer_checked(&self, input: &Tensor) -> Result<Tensor, NonFiniteActivation> {
+        self.infer_checked_with(input, &DigitalEngine)
+    }
+
+    /// [`Network::infer_with`] with per-layer non-finite checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonFiniteActivation`] naming the first layer whose output
+    /// was non-finite (`layer == usize::MAX` means the input itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match `[N, ...input_shape]`.
+    pub fn infer_checked_with(
+        &self,
+        input: &Tensor,
+        engine: &dyn MatmulEngine,
+    ) -> Result<Tensor, NonFiniteActivation> {
+        assert!(
+            input.ndim() == self.input_shape.len() + 1
+                && input.shape()[1..] == self.input_shape[..],
+            "network expects [N, {:?}] input, got {:?}",
+            self.input_shape,
+            input.shape()
+        );
+        if !input.all_finite() {
+            return Err(NonFiniteActivation { layer: usize::MAX });
+        }
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.infer(&x, &format!("layer{i}"), engine);
             if !x.all_finite() {
                 return Err(NonFiniteActivation { layer: i });
             }

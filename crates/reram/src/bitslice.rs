@@ -11,7 +11,7 @@
 //! parent crate (the sign lives in which path of the pair carries the
 //! magnitude, here modelled by signed per-slice storage).
 
-use crate::{CrossbarConfig, Quantizer, TiledMatrix};
+use crate::{CellFault, CrossbarConfig, IrDropModel, Quantizer, TiledMatrix};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// A weight matrix stored bit-sliced across multiple crossbar arrays.
@@ -127,6 +127,85 @@ impl BitSlicedMatrix {
     /// injecting faults into a single significance level.
     pub fn slices_mut(&mut self) -> &mut [TiledMatrix] {
         &mut self.slices
+    }
+
+    /// Shared access to the per-slice arrays (LSB slice first).
+    pub fn slices(&self) -> &[TiledMatrix] {
+        &self.slices
+    }
+
+    /// Weight-domain radix scale of each slice (LSB slice first).
+    pub fn slice_scales(&self) -> &[f32] {
+        &self.slice_scale
+    }
+
+    /// Total crossbar tiles across all slices.
+    pub fn tile_count(&self) -> usize {
+        self.slices.iter().map(TiledMatrix::tile_count).sum()
+    }
+
+    /// Injects stuck cells into every slice array (LSB slice first, one
+    /// continuous RNG stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn inject_stuck_cells(&mut self, fault: CellFault, fraction: f64, rng: &mut SeededRng) {
+        for slice in &mut self.slices {
+            slice.inject_stuck_cells(fault, fraction, rng);
+        }
+    }
+
+    /// Applies conductance drift to every slice array (LSB slice first,
+    /// one continuous RNG stream).
+    pub fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
+        for slice in &mut self.slices {
+            slice.drift(nu, time, rng);
+        }
+    }
+
+    /// Applies lognormal conductance disturbance to every slice array.
+    pub fn disturb(&mut self, sigma: f32, rng: &mut SeededRng) {
+        for slice in &mut self.slices {
+            slice.disturb(sigma, rng);
+        }
+    }
+
+    /// Applies the first-order IR-drop model to every slice array.
+    pub fn apply_ir_drop(&mut self, model: &IrDropModel) {
+        for slice in &mut self.slices {
+            slice.apply_ir_drop(model);
+        }
+    }
+
+    /// Freezes the weight at logical position `(row, col)` to read as
+    /// (approximately) `weight`: the magnitude is re-quantized to the
+    /// slice code space and each slice's digit is stuck in its array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are outside the logical matrix or `weight` is
+    /// non-finite.
+    pub fn stick_cell(&mut self, row: usize, col: usize, weight: f32) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row}, {col}) outside {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        assert!(weight.is_finite(), "stuck weight must be finite, got {weight}");
+        let levels = (1u32 << self.total_bits) - 1;
+        let step = self.slice_scale[0];
+        let w_max = step * levels as f32;
+        let q = Quantizer::new(0.0, w_max, self.total_bits);
+        let sign = if weight < 0.0 { -1.0f32 } else { 1.0 };
+        let mut code = q.index_of(weight.abs().min(w_max));
+        let radix = 1u32 << self.cell_bits;
+        for slice in &mut self.slices {
+            let digit = code % radix;
+            slice.stick_cell(row, col, sign * digit as f32);
+            code /= radix;
+        }
     }
 
     /// The weight matrix the sliced arrays actually realize.
@@ -270,6 +349,39 @@ mod tests {
                 assert_eq!(p.to_bits(), q.to_bits(), "row {b} col {j}: {p} vs {q}");
             }
         }
+    }
+
+    #[test]
+    fn stick_cell_pins_weight_across_slices() {
+        let mut rng = SeededRng::new(9);
+        let w = Tensor::randn(&[6, 6], &mut rng);
+        let mut s = BitSlicedMatrix::program(&w, 8, 2, &CrossbarConfig::ideal(), &mut rng);
+        let w_max = w.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let step = w_max / 255.0;
+        for &(r, c, target) in &[(1usize, 2usize, 0.0f32), (4, 5, -0.4), (0, 0, 0.7)] {
+            s.stick_cell(r, c, target);
+            let got = s.effective_weights().at(&[r, c]);
+            assert!(
+                (got - target).abs() <= step + 1e-3,
+                "stuck ({r},{c}) reads {got}, wanted ~{target}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_and_ir_drop_propagate_to_slices() {
+        let mut rng = SeededRng::new(10);
+        let w = Tensor::randn(&[8, 8], &mut rng);
+        let mut s = BitSlicedMatrix::program(&w, 8, 2, &CrossbarConfig::ideal(), &mut rng);
+        let before = s.effective_weights().norm_l1();
+        s.drift(0.5, 3.0, &mut rng);
+        let after = s.effective_weights().norm_l1();
+        assert!(after < before, "drift should shrink: {before} -> {after}");
+
+        let mut s = BitSlicedMatrix::program(&w, 8, 2, &CrossbarConfig::ideal(), &mut rng);
+        let before = s.effective_weights();
+        s.apply_ir_drop(&IrDropModel::new(0.05));
+        assert!(before.l1_distance(&s.effective_weights()) > 1e-3);
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub struct CrossbarConfig {
     pub cols: usize,
     /// Bits of conductance resolution per cell; a weight is stored as a
     /// differential pair of cells, so effective weight levels are
-    /// `2^(bits+1) − 1`.
+    /// `2^(bits+1) − 1`. The special value 0 selects *exact* cell storage:
+    /// no conductance quantization at all, and the programming full-scale
+    /// is rounded up to a power of two so the weight → conductance →
+    /// weight round trip is bitwise lossless (see
+    /// [`CrossbarConfig::exact`]).
     pub cell_bits: u32,
     /// Input DAC resolution in bits (0 disables input quantization).
     pub dac_bits: u32,
@@ -39,7 +43,9 @@ impl CrossbarConfig {
     /// conductance window, negative noise).
     pub fn validate(&self) {
         assert!(self.rows > 0 && self.cols > 0, "crossbar geometry must be non-zero");
-        assert!(self.cell_bits >= 1, "cells need at least 1 bit of resolution");
+        // cell_bits == 0 is the exact-storage mode; any other value needs
+        // at least one level pair.
+        assert!(self.cell_bits <= 24, "cell resolution {} bits exceeds 24", self.cell_bits);
         assert!(
             self.g_min >= 0.0 && self.g_max > self.g_min,
             "conductance window [{}, {}] invalid",
@@ -49,15 +55,39 @@ impl CrossbarConfig {
         assert!(self.write_noise >= 0.0, "write noise must be non-negative");
     }
 
-    /// Number of programmable conductance levels per cell.
+    /// Number of programmable conductance levels per cell (1 in the
+    /// exact-storage mode, where the continuum is available).
     pub fn levels(&self) -> usize {
         1usize << self.cell_bits
+    }
+
+    /// Whether cells store conductances exactly (`cell_bits == 0`).
+    pub fn exact_cells(&self) -> bool {
+        self.cell_bits == 0
     }
 
     /// An ideal configuration: no write noise and converters disabled —
     /// useful as a baseline in equivalence tests.
     pub fn ideal() -> Self {
         CrossbarConfig { write_noise: 0.0, dac_bits: 0, adc_bits: 0, cell_bits: 16, ..Self::default() }
+    }
+
+    /// The *exact* configuration: cell storage is lossless
+    /// (`cell_bits == 0`, full-scale rounded to a power of two), converters
+    /// are disabled, writes are noiseless, and the conductance window is
+    /// the unit interval. A crossbar programmed with this configuration
+    /// computes bit-identically to the digital reference — the baseline
+    /// the backend-equivalence tests pin.
+    pub fn exact() -> Self {
+        CrossbarConfig {
+            cell_bits: 0,
+            dac_bits: 0,
+            adc_bits: 0,
+            write_noise: 0.0,
+            g_min: 0.0,
+            g_max: 1.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -84,6 +114,14 @@ mod tests {
     fn default_is_valid() {
         CrossbarConfig::default().validate();
         CrossbarConfig::ideal().validate();
+    }
+
+    #[test]
+    fn exact_mode_is_valid() {
+        let c = CrossbarConfig::exact();
+        c.validate();
+        assert!(c.exact_cells());
+        assert!(!CrossbarConfig::default().exact_cells());
     }
 
     #[test]

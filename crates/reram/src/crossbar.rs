@@ -1,9 +1,26 @@
 //! A single crossbar tile: differential conductance pairs, DAC/ADC
 //! conversion, and device-level fault injection.
 
-use crate::{CrossbarConfig, Quantizer};
+use crate::{CrossbarConfig, IrDropModel, Quantizer};
 use healthmon_tensor::{fastmath, SeededRng, Tensor};
 use std::sync::OnceLock;
+
+/// Rounds a positive normal float up to the next power of two (identity
+/// for exact powers of two). Used by the exact cell-storage mode: dividing
+/// and re-multiplying by a power of two only shifts the exponent, so the
+/// weight → conductance → weight round trip is bitwise lossless.
+fn round_up_pow2(x: f32) -> f32 {
+    let bits = x.to_bits();
+    if bits & 0x007F_FFFF == 0 {
+        return x;
+    }
+    let up = f32::from_bits((bits & 0x7F80_0000) + 0x0080_0000);
+    if up.is_finite() {
+        up
+    } else {
+        x
+    }
+}
 
 /// A permanent device fault affecting one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +52,14 @@ pub struct Crossbar {
     scale: f32,
     /// Largest |input| the DAC was calibrated for.
     input_range: f32,
-    /// Lazily-computed differential conductance matrix `g_pos − g_neg`
-    /// (unscaled), shared by every inference through the tile. Every
-    /// conductance mutator replaces the cell with a fresh empty one, so a
-    /// stale matrix can never be read after fault injection.
+    /// Lazily-computed effective weight matrix `(g_pos − g_neg) · scale`,
+    /// shared by every inference through the tile. The scale is folded in
+    /// so the analog accumulate is a single GEMM against weight-domain
+    /// values (in exact cell mode that matrix is bitwise the programmed
+    /// weights, making the crossbar product bit-identical to the digital
+    /// one). Every conductance mutator replaces the cell with a fresh
+    /// empty one, so a stale matrix can never be read after fault
+    /// injection.
     diff_cache: OnceLock<Tensor>,
 }
 
@@ -61,16 +82,21 @@ impl Crossbar {
             config.rows,
             config.cols
         );
-        let w_max = weights
+        let raw_max = weights
             .as_slice()
             .iter()
             .fold(0.0f32, |m, &v| m.max(v.abs()))
             .max(f32::MIN_POSITIVE);
+        // Exact cell mode: snapping the full scale to a power of two makes
+        // |w|/w_max and the later ·scale re-expansion pure exponent
+        // shifts, so programming is bitwise lossless.
+        let w_max = if config.exact_cells() { round_up_pow2(raw_max) } else { raw_max };
         // w = (g+ − g−)·scale with g ∈ [g_min, g_max]; full-scale weight
         // uses the full conductance window.
         let window = config.g_max - config.g_min;
         let scale = w_max / window;
-        let cell_q = Quantizer::new(config.g_min, config.g_max, config.cell_bits);
+        let cell_q = (!config.exact_cells())
+            .then(|| Quantizer::new(config.g_min, config.g_max, config.cell_bits));
         let mut g_pos = Tensor::zeros(&[rows, cols]);
         let mut g_neg = Tensor::zeros(&[rows, cols]);
         for ((gp, gn), &w) in g_pos
@@ -85,8 +111,16 @@ impl Crossbar {
             } else {
                 (config.g_min, config.g_min + magnitude)
             };
-            *gp = cell_q.quantize(p);
-            *gn = cell_q.quantize(n);
+            match &cell_q {
+                Some(q) => {
+                    *gp = q.quantize(p);
+                    *gn = q.quantize(n);
+                }
+                None => {
+                    *gp = p;
+                    *gn = n;
+                }
+            }
         }
         if config.write_noise > 0.0 {
             // Bulk write-noise pass: one block-sampled lognormal draw per
@@ -114,10 +148,13 @@ impl Crossbar {
         }
     }
 
-    /// The differential conductance matrix `g_pos − g_neg`, computed on
+    /// The effective weight matrix `(g_pos − g_neg) · scale`, computed on
     /// first use and cached until the next conductance mutation.
     fn diff(&self) -> &Tensor {
-        self.diff_cache.get_or_init(|| self.g_pos.zip_map(&self.g_neg, |p, n| p - n))
+        self.diff_cache.get_or_init(|| {
+            let s = self.scale;
+            self.g_pos.zip_map(&self.g_neg, move |p, n| (p - n) * s)
+        })
     }
 
     /// Number of word lines in use.
@@ -144,7 +181,58 @@ impl Crossbar {
     /// Reads the effective weight matrix back from the conductances —
     /// what the analog computation actually uses.
     pub fn effective_weights(&self) -> Tensor {
-        self.diff().scale(self.scale)
+        self.diff().clone()
+    }
+
+    /// The tile's configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Worst-case weight-domain output magnitude the ADC is sized for:
+    /// every word line driven at the calibrated input range into a cell at
+    /// the full conductance window.
+    pub fn adc_full_scale(&self) -> f32 {
+        self.input_range * self.rows as f32 * (self.config.g_max - self.config.g_min) * self.scale
+    }
+
+    /// Attenuates both conductance planes with a first-order IR-drop
+    /// model — the position-dependent wire-resistance loss applied to the
+    /// stored conductances (see [`IrDropModel::attenuate`]).
+    pub fn apply_ir_drop(&mut self, model: &IrDropModel) {
+        self.g_pos = model.attenuate(&self.g_pos);
+        self.g_neg = model.attenuate(&self.g_neg);
+        self.diff_cache = OnceLock::new();
+    }
+
+    /// Freezes one differential pair so it reads as the given
+    /// weight-domain value: the magnitude (clamped to the representable
+    /// range of the tile's programmed scale) lands on the positive or
+    /// negative conductance path per the sign convention, and the opposite
+    /// path is parked at `g_min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds or `weight` is non-finite.
+    pub fn stick_cell(&mut self, row: usize, col: usize, weight: f32) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row}, {col}) outside {}x{} tile",
+            self.rows,
+            self.cols
+        );
+        assert!(weight.is_finite(), "stuck weight must be finite, got {weight}");
+        let window = self.config.g_max - self.config.g_min;
+        let magnitude = (weight.abs() / self.scale).min(window);
+        let (p, n) = if weight >= 0.0 {
+            (self.config.g_min + magnitude, self.config.g_min)
+        } else {
+            (self.config.g_min, self.config.g_min + magnitude)
+        };
+        let idx = row * self.cols + col;
+        self.g_pos.as_mut_slice()[idx] = p;
+        self.g_neg.as_mut_slice()[idx] = n;
+        self.diff_cache = OnceLock::new();
     }
 
     /// Analog matrix-vector product `wᵀ·x` realized on the tile:
@@ -199,18 +287,13 @@ impl Crossbar {
             let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
             q.quantize_slice(v.as_mut_slice());
         }
-        // Analog accumulate: I_bj = Σ_i v_bi (g+_ij − g−_ij).
+        // Analog accumulate directly in the weight domain: the cached
+        // matrix already carries the (g+ − g−)·scale fold, so one GEMM
+        // yields I_bj·scale = Σ_i v_bi (g+_ij − g−_ij)·scale.
         let mut out = v.matmul(self.diff());
-        // Back to weight domain, then ADC.
-        for o in out.as_mut_slice() {
-            *o *= self.scale;
-        }
         if self.config.adc_bits > 0 {
             // ADC full scale sized to the worst-case current of the tile.
-            let full_scale = self.input_range
-                * self.rows as f32
-                * (self.config.g_max - self.config.g_min)
-                * self.scale;
+            let full_scale = self.adc_full_scale();
             let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
             q.quantize_slice(out.as_mut_slice());
         }
@@ -469,6 +552,71 @@ mod tests {
                 "cached differential matrix differs from recomputation"
             );
         }
+    }
+
+    #[test]
+    fn exact_mode_round_trips_bitwise() {
+        let mut rng = SeededRng::new(30);
+        let w = Tensor::randn(&[16, 9], &mut rng);
+        let xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        let back = xbar.effective_weights();
+        for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+            // −0.0 programs as +0.0 (magnitude mapping); numerically equal.
+            if *a == 0.0 {
+                assert_eq!(*b, 0.0);
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "exact read-back drifted: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_matmul_bit_identical_to_digital() {
+        let mut rng = SeededRng::new(31);
+        let w = Tensor::randn(&[10, 6], &mut rng);
+        let xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        let x = Tensor::randn(&[4, 10], &mut rng);
+        let analog = xbar.matmul(&x);
+        let digital = x.matmul(&w);
+        assert_eq!(analog, digital, "exact-mode crossbar product must be bitwise digital");
+    }
+
+    #[test]
+    fn stick_cell_pins_one_weight() {
+        let mut rng = SeededRng::new(32);
+        let w = Tensor::randn(&[5, 5], &mut rng);
+        let mut xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        let x = Tensor::full(&[1, 5], 1.0);
+        let before = xbar.matmul(&x); // populate cache
+        xbar.stick_cell(2, 3, 0.0);
+        xbar.stick_cell(1, 1, -0.25);
+        let back = xbar.effective_weights();
+        assert_eq!(back.as_slice()[2 * 5 + 3], 0.0);
+        assert!((back.as_slice()[5 + 1] + 0.25).abs() < 1e-6);
+        let after = xbar.matmul(&x);
+        assert_ne!(
+            before.as_slice(),
+            after.as_slice(),
+            "stick_cell left the conductance cache stale"
+        );
+    }
+
+    #[test]
+    fn ir_drop_attenuates_far_corner_and_invalidates_cache() {
+        let mut rng = SeededRng::new(33);
+        let w = Tensor::full(&[8, 8], 0.5);
+        let mut xbar = Crossbar::program(&w, &ideal_config(), &mut rng);
+        let x = Tensor::full(&[1, 8], 1.0);
+        let before = xbar.matmul(&x);
+        xbar.apply_ir_drop(&IrDropModel::new(0.05));
+        let after = xbar.matmul(&x);
+        assert!(
+            before.l1_distance(&after) > 1e-3,
+            "IR drop had no effect or the cache went stale"
+        );
+        let back = xbar.effective_weights();
+        // The far corner sees the most wire resistance.
+        assert!(back.as_slice()[63] < back.as_slice()[0]);
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub struct LayerMapping {
     /// L1 distance between the trained weights and what the conductances
     /// actually realize (quantization + write noise).
     pub mapping_error_l1: f32,
+    /// Fraction of the allocated tile area the logical matrix actually
+    /// occupies: `rows·cols / (tiles · tile_rows · tile_cols)`.
+    pub utilization: f32,
+    /// Fraction of the ADC full-scale range the largest observed output
+    /// magnitude reached (0 when no inference has been profiled).
+    pub adc_range_used: f32,
 }
 
 /// Summary of deploying a network onto crossbars.
@@ -23,6 +29,10 @@ pub struct LayerMapping {
 pub struct DeployReport {
     /// One record per conductance-mapped parameter.
     pub mappings: Vec<LayerMapping>,
+    /// Mean per-image L1 distance between digital and analog logits on the
+    /// profiling batch (`None` when no inference was profiled, e.g. for
+    /// the plain read-back [`deploy`]).
+    pub logit_divergence: Option<f32>,
 }
 
 impl DeployReport {
@@ -68,15 +78,18 @@ pub fn deploy(net: &Network, config: &CrossbarConfig, rng: &mut SeededRng) -> (N
         );
         let tiled = TiledMatrix::program(tensor, config, rng);
         let realized = tiled.effective_weights();
+        let (m, n) = tiled.shape();
         mappings.push(LayerMapping {
             key: key.to_owned(),
             shape: tiled.shape(),
             tiles: tiled.tile_count(),
             mapping_error_l1: tensor.l1_distance(&realized),
+            utilization: (m * n) as f32 / (tiled.tile_count() * config.rows * config.cols) as f32,
+            adc_range_used: 0.0,
         });
         *tensor = realized;
     });
-    (deployed, DeployReport { mappings })
+    (deployed, DeployReport { mappings, logit_divergence: None })
 }
 
 #[cfg(test)]

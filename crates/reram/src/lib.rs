@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod bitslice;
 mod config;
 mod crossbar;
@@ -47,10 +48,11 @@ mod irdrop;
 mod quant;
 mod tiled;
 
+pub use backend::{ActiveBackend, AnalogBackend, BackendKind, BackendSpec, BitSlicedBackend};
 pub use bitslice::BitSlicedMatrix;
 pub use config::CrossbarConfig;
 pub use crossbar::{CellFault, Crossbar};
-pub use deploy::{deploy, DeployReport};
+pub use deploy::{deploy, DeployReport, LayerMapping};
 pub use irdrop::IrDropModel;
 pub use quant::Quantizer;
 pub use tiled::TiledMatrix;

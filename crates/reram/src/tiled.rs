@@ -1,7 +1,7 @@
 //! Tiled mapping of arbitrary weight matrices onto fixed-geometry
 //! crossbar tiles.
 
-use crate::{CellFault, Crossbar, CrossbarConfig};
+use crate::{CellFault, Crossbar, CrossbarConfig, IrDropModel};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// A weight matrix `[m, n]` partitioned across a grid of crossbar tiles.
@@ -85,6 +85,11 @@ impl TiledMatrix {
     /// array-by-array).
     pub fn tiles_mut(&mut self) -> &mut [Crossbar] {
         &mut self.tiles
+    }
+
+    /// Shared access to every tile in row-major grid order.
+    pub fn tiles(&self) -> &[Crossbar] {
+        &self.tiles
     }
 
     /// The effective weight matrix the tiles actually store.
@@ -171,9 +176,21 @@ impl TiledMatrix {
                 seg = seg_t.into_vec(); // reclaim the buffer for the next tile
                 let p = partial.as_slice();
                 let o = out.as_mut_slice();
-                for b in 0..batch {
-                    for j in 0..tile.cols() {
-                        o[b * self.cols + c0 + j] += p[b * tile.cols() + j];
+                // The first row block ASSIGNS instead of accumulating into
+                // the zero-initialized output: 0.0 + (−0.0) would flip a
+                // negative-zero partial sum to +0.0 and break the
+                // bit-identity of the single-tile case with the plain GEMM.
+                if br == 0 {
+                    for b in 0..batch {
+                        for j in 0..tile.cols() {
+                            o[b * self.cols + c0 + j] = p[b * tile.cols() + j];
+                        }
+                    }
+                } else {
+                    for b in 0..batch {
+                        for j in 0..tile.cols() {
+                            o[b * self.cols + c0 + j] += p[b * tile.cols() + j];
+                        }
                     }
                 }
             }
@@ -197,6 +214,41 @@ impl TiledMatrix {
         for tile in &mut self.tiles {
             tile.disturb(sigma, rng);
         }
+    }
+
+    /// Applies conductance drift toward the high-resistance state to every
+    /// tile (see [`Crossbar::drift`]).
+    pub fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
+        for tile in &mut self.tiles {
+            tile.drift(nu, time, rng);
+        }
+    }
+
+    /// Applies the first-order IR-drop model to every tile.
+    pub fn apply_ir_drop(&mut self, model: &IrDropModel) {
+        for tile in &mut self.tiles {
+            tile.apply_ir_drop(model);
+        }
+    }
+
+    /// Freezes the differential pair at logical matrix position
+    /// `(row, col)` to read as `weight` (see [`Crossbar::stick_cell`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are outside the logical matrix.
+    pub fn stick_cell(&mut self, row: usize, col: usize, weight: f32) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row}, {col}) outside {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        let row_extent = self.tile_rows_extent();
+        let col_extent = self.tile_cols_extent();
+        let (br, bc) = (row / row_extent, col / col_extent);
+        let tile = &mut self.tiles[br * self.tile_cols + bc];
+        tile.stick_cell(row % row_extent, col % col_extent, weight);
     }
 }
 
@@ -271,6 +323,60 @@ mod tests {
         assert_eq!(back.shape(), w.shape());
         for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_single_tile_matmul_is_bitwise_digital() {
+        let mut rng = SeededRng::new(7);
+        let w = Tensor::randn(&[30, 12], &mut rng);
+        let config = CrossbarConfig { rows: 64, cols: 64, ..CrossbarConfig::exact() };
+        let tiled = TiledMatrix::program(&w, &config, &mut rng);
+        assert_eq!(tiled.tile_count(), 1);
+        let x = Tensor::randn(&[5, 30], &mut rng);
+        assert_eq!(tiled.matmul(&x), x.matmul(&w));
+    }
+
+    #[test]
+    fn stick_cell_routes_to_the_right_tile() {
+        let mut rng = SeededRng::new(8);
+        let config = CrossbarConfig { rows: 4, cols: 3, ..CrossbarConfig::exact() };
+        let w = Tensor::randn(&[10, 8], &mut rng);
+        let mut tiled = TiledMatrix::program(&w, &config, &mut rng);
+        // Positions spanning different tile blocks, including ragged edges.
+        for &(r, c) in &[(0usize, 0usize), (5, 4), (9, 7), (3, 6)] {
+            tiled.stick_cell(r, c, 0.125);
+            let back = tiled.effective_weights();
+            assert!(
+                (back.at(&[r, c]) - 0.125).abs() < 1e-6,
+                "stuck weight missing at ({r}, {c}): {}",
+                back.at(&[r, c])
+            );
+        }
+    }
+
+    #[test]
+    fn drift_and_ir_drop_reach_every_tile() {
+        let mut rng = SeededRng::new(9);
+        let config = CrossbarConfig { rows: 4, cols: 4, ..CrossbarConfig::ideal() };
+        let w = Tensor::full(&[8, 8], 0.5);
+        let mut drifted = TiledMatrix::program(&w, &config, &mut rng);
+        let before = drifted.effective_weights().norm_l1();
+        drifted.drift(0.5, 3.0, &mut rng);
+        let back = drifted.effective_weights();
+        assert!(back.norm_l1() < before, "drift did not shrink the tiled matrix");
+        assert!(back.as_slice().iter().all(|&v| (0.0..=0.5 + 1e-5).contains(&v)));
+
+        let mut dropped = TiledMatrix::program(&w, &config, &mut rng);
+        dropped.apply_ir_drop(&IrDropModel::new(0.05));
+        let back = dropped.effective_weights();
+        // Every tile's far corner is attenuated below its origin cell.
+        for br in 0..2 {
+            for bc in 0..2 {
+                let origin = back.at(&[br * 4, bc * 4]);
+                let corner = back.at(&[br * 4 + 3, bc * 4 + 3]);
+                assert!(corner < origin, "tile ({br},{bc}) not attenuated: {corner} vs {origin}");
+            }
         }
     }
 

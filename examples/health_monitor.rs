@@ -51,7 +51,7 @@ fn main() {
         patterns.len(),
         outcomes.iter().filter(|o| o.converged).count()
     );
-    let detector = Detector::new(&mut model, patterns);
+    let detector = Detector::new(&model, patterns);
     let policy = MonitorPolicy { watch_threshold: 0.02, critical_threshold: 0.06, escalation_count: 1 };
     let mut monitor = HealthMonitor::new(detector, policy);
 
@@ -67,7 +67,7 @@ fn main() {
             FaultModel::RandomSoftError { probability: 0.01 }
                 .apply(&mut accelerator, &mut field_rng);
         }
-        let checkup = monitor.check(&mut accelerator);
+        let checkup = monitor.check(&accelerator);
         let acc = healthmon_nn::trainer::accuracy(
             &mut accelerator,
             &flat_test,

@@ -45,7 +45,7 @@ fn main() {
     // --- 2. Generate test patterns and record golden responses -------------
     let patterns = CtpGenerator::new(10).select(&mut model, &split.test);
     println!("selected {} C-TP corner-data patterns", patterns.len());
-    let detector = Detector::new(&mut model, patterns);
+    let detector = Detector::new(&model, patterns);
 
     // --- 3. Simulate error accumulation on the accelerator -----------------
     let campaign = FaultCampaign::new(&model, 2020);
@@ -54,9 +54,9 @@ fn main() {
             campaign.model(&FaultModel::ProgrammingVariation { sigma }, 0);
 
         // --- 4. Concurrent test: 10 inferences, one verdict ----------------
-        let d = detector.confidence_distance(&mut accelerator);
+        let d = detector.confidence_distance(&accelerator);
         let faulty = detector.is_faulty(
-            &mut accelerator,
+            &accelerator,
             SdcCriterion::SdcA { threshold: 0.03 },
         );
         let acc = healthmon_nn::trainer::accuracy(

@@ -66,7 +66,7 @@ fn main() {
     // Concurrent-test detector (C-TP patterns) + triage policy.
     let test_pool = healthmon_data::Dataset::new(test_x.clone(), split.test.labels.clone(), 10);
     let patterns = CtpGenerator::new(20).select(&mut model, &test_pool);
-    let detector = Detector::new(&mut model, patterns);
+    let detector = Detector::new(&model, patterns);
     let policy = MonitorPolicy::default();
     let golden_w0 = first_layer_weights(&model);
 
@@ -79,7 +79,7 @@ fn main() {
         // The damaged accelerator.
         let mut device = model.clone();
         set_first_layer(&mut device, &defects.apply(&golden_w0));
-        let d = detector.confidence_distance(&mut device).all_classes;
+        let d = detector.confidence_distance(&device).all_classes;
         let acc = accuracy(&mut device, &test_x, &split.test.labels, 64);
         let state = if d >= policy.critical_threshold {
             HealthState::Critical
@@ -130,7 +130,7 @@ fn main() {
         }
 
         // Verify with the same concurrent test.
-        let d_after = detector.confidence_distance(&mut device).all_classes;
+        let d_after = detector.confidence_distance(&device).all_classes;
         let acc_after = accuracy(&mut device, &test_x, &split.test.labels, 64);
         println!(
             "verified: distance {d:.4} -> {d_after:.4}, accuracy {:.1}% -> {:.1}%\n",

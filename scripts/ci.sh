@@ -47,6 +47,12 @@ cargo test -q --offline --workspace
 echo "== offline clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== offline docs (warnings are errors) =="
+# --exclude healthmon-cli: its bin target shares the `healthmon` name with
+# the core lib, which trips cargo's doc filename-collision warning.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --exclude healthmon-cli > /dev/null
+echo "ok: rustdoc is warning-clean"
+
 echo "== lockfile is workspace-only =="
 if grep -E '^source = ' Cargo.lock; then
     echo "ERROR: Cargo.lock references an external registry source" >&2
@@ -79,6 +85,58 @@ done
 cmp "$lt_dir/threads_1.txt" "$lt_dir/threads_2.txt"
 cmp "$lt_dir/threads_1.txt" "$lt_dir/threads_7.txt"
 echo "ok: lifetime report is byte-identical under HEALTHMON_THREADS=1/2/7"
+
+echo "== backend matrix smoke (digital goldens + analog/bitsliced execution) =="
+# The digital path must stay byte-identical forever: the text goldens in
+# tests/golden/ were captured before the backend refactor, and the JSON
+# inputs they were captured against are regenerated bit-exactly here
+# (training/inject/generate are seed-deterministic).
+cmp "$lt_dir/full.txt" tests/golden/backend_lifetime.txt
+"$hm" inject --arch mlp --model "$lt_dir/model.json" --fault pv:0.5 \
+    --out "$lt_dir/faulty.json" > /dev/null
+"$hm" generate --arch mlp --model "$lt_dir/model.json" --method ctp --count 10 \
+    --out "$lt_dir/patterns.json" > /dev/null
+for t in 1 2 7; do
+    rc=0
+    HEALTHMON_THREADS=$t "$hm" check --arch mlp --model "$lt_dir/model.json" \
+        --target "$lt_dir/faulty.json" --patterns "$lt_dir/patterns.json" \
+        > "$lt_dir/check_$t.txt" || rc=$?
+    [[ "$rc" == "2" ]]  # the pv:0.5 device must be flagged FAULTY
+    cmp "$lt_dir/check_$t.txt" tests/golden/backend_check.txt
+done
+echo "ok: digital check/lifetime byte-identical to the seed goldens under HEALTHMON_THREADS=1/2/7"
+# Every subcommand of the detect stack runs on every backend.
+for b in digital analog bitsliced; do
+    rc=0
+    "$hm" check --arch mlp --model "$lt_dir/model.json" --target "$lt_dir/faulty.json" \
+        --patterns "$lt_dir/patterns.json" --backend "$b" > "$lt_dir/check_$b.txt" || rc=$?
+    [[ "$rc" == "2" ]]  # heavy damage must be flagged on every backend
+    "$hm" campaign --arch mlp --model "$lt_dir/model.json" --patterns "$lt_dir/patterns.json" \
+        --fault pv:0.4 --count 8 --backend "$b" > "$lt_dir/campaign_$b.txt"
+    "$hm" lifetime --arch mlp --model "$lt_dir/model.json" --epochs 3 --count 8 \
+        --drift 0.25 --stuck-lambda 0.5 --backend "$b" > "$lt_dir/lifetime_$b.txt"
+    grep -q "final state:" "$lt_dir/lifetime_$b.txt"
+done
+# Campaign rates stay thread-invariant on live analog backends too: the
+# per-model programming RNG is indexed by model, never by thread.
+for b in digital analog; do
+    for t in 1 2 7; do
+        HEALTHMON_THREADS=$t "$hm" campaign --arch mlp --model "$lt_dir/model.json" \
+            --patterns "$lt_dir/patterns.json" --fault pv:0.4 --count 8 --backend "$b" \
+            > "$lt_dir/campaign_${b}_$t.txt"
+    done
+    cmp "$lt_dir/campaign_${b}_1.txt" "$lt_dir/campaign_${b}_2.txt"
+    cmp "$lt_dir/campaign_${b}_1.txt" "$lt_dir/campaign_${b}_7.txt"
+done
+"$hm" deploy --arch mlp --model "$lt_dir/model.json" --backend analog > "$lt_dir/deploy.txt"
+grep -q "logit divergence" "$lt_dir/deploy.txt"
+# Analog lifetimes keep live conductance state and must refuse --checkpoint.
+if "$hm" lifetime --arch mlp --model "$lt_dir/model.json" --epochs 2 --backend analog \
+    --checkpoint "$lt_dir/bad.json" 2>/dev/null; then
+    echo "ERROR: analog lifetime accepted --checkpoint" >&2
+    exit 1
+fi
+echo "ok: backend matrix (check/campaign/deploy/lifetime x digital/analog/bitsliced) passed"
 
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (short mode, refreshes BENCH_pr2.json) =="

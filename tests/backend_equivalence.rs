@@ -1,0 +1,123 @@
+//! Cross-backend equivalence and live-analog-state regression tests.
+//!
+//! The contract under test: an [`AnalogBackend`] configured with exact
+//! cells (`cell_bits = 0`), ideal converters, zero write noise and no IR
+//! drop computes **bit-identical** logits to the plain digital network —
+//! on real paper-scale architectures, not just toy matrices. And the
+//! other direction: faults injected into *live* crossbar state (stuck
+//! cells, drift) must invalidate the cached differential conductances and
+//! change what the concurrent-test detector observes.
+
+use healthmon::{BackendSpec, CrossbarConfig, Detector, InferenceBackend, TestPatternSet};
+use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
+use healthmon_reram::{AnalogBackend, CellFault};
+use healthmon_tensor::{SeededRng, Tensor};
+
+/// Exact-mode analog spec large enough for every paper-scale layer
+/// (crossbars allocate the actual matrix shape, not the tile geometry).
+fn exact_spec() -> BackendSpec {
+    BackendSpec::analog(CrossbarConfig { rows: 4096, cols: 4096, ..CrossbarConfig::exact() })
+}
+
+fn assert_bitwise_eq(digital: &Tensor, analog: &Tensor, what: &str) {
+    assert_eq!(digital.shape(), analog.shape(), "{what}: shape mismatch");
+    for (i, (d, a)) in digital.as_slice().iter().zip(analog.as_slice()).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            a.to_bits(),
+            "{what}: logit {i} diverges (digital {d} vs analog {a})"
+        );
+    }
+}
+
+#[test]
+fn exact_analog_is_bit_identical_to_digital_on_lenet5() {
+    let mut rng = SeededRng::new(11);
+    let net = lenet5(&mut rng);
+    let images = Tensor::rand_uniform(&[4, 1, 28, 28], 0.0, 1.0, &mut rng);
+    let backend = AnalogBackend::program(&net, &exact_spec(), &mut rng);
+    assert_bitwise_eq(&net.infer(&images), &backend.infer(&images), "lenet5");
+}
+
+#[test]
+fn exact_analog_is_bit_identical_to_digital_on_convnet7() {
+    let mut rng = SeededRng::new(12);
+    let net = convnet7(&mut rng);
+    let images = Tensor::rand_uniform(&[3, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let backend = AnalogBackend::program(&net, &exact_spec(), &mut rng);
+    assert_bitwise_eq(&net.infer(&images), &backend.infer(&images), "convnet7");
+}
+
+#[test]
+fn exact_analog_readback_matches_digital_weights() {
+    let mut rng = SeededRng::new(13);
+    let net = lenet5(&mut rng);
+    let backend = AnalogBackend::program(&net, &exact_spec(), &mut rng);
+    let digital = net.state_dict();
+    let readback = backend.readback().state_dict();
+    for ((dk, dt), (rk, rt)) in digital.iter().zip(&readback) {
+        assert_eq!(dk, rk);
+        for (d, r) in dt.as_slice().iter().zip(rt.as_slice()) {
+            // Exact mode programs -0.0 as +0.0; everything else is
+            // bit-preserved.
+            if *d == 0.0 && *r == 0.0 {
+                continue;
+            }
+            assert_eq!(d.to_bits(), r.to_bits(), "`{dk}` diverges in read-back");
+        }
+    }
+}
+
+/// Regression for the PR 2 conductance cache: mutating *live* analog
+/// state (stuck cells, drift) between detector evaluations must
+/// invalidate the cached differential matrices, so the detector sees the
+/// aged device — not a stale snapshot from before the fault.
+#[test]
+fn live_analog_faults_change_detection_responses() {
+    let mut rng = SeededRng::new(21);
+    let net = tiny_mlp(16, 32, 4, &mut rng);
+    let patterns =
+        TestPatternSet::new("t", Tensor::rand_uniform(&[8, 16], 0.0, 1.0, &mut rng));
+    let detector = Detector::new(&net, patterns);
+
+    let spec = BackendSpec::analog(CrossbarConfig::exact());
+    let mut backend = AnalogBackend::program(&net, &spec, &mut rng);
+
+    // Freshly programmed exact-mode backend: indistinguishable from the
+    // golden network. This evaluation also populates the conductance
+    // cache — the point of the test is that the mutations below evict it.
+    let d0 = detector.confidence_distance(&backend);
+    assert_eq!(d0.all_classes, 0.0, "exact analog baseline must match golden");
+
+    backend.inject_stuck_cells(CellFault::StuckLow, 0.10, &mut rng);
+    let d1 = detector.confidence_distance(&backend);
+    let r1 = detector.responses(&backend);
+    assert!(
+        d1.all_classes > 0.0,
+        "stuck cells on live conductances must move the detector (got {d1:?})"
+    );
+
+    backend.drift(0.5, 1.0, &mut rng);
+    let d2 = detector.confidence_distance(&backend);
+    let r2 = detector.responses(&backend);
+    assert_ne!(r1, r2, "drift after stuck cells must change the responses again");
+    assert!(d2.all_classes > 0.0, "drifted device must stay distinguishable (got {d2:?})");
+}
+
+/// The same live-fault visibility holds end-to-end through the monitor's
+/// verdict, not just the raw distances.
+#[test]
+fn live_analog_faults_flip_the_verdict() {
+    use healthmon::SdcCriterion;
+    let mut rng = SeededRng::new(22);
+    let net = tiny_mlp(16, 32, 4, &mut rng);
+    let patterns =
+        TestPatternSet::new("t", Tensor::rand_uniform(&[8, 16], 0.0, 1.0, &mut rng));
+    let detector = Detector::new(&net, patterns);
+    let spec = BackendSpec::analog(CrossbarConfig::exact());
+    let mut backend = AnalogBackend::program(&net, &spec, &mut rng);
+    let criterion = SdcCriterion::SdcA { threshold: 1e-4 };
+    assert!(!detector.is_faulty(&backend, criterion), "fresh exact backend is healthy");
+    backend.inject_stuck_cells(CellFault::StuckHigh, 0.25, &mut rng);
+    assert!(detector.is_faulty(&backend, criterion), "injured backend must be flagged");
+}

@@ -18,13 +18,13 @@ fn no_false_positive_against_self() {
     run_cases(CASES, |g| {
         let mut rng = SeededRng::new(g.seed());
         let patterns = g.usize_in(1, 12);
-        let mut net = tiny_mlp(6, 12, 5, &mut rng);
+        let net = tiny_mlp(6, 12, 5, &mut rng);
         let set =
             TestPatternSet::new("t", Tensor::rand_uniform(&[patterns, 6], 0.0, 1.0, &mut rng));
-        let mut golden = net.clone();
-        let detector = healthmon::Detector::new(&mut golden, set);
+        let golden = net.clone();
+        let detector = healthmon::Detector::new(&golden, set);
         for crit in SdcCriterion::paper_suite() {
-            assert!(!detector.is_faulty(&mut net, crit));
+            assert!(!detector.is_faulty(&net, crit));
         }
     });
 }
@@ -38,12 +38,12 @@ fn confidence_distance_bounded() {
         let mut rng = SeededRng::new(seed);
         let net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 6], 0.0, 1.0, &mut rng));
-        let mut golden = net.clone();
-        let detector = healthmon::Detector::new(&mut golden, set);
+        let golden = net.clone();
+        let detector = healthmon::Detector::new(&golden, set);
         let mut faulty = net.clone();
         FaultModel::ProgrammingVariation { sigma }
             .apply(&mut faulty, &mut SeededRng::new(seed ^ 1));
-        let d = detector.confidence_distance(&mut faulty);
+        let d = detector.confidence_distance(&faulty);
         assert!((0.0..=1.0).contains(&d.top_ranked));
         assert!((0.0..=1.0).contains(&d.all_classes));
     });
@@ -57,13 +57,13 @@ fn sdc_a_threshold_monotone() {
         let mut rng = SeededRng::new(seed);
         let net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[6, 6], 0.0, 1.0, &mut rng));
-        let mut golden = net.clone();
-        let detector = healthmon::Detector::new(&mut golden, set);
+        let golden = net.clone();
+        let detector = healthmon::Detector::new(&golden, set);
         let mut faulty = net.clone();
         FaultModel::ProgrammingVariation { sigma: 0.3 }
             .apply(&mut faulty, &mut SeededRng::new(seed ^ 2));
-        let loose = detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.05 });
-        let tight = detector.is_faulty(&mut faulty, SdcCriterion::SdcA { threshold: 0.03 });
+        let loose = detector.is_faulty(&faulty, SdcCriterion::SdcA { threshold: 0.05 });
+        let tight = detector.is_faulty(&faulty, SdcCriterion::SdcA { threshold: 0.03 });
         // loose detection implies tight detection
         assert!(!loose || tight);
     });
@@ -77,8 +77,8 @@ fn null_faults_never_detected() {
         let mut rng = SeededRng::new(seed);
         let mut net = tiny_mlp(6, 12, 5, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[4, 6], 0.0, 1.0, &mut rng));
-        let mut golden = net.clone();
-        let detector = healthmon::Detector::new(&mut golden, set);
+        let golden = net.clone();
+        let detector = healthmon::Detector::new(&golden, set);
         for fault in [
             FaultModel::ProgrammingVariation { sigma: 0.0 },
             FaultModel::RandomSoftError { probability: 0.0 },
@@ -86,7 +86,7 @@ fn null_faults_never_detected() {
         ] {
             fault.apply(&mut net, &mut SeededRng::new(seed));
             for crit in SdcCriterion::paper_suite() {
-                assert!(!detector.is_faulty(&mut net, crit), "{}", crit.label());
+                assert!(!detector.is_faulty(&net, crit), "{}", crit.label());
             }
         }
     });
@@ -116,11 +116,11 @@ fn truncation_consistency() {
         let seed = g.seed();
         let total = g.usize_in(2, 10);
         let mut rng = SeededRng::new(seed);
-        let mut net = tiny_mlp(5, 8, 4, &mut rng);
+        let net = tiny_mlp(5, 8, 4, &mut rng);
         let set = TestPatternSet::new("t", Tensor::rand_uniform(&[total, 5], 0.0, 1.0, &mut rng));
         let k = 1 + (seed as usize % total);
-        let full = set.logits(&mut net);
-        let prefix = set.truncated(k).logits(&mut net);
+        let full = set.logits(&net);
+        let prefix = set.truncated(k).logits(&net);
         for p in 0..k {
             for c in 0..4 {
                 assert!((full.at(&[p, c]) - prefix.at(&[p, c])).abs() < 1e-5);

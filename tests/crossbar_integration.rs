@@ -80,17 +80,17 @@ fn write_noise_degrades_monotonically_in_expectation() {
 fn detector_flags_noisy_deployment() {
     let (mut net, test) = trained();
     let patterns = CtpGenerator::new(15).select(&mut net, &test);
-    let detector = Detector::new(&mut net, patterns);
+    let detector = Detector::new(&net, patterns);
 
     // A clean redeployment at high precision is NOT flagged ...
     let fine = CrossbarConfig { cell_bits: 12, ..CrossbarConfig::default() };
-    let (mut good, _) = deploy(&net, &fine, &mut SeededRng::new(3));
-    assert!(!detector.is_faulty(&mut good, SdcCriterion::SdcA { threshold: 0.03 }));
+    let (good, _) = deploy(&net, &fine, &mut SeededRng::new(3));
+    assert!(!detector.is_faulty(&good, SdcCriterion::SdcA { threshold: 0.03 }));
 
     // ... while a heavily drifted / mis-programmed one is.
     let sloppy = CrossbarConfig { cell_bits: 4, write_noise: 0.5, ..CrossbarConfig::default() };
-    let (mut bad, _) = deploy(&net, &sloppy, &mut SeededRng::new(3));
-    assert!(detector.is_faulty(&mut bad, SdcCriterion::SdcA { threshold: 0.03 }));
+    let (bad, _) = deploy(&net, &sloppy, &mut SeededRng::new(3));
+    assert!(detector.is_faulty(&bad, SdcCriterion::SdcA { threshold: 0.03 }));
 }
 
 #[test]

@@ -31,7 +31,7 @@ fn pipeline() -> (Network, Dataset, Vec<f32>) {
 
     // Full detection pass.
     let patterns = CtpGenerator::new(10).select(&mut net, &test);
-    let detector = Detector::new(&mut net, patterns);
+    let detector = Detector::new(&net, patterns);
     let distances: Vec<f32> = detector
         .campaign_distances(&net, &FaultModel::ProgrammingVariation { sigma: 0.3 }, 6, 42)
         .iter()

@@ -71,8 +71,8 @@ fn ctp_patterns_are_more_sensitive_than_random_images() {
         "random",
         split.test.random_subset(15, &mut rng).images.clone(),
     );
-    let d_ctp = Detector::new(&mut net, ctp);
-    let d_rand = Detector::new(&mut net, random);
+    let d_ctp = Detector::new(&net, ctp);
+    let d_rand = Detector::new(&net, random);
     // Average confidence distance over a small campaign.
     let fault = FaultModel::ProgrammingVariation { sigma: 0.2 };
     let mean = |det: &Detector, net: &Network| {
@@ -95,8 +95,8 @@ fn otp_detects_without_top_class_criteria() {
     let (otp, _) = OtpGenerator::new()
         .max_iters(300)
         .generate(&net, &reference, &mut SeededRng::new(4));
-    let mut golden = net.clone();
-    let detector = Detector::new(&mut golden, otp);
+    let golden = net.clone();
+    let detector = Detector::new(&golden, otp);
     let rate = detector.detection_rate(
         &net,
         &FaultModel::ProgrammingVariation { sigma: 0.4 },
@@ -111,7 +111,7 @@ fn otp_detects_without_top_class_criteria() {
 fn detection_rate_increases_with_error_severity() {
     let (mut net, split) = trained_model();
     let ctp = CtpGenerator::new(20).select(&mut net, &split.test);
-    let detector = Detector::new(&mut net, ctp);
+    let detector = Detector::new(&net, ctp);
     let crit = SdcCriterion::SdcA { threshold: 0.03 };
     let rates: Vec<f32> = [0.05f32, 0.2, 0.5]
         .iter()
@@ -133,7 +133,7 @@ fn detection_rate_increases_with_error_severity() {
 fn soft_errors_are_detected_too() {
     let (mut net, split) = trained_model();
     let ctp = CtpGenerator::new(20).select(&mut net, &split.test);
-    let detector = Detector::new(&mut net, ctp);
+    let detector = Detector::new(&net, ctp);
     let rate = detector.detection_rate(
         &net,
         &FaultModel::RandomSoftError { probability: 0.02 },
@@ -153,11 +153,11 @@ fn golden_model_is_not_flagged_by_any_method() {
         AetGenerator::new(10, 0.15).generate(&mut net, &split.test, &mut rng),
     ];
     for set in sets {
-        let detector = Detector::new(&mut net, set);
-        let mut same = net.clone();
+        let detector = Detector::new(&net, set);
+        let same = net.clone();
         for crit in SdcCriterion::paper_suite() {
             assert!(
-                !detector.is_faulty(&mut same, crit),
+                !detector.is_faulty(&same, crit),
                 "{} false positive on the golden model",
                 crit.label()
             );
@@ -171,7 +171,7 @@ fn fig8_shape_distance_tracks_accuracy_loss() {
     // confidence distance rises.
     let (mut net, split) = trained_model();
     let ctp = CtpGenerator::new(15).select(&mut net, &split.test);
-    let detector = Detector::new(&mut net, ctp);
+    let detector = Detector::new(&net, ctp);
     let mut prev_distance = -1.0f32;
     let mut distances = Vec::new();
     for sigma in [0.1f32, 0.3, 0.5] {

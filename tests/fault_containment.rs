@@ -13,9 +13,9 @@ use healthmon_tensor::{SeededRng, Tensor};
 
 fn fixture() -> (Network, Detector) {
     let mut rng = SeededRng::new(1);
-    let mut net = tiny_mlp(8, 16, 4, &mut rng);
+    let net = tiny_mlp(8, 16, 4, &mut rng);
     let patterns = TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
-    let detector = Detector::new(&mut net, patterns);
+    let detector = Detector::new(&net, patterns);
     (net, detector)
 }
 
@@ -41,7 +41,7 @@ fn nan_logits_drive_the_monitor_to_critical() {
     let mut device = net.clone();
     poison_weight(&mut device, "layer2.bias", f32::NAN);
 
-    let checkup = monitor.check(&mut device);
+    let checkup = monitor.check(&device);
     assert!(checkup.distance.is_poisoned(), "distance {:?}", checkup.distance);
     assert_eq!(checkup.state, HealthState::Critical);
     assert_eq!(monitor.state(), HealthState::Critical);
@@ -54,7 +54,7 @@ fn infinite_weights_also_escalate() {
     let mut monitor = HealthMonitor::new(detector, MonitorPolicy::default());
     let mut device = net.clone();
     poison_weight(&mut device, "layer2.bias", f32::INFINITY);
-    assert_eq!(monitor.check(&mut device).state, HealthState::Critical);
+    assert_eq!(monitor.check(&device).state, HealthState::Critical);
 }
 
 /// Hysteresis smooths one-off noise, but a non-finite reading is
@@ -67,10 +67,10 @@ fn poisoned_readings_bypass_hysteresis() {
     let mut monitor = HealthMonitor::new(detector, policy);
     let mut device = net.clone();
     poison_weight(&mut device, "layer2.bias", f32::NAN);
-    assert_eq!(monitor.check(&mut device).state, HealthState::Critical);
+    assert_eq!(monitor.check(&device).state, HealthState::Critical);
     // A subsequently repaired device still de-escalates immediately.
-    let mut repaired = net.clone();
-    assert_eq!(monitor.check(&mut repaired).state, HealthState::Healthy);
+    let repaired = net.clone();
+    assert_eq!(monitor.check(&repaired).state, HealthState::Healthy);
 }
 
 /// `forward_checked` localizes the first poisoned layer instead of

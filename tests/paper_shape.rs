@@ -64,8 +64,8 @@ fn fixture() -> &'static Fixture {
 
 fn mean_all_distance(set: &TestPatternSet, sigma: f32, count: usize) -> f32 {
     let f = fixture();
-    let mut golden = f.net.clone();
-    let detector = Detector::new(&mut golden, set.clone());
+    let golden = f.net.clone();
+    let detector = Detector::new(&golden, set.clone());
     let ds = detector.campaign_distances(
         &f.net,
         &FaultModel::ProgrammingVariation { sigma },
@@ -95,8 +95,8 @@ fn ctp_detection_dominates_aet_at_small_sigma() {
     let f = fixture();
     let crit = SdcCriterion::SdcA { threshold: 0.03 };
     let rate = |set: &TestPatternSet| {
-        let mut golden = f.net.clone();
-        Detector::new(&mut golden, set.clone()).detection_rate(
+        let golden = f.net.clone();
+        Detector::new(&golden, set.clone()).detection_rate(
             &f.net,
             &FaultModel::ProgrammingVariation { sigma: 0.15 },
             16,
@@ -118,8 +118,8 @@ fn ctp_detection_dominates_aet_at_small_sigma() {
 fn proposed_methods_are_more_stable_than_aet() {
     let f = fixture();
     let cv = |set: &TestPatternSet| {
-        let mut golden = f.net.clone();
-        let detector = Detector::new(&mut golden, set.clone());
+        let golden = f.net.clone();
+        let detector = Detector::new(&golden, set.clone());
         let ds = detector.campaign_distances(
             &f.net,
             &FaultModel::ProgrammingVariation { sigma: 0.25 },
@@ -142,8 +142,8 @@ fn proposed_methods_are_more_stable_than_aet() {
 fn sdc5_saturates_at_moderate_sigma() {
     let f = fixture();
     for set in [&f.aet, &f.ctp] {
-        let mut golden = f.net.clone();
-        let rate = Detector::new(&mut golden, (*set).clone()).detection_rate(
+        let golden = f.net.clone();
+        let rate = Detector::new(&golden, (*set).clone()).detection_rate(
             &f.net,
             &FaultModel::ProgrammingVariation { sigma: 0.4 },
             12,
@@ -160,8 +160,8 @@ fn sdc5_saturates_at_moderate_sigma() {
 fn otp_estimate_stable_with_few_patterns() {
     let f = fixture();
     let std_with = |set: &TestPatternSet, k: usize| {
-        let mut golden = f.net.clone();
-        let detector = Detector::new(&mut golden, set.clone()).truncated(k);
+        let golden = f.net.clone();
+        let detector = Detector::new(&golden, set.clone()).truncated(k);
         let ds = detector.campaign_distances(
             &f.net,
             &FaultModel::ProgrammingVariation { sigma: 0.25 },

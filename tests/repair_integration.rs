@@ -72,16 +72,16 @@ fn remap_repair_reduces_confidence_distance() {
     let f = fixture();
     let mut golden = f.net.clone();
     let patterns = CtpGenerator::new(15).select(&mut golden, &f.test);
-    let detector = Detector::new(&mut golden, patterns);
+    let detector = Detector::new(&golden, patterns);
 
     let w0 = layer_weights(&f.net);
     let defects = DefectMap::sample_for_matrix(&w0, 0.01, &mut SeededRng::new(3));
-    let mut damaged = with_layer(&f.net, &defects.apply(&w0));
-    let d_damaged = detector.confidence_distance(&mut damaged).all_classes;
+    let damaged = with_layer(&f.net, &defects.apply(&w0));
+    let d_damaged = detector.confidence_distance(&damaged).all_classes;
 
     let repair = remap_rows(&w0, &defects);
-    let mut repaired = with_layer(&f.net, &repair.repaired_weights);
-    let d_repaired = detector.confidence_distance(&mut repaired).all_classes;
+    let repaired = with_layer(&f.net, &repair.repaired_weights);
+    let d_repaired = detector.confidence_distance(&repaired).all_classes;
     assert!(
         d_repaired < d_damaged,
         "remap must reduce distance: {d_damaged} -> {d_repaired}"
@@ -93,7 +93,7 @@ fn retraining_restores_detector_health() {
     let f = fixture();
     let mut golden = f.net.clone();
     let patterns = CtpGenerator::new(15).select(&mut golden, &f.test);
-    let detector = Detector::new(&mut golden, patterns);
+    let detector = Detector::new(&golden, patterns);
     let crit = SdcCriterion::SdcT { threshold: 0.05 };
 
     let w0 = layer_weights(&f.net);
@@ -101,7 +101,7 @@ fn retraining_restores_detector_health() {
     let mut damaged = with_layer(&f.net, &defects.apply(&w0));
     let damaged_acc = accuracy(&mut damaged, &f.test.images, &f.test.labels, 64);
     assert!(
-        detector.is_faulty(&mut damaged, crit),
+        detector.is_faulty(&damaged, crit),
         "the damaged device should be flagged before repair"
     );
 
