@@ -122,14 +122,14 @@ pub fn train_or_load(benchmark: Benchmark) -> TrainedBenchmark {
                     &data.test.labels,
                     64,
                 );
-                eprintln!("[harness] loaded cached {} (test acc {:.2}%)", benchmark.label(), acc * 100.0);
+                healthmon_telemetry::log_info!("[harness] loaded cached {} (test acc {:.2}%)", benchmark.label(), acc * 100.0);
                 return TrainedBenchmark { benchmark, model, data, test_accuracy: acc };
             }
-            Err(e) => eprintln!("[harness] cache at {} unusable ({e}); retraining", cache.display()),
+            Err(e) => healthmon_telemetry::log_info!("[harness] cache at {} unusable ({e}); retraining", cache.display()),
         }
     }
     let (lr, config) = benchmark.train_config();
-    eprintln!("[harness] training {} ...", benchmark.label());
+    healthmon_telemetry::log_info!("[harness] training {} ...", benchmark.label());
     let started = Instant::now();
     let report = Trainer::new(&mut model, Sgd::new(lr).momentum(0.9), config).fit(
         &data.train.images,
@@ -137,7 +137,7 @@ pub fn train_or_load(benchmark: Benchmark) -> TrainedBenchmark {
         Some((&data.test.images, &data.test.labels)),
     );
     let acc = report.test_accuracy.expect("test set was provided");
-    eprintln!(
+    healthmon_telemetry::log_info!(
         "[harness] trained {} in {:.1}s, test acc {:.2}%",
         benchmark.label(),
         started.elapsed().as_secs_f32(),
@@ -309,7 +309,7 @@ pub fn pattern_suite(trained: &mut TrainedBenchmark) -> PatternSuite {
     let (otp, otp10) = match otp_sets {
         [Some(a), Some(b)] => (a, b),
         _ => {
-            eprintln!("[harness] generating O-TP patterns for {} ...", benchmark.label());
+            healthmon_telemetry::log_info!("[harness] generating O-TP patterns for {} ...", benchmark.label());
             let started = Instant::now();
             let reference = FaultCampaign::new(&trained.model, PATTERN_SEED)
                 .model(&benchmark.otp_reference_fault(), 0);
@@ -323,7 +323,7 @@ pub fn pattern_suite(trained: &mut TrainedBenchmark) -> PatternSuite {
             let (otp10, _) = OtpGenerator::new()
                 .max_iters(benchmark.otp_iters())
                 .generate(&trained.model, &reference, &mut gen_rng10);
-            eprintln!(
+            healthmon_telemetry::log_info!(
                 "[harness] O-TP done in {:.1}s ({converged}/{} fully converged)",
                 started.elapsed().as_secs_f32(),
                 outcomes.len()
@@ -360,7 +360,7 @@ pub fn emit(name: &str, content: &str) {
     println!("{content}");
     let path = artifact_dir().join(format!("{name}.txt"));
     std::fs::write(&path, content).expect("artifact directory must be writable");
-    eprintln!("[harness] wrote {}", path.display());
+    healthmon_telemetry::log_info!("[harness] wrote {}", path.display());
 }
 
 #[cfg(test)]

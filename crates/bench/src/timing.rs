@@ -84,7 +84,7 @@ pub fn write_json_report() {
     }
     out.push_str("]\n");
     if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("warning: could not write bench report to {path}: {e}");
+        healthmon_telemetry::log_warn!("warning: could not write bench report to {path}: {e}");
     }
 }
 

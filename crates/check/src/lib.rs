@@ -116,7 +116,9 @@ pub fn run_cases(cases: usize, mut property: impl FnMut(&mut Gen)) {
             property(&mut gen);
         }));
         if let Err(panic) = outcome {
-            eprintln!("property failed at case {case} of {cases}; rerun with run_case({case}, ..)");
+            healthmon_telemetry::log_warn!(
+                "property failed at case {case} of {cases}; rerun with run_case({case}, ..)"
+            );
             resume_unwind(panic);
         }
     }

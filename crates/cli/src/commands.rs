@@ -13,6 +13,7 @@ use healthmon_nn::optim::Sgd;
 use healthmon_nn::trainer::accuracy;
 use healthmon_nn::{Network, TrainConfig, Trainer};
 use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
 use std::process::ExitCode;
 
 /// Usage text printed on argument errors.
@@ -25,12 +26,15 @@ pub const USAGE: &str = "usage:
                      [--count N] [--seed N]
   healthmon check    --arch <A> --model <golden.json> --target <device.json> --patterns <patterns.json>
                      [--threshold F] [--backend <digital|analog|bitsliced>]
+                     [--trace true] [--metrics <out.jsonl>]
                      exit 0 = healthy, 2 = faulty
   healthmon campaign --arch <A> --model <model.json> --fault <spec>
                      [--patterns <patterns.json>] [--count N] [--seed N]
                      [--threshold F] [--backend <digital|analog|bitsliced>]
+                     [--trace true] [--metrics <out.jsonl>]
   healthmon deploy   --arch <A> --model <model.json>
                      [--seed N] [--probes N] [--backend <analog|bitsliced>]
+                     [--trace true] [--metrics <out.jsonl>]
   healthmon accuracy --arch <A> --model <model.json> [--seed N]
   healthmon lifetime --arch <A> --model <model.json>
                      [--epochs N] [--seed N] [--count N] [--patterns <patterns.json>]
@@ -38,7 +42,15 @@ pub const USAGE: &str = "usage:
                      [--watch F] [--critical F] [--budget N] [--train-size N]
                      [--checkpoint <cp.json>] [--stop-after N] [--report <out.txt>]
                      [--backend <digital|analog|bitsliced>] (--checkpoint needs digital)
-                     exit 0 = lifetime completed, 2 = parked in critical";
+                     [--trace true] [--metrics <out.jsonl>]
+                     exit 0 = lifetime completed, 2 = parked in critical
+  healthmon metrics  --file <metrics.jsonl> [--stable-only true] [--format <summary|jsonl|prometheus>]
+                     validates a telemetry dump; --stable-only keeps only
+                     thread-count-invariant series (for byte comparison)
+
+  Setting HEALTHMON_TRACE=1 enables telemetry recording for check,
+  campaign, deploy and lifetime without any flags; the span/metric report
+  goes to stderr, so stdout stays byte-identical to a telemetry-off run.";
 
 /// Dispatches a parsed command line. Returns the process exit code.
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
@@ -52,6 +64,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "deploy" => cmd_deploy(&args),
         "accuracy" => cmd_accuracy(&args),
         "lifetime" => cmd_lifetime(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -127,6 +140,38 @@ fn parse_fault(spec: &str) -> Result<FaultModel, String> {
             "unknown fault `{spec}` (pv:<sigma> | soft:<p> | stuck:<sa0>,<sa1> | drift:<nu>,<t>)"
         )),
     }
+}
+
+/// Resolves the telemetry switches shared by the instrumented
+/// subcommands: recording turns on when `--trace true` or `--metrics` is
+/// given, and otherwise follows the `HEALTHMON_TRACE` environment
+/// variable. Returns the `--metrics` output path, if any.
+fn telemetry_setup(args: &ParsedArgs) -> Result<Option<String>, String> {
+    let trace: bool = args.get_or("trace", false)?;
+    let metrics = args.get("metrics").map(str::to_owned);
+    if trace || metrics.is_some() {
+        tel::set_enabled(true);
+    } else {
+        tel::init_from_env();
+    }
+    Ok(metrics)
+}
+
+/// Flushes telemetry at the end of an instrumented subcommand: writes
+/// the JSON-lines dump to the `--metrics` path when given, and prints
+/// the human-readable report to *stderr* — stdout stays byte-identical
+/// to a telemetry-off run.
+fn telemetry_finish(metrics: Option<&str>) -> Result<(), String> {
+    if !tel::enabled() {
+        return Ok(());
+    }
+    let snapshot = tel::snapshot();
+    if let Some(path) = metrics {
+        std::fs::write(path, tel::render_jsonl(&snapshot))
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    eprint!("{}", tel::render_report(&snapshot));
+    Ok(())
 }
 
 /// Resolves `--backend` into a full [`BackendSpec`] (default geometry;
@@ -223,7 +268,10 @@ fn cmd_generate(args: &ParsedArgs) -> Result<ExitCode, String> {
 }
 
 fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
-    args.expect_only(&["arch", "model", "target", "patterns", "threshold", "seed", "backend"])?;
+    args.expect_only(&[
+        "arch", "model", "target", "patterns", "threshold", "seed", "backend", "trace", "metrics",
+    ])?;
+    let metrics = telemetry_setup(args)?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
     let target = args.required("target")?;
@@ -246,13 +294,15 @@ fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
         "confidence distance: all-class {:.4}, top-ranked {:.4} (threshold {threshold})",
         distance.all_classes, distance.top_ranked
     );
-    if faulty {
+    let code = if faulty {
         println!("verdict: FAULTY");
-        Ok(ExitCode::from(2))
+        ExitCode::from(2)
     } else {
         println!("verdict: healthy");
-        Ok(ExitCode::SUCCESS)
-    }
+        ExitCode::SUCCESS
+    };
+    telemetry_finish(metrics.as_deref())?;
+    Ok(code)
 }
 
 /// Runs a statistical fault-injection campaign and prints the detection
@@ -260,8 +310,10 @@ fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// digital path is byte-identical to `Detector::detection_rates`).
 fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
     args.expect_only(&[
-        "arch", "model", "patterns", "fault", "count", "seed", "threshold", "backend",
+        "arch", "model", "patterns", "fault", "count", "seed", "threshold", "backend", "trace",
+        "metrics",
     ])?;
+    let metrics = telemetry_setup(args)?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
     let fault = parse_fault(args.required("fault")?)?;
@@ -289,6 +341,7 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
     println!("campaign: {count} faulty models, {} patterns", detector.patterns().len());
     println!("detection rate SDC-A (threshold {threshold}): {:.4}", rates[0]);
     println!("detection rate SDC-T (threshold {threshold}): {:.4}", rates[1]);
+    telemetry_finish(metrics.as_deref())?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -296,7 +349,8 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// profile: per-layer tiles, area utilization, ADC range usage, mapping
 /// error, and the digital-vs-analog logit divergence over a probe batch.
 fn cmd_deploy(args: &ParsedArgs) -> Result<ExitCode, String> {
-    args.expect_only(&["arch", "model", "seed", "probes", "backend"])?;
+    args.expect_only(&["arch", "model", "seed", "probes", "backend", "trace", "metrics"])?;
+    let metrics = telemetry_setup(args)?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
     let seed: u64 = args.get_or("seed", 2020)?;
@@ -349,6 +403,7 @@ fn cmd_deploy(args: &ParsedArgs) -> Result<ExitCode, String> {
         Some(d) => println!("logit divergence vs digital ({probes} probes): {d:.6}"),
         None => println!("logit divergence vs digital: not profiled"),
     }
+    telemetry_finish(metrics.as_deref())?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -380,7 +435,10 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
         "stop-after",
         "report",
         "backend",
+        "trace",
+        "metrics",
     ])?;
+    let metrics = telemetry_setup(args)?;
     let arch = args.required("arch")?;
     let model = args.required("model")?;
     let epochs: usize = args.get_or("epochs", 12)?;
@@ -464,6 +522,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
             runtime.config().epochs,
             runtime.state().label()
         );
+        telemetry_finish(metrics.as_deref())?;
         return Ok(ExitCode::SUCCESS);
     }
     let report = runtime.render_report();
@@ -471,11 +530,50 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
     if let Some(path) = args.get("report") {
         std::fs::write(path, &report).map_err(|e| format!("writing `{path}`: {e}"))?;
     }
+    telemetry_finish(metrics.as_deref())?;
     if runtime.is_parked() {
         Ok(ExitCode::from(2))
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// Validates a telemetry JSONL dump produced with `--metrics`: parses
+/// every line, then prints a one-line summary, the filtered JSONL, or a
+/// Prometheus-style exposition. `--stable-only true` keeps only the
+/// series tagged thread-count-invariant (and drops spans/events, which
+/// carry wall-clock timings) so two dumps from runs at different
+/// `HEALTHMON_THREADS` settings can be byte-compared.
+fn cmd_metrics(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["file", "stable-only", "format"])?;
+    let path = args.required("file")?;
+    let stable_only: bool = args.get_or("stable-only", false)?;
+    let format = args.get("format").unwrap_or("summary");
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let mut snapshot = tel::parse_jsonl(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    if stable_only {
+        snapshot.counters.retain(|c| c.stable);
+        snapshot.gauges.retain(|g| g.stable);
+        snapshot.histograms.retain(|h| h.stable);
+        snapshot.spans.clear();
+        snapshot.events.clear();
+    }
+    match format {
+        "summary" => println!(
+            "{path}: {} counters, {} gauges, {} histograms, {} spans, {} events{}",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len(),
+            snapshot.spans.len(),
+            snapshot.events.len(),
+            if stable_only { " (stable only)" } else { "" }
+        ),
+        "jsonl" => print!("{}", tel::render_jsonl(&snapshot)),
+        "prometheus" => print!("{}", tel::render_prometheus(&snapshot)),
+        other => return Err(format!("unknown format `{other}` (summary|jsonl|prometheus)")),
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_accuracy(args: &ParsedArgs) -> Result<ExitCode, String> {

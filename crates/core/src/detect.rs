@@ -10,6 +10,57 @@ use healthmon_faults::{par_map_indices, par_map_models, FaultModel};
 use healthmon_nn::{InferenceBackend, Network};
 use healthmon_reram::{BackendKind, BackendSpec};
 use healthmon_tensor::SeededRng;
+use healthmon_telemetry as tel;
+
+// Every campaign work item is a pure function of (golden weights, seed,
+// fault, index), so all detector tallies are Stable: aggregates are
+// bit-identical at any HEALTHMON_THREADS setting.
+static RESPONSES_EVALUATED: tel::Counter =
+    tel::Counter::new("detect.responses", tel::Stability::Stable);
+static VERDICTS_FAULTY: tel::Counter =
+    tel::Counter::new("detect.verdict.faulty", tel::Stability::Stable);
+static VERDICTS_HEALTHY: tel::Counter =
+    tel::Counter::new("detect.verdict.healthy", tel::Stability::Stable);
+static CRIT_SDC1_CHECKED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdc1.checked", tel::Stability::Stable);
+static CRIT_SDC1_DETECTED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdc1.detected", tel::Stability::Stable);
+static CRIT_SDC5_CHECKED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdc5.checked", tel::Stability::Stable);
+static CRIT_SDC5_DETECTED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdc5.detected", tel::Stability::Stable);
+static CRIT_SDCT_CHECKED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdct.checked", tel::Stability::Stable);
+static CRIT_SDCT_DETECTED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdct.detected", tel::Stability::Stable);
+static CRIT_SDCA_CHECKED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdca.checked", tel::Stability::Stable);
+static CRIT_SDCA_DETECTED: tel::Counter =
+    tel::Counter::new("detect.criterion.sdca.detected", tel::Stability::Stable);
+
+/// The `(checked, detected)` progress counters for a criterion kind.
+fn criterion_counters(c: &SdcCriterion) -> (&'static tel::Counter, &'static tel::Counter) {
+    match c {
+        SdcCriterion::Sdc1 => (&CRIT_SDC1_CHECKED, &CRIT_SDC1_DETECTED),
+        SdcCriterion::Sdc5 => (&CRIT_SDC5_CHECKED, &CRIT_SDC5_DETECTED),
+        SdcCriterion::SdcT { .. } => (&CRIT_SDCT_CHECKED, &CRIT_SDCT_DETECTED),
+        SdcCriterion::SdcA { .. } => (&CRIT_SDCA_CHECKED, &CRIT_SDCA_DETECTED),
+    }
+}
+
+/// Records per-criterion detection progress after a campaign's verdict
+/// merge. Runs post-merge on the calling thread, so tallies are
+/// independent of how the sweep was scheduled.
+fn tally_verdicts(criteria: &[SdcCriterion], verdicts: &[Vec<bool>]) {
+    if !tel::enabled() {
+        return;
+    }
+    for (ci, criterion) in criteria.iter().enumerate() {
+        let (checked, detected) = criterion_counters(criterion);
+        checked.add(verdicts.len() as u64);
+        detected.add(verdicts.iter().filter(|v| v[ci]).count() as u64);
+    }
+}
 
 /// Domain separator for the per-fault-model backend programming streams
 /// of [`Detector::detection_rates_with`]: keeps conductance-programming
@@ -86,6 +137,7 @@ impl Detector {
     /// target can be a plain digital [`Network`] or any live analog
     /// backend (`AnalogBackend`, `BitSlicedBackend`, ...).
     pub fn responses<B: InferenceBackend + ?Sized>(&self, target: &B) -> ResponseSet {
+        RESPONSES_EVALUATED.inc();
         ResponseSet::from_logits(self.patterns.logits(target))
     }
 
@@ -103,7 +155,13 @@ impl Detector {
         target: &B,
         criterion: SdcCriterion,
     ) -> bool {
-        criterion.detects(&self.golden, &self.responses(target))
+        let faulty = criterion.detects(&self.golden, &self.responses(target));
+        if faulty {
+            VERDICTS_FAULTY.inc();
+        } else {
+            VERDICTS_HEALTHY.inc();
+        }
+        faulty
     }
 
     /// Detection rate over a fault campaign: the fraction of `count` fault
@@ -135,6 +193,7 @@ impl Detector {
         if count == 0 {
             return vec![0.0; criteria.len()];
         }
+        let _campaign = tel::span("detect.campaign");
         let verdicts: Vec<Vec<bool>> =
             par_map_models(golden_net, fault, seed, count, |_, net| {
                 let responses = self.responses(&*net);
@@ -143,6 +202,7 @@ impl Detector {
                     .map(|c| c.detects(&self.golden, &responses))
                     .collect()
             });
+        tally_verdicts(criteria, &verdicts);
         (0..criteria.len())
             .map(|ci| {
                 verdicts.iter().filter(|v| v[ci]).count() as f32 / count as f32
@@ -177,6 +237,7 @@ impl Detector {
         if count == 0 {
             return vec![0.0; criteria.len()];
         }
+        let _campaign = tel::span("detect.campaign");
         let verdicts: Vec<Vec<bool>> =
             par_map_models(golden_net, fault, seed, count, |i, net| {
                 let mut program_rng = SeededRng::new(seed ^ BACKEND_SALT).fork(i as u64);
@@ -187,6 +248,7 @@ impl Detector {
                     .map(|c| c.detects(&self.golden, &responses))
                     .collect()
             });
+        tally_verdicts(criteria, &verdicts);
         (0..criteria.len())
             .map(|ci| {
                 verdicts.iter().filter(|v| v[ci]).count() as f32 / count as f32
@@ -222,6 +284,7 @@ impl Detector {
         if let Some(limit) = budget {
             todo.truncate(limit);
         }
+        let _campaign = tel::span("detect.campaign");
         let verdicts: Vec<Vec<bool>> =
             par_map_indices(golden_net, fault, checkpoint.seed(), &todo, |_, net| {
                 let responses = self.responses(&*net);
@@ -230,6 +293,7 @@ impl Detector {
                     .map(|c| c.detects(&self.golden, &responses))
                     .collect()
             });
+        tally_verdicts(criteria, &verdicts);
         for (i, row) in todo.into_iter().zip(verdicts) {
             checkpoint.record(i, row)?;
         }

@@ -25,6 +25,14 @@ use crate::detect::Detector;
 use healthmon_nn::{InferenceBackend, Network};
 use healthmon_repair::{DefectMap, StuckCell};
 use healthmon_tensor::Tensor;
+use healthmon_telemetry as tel;
+
+// One localization pass probes one substitution per mapped layer; both
+// counts follow the device's layer structure deterministically (Stable).
+static DIAGNOSE_RUNS: tel::Counter =
+    tel::Counter::new("diagnose.runs", tel::Stability::Stable);
+static DIAGNOSE_PROBES: tel::Counter =
+    tel::Counter::new("diagnose.probes", tel::Stability::Stable);
 
 /// One layer's entry in a [`Diagnosis`] ranking.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +94,8 @@ pub fn diagnose<B: InferenceBackend + ?Sized>(
     golden: &Network,
     device: &B,
 ) -> Diagnosis {
+    DIAGNOSE_RUNS.inc();
+    let _span = tel::span("diagnose");
     // Containment probe: does the device even produce finite activations?
     let poisoned_layer = device
         .infer_checked(detector.patterns().images())
@@ -113,6 +123,7 @@ pub fn diagnose<B: InferenceBackend + ?Sized>(
             }
         });
         assert!(replaced, "device parameter `{key}` missing from the golden model");
+        DIAGNOSE_PROBES.inc();
         let distance = detector.confidence_distance(&probe);
         ranking.push(LayerDiagnosis { key: key.clone(), distance });
     }

@@ -13,6 +13,18 @@ use crate::detect::Detector;
 use crate::error::HealthmonError;
 use healthmon_nn::InferenceBackend;
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
+use healthmon_telemetry as tel;
+
+// Checkup verdicts follow the deterministic device/checkup sequence, so
+// every monitor tally is Stable.
+static MONITOR_CHECKS: tel::Counter =
+    tel::Counter::new("monitor.checks", tel::Stability::Stable);
+static MONITOR_HEALTHY: tel::Counter =
+    tel::Counter::new("monitor.state.healthy", tel::Stability::Stable);
+static MONITOR_WATCH: tel::Counter =
+    tel::Counter::new("monitor.state.watch", tel::Stability::Stable);
+static MONITOR_CRITICAL: tel::Counter =
+    tel::Counter::new("monitor.state.critical", tel::Stability::Stable);
 
 /// Triage verdict for a monitored accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -240,11 +252,18 @@ impl HealthMonitor {
     /// digital network or any live analog backend — and updates the state
     /// machine.
     pub fn check<B: InferenceBackend + ?Sized>(&mut self, accelerator: &B) -> Checkup {
+        let _span = tel::span("monitor.check");
         let distance = self.detector.confidence_distance(accelerator);
         let observed = self.policy.raw_state(distance.all_classes);
         self.transition(observed, distance.is_poisoned());
         let checkup = Checkup { index: self.history.len(), distance, state: self.current };
         self.history.push(checkup);
+        MONITOR_CHECKS.inc();
+        match checkup.state {
+            HealthState::Healthy => MONITOR_HEALTHY.inc(),
+            HealthState::Watch => MONITOR_WATCH.inc(),
+            HealthState::Critical => MONITOR_CRITICAL.inc(),
+        }
         checkup
     }
 

@@ -2,6 +2,16 @@
 
 use healthmon_nn::InferenceBackend;
 use healthmon_tensor::Tensor;
+use healthmon_telemetry as tel;
+
+// Pattern evaluations are counted per batched forward pass; both tallies
+// are pure functions of the call sequence (Stable).
+static LOGITS_BATCHES: tel::Counter =
+    tel::Counter::new("patterns.logits.batches", tel::Stability::Stable);
+static LOGITS_PATTERNS: tel::Counter =
+    tel::Counter::new("patterns.logits.patterns", tel::Stability::Stable);
+static LOGITS_BATCH_ROWS: tel::Histogram =
+    tel::Histogram::new("patterns.logits.batch_rows", tel::Stability::Stable);
 
 /// A named set of test patterns (images) shaped for a particular network.
 ///
@@ -113,6 +123,9 @@ impl TestPatternSet {
     ///
     /// Panics if the pattern shape does not match the network input shape.
     pub fn logits<B: InferenceBackend + ?Sized>(&self, net: &B) -> Tensor {
+        LOGITS_BATCHES.inc();
+        LOGITS_PATTERNS.add(self.len() as u64);
+        LOGITS_BATCH_ROWS.record(self.len() as u64);
         net.infer(&self.images)
     }
 }

@@ -51,7 +51,46 @@ use healthmon_reram::{
 };
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// The lifetime is a pure function of (config, golden, patterns), so the
+// event-stream tallies are Stable; only the wall-clock histogram is
+// scheduling-dependent.
+static EV_DEPLOYED: tel::Counter =
+    tel::Counter::new("lifetime.events.deployed", tel::Stability::Stable);
+static EV_AGED: tel::Counter =
+    tel::Counter::new("lifetime.events.aged", tel::Stability::Stable);
+static EV_CHECKUP: tel::Counter =
+    tel::Counter::new("lifetime.events.checkup", tel::Stability::Stable);
+static EV_DIAGNOSED: tel::Counter =
+    tel::Counter::new("lifetime.events.diagnosed", tel::Stability::Stable);
+static EV_REPAIR: tel::Counter =
+    tel::Counter::new("lifetime.events.repair", tel::Stability::Stable);
+static EV_DEGRADED: tel::Counter =
+    tel::Counter::new("lifetime.events.degraded", tel::Stability::Stable);
+static EV_BACKOFF: tel::Counter =
+    tel::Counter::new("lifetime.events.backoff", tel::Stability::Stable);
+static EV_PARKED: tel::Counter =
+    tel::Counter::new("lifetime.events.parked", tel::Stability::Stable);
+static REPAIRS_SUCCEEDED: tel::Counter =
+    tel::Counter::new("lifetime.repairs.succeeded", tel::Stability::Stable);
+static EPOCH_NS: tel::Histogram =
+    tel::Histogram::new("lifetime.epoch_ns", tel::Stability::Volatile);
+
+/// The per-kind tally behind the unified [`LifetimeEvent`] stream.
+fn event_counter(kind: &str) -> &'static tel::Counter {
+    match kind {
+        "deployed" => &EV_DEPLOYED,
+        "aged" => &EV_AGED,
+        "checkup" => &EV_CHECKUP,
+        "diagnosed" => &EV_DIAGNOSED,
+        "repair" => &EV_REPAIR,
+        "degraded" => &EV_DEGRADED,
+        "backoff" => &EV_BACKOFF,
+        _ => &EV_PARKED,
+    }
+}
 
 /// Salt for the reprogram-repair RNG streams, so they never collide with
 /// the deploy stream (`fork(0)`) or the per-epoch aging streams
@@ -736,9 +775,9 @@ impl LifetimeRuntime {
             events: Vec::new(),
             incident: None,
         };
-        runtime.events.push(LifetimeEvent::Deployed { tiles, mapping_error_l1 });
+        runtime.push_event(LifetimeEvent::Deployed { tiles, mapping_error_l1 });
         let baseline = runtime.run_checkup();
-        runtime.events.push(LifetimeEvent::CheckupDone {
+        runtime.push_event(LifetimeEvent::CheckupDone {
             epoch: 0,
             distance: baseline.distance,
             state: baseline.state,
@@ -848,7 +887,12 @@ impl LifetimeRuntime {
     pub fn step(&mut self) -> HealthState {
         assert!(!self.is_finished(), "lifetime runtime already finished");
         let epoch = self.epoch + 1;
+        let _epoch_span = tel::span("lifetime.epoch");
+        let t0 = tel::enabled().then(std::time::Instant::now);
         let outcome = catch_unwind(AssertUnwindSafe(|| self.epoch_body(epoch)));
+        if let Some(t0) = t0 {
+            EPOCH_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         self.epoch = epoch;
         if let Err(payload) = outcome {
             let message = panic_message(payload);
@@ -857,8 +901,24 @@ impl LifetimeRuntime {
         self.state()
     }
 
+    /// The single choke point of the lifetime event stream: appends to
+    /// the in-memory log and, when telemetry is recording, mirrors the
+    /// event into the per-kind counters and the ring-buffer recorder —
+    /// repair-ladder transitions and epoch milestones land in one stream.
+    fn push_event(&mut self, event: LifetimeEvent) {
+        if tel::enabled() {
+            event_counter(event.kind()).inc();
+            if matches!(&event, LifetimeEvent::RepairAttempted { success: true, .. }) {
+                REPAIRS_SUCCEEDED.inc();
+            }
+            tel::record_event("lifetime.event", event.describe());
+        }
+        self.events.push(event);
+    }
+
     /// Runs one concurrent-test checkup against the live device state.
     fn run_checkup(&mut self) -> Checkup {
+        let _span = tel::span("lifetime.checkup");
         match &self.device {
             DeviceState::Digital(net) => self.monitor.check(net),
             DeviceState::Analog(b) => self.monitor.check(b),
@@ -869,7 +929,7 @@ impl LifetimeRuntime {
     fn epoch_body(&mut self, epoch: usize) {
         self.age(epoch);
         let checkup = self.run_checkup();
-        self.events.push(LifetimeEvent::CheckupDone {
+        self.push_event(LifetimeEvent::CheckupDone {
             epoch,
             distance: checkup.distance,
             state: checkup.state,
@@ -927,7 +987,7 @@ impl LifetimeRuntime {
             }
         }
         self.clamp_defects();
-        self.events.push(LifetimeEvent::Aged {
+        self.push_event(LifetimeEvent::Aged {
             epoch,
             new_stuck,
             total_stuck: self.total_stuck(),
@@ -978,14 +1038,14 @@ impl LifetimeRuntime {
     /// failure schedules an exponential backoff; exhausting the lifetime
     /// budget parks the runtime.
     fn repair_session(&mut self, epoch: usize) {
+        let _span = tel::span("lifetime.repair_session");
         let diagnosis = match &self.device {
             DeviceState::Digital(net) => diagnose(self.monitor.detector(), &self.golden, net),
             DeviceState::Analog(b) => diagnose(self.monitor.detector(), &self.golden, b),
             DeviceState::BitSliced(b) => diagnose(self.monitor.detector(), &self.golden, b),
         };
         if let Some(prime) = diagnosis.prime_suspect() {
-            self.events
-                .push(LifetimeEvent::Diagnosed { epoch, suspect: prime.key.clone() });
+            self.push_event(LifetimeEvent::Diagnosed { epoch, suspect: prime.key.clone() });
         }
         let ladder = [
             RepairAction::Reprogram,
@@ -1018,7 +1078,7 @@ impl LifetimeRuntime {
             }
             let checkup = self.run_checkup();
             let success = checkup.state < self.config.trigger;
-            self.events.push(LifetimeEvent::RepairAttempted {
+            self.push_event(LifetimeEvent::RepairAttempted {
                 epoch,
                 attempt: self.repairs_used,
                 action,
@@ -1041,8 +1101,7 @@ impl LifetimeRuntime {
             let shift = (self.failed_sessions - 1).min(8) as u32;
             let backoff = self.config.backoff_epochs << shift;
             self.next_repair_epoch = epoch + backoff;
-            self.events
-                .push(LifetimeEvent::Backoff { epoch, until_epoch: self.next_repair_epoch });
+            self.push_event(LifetimeEvent::Backoff { epoch, until_epoch: self.next_repair_epoch });
         }
     }
 
@@ -1208,7 +1267,7 @@ impl LifetimeRuntime {
         let detector =
             self.full_detector.subset(k).expect("degradation stays within 1..=len");
         self.monitor.set_detector(detector);
-        self.events.push(LifetimeEvent::Degraded { epoch, patterns: k });
+        self.push_event(LifetimeEvent::Degraded { epoch, patterns: k });
     }
 
     /// Parks the runtime in `Critical` with a structured incident report.
@@ -1219,7 +1278,7 @@ impl LifetimeRuntime {
             .last()
             .map(|c| c.distance)
             .unwrap_or(ConfidenceDistance::POISONED);
-        self.events.push(LifetimeEvent::Parked { epoch, reason: reason.clone() });
+        self.push_event(LifetimeEvent::Parked { epoch, reason: reason.clone() });
         self.incident = Some(IncidentReport {
             epoch,
             reason,

@@ -10,6 +10,11 @@
 //! from a checkpoint produces bit-identical arrivals.
 
 use healthmon_tensor::SeededRng;
+use healthmon_telemetry as tel;
+
+// Arrivals are pure functions of the RNG stream (Stable).
+static ARRIVALS_SAMPLED: tel::Counter =
+    tel::Counter::new("faults.arrivals.cells", tel::Stability::Stable);
 
 /// One newly-arrived permanent cell defect in a `[rows, cols]` matrix.
 ///
@@ -82,6 +87,7 @@ pub fn sample_cell_arrivals(
 ) -> Vec<CellArrival> {
     assert!(rows > 0 && cols > 0, "arrival matrix must be non-empty, got {rows}x{cols}");
     let count = poisson_count(lambda, rng);
+    ARRIVALS_SAMPLED.add(count as u64);
     (0..count)
         .map(|_| CellArrival {
             row: rng.below(rows),

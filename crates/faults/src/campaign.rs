@@ -9,9 +9,19 @@
 use crate::FaultModel;
 use healthmon_nn::Network;
 use healthmon_tensor::{pool, SeededRng};
+use healthmon_telemetry as tel;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// Sweep shape (how many models were evaluated) is part of the campaign
+// spec, so these are Stable regardless of how chunks land on threads.
+static CAMPAIGN_SWEEPS: tel::Counter =
+    tel::Counter::new("campaign.sweeps", tel::Stability::Stable);
+static CAMPAIGN_MODELS: tel::Counter =
+    tel::Counter::new("campaign.models_evaluated", tel::Stability::Stable);
+static CAMPAIGN_PANICS: tel::Counter =
+    tel::Counter::new("campaign.contained_panics", tel::Stability::Stable);
 
 /// A generator of faulty copies of a golden network.
 ///
@@ -115,6 +125,9 @@ where
     if results.is_empty() {
         return Vec::new();
     }
+    CAMPAIGN_SWEEPS.inc();
+    CAMPAIGN_MODELS.add(indices.len() as u64);
+    let _sweep_span = tel::span("campaign.sweep");
     let chunk = indices.len().div_ceil(threads);
     pool::run_chunks(&mut results, chunk, |ci, slots| {
         let idx_chunk = &indices[ci * chunk..ci * chunk + slots.len()];
@@ -229,6 +242,7 @@ where
         match outcome {
             Ok(v) => results.push(v),
             Err(payload) => {
+                CAMPAIGN_PANICS.inc();
                 let message = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())

@@ -3,6 +3,17 @@
 use healthmon_nn::Network;
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{fastmath, SeededRng, Tensor};
+use healthmon_telemetry as tel;
+
+// Fault application counts are functions of (model, seed, index) only —
+// RNG streams are per-index, never per-thread — so they are Stable.
+static PV_APPLIED: tel::Counter = tel::Counter::new("faults.pv.applied", tel::Stability::Stable);
+static SOFT_ERROR_FLIPS: tel::Counter =
+    tel::Counter::new("faults.soft_error.flips", tel::Stability::Stable);
+static STUCK_AT_CELLS: tel::Counter =
+    tel::Counter::new("faults.stuck_at.cells", tel::Stability::Stable);
+static DRIFT_APPLIED: tel::Counter =
+    tel::Counter::new("faults.drift.applied", tel::Stability::Stable);
 
 /// A device-error model applied to a network's ReRAM-mapped weights.
 ///
@@ -82,8 +93,10 @@ impl FaultModel {
                         *w *= f;
                     }
                 });
+                PV_APPLIED.inc();
             }
             FaultModel::RandomSoftError { probability } => {
+                let mut flips = 0u64;
                 for_each_weight(net, |t| {
                     let m = max_abs(t);
                     if m == 0.0 {
@@ -92,22 +105,28 @@ impl FaultModel {
                     for w in t.as_mut_slice() {
                         if rng.chance(*probability) {
                             *w = rng.uniform(-m, m);
+                            flips += 1;
                         }
                     }
                 });
+                SOFT_ERROR_FLIPS.add(flips);
             }
             FaultModel::StuckAt { sa0, sa1 } => {
+                let mut stuck = 0u64;
                 for_each_weight(net, |t| {
                     let m = max_abs(t);
                     for w in t.as_mut_slice() {
                         let u = rng.unit() as f64;
                         if u < *sa0 {
                             *w = 0.0;
+                            stuck += 1;
                         } else if u < sa0 + sa1 {
                             *w = if *w >= 0.0 { m } else { -m };
+                            stuck += 1;
                         }
                     }
                 });
+                STUCK_AT_CELLS.add(stuck);
             }
             FaultModel::Drift { nu, time } => {
                 let mut rates = Vec::new();
@@ -118,6 +137,7 @@ impl FaultModel {
                         *w *= fastmath::exp(-z.abs() * time);
                     }
                 });
+                DRIFT_APPLIED.inc();
             }
             FaultModel::Compound(members) => {
                 for (i, member) in members.iter().enumerate() {

@@ -167,7 +167,9 @@ impl<'a, O: Optimizer> Trainer<'a, O> {
             let train_accuracy =
                 accuracy(self.net, &probe_images, &probe_labels, self.config.batch_size);
             if self.config.verbose {
-                eprintln!(
+                // Routed through the quiet-aware logger so a library
+                // crate never writes to a stream the host can't redirect.
+                healthmon_telemetry::log_info!(
                     "epoch {epoch}: loss {mean_loss:.4}, train acc {:.2}%",
                     train_accuracy * 100.0
                 );

@@ -3,7 +3,68 @@
 
 use crate::{CrossbarConfig, IrDropModel, Quantizer};
 use healthmon_tensor::{fastmath, SeededRng, Tensor};
+use healthmon_telemetry as tel;
 use std::sync::OnceLock;
+
+// Crossbar telemetry counts deterministic work items (programming, cache
+// traffic, converter clipping over bit-identical GEMM outputs), so all
+// metrics here are Stable: bit-identical at any HEALTHMON_THREADS.
+static XBAR_PROGRAMS: tel::Counter =
+    tel::Counter::new("reram.program.tiles", tel::Stability::Stable);
+static XBAR_PROGRAM_CELLS: tel::Counter =
+    tel::Counter::new("reram.program.cells", tel::Stability::Stable);
+static CACHE_LOOKUPS: tel::Counter =
+    tel::Counter::new("reram.cache.lookups", tel::Stability::Stable);
+static CACHE_BUILDS: tel::Counter =
+    tel::Counter::new("reram.cache.builds", tel::Stability::Stable);
+static CACHE_INVALIDATIONS: tel::Counter =
+    tel::Counter::new("reram.cache.invalidations", tel::Stability::Stable);
+static DAC_SAMPLES: tel::Counter = tel::Counter::new("reram.dac.samples", tel::Stability::Stable);
+static DAC_CLIPPED: tel::Counter = tel::Counter::new("reram.dac.clipped", tel::Stability::Stable);
+static DAC_SATURATION: tel::Gauge =
+    tel::Gauge::new("reram.dac.saturation_max", tel::Stability::Stable);
+static ADC_SAMPLES: tel::Counter = tel::Counter::new("reram.adc.samples", tel::Stability::Stable);
+static ADC_CLIPPED: tel::Counter = tel::Counter::new("reram.adc.clipped", tel::Stability::Stable);
+static ADC_SATURATION: tel::Gauge =
+    tel::Gauge::new("reram.adc.saturation_max", tel::Stability::Stable);
+static IR_DROP_APPLIED: tel::Counter =
+    tel::Counter::new("reram.ir_drop.applied", tel::Stability::Stable);
+static IR_DROP_MIN_FACTOR: tel::Gauge =
+    tel::Gauge::new("reram.ir_drop.attenuation_min", tel::Stability::Stable);
+static CELLS_STUCK: tel::Counter = tel::Counter::new("reram.cells.stuck", tel::Stability::Stable);
+static DISTURB_EVENTS: tel::Counter =
+    tel::Counter::new("reram.disturb.events", tel::Stability::Stable);
+static DRIFT_EVENTS: tel::Counter =
+    tel::Counter::new("reram.drift.events", tel::Stability::Stable);
+
+/// Records converter saturation stats for one quantization pass: how many
+/// samples fell outside `[-range, range]` (and were clamped by the
+/// quantizer) plus the worst |value|/range ratio seen. Callers pre-gate on
+/// [`tel::enabled`], so the scan never runs when telemetry is off.
+fn record_converter(
+    values: &[f32],
+    range: f32,
+    samples: &'static tel::Counter,
+    clipped: &'static tel::Counter,
+    saturation: &'static tel::Gauge,
+) {
+    let mut clip = 0u64;
+    let mut worst = 0.0f32;
+    for &v in values {
+        let a = v.abs();
+        if a > range {
+            clip += 1;
+        }
+        if a > worst {
+            worst = a;
+        }
+    }
+    samples.add(values.len() as u64);
+    clipped.add(clip);
+    if range > 0.0 {
+        saturation.set_max(f64::from(worst / range));
+    }
+}
 
 /// Rounds a positive normal float up to the next power of two (identity
 /// for exact powers of two). Used by the exact cell-storage mode: dividing
@@ -136,6 +197,8 @@ impl Crossbar {
                 *g = (*g * f).clamp(config.g_min, config.g_max);
             }
         }
+        XBAR_PROGRAMS.inc();
+        XBAR_PROGRAM_CELLS.add((rows * cols) as u64);
         Crossbar {
             config: *config,
             rows,
@@ -151,7 +214,9 @@ impl Crossbar {
     /// The effective weight matrix `(g_pos − g_neg) · scale`, computed on
     /// first use and cached until the next conductance mutation.
     fn diff(&self) -> &Tensor {
+        CACHE_LOOKUPS.inc();
         self.diff_cache.get_or_init(|| {
+            CACHE_BUILDS.inc();
             let s = self.scale;
             self.g_pos.zip_map(&self.g_neg, move |p, n| (p - n) * s)
         })
@@ -200,9 +265,25 @@ impl Crossbar {
     /// model — the position-dependent wire-resistance loss applied to the
     /// stored conductances (see [`IrDropModel::attenuate`]).
     pub fn apply_ir_drop(&mut self, model: &IrDropModel) {
+        let before = tel::enabled().then(|| self.g_pos.clone());
         self.g_pos = model.attenuate(&self.g_pos);
         self.g_neg = model.attenuate(&self.g_neg);
+        if let Some(before) = before {
+            IR_DROP_APPLIED.inc();
+            // Worst-case wire loss: the smallest surviving fraction of any
+            // (positive-path) conductance.
+            let mut min_factor = f64::INFINITY;
+            for (&b, &a) in before.as_slice().iter().zip(self.g_pos.as_slice()) {
+                if b > 0.0 {
+                    min_factor = min_factor.min(f64::from(a / b));
+                }
+            }
+            if min_factor.is_finite() {
+                IR_DROP_MIN_FACTOR.set_min(min_factor);
+            }
+        }
         self.diff_cache = OnceLock::new();
+        CACHE_INVALIDATIONS.inc();
     }
 
     /// Freezes one differential pair so it reads as the given
@@ -233,6 +314,8 @@ impl Crossbar {
         self.g_pos.as_mut_slice()[idx] = p;
         self.g_neg.as_mut_slice()[idx] = n;
         self.diff_cache = OnceLock::new();
+        CELLS_STUCK.inc();
+        CACHE_INVALIDATIONS.inc();
     }
 
     /// Analog matrix-vector product `wᵀ·x` realized on the tile:
@@ -284,6 +367,15 @@ impl Crossbar {
         // DAC: quantize voltages.
         let mut v = input.clone();
         if self.config.dac_bits > 0 {
+            if tel::enabled() {
+                record_converter(
+                    v.as_slice(),
+                    self.input_range,
+                    &DAC_SAMPLES,
+                    &DAC_CLIPPED,
+                    &DAC_SATURATION,
+                );
+            }
             let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
             q.quantize_slice(v.as_mut_slice());
         }
@@ -294,6 +386,15 @@ impl Crossbar {
         if self.config.adc_bits > 0 {
             // ADC full scale sized to the worst-case current of the tile.
             let full_scale = self.adc_full_scale();
+            if tel::enabled() {
+                record_converter(
+                    out.as_slice(),
+                    full_scale,
+                    &ADC_SAMPLES,
+                    &ADC_CLIPPED,
+                    &ADC_SATURATION,
+                );
+            }
             let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
             q.quantize_slice(out.as_mut_slice());
         }
@@ -312,6 +413,7 @@ impl Crossbar {
             CellFault::StuckLow => self.config.g_min,
             CellFault::StuckHigh => self.config.g_max,
         };
+        let mut stuck = 0u64;
         for g in self
             .g_pos
             .as_mut_slice()
@@ -320,9 +422,12 @@ impl Crossbar {
         {
             if rng.chance(fraction) {
                 *g = target;
+                stuck += 1;
             }
         }
+        CELLS_STUCK.add(stuck);
         self.diff_cache = OnceLock::new();
+        CACHE_INVALIDATIONS.inc();
     }
 
     /// Applies lognormal conductance disturbance to every cell,
@@ -346,7 +451,9 @@ impl Crossbar {
         {
             *g = (*g * f).clamp(lo, hi);
         }
+        DISTURB_EVENTS.inc();
         self.diff_cache = OnceLock::new();
+        CACHE_INVALIDATIONS.inc();
     }
 
     /// Applies deterministic conductance drift toward the high-resistance
@@ -370,7 +477,9 @@ impl Crossbar {
         {
             *g = lo + (*g - lo) * fastmath::exp(-z.abs() * time);
         }
+        DRIFT_EVENTS.inc();
         self.diff_cache = OnceLock::new();
+        CACHE_INVALIDATIONS.inc();
     }
 }
 

@@ -3,6 +3,18 @@
 
 use crate::{CellFault, Crossbar, CrossbarConfig, IrDropModel};
 use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
+
+// Tile mapping is a pure function of matrix shape and tile geometry, so
+// utilization counters are Stable. Utilization itself is derived at
+// report time as cells_used / cells_allocated.
+static TILES_MAPPED: tel::Counter = tel::Counter::new("reram.tile.mapped", tel::Stability::Stable);
+static TILE_CELLS_USED: tel::Counter =
+    tel::Counter::new("reram.tile.cells_used", tel::Stability::Stable);
+static TILE_CELLS_ALLOCATED: tel::Counter =
+    tel::Counter::new("reram.tile.cells_allocated", tel::Stability::Stable);
+static TILE_UTILIZATION_MIN: tel::Gauge =
+    tel::Gauge::new("reram.tile.utilization_min", tel::Stability::Stable);
 
 /// A weight matrix `[m, n]` partitioned across a grid of crossbar tiles.
 ///
@@ -59,6 +71,14 @@ impl TiledMatrix {
                     for c in c0..c1 {
                         *block.at_mut(&[r - r0, c - c0]) = weights.at(&[r, c]);
                     }
+                }
+                if tel::enabled() {
+                    let used = ((r1 - r0) * (c1 - c0)) as u64;
+                    let allocated = (config.rows * config.cols) as u64;
+                    TILES_MAPPED.inc();
+                    TILE_CELLS_USED.add(used);
+                    TILE_CELLS_ALLOCATED.add(allocated);
+                    TILE_UTILIZATION_MIN.set_min(used as f64 / allocated as f64);
                 }
                 tiles.push(Crossbar::program(&block, config, rng));
             }

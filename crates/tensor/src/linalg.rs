@@ -20,6 +20,20 @@
 
 use crate::pool;
 use crate::Tensor;
+use healthmon_telemetry as tel;
+
+// GEMM call and flop counts are per-work-item and thread-count-invariant
+// (Stable); the chosen fan-out and per-block kernel dispatch counts vary
+// with `HEALTHMON_THREADS` (Volatile).
+static GEMM_CALLS: tel::Counter = tel::Counter::new("gemm.calls", tel::Stability::Stable);
+static GEMM_FLOPS: tel::Counter = tel::Counter::new("gemm.flops", tel::Stability::Stable);
+static GEMM_THREADS: tel::Histogram =
+    tel::Histogram::new("gemm.threads", tel::Stability::Volatile);
+static GEMM_BLOCKS_AVX: tel::Counter =
+    tel::Counter::new("gemm.row_blocks.avx", tel::Stability::Volatile);
+static GEMM_BLOCKS_SCALAR: tel::Counter =
+    tel::Counter::new("gemm.row_blocks.scalar", tel::Stability::Volatile);
+static MATVEC_CALLS: tel::Counter = tel::Counter::new("gemm.matvec_calls", tel::Stability::Stable);
 
 /// Register-tile height: output rows carried per micro-kernel call.
 const MR: usize = 4;
@@ -212,11 +226,13 @@ mod avx {
 fn gemm_rows(a: &[f32], packed: &[f32], c: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
     #[cfg(target_arch = "x86_64")]
     if avx::available() {
+        GEMM_BLOCKS_AVX.inc();
         // SAFETY: `avx::available()` verified CPU support; the tile
         // functions uphold the same slice bounds as the portable kernel.
         unsafe { gemm_rows_avx(a, packed, c, r0, r1, k, n) };
         return;
     }
+    GEMM_BLOCKS_SCALAR.inc();
     let n_panels = n.div_ceil(NR);
     for pi in 0..n_panels {
         let j0 = pi * NR;
@@ -278,7 +294,10 @@ fn gemm_driver(
     if m * n == 0 {
         return out;
     }
+    GEMM_CALLS.inc();
+    GEMM_FLOPS.add(2 * (m * k * n) as u64);
     let threads = threads.clamp(1, m);
+    GEMM_THREADS.record(threads as u64);
     if threads <= 1 {
         gemm_rows(a, packed, &mut out, 0, m, k, n);
     } else {
@@ -392,6 +411,7 @@ impl Tensor {
         assert_eq!(v.ndim(), 1, "matvec vector must be 1-D");
         let (m, k) = (self.shape()[0], self.shape()[1]);
         assert_eq!(k, v.len(), "matvec dimension mismatch: {k} vs {}", v.len());
+        MATVEC_CALLS.inc();
         let a = self.as_slice();
         let x = v.as_slice();
         let mut out = vec![0.0f32; m];

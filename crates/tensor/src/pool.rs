@@ -28,9 +28,23 @@
 //! re-raised on the calling thread once the job is done — workers never
 //! die, and borrowed data is never used after the caller unwinds.
 
+use healthmon_telemetry as tel;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// Pool telemetry is all scheduling-dependent (which thread claims which
+// chunk, how long the caller waits), so every metric here is Volatile:
+// excluded from thread-count-invariance comparisons by construction.
+static POOL_JOBS: tel::Counter = tel::Counter::new("pool.jobs", tel::Stability::Volatile);
+static POOL_JOBS_INLINE: tel::Counter =
+    tel::Counter::new("pool.jobs.inline", tel::Stability::Volatile);
+static POOL_CHUNKS_CALLER: tel::Counter =
+    tel::Counter::new("pool.chunks.caller", tel::Stability::Volatile);
+static POOL_CHUNKS_WORKER: tel::Counter =
+    tel::Counter::new("pool.chunks.worker", tel::Stability::Volatile);
+static POOL_WAIT_NS: tel::Histogram =
+    tel::Histogram::new("pool.wait_ns", tel::Stability::Volatile);
 
 /// The process-wide thread budget for parallel kernels.
 ///
@@ -81,12 +95,15 @@ struct Shared {
 }
 
 /// Claims and executes chunks of `job` until none remain unclaimed.
-fn execute(job: &Job) {
+/// `chunk_counter` tallies chunk placement (caller vs worker threads) so
+/// chunk imbalance is visible in telemetry.
+fn execute(job: &Job, chunk_counter: &'static tel::Counter) {
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n_chunks {
             return;
         }
+        chunk_counter.inc();
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.task)(i)));
         if let Err(payload) = outcome {
             let mut slot = job.panic.lock().unwrap();
@@ -116,7 +133,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 queue = shared.work_cv.wait(queue).unwrap();
             }
         };
-        execute(&job);
+        execute(&job, &POOL_CHUNKS_WORKER);
     }
 }
 
@@ -157,6 +174,8 @@ pub fn run(n_chunks: usize, f: impl Fn(usize) + Sync) {
     if n_chunks == 1 || max_threads() == 1 {
         // Inline path: same contract as the pooled path — every chunk
         // runs, and the first panic is re-raised only afterwards.
+        POOL_JOBS_INLINE.inc();
+        POOL_CHUNKS_CALLER.add(n_chunks as u64);
         let mut first_panic = None;
         for i in 0..n_chunks {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
@@ -184,18 +203,25 @@ pub fn run(n_chunks: usize, f: impl Fn(usize) + Sync) {
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
     });
+    POOL_JOBS.inc();
     let shared = shared();
     shared.queue.lock().unwrap().push(job.clone());
     shared.work_cv.notify_all();
     // Participate: the caller is always one of the executors, so a job
     // completes even if every worker is busy with other jobs (including
     // nested jobs submitted from inside this one).
-    execute(&job);
+    execute(&job, &POOL_CHUNKS_CALLER);
+    // Queue wait: how long the caller blocks on stragglers after running
+    // out of chunks to claim itself.
+    let wait_t0 = if tel::enabled() { Some(std::time::Instant::now()) } else { None };
     let mut done = job.done.lock().unwrap();
     while *done < n_chunks {
         done = job.done_cv.wait(done).unwrap();
     }
     drop(done);
+    if let Some(t0) = wait_t0 {
+        POOL_WAIT_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
     let mut queue = shared.queue.lock().unwrap();
     if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
         queue.remove(pos);

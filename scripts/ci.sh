@@ -4,8 +4,9 @@
 # network, no vendored sources).
 #
 # Usage: scripts/ci.sh [--bench-smoke]
-#   --bench-smoke  additionally run both bench binaries in short mode
-#                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json.
+#   --bench-smoke  additionally run the bench binaries in short mode
+#                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json
+#                  and BENCH_pr5.json (telemetry overhead A/B).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -138,6 +139,48 @@ if "$hm" lifetime --arch mlp --model "$lt_dir/model.json" --epochs 2 --backend a
 fi
 echo "ok: backend matrix (check/campaign/deploy/lifetime x digital/analog/bitsliced) passed"
 
+echo "== telemetry smoke (pure observation + thread-invariant stable series) =="
+# Telemetry is purely observational: with --trace on, every primary output
+# (stdout report, exit code) must stay byte-identical to the telemetry-off
+# runs captured by the backend matrix above. The human telemetry report
+# goes to stderr, the machine-readable snapshot to --metrics.
+for b in digital analog bitsliced; do
+    rc=0
+    "$hm" check --arch mlp --model "$lt_dir/model.json" --target "$lt_dir/faulty.json" \
+        --patterns "$lt_dir/patterns.json" --backend "$b" \
+        --trace true --metrics "$lt_dir/check_tel_$b.jsonl" \
+        > "$lt_dir/check_tel_$b.txt" 2> "$lt_dir/check_tel_$b.err" || rc=$?
+    [[ "$rc" == "2" ]]  # verdict unchanged by tracing
+    cmp "$lt_dir/check_tel_$b.txt" "$lt_dir/check_$b.txt"
+    grep -q "== healthmon telemetry ==" "$lt_dir/check_tel_$b.err"
+    # The emitted JSONL must parse back through healthmon-serdes.
+    "$hm" metrics --file "$lt_dir/check_tel_$b.jsonl" | grep -q "counters"
+    "$hm" lifetime --arch mlp --model "$lt_dir/model.json" --epochs 3 --count 8 \
+        --drift 0.25 --stuck-lambda 0.5 --backend "$b" \
+        --trace true --metrics "$lt_dir/lifetime_tel_$b.jsonl" \
+        > "$lt_dir/lifetime_tel_$b.txt" 2> /dev/null
+    cmp "$lt_dir/lifetime_tel_$b.txt" "$lt_dir/lifetime_$b.txt"
+    "$hm" metrics --file "$lt_dir/lifetime_tel_$b.jsonl" --format prometheus > /dev/null
+done
+# HEALTHMON_TRACE enables recording without any flag.
+HEALTHMON_TRACE=1 "$hm" check --arch mlp --model "$lt_dir/model.json" \
+    --target "$lt_dir/faulty.json" --patterns "$lt_dir/patterns.json" \
+    > /dev/null 2> "$lt_dir/check_env.err" || true
+grep -q "== healthmon telemetry ==" "$lt_dir/check_env.err"
+# Stable series merge to bit-identical aggregates at any thread count;
+# `metrics --stable-only` strips the wall-clock-bearing remainder.
+for t in 1 2 7; do
+    HEALTHMON_THREADS=$t "$hm" campaign --arch mlp --model "$lt_dir/model.json" \
+        --patterns "$lt_dir/patterns.json" --fault pv:0.4 --count 8 \
+        --metrics "$lt_dir/campaign_tel_$t.jsonl" > /dev/null 2> /dev/null
+    "$hm" metrics --file "$lt_dir/campaign_tel_$t.jsonl" --stable-only true \
+        --format jsonl > "$lt_dir/campaign_stable_$t.jsonl"
+done
+cmp "$lt_dir/campaign_stable_1.jsonl" "$lt_dir/campaign_stable_2.jsonl"
+cmp "$lt_dir/campaign_stable_1.jsonl" "$lt_dir/campaign_stable_7.jsonl"
+echo "ok: telemetry left every primary output byte-identical; stable series"
+echo "    byte-identical under HEALTHMON_THREADS=1/2/7"
+
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (short mode, refreshes BENCH_pr2.json) =="
     # Absolute path: cargo runs bench binaries from the package directory.
@@ -151,6 +194,16 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "ok: both bench binaries ran without panicking; BENCH_pr2.json written"
     echo "    (smoke-mode numbers: 2 samples, short calibration — for perf"
     echo "     claims use a full 'cargo bench' run as in artifacts/)"
+    HEALTHMON_BENCH_SMOKE=1 HEALTHMON_BENCH_JSON="$report_dir/telemetry_ab.json" \
+        cargo bench --offline --bench telemetry_ab > /dev/null
+    {
+        echo '{'
+        echo '"mode": "smoke",'
+        echo '"telemetry_ab":'
+        cat "$report_dir/telemetry_ab.json"
+        echo '}'
+    } > BENCH_pr5.json
+    echo "ok: telemetry A/B bench ran; BENCH_pr5.json written"
 fi
 
 echo "CI passed."

@@ -1,0 +1,188 @@
+//! Cross-crate telemetry integration tests.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Thread-count invariance** — every metric tagged `Stable` merges
+//!    to bit-identical aggregates whether the work ran on 1, 2 or 7
+//!    threads.
+//! 2. **Round-trip fidelity** — a snapshot survives JSON-lines
+//!    serialization through `healthmon-serdes` unchanged.
+//! 3. **Pure observation** — enabling telemetry changes no detection
+//!    output: campaign rates and lifetime reports are byte-identical
+//!    with recording on and off.
+
+use healthmon::{
+    AgingModel, CrossbarConfig, Detector, LifetimeConfig, LifetimeRuntime, SdcCriterion,
+    TestPatternSet,
+};
+use healthmon_faults::{par_map_models_with_threads, FaultModel};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
+use std::sync::{Mutex, MutexGuard};
+
+/// Telemetry state is process-global; these tests serialize on this lock
+/// and reset the registry while holding it.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    tel::reset();
+    guard
+}
+
+fn setup() -> (Network, Detector) {
+    let mut rng = SeededRng::new(41);
+    let net = tiny_mlp(8, 16, 4, &mut rng);
+    let patterns =
+        TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
+    let detector = Detector::new(&net, patterns);
+    (net, detector)
+}
+
+/// The JSONL lines of every thread-count-invariant series, sorted.
+fn stable_lines(snapshot: &tel::MetricsSnapshot) -> Vec<String> {
+    let mut lines: Vec<String> = tel::render_jsonl(snapshot)
+        .lines()
+        .filter(|l| l.contains("\"stable\":true"))
+        .map(str::to_owned)
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// One campaign pass over `count` fault models on an explicit thread
+/// count, mirroring `Detector::detection_rates` internals.
+fn run_campaign(net: &Network, detector: &Detector, threads: usize) -> Vec<Vec<bool>> {
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.3 };
+    let criteria = [SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }];
+    par_map_models_with_threads(net, &fault, 7, 24, threads, |_, model| {
+        let responses = detector.responses(&*model);
+        criteria
+            .iter()
+            .map(|c| c.detects(detector.golden(), &responses))
+            .collect()
+    })
+}
+
+#[test]
+fn stable_aggregates_are_thread_count_invariant() {
+    let _guard = exclusive();
+    let (net, detector) = setup();
+    let mut per_thread_count: Vec<(usize, Vec<String>, Vec<Vec<bool>>)> = Vec::new();
+    for threads in [1usize, 2, 7] {
+        tel::reset();
+        tel::set_enabled(true);
+        let verdicts = run_campaign(&net, &detector, threads);
+        // Drive the GEMM/tile counters through explicit thread counts too.
+        let mut rng = SeededRng::new(5);
+        let a = Tensor::rand_uniform(&[96, 64], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[64, 48], -1.0, 1.0, &mut rng);
+        let _ = a.matmul_with_threads(&b, threads);
+        let snapshot = tel::snapshot();
+        tel::set_enabled(false);
+        per_thread_count.push((threads, stable_lines(&snapshot), verdicts));
+    }
+    let (_, baseline_lines, baseline_verdicts) = &per_thread_count[0];
+    assert!(
+        baseline_lines.iter().any(|l| l.contains("detect.responses")),
+        "expected detector counters in {baseline_lines:#?}"
+    );
+    assert!(
+        baseline_lines.iter().any(|l| l.contains("patterns.logits.batch_rows")),
+        "expected the stable histogram in {baseline_lines:#?}"
+    );
+    assert!(
+        baseline_lines.iter().any(|l| l.contains("gemm.calls")),
+        "expected GEMM counters in {baseline_lines:#?}"
+    );
+    for (threads, lines, verdicts) in &per_thread_count[1..] {
+        assert_eq!(
+            lines, baseline_lines,
+            "stable series diverged between 1 and {threads} threads"
+        );
+        assert_eq!(verdicts, baseline_verdicts, "verdicts diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn snapshot_round_trips_through_serdes_jsonl() {
+    let _guard = exclusive();
+    tel::set_enabled(true);
+    let (net, detector) = setup();
+    let rates = detector.detection_rates(
+        &net,
+        &FaultModel::ProgrammingVariation { sigma: 0.3 },
+        8,
+        3,
+        &[SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }],
+    );
+    assert_eq!(rates.len(), 2);
+    tel::record_event("test.marker", "round-trip probe");
+    let snapshot = tel::snapshot();
+    tel::set_enabled(false);
+    assert!(!snapshot.counters.is_empty());
+    assert!(!snapshot.spans.is_empty(), "detect.campaign span expected");
+    assert!(!snapshot.events.is_empty());
+
+    let jsonl = tel::render_jsonl(&snapshot);
+    let parsed = tel::parse_jsonl(&jsonl).expect("rendered JSONL must parse");
+    assert_eq!(parsed, snapshot);
+    assert_eq!(tel::render_jsonl(&parsed), jsonl, "re-render must be byte-identical");
+}
+
+#[test]
+fn telemetry_is_purely_observational() {
+    let _guard = exclusive();
+    let fault = FaultModel::ProgrammingVariation { sigma: 0.4 };
+    let criteria = [SdcCriterion::Sdc1, SdcCriterion::SdcA { threshold: 0.03 }];
+    let lifetime_config = LifetimeConfig {
+        seed: 11,
+        epochs: 4,
+        aging: AgingModel { drift_nu: 0.3, ..AgingModel::default() },
+        crossbar: CrossbarConfig::ideal(),
+        ..LifetimeConfig::default()
+    };
+
+    let run_all = || {
+        let (net, detector) = setup();
+        let rates: Vec<u32> = detector
+            .detection_rates(&net, &fault, 12, 9, &criteria)
+            .iter()
+            .map(|r| r.to_bits())
+            .collect();
+        let mut rng = SeededRng::new(41);
+        let golden = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns =
+            TestPatternSet::new("t", Tensor::rand_uniform(&[10, 8], 0.0, 1.0, &mut rng));
+        let mut runtime = LifetimeRuntime::new(&golden, patterns, lifetime_config, None);
+        runtime.run(None);
+        (rates, runtime.render_report(), runtime.checkpoint_json())
+    };
+
+    tel::set_enabled(false);
+    let off = run_all();
+    tel::reset();
+    tel::set_enabled(true);
+    let on = run_all();
+    let recorded = tel::snapshot();
+    tel::set_enabled(false);
+
+    assert_eq!(off.0, on.0, "detection rates must not depend on telemetry");
+    assert_eq!(off.1, on.1, "lifetime report must be byte-identical");
+    assert_eq!(off.2, on.2, "lifetime checkpoint must be byte-identical");
+    // And the enabled run did actually record the lifetime stream.
+    assert!(
+        recorded.counters.iter().any(|c| c.name == "lifetime.events.checkup" && c.value > 0),
+        "expected lifetime event counters in {:#?}",
+        recorded.counters
+    );
+    assert!(
+        recorded
+            .events
+            .iter()
+            .any(|e| e.name == "lifetime.event" && e.detail.contains("[deploy]")),
+        "expected the deployed event in the ring buffer"
+    );
+}
