@@ -74,11 +74,25 @@ impl Benchmark {
         match self {
             Benchmark::Lenet5Digits => (
                 0.05,
-                TrainConfig { epochs: 4, batch_size: 32, lr_decay: 0.85, seed: 0, verbose: true },
+                TrainConfig {
+                    epochs: 4,
+                    batch_size: 32,
+                    lr_decay: 0.85,
+                    seed: 0,
+                    verbose: true,
+                    drop_connect: None,
+                },
             ),
             Benchmark::Convnet7Objects => (
                 0.03,
-                TrainConfig { epochs: 7, batch_size: 32, lr_decay: 0.85, seed: 0, verbose: true },
+                TrainConfig {
+                    epochs: 7,
+                    batch_size: 32,
+                    lr_decay: 0.85,
+                    seed: 0,
+                    verbose: true,
+                    drop_connect: None,
+                },
             ),
         }
     }

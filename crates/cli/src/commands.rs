@@ -2,16 +2,16 @@
 
 use crate::args::ParsedArgs;
 use healthmon::{
-    ActiveBackend, AetGenerator, AgingModel, BackendKind, BackendSpec, CrossbarConfig,
-    CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime, MonitorPolicy, OtpGenerator,
-    SdcCriterion, TestPatternSet, TrainData,
+    run_mitigation, ActiveBackend, AetGenerator, AgingModel, BackendKind, BackendSpec,
+    CrossbarConfig, CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime, MitigationScenario,
+    MonitorPolicy, OtpGenerator, SdcCriterion, TestPatternSet, TrainData,
 };
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
 use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
 use healthmon_nn::optim::Sgd;
 use healthmon_nn::trainer::accuracy;
-use healthmon_nn::{Network, TrainConfig, Trainer};
+use healthmon_nn::{DropConnect, Network, TrainConfig, Trainer};
 use healthmon_tensor::{SeededRng, Tensor};
 use healthmon_telemetry as tel;
 use std::process::ExitCode;
@@ -20,6 +20,8 @@ use std::process::ExitCode;
 pub const USAGE: &str = "usage:
   healthmon train    --arch <lenet5|convnet7|mlp> --out <model.json>
                      [--epochs N] [--seed N] [--train-size N] [--quiet true]
+                     [--drop-connect P]    P in [0, 1): train with seeded
+                     per-step weight dropping (fault-tolerance hardening)
   healthmon inject   --arch <A> --model <model.json> --fault <spec> --out <faulty.json>
                      [--seed N]            spec: pv:<sigma> | soft:<p> | stuck:<sa0>,<sa1> | drift:<nu>,<t>
   healthmon generate --arch <A> --model <model.json> --method <ctp|otp|aet> --out <patterns.json>
@@ -32,6 +34,12 @@ pub const USAGE: &str = "usage:
                      [--patterns <patterns.json>] [--count N] [--seed N]
                      [--threshold F] [--backend <digital|analog|bitsliced>]
                      [--trace true] [--metrics <out.jsonl>]
+                     [--hardened true --hardened-model <hardened.json>]
+                     hardened mode renders the mitigation cost/benefit
+                     table (plain vs drop-connect model, plain vs
+                     scrubbing lifetime); extra knobs: [--epochs N]
+                     [--soft F] [--drift F] [--stuck-lambda F] [--watch F]
+                     [--critical F] [--budget N] [--json <table.json>]
   healthmon deploy   --arch <A> --model <model.json>
                      [--seed N] [--probes N] [--backend <analog|bitsliced>]
                      [--trace true] [--metrics <out.jsonl>]
@@ -42,6 +50,8 @@ pub const USAGE: &str = "usage:
                      [--watch F] [--critical F] [--budget N] [--train-size N]
                      [--checkpoint <cp.json>] [--stop-after N] [--report <out.txt>]
                      [--backend <digital|analog|bitsliced>] (--checkpoint needs digital)
+                     [--hardened true]     enable online soft-error
+                     scrubbing (checksum-column parity over the device)
                      [--trace true] [--metrics <out.jsonl>]
                      exit 0 = lifetime completed, 2 = parked in critical
   healthmon metrics  --file <metrics.jsonl> [--stable-only true] [--format <summary|jsonl|prometheus>]
@@ -189,18 +199,33 @@ fn parse_backend(args: &ParsedArgs) -> Result<BackendSpec, String> {
 }
 
 fn cmd_train(args: &ParsedArgs) -> Result<ExitCode, String> {
-    args.expect_only(&["arch", "out", "epochs", "seed", "train-size", "quiet"])?;
+    args.expect_only(&["arch", "out", "epochs", "seed", "train-size", "quiet", "drop-connect"])?;
     let arch = args.required("arch")?;
     let out = args.required("out")?;
     let epochs: usize = args.get_or("epochs", 4)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let train_size: usize = args.get_or("train-size", 2000)?;
     let quiet: bool = args.get_or("quiet", false)?;
+    let drop_connect: f32 = args.get_or("drop-connect", 0.0)?;
+    if !(0.0..1.0).contains(&drop_connect) {
+        return Err(format!("--drop-connect {drop_connect} outside [0, 1)"));
+    }
 
     let split = dataset_for(arch, seed, train_size)?;
     let mut rng = SeededRng::new(seed);
     let mut net = build_arch(arch, &mut rng)?;
-    let config = TrainConfig { epochs, batch_size: 32, verbose: !quiet, ..TrainConfig::default() };
+    let hardening = if drop_connect > 0.0 {
+        Some(DropConnect::new(drop_connect).seeded(seed))
+    } else {
+        None
+    };
+    let config = TrainConfig {
+        epochs,
+        batch_size: 32,
+        verbose: !quiet,
+        drop_connect: hardening,
+        ..TrainConfig::default()
+    };
     let report = Trainer::new(&mut net, Sgd::new(0.05).momentum(0.9), config).fit(
         &split.train.images,
         &split.train.labels,
@@ -309,9 +334,12 @@ fn cmd_check(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// rates, with responses evaluated on the chosen execution backend (the
 /// digital path is byte-identical to `Detector::detection_rates`).
 fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
+    if args.get_or("hardened", false)? {
+        return cmd_campaign_mitigation(args);
+    }
     args.expect_only(&[
         "arch", "model", "patterns", "fault", "count", "seed", "threshold", "backend", "trace",
-        "metrics",
+        "metrics", "hardened",
     ])?;
     let metrics = telemetry_setup(args)?;
     let arch = args.required("arch")?;
@@ -341,6 +369,109 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<ExitCode, String> {
     println!("campaign: {count} faulty models, {} patterns", detector.patterns().len());
     println!("detection rate SDC-A (threshold {threshold}): {:.4}", rates[0]);
     println!("detection rate SDC-T (threshold {threshold}): {:.4}", rates[1]);
+    telemetry_finish(metrics.as_deref())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `campaign --hardened true`: renders the mitigation cost/benefit
+/// table — detection rate and accuracy of the plain vs the
+/// drop-connect-hardened model under the fault class, then plain vs
+/// scrubbing lifetimes under the identical aging stream (accuracy
+/// retained, repairs avoided, pattern budget saved). `--json` writes
+/// the same report as a deterministic JSON artifact.
+fn cmd_campaign_mitigation(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&[
+        "arch",
+        "model",
+        "hardened",
+        "hardened-model",
+        "patterns",
+        "fault",
+        "count",
+        "seed",
+        "threshold",
+        "backend",
+        "epochs",
+        "soft",
+        "drift",
+        "stuck-lambda",
+        "watch",
+        "critical",
+        "budget",
+        "json",
+        "trace",
+        "metrics",
+    ])?;
+    let metrics = telemetry_setup(args)?;
+    let arch = args.required("arch")?;
+    let model = args.required("model")?;
+    let hardened_model = args.required("hardened-model")?;
+    let fault = parse_fault(args.required("fault")?)?;
+    let count: usize = args.get_or("count", 8)?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+    let threshold: f32 = args.get_or("threshold", 0.03)?;
+    let epochs: usize = args.get_or("epochs", 6)?;
+    let soft: f64 = args.get_or("soft", 8e-5)?;
+    let drift: f32 = args.get_or("drift", 0.0)?;
+    let stuck_lambda: f64 = args.get_or("stuck-lambda", 0.0)?;
+    let watch: f32 = args.get_or("watch", 1e-6)?;
+    let critical: f32 = args.get_or("critical", 1e-3)?;
+    let budget: usize = args.get_or("budget", 3)?;
+    let spec = parse_backend(args)?;
+
+    let mut plain = load_model(arch, model, seed)?;
+    let hardened = load_model(arch, hardened_model, seed)?;
+    let patterns = match args.get("patterns") {
+        Some(path) => load_patterns(path)?,
+        None => {
+            let pool = dataset_for(arch, seed ^ 0xC1D, 1000)?.test;
+            CtpGenerator::new(10).select(&mut plain, &pool)
+        }
+    };
+    let eval_split = dataset_for(arch, seed ^ 0xE7A, 640)?;
+    let eval = TrainData { images: eval_split.test.images, labels: eval_split.test.labels };
+
+    let scenario = MitigationScenario {
+        seed,
+        count,
+        threshold,
+        faults: vec![fault.clone()],
+        backends: vec![spec],
+        lifetime: LifetimeConfig {
+            seed,
+            epochs,
+            aging: AgingModel {
+                drift_nu: drift,
+                drift_time: 1.0,
+                soft_error_p: soft,
+                stuck_lambda,
+            },
+            policy: MonitorPolicy {
+                watch_threshold: watch,
+                critical_threshold: critical,
+                escalation_count: 1,
+            },
+            // The scrub path restores flipped cells bitwise only when
+            // the digital deploy is exact; keep the demonstration free
+            // of quantization-floor escalations.
+            crossbar: CrossbarConfig::exact(),
+            backend: spec,
+            repair_budget: budget,
+            ..LifetimeConfig::default()
+        },
+    };
+    let report = run_mitigation(&plain, &hardened, &patterns, &eval, &scenario);
+    println!("backend: {}", spec.kind.label());
+    println!("fault: {}", fault.describe());
+    println!(
+        "mitigation analysis: {count} faulty models, {} patterns, {epochs} lifetime epochs",
+        patterns.len()
+    );
+    print!("{}", report.render());
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, healthmon_serdes::to_string(&report))
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
     telemetry_finish(metrics.as_deref())?;
     Ok(ExitCode::SUCCESS)
 }
@@ -435,6 +566,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
         "stop-after",
         "report",
         "backend",
+        "hardened",
         "trace",
         "metrics",
     ])?;
@@ -452,6 +584,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
     let budget: usize = args.get_or("budget", 8)?;
     let train_size: usize = args.get_or("train-size", 0)?;
     let stop_after: usize = args.get_or("stop-after", 0)?;
+    let hardened: bool = args.get_or("hardened", false)?;
     let backend = parse_backend(args)?;
     if backend.kind != BackendKind::Digital && args.get("checkpoint").is_some() {
         return Err(format!(
@@ -493,6 +626,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
         },
         repair_budget: budget,
         backend,
+        hardened,
         ..LifetimeConfig::default()
     };
 

@@ -72,6 +72,7 @@ mod diagnose;
 pub mod efficiency;
 mod error;
 mod metrics;
+pub mod mitigation;
 mod monitor;
 mod otp;
 mod patterns;
@@ -87,6 +88,9 @@ pub use detect::Detector;
 pub use diagnose::{diagnose, estimate_stuck_cells, Diagnosis, LayerDiagnosis};
 pub use error::HealthmonError;
 pub use metrics::SdcCriterion;
+pub use mitigation::{
+    run_mitigation, CampaignArm, LifetimeArm, MitigationReport, MitigationScenario,
+};
 pub use monitor::{Checkup, HealthMonitor, HealthState, MonitorPolicy, MonitorSnapshot};
 pub use otp::{OtpGenerator, OtpOutcome};
 pub use patterns::TestPatternSet;

@@ -48,6 +48,7 @@ use healthmon_repair::{
 };
 use healthmon_reram::{
     deploy, AnalogBackend, BackendKind, BackendSpec, BitSlicedBackend, CrossbarConfig,
+    ParityCheck, ScrubOutcome,
 };
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 use healthmon_tensor::{SeededRng, Tensor};
@@ -71,6 +72,8 @@ static EV_DEGRADED: tel::Counter =
     tel::Counter::new("lifetime.events.degraded", tel::Stability::Stable);
 static EV_BACKOFF: tel::Counter =
     tel::Counter::new("lifetime.events.backoff", tel::Stability::Stable);
+static EV_SCRUBBED: tel::Counter =
+    tel::Counter::new("lifetime.events.scrubbed", tel::Stability::Stable);
 static EV_PARKED: tel::Counter =
     tel::Counter::new("lifetime.events.parked", tel::Stability::Stable);
 static REPAIRS_SUCCEEDED: tel::Counter =
@@ -88,6 +91,7 @@ fn event_counter(kind: &str) -> &'static tel::Counter {
         "repair" => &EV_REPAIR,
         "degraded" => &EV_DEGRADED,
         "backoff" => &EV_BACKOFF,
+        "scrubbed" => &EV_SCRUBBED,
         _ => &EV_PARKED,
     }
 }
@@ -163,6 +167,12 @@ pub struct LifetimeConfig {
     /// `bitsliced` keep the device as live crossbar state and apply
     /// aging at the conductance level.
     pub backend: BackendSpec,
+    /// Online soft-error tolerance: program spare-column parity
+    /// alongside the weights and scrub transient conductance flips
+    /// in-situ every epoch, before they can accumulate between checkups.
+    /// When `false` (the default) every output is byte-identical to the
+    /// historical unhardened runtime.
+    pub hardened: bool,
     /// Health state at which a repair session starts (must be above
     /// `Healthy`).
     pub trigger: HealthState,
@@ -191,6 +201,7 @@ impl Default for LifetimeConfig {
             policy: MonitorPolicy::default(),
             crossbar: CrossbarConfig::default(),
             backend: BackendSpec::digital(),
+            hardened: false,
             trigger: HealthState::Watch,
             repair_budget: 8,
             spare_columns: 2,
@@ -338,6 +349,17 @@ pub enum LifetimeEvent {
         /// Patterns remaining after the halving.
         patterns: usize,
     },
+    /// The online parity scrub caught transient soft errors (hardened
+    /// runtimes only).
+    Scrubbed {
+        /// The epoch.
+        epoch: usize,
+        /// Corrupted cells restored bitwise in-situ.
+        corrected: usize,
+        /// Corrupted cells detected but not isolatable; left for the
+        /// next checkup/repair cycle.
+        uncorrectable: usize,
+    },
     /// A failed repair session scheduled a backoff.
     Backoff {
         /// The epoch.
@@ -385,6 +407,12 @@ impl LifetimeEvent {
             LifetimeEvent::Degraded { epoch, patterns } => {
                 format!("[epoch {epoch}] degraded to {patterns} patterns")
             }
+            LifetimeEvent::Scrubbed { epoch, corrected, uncorrectable } => {
+                format!(
+                    "[epoch {epoch}] scrubbed: {corrected} corrected, \
+                     {uncorrectable} uncorrectable"
+                )
+            }
             LifetimeEvent::Backoff { epoch, until_epoch } => {
                 format!("[epoch {epoch}] backing off until epoch {until_epoch}")
             }
@@ -402,6 +430,7 @@ impl LifetimeEvent {
             LifetimeEvent::Diagnosed { .. } => "diagnosed",
             LifetimeEvent::RepairAttempted { .. } => "repair",
             LifetimeEvent::Degraded { .. } => "degraded",
+            LifetimeEvent::Scrubbed { .. } => "scrubbed",
             LifetimeEvent::Backoff { .. } => "backoff",
             LifetimeEvent::Parked { .. } => "parked",
         }
@@ -440,6 +469,11 @@ impl ToJson for LifetimeEvent {
             LifetimeEvent::Degraded { epoch, patterns } => {
                 fields.push(("epoch".to_owned(), epoch.to_json()));
                 fields.push(("patterns".to_owned(), patterns.to_json()));
+            }
+            LifetimeEvent::Scrubbed { epoch, corrected, uncorrectable } => {
+                fields.push(("epoch".to_owned(), epoch.to_json()));
+                fields.push(("corrected".to_owned(), corrected.to_json()));
+                fields.push(("uncorrectable".to_owned(), uncorrectable.to_json()));
             }
             LifetimeEvent::Backoff { epoch, until_epoch } => {
                 fields.push(("epoch".to_owned(), epoch.to_json()));
@@ -486,6 +520,11 @@ impl FromJson for LifetimeEvent {
             "degraded" => Ok(LifetimeEvent::Degraded {
                 epoch: usize::from_json(value.field("epoch")?)?,
                 patterns: usize::from_json(value.field("patterns")?)?,
+            }),
+            "scrubbed" => Ok(LifetimeEvent::Scrubbed {
+                epoch: usize::from_json(value.field("epoch")?)?,
+                corrected: usize::from_json(value.field("corrected")?)?,
+                uncorrectable: usize::from_json(value.field("uncorrectable")?)?,
             }),
             "backoff" => Ok(LifetimeEvent::Backoff {
                 epoch: usize::from_json(value.field("epoch")?)?,
@@ -685,6 +724,12 @@ pub struct LifetimeRuntime {
     device: DeviceState,
     monitor: HealthMonitor,
     layers: Vec<LayerState>,
+    /// Digital parity planes, one per conductance-mapped weight tensor
+    /// (analog backends keep parity on the crossbar tiles instead).
+    /// Empty unless the config is hardened.
+    parity: Vec<(String, ParityCheck)>,
+    soft_corrected: usize,
+    soft_uncorrectable: usize,
     epoch: usize,
     active_patterns: usize,
     repairs_used: usize,
@@ -767,6 +812,9 @@ impl LifetimeRuntime {
             device,
             monitor,
             layers,
+            parity: Vec::new(),
+            soft_corrected: 0,
+            soft_uncorrectable: 0,
             epoch: 0,
             active_patterns,
             repairs_used: 0,
@@ -775,6 +823,10 @@ impl LifetimeRuntime {
             events: Vec::new(),
             incident: None,
         };
+        if runtime.config.hardened {
+            // Program the spare-column parity alongside the weights.
+            runtime.enable_parity();
+        }
         runtime.push_event(LifetimeEvent::Deployed { tiles, mapping_error_l1 });
         let baseline = runtime.run_checkup();
         runtime.push_event(LifetimeEvent::CheckupDone {
@@ -844,6 +896,18 @@ impl LifetimeRuntime {
     /// Cumulative stuck cells across all layers.
     pub fn total_stuck(&self) -> usize {
         self.layers.iter().map(|l| l.map.len()).sum()
+    }
+
+    /// Soft errors corrected in-situ by the online parity scrub over the
+    /// whole lifetime (always zero when the config is not hardened).
+    pub fn soft_corrected(&self) -> usize {
+        self.soft_corrected
+    }
+
+    /// Soft errors the scrub detected but could not isolate; they were
+    /// left for the ordinary checkup/repair cycle.
+    pub fn soft_uncorrectable(&self) -> usize {
+        self.soft_uncorrectable
     }
 
     /// Whether the runtime parked in `Critical`.
@@ -951,7 +1015,24 @@ impl LifetimeRuntime {
         }
         if aging.soft_error_p > 0.0 {
             let mut rng = epoch_rng.fork(1);
-            self.device.soft_errors(aging.soft_error_p, &mut rng);
+            if self.config.hardened {
+                // Re-baseline the parity first: drift is genuine aging,
+                // not a transient, and must never be "corrected" away.
+                self.refresh_parity();
+                self.inject_transient_flips(aging.soft_error_p, &mut rng);
+                let outcome = self.scrub_parity();
+                self.soft_corrected += outcome.corrected;
+                self.soft_uncorrectable += outcome.uncorrectable;
+                if outcome.any() {
+                    self.push_event(LifetimeEvent::Scrubbed {
+                        epoch,
+                        corrected: outcome.corrected,
+                        uncorrectable: outcome.uncorrectable,
+                    });
+                }
+            } else {
+                self.device.soft_errors(aging.soft_error_p, &mut rng);
+            }
         }
         let mut new_stuck = 0usize;
         if aging.stuck_lambda > 0.0 {
@@ -987,11 +1068,90 @@ impl LifetimeRuntime {
             }
         }
         self.clamp_defects();
+        if self.config.hardened {
+            // Stuck cells are known persistent defects owned by the
+            // checkup/repair path; fold them into the parity baseline so
+            // the next scrub never mistakes them for transients.
+            self.refresh_parity();
+        }
         self.push_event(LifetimeEvent::Aged {
             epoch,
             new_stuck,
             total_stuck: self.total_stuck(),
         });
+    }
+
+    /// Programs the parity checksums over the current device state:
+    /// weight-tensor planes for the digital backend, crossbar tiles for
+    /// the analog ones.
+    fn enable_parity(&mut self) {
+        match &mut self.device {
+            DeviceState::Digital(net) => {
+                let mut parity = Vec::new();
+                net.for_each_param(|key, tensor| {
+                    if key.ends_with("weight") {
+                        let rows = tensor.shape()[0];
+                        let cols = tensor.len() / rows;
+                        parity.push((
+                            key.to_owned(),
+                            ParityCheck::capture(rows, cols, tensor.as_slice()),
+                        ));
+                    }
+                });
+                self.parity = parity;
+            }
+            DeviceState::Analog(b) => b.enable_parity(),
+            DeviceState::BitSliced(b) => b.enable_parity(),
+        }
+    }
+
+    /// Re-baselines every parity checksum to the current device state.
+    fn refresh_parity(&mut self) {
+        let parity = &mut self.parity;
+        match &mut self.device {
+            DeviceState::Digital(net) => net.for_each_param(|key, tensor| {
+                if let Some((_, check)) = parity.iter_mut().find(|(k, _)| k == key) {
+                    check.refresh(tensor.as_slice());
+                }
+            }),
+            DeviceState::Analog(b) => b.refresh_parity(),
+            DeviceState::BitSliced(b) => b.refresh_parity(),
+        }
+    }
+
+    /// One in-situ parity scrub over the whole device.
+    fn scrub_parity(&mut self) -> ScrubOutcome {
+        let parity = &self.parity;
+        let mut outcome = ScrubOutcome::default();
+        match &mut self.device {
+            DeviceState::Digital(net) => net.for_each_param_mut(|key, tensor| {
+                if let Some((_, check)) = parity.iter().find(|(k, _)| k == key) {
+                    outcome.merge(check.scrub(tensor.as_mut_slice()));
+                }
+            }),
+            DeviceState::Analog(b) => outcome = b.scrub_parity(),
+            DeviceState::BitSliced(b) => outcome = b.scrub_parity(),
+        }
+        outcome
+    }
+
+    /// Hardened-mode soft errors. The digital backend keeps the exact
+    /// weight-space `RandomSoftError` stream of the unhardened runtime;
+    /// the analog backends inject sparse conductance flips — the
+    /// device-level image of the same fault class — instead of dense
+    /// read-disturb jitter, which no parity column could isolate.
+    fn inject_transient_flips(&mut self, probability: f64, rng: &mut SeededRng) {
+        match &mut self.device {
+            DeviceState::Digital(net) => {
+                FaultModel::RandomSoftError { probability }.apply(net, rng);
+            }
+            DeviceState::Analog(b) => {
+                b.flip_cells(probability, rng);
+            }
+            DeviceState::BitSliced(b) => {
+                b.flip_cells(probability, rng);
+            }
+        }
     }
 
     /// Overrides the device weights at every stuck position (under the
@@ -1075,6 +1235,11 @@ impl LifetimeRuntime {
                 RepairAction::Spares => self.consume_spares(&diagnosis),
                 RepairAction::Retrain => self.retrain(epoch),
                 RepairAction::Degrade => self.degrade(epoch),
+            }
+            if self.config.hardened {
+                // Repairs rewrite conductances; re-baseline the parity so
+                // the next scrub protects the repaired state.
+                self.refresh_parity();
             }
             let checkup = self.run_checkup();
             let success = checkup.state < self.config.trigger;
@@ -1305,6 +1470,14 @@ impl LifetimeRuntime {
             self.repairs_used, self.config.repair_budget
         ));
         out.push_str(&format!("stuck cells: {}\n", self.total_stuck()));
+        if self.config.hardened {
+            // Gated on the flag so unhardened reports stay byte-identical
+            // to the historical format.
+            out.push_str(&format!(
+                "soft errors scrubbed: {} corrected, {} uncorrectable\n",
+                self.soft_corrected, self.soft_uncorrectable
+            ));
+        }
         out.push_str(&format!(
             "active patterns: {}/{}\n",
             self.active_patterns,
@@ -1335,7 +1508,7 @@ impl LifetimeRuntime {
     /// supplies them again, exactly as with campaign checkpoints.
     pub fn checkpoint_json(&self) -> String {
         let layers: Vec<Json> = self.layers.iter().map(ToJson::to_json).collect();
-        let object = Json::Object(vec![
+        let mut fields = vec![
             ("format".to_owned(), Json::String(CHECKPOINT_FORMAT.to_owned())),
             ("config_digest".to_owned(), Json::String(self.config.digest().to_string())),
             ("golden_digest".to_owned(), Json::String(network_digest(&self.golden).to_string())),
@@ -1353,8 +1526,25 @@ impl LifetimeRuntime {
             ("monitor".to_owned(), self.monitor.snapshot().to_json()),
             ("events".to_owned(), self.events.to_json()),
             ("incident".to_owned(), self.incident.to_json()),
-        ]);
-        healthmon_serdes::to_string(&object)
+        ];
+        if self.config.hardened {
+            // Hardened-only fields keep unhardened checkpoints
+            // byte-identical to the v1 layout. The parity words are
+            // digest-guarded like every other resume input.
+            let parity: Vec<Json> = self.parity.iter().map(parity_entry_json).collect();
+            fields.push(("hardened".to_owned(), true.to_json()));
+            fields.push(("soft_corrected".to_owned(), self.soft_corrected.to_json()));
+            fields.push((
+                "soft_uncorrectable".to_owned(),
+                self.soft_uncorrectable.to_json(),
+            ));
+            fields.push(("parity".to_owned(), Json::Array(parity)));
+            fields.push((
+                "parity_digest".to_owned(),
+                Json::String(parity_digest(&self.parity).to_string()),
+            ));
+        }
+        healthmon_serdes::to_string(&Json::Object(fields))
     }
 
     /// Rebuilds a runtime from a checkpoint produced by
@@ -1450,6 +1640,46 @@ impl LifetimeRuntime {
         runtime.monitor = HealthMonitor::from_snapshot(detector, runtime.config.policy, snapshot);
         runtime.events = Vec::from_json(value.field("events")?)?;
         runtime.incident = Option::from_json(value.field("incident")?)?;
+        if runtime.config.hardened {
+            if !bool::from_json(value.field("hardened")?)? {
+                return Err(HealthmonError::CheckpointMismatch(
+                    "the checkpoint was written by an unhardened runtime".to_owned(),
+                ));
+            }
+            runtime.soft_corrected = usize::from_json(value.field("soft_corrected")?)?;
+            runtime.soft_uncorrectable =
+                usize::from_json(value.field("soft_uncorrectable")?)?;
+            let parity: Vec<(String, ParityCheck)> = value
+                .field("parity")?
+                .as_array()?
+                .iter()
+                .map(parity_entry_from_json)
+                .collect::<Result<_, _>>()?;
+            verify_digest(&value, "parity_digest", parity_digest(&parity), "parity state")?;
+            // The checkpoint is taken at an epoch boundary, where the
+            // parity baseline always matches the device: a stored word
+            // that disagrees with the restored weights means either the
+            // weights or the parity were tampered with.
+            for (key, check) in &parity {
+                let mut current = None;
+                runtime.device.network().for_each_param(|k, t| {
+                    if k == key {
+                        current = Some(t.clone());
+                    }
+                });
+                let (rows, cols) = check.shape();
+                let consistent = current
+                    .as_ref()
+                    .is_some_and(|t| t.len() == rows * cols && check.verify(t.as_slice()));
+                if !consistent {
+                    return Err(HealthmonError::CheckpointMismatch(format!(
+                        "checkpointed parity for `{key}` does not match the \
+                         restored device weights"
+                    )));
+                }
+            }
+            runtime.parity = parity;
+        }
         Ok(runtime)
     }
 }
@@ -1518,6 +1748,51 @@ fn network_digest(net: &Network) -> u64 {
             hash = fnv1a(hash, v.to_bits().to_le_bytes());
         }
     });
+    hash
+}
+
+/// One checkpointed parity plane: key, shape, and raw checksum words.
+fn parity_entry_json(entry: &(String, ParityCheck)) -> Json {
+    let (key, check) = entry;
+    let (rows, cols) = check.shape();
+    Json::Object(vec![
+        ("key".to_owned(), key.to_json()),
+        ("rows".to_owned(), rows.to_json()),
+        ("cols".to_owned(), cols.to_json()),
+        ("row_words".to_owned(), check.row_words().to_json()),
+        ("col_words".to_owned(), check.col_words().to_json()),
+    ])
+}
+
+fn parity_entry_from_json(value: &Json) -> Result<(String, ParityCheck), JsonError> {
+    let key = String::from_json(value.field("key")?)?;
+    let rows = usize::from_json(value.field("rows")?)?;
+    let cols = usize::from_json(value.field("cols")?)?;
+    let row_words: Vec<u32> = Vec::from_json(value.field("row_words")?)?;
+    let col_words: Vec<u32> = Vec::from_json(value.field("col_words")?)?;
+    if rows == 0 || cols == 0 || row_words.len() != rows || col_words.len() != cols {
+        return Err(JsonError::invalid(format!(
+            "parity plane for `{key}` has inconsistent shape {rows}x{cols} \
+             ({} row words, {} column words)",
+            row_words.len(),
+            col_words.len()
+        )));
+    }
+    Ok((key, ParityCheck::from_words(rows, cols, row_words, col_words)))
+}
+
+/// FNV-1a over every parity key, shape, and exact checksum words.
+fn parity_digest(parity: &[(String, ParityCheck)]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for (key, check) in parity {
+        hash = fnv1a(hash, key.bytes());
+        let (rows, cols) = check.shape();
+        hash = fnv1a(hash, (rows as u64).to_le_bytes());
+        hash = fnv1a(hash, (cols as u64).to_le_bytes());
+        for &w in check.row_words().iter().chain(check.col_words()) {
+            hash = fnv1a(hash, w.to_le_bytes());
+        }
+    }
     hash
 }
 
@@ -1773,6 +2048,7 @@ mod tests {
                 success: true,
             },
             LifetimeEvent::Degraded { epoch: 2, patterns: 3 },
+            LifetimeEvent::Scrubbed { epoch: 2, corrected: 4, uncorrectable: 1 },
             LifetimeEvent::Backoff { epoch: 2, until_epoch: 4 },
             LifetimeEvent::Parked { epoch: 5, reason: "out of budget".to_owned() },
         ];
@@ -1886,6 +2162,161 @@ mod tests {
             LifetimeRuntime::resume(&net, patterns, analog, None, &checkpoint).unwrap_err();
         assert!(matches!(err, HealthmonError::CheckpointMismatch(_)), "{err}");
         assert!(err.to_string().contains("resume is not supported"), "{err}");
+    }
+
+    /// Soft-error-only aging under tight thresholds and a small repair
+    /// budget: the plain ladder burns budget on every flip, the hardened
+    /// runtime scrubs them in-situ for free.
+    fn soft_error_config(hardened: bool) -> LifetimeConfig {
+        LifetimeConfig {
+            seed: 16,
+            epochs: 6,
+            aging: AgingModel { soft_error_p: 0.006, ..quiet_aging() },
+            crossbar: CrossbarConfig::exact(),
+            policy: MonitorPolicy {
+                watch_threshold: 1e-6,
+                critical_threshold: 1e-3,
+                escalation_count: 1,
+            },
+            repair_budget: 3,
+            hardened,
+            ..LifetimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn hardened_digital_scrubs_soft_errors_and_avoids_repairs() {
+        let (net, patterns) = setup(16);
+
+        let mut plain = LifetimeRuntime::new(&net, patterns.clone(), soft_error_config(false), None);
+        plain.run(None);
+        assert!(plain.repairs_used() > 0, "plain ladder must burn repair budget on soft errors");
+        assert_eq!(plain.soft_corrected(), 0);
+
+        let mut hardened =
+            LifetimeRuntime::new(&net, patterns, soft_error_config(true), None);
+        let state = hardened.run(None);
+        assert_eq!(state, HealthState::Healthy, "scrubbed soft errors never reach the monitor");
+        assert_eq!(hardened.repairs_used(), 0, "online tolerance is a zero-repair-cost rung");
+        assert!(hardened.soft_corrected() > 0, "p=0.02 over 6 epochs must flip something");
+        assert!(hardened.events().iter().any(|e| matches!(e, LifetimeEvent::Scrubbed { .. })));
+        assert!(hardened.repairs_used() < plain.repairs_used());
+        // The scrub restores bit patterns exactly: the device ends the
+        // lifetime bit-identical to its deployment.
+        let report = hardened.render_report();
+        assert!(report.contains("soft errors scrubbed:"), "report: {report}");
+    }
+
+    #[test]
+    fn hardened_scrub_restores_device_bitwise() {
+        let (net, patterns) = setup(16);
+        let mut runtime = LifetimeRuntime::new(&net, patterns, soft_error_config(true), None);
+        let deployed = runtime.device().state_dict();
+        runtime.run(None);
+        assert!(runtime.soft_corrected() > 0);
+        assert_eq!(runtime.soft_uncorrectable(), 0, "isolated flips are always correctable");
+        assert_eq!(
+            runtime.device().state_dict(),
+            deployed,
+            "with drift and stuck aging off, every epoch must scrub back to the deployed bits"
+        );
+    }
+
+    #[test]
+    fn hardened_checkpoint_resume_is_bit_identical() {
+        let (net, patterns) = setup(13);
+        let config = LifetimeConfig {
+            epochs: 6,
+            aging: AgingModel {
+                drift_nu: 0.05,
+                drift_time: 1.0,
+                soft_error_p: 0.02,
+                stuck_lambda: 0.5,
+            },
+            crossbar: CrossbarConfig::ideal(),
+            hardened: true,
+            ..LifetimeConfig::default()
+        };
+
+        let mut uninterrupted = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        uninterrupted.run(None);
+        assert!(uninterrupted.soft_corrected() > 0, "the scenario must exercise the scrubber");
+
+        let mut first = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        first.run(Some(2));
+        assert!(
+            first.soft_corrected() > 0,
+            "resume must happen after at least one corrected soft error"
+        );
+        let checkpoint = first.checkpoint_json();
+        drop(first);
+        let mut resumed =
+            LifetimeRuntime::resume(&net, patterns, config, None, &checkpoint).unwrap();
+        resumed.run(None);
+
+        assert_eq!(resumed.events(), uninterrupted.events());
+        assert_eq!(resumed.soft_corrected(), uninterrupted.soft_corrected());
+        assert_eq!(resumed.soft_uncorrectable(), uninterrupted.soft_uncorrectable());
+        assert_eq!(resumed.device().state_dict(), uninterrupted.device().state_dict());
+        assert_eq!(resumed.render_report(), uninterrupted.render_report());
+        assert_eq!(resumed.checkpoint_json(), uninterrupted.checkpoint_json());
+    }
+
+    #[test]
+    fn hardened_resume_rejects_tampered_parity() {
+        let (net, patterns) = setup(13);
+        let config = LifetimeConfig {
+            epochs: 4,
+            aging: AgingModel { soft_error_p: 0.02, ..quiet_aging() },
+            crossbar: CrossbarConfig::ideal(),
+            hardened: true,
+            ..LifetimeConfig::default()
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns.clone(), config, None);
+        runtime.run(Some(2));
+        let checkpoint = runtime.checkpoint_json();
+
+        let digest = parity_digest(&runtime.parity).to_string();
+        let tampered = checkpoint.replace(&digest, "12345");
+        assert_ne!(tampered, checkpoint, "the digest must appear in the checkpoint");
+        let err =
+            LifetimeRuntime::resume(&net, patterns.clone(), config, None, &tampered).unwrap_err();
+        assert!(err.to_string().contains("parity state"), "{err}");
+
+        // An unhardened checkpoint cannot seed a hardened resume.
+        let plain_config = LifetimeConfig { hardened: false, ..config };
+        let mut plain = LifetimeRuntime::new(&net, patterns.clone(), plain_config, None);
+        plain.run(Some(1));
+        let plain_checkpoint = plain.checkpoint_json();
+        assert!(
+            !plain_checkpoint.contains("parity_digest"),
+            "unhardened checkpoints keep the historical v1 layout"
+        );
+        let err = LifetimeRuntime::resume(&net, patterns, config, None, &plain_checkpoint)
+            .unwrap_err();
+        assert!(matches!(err, HealthmonError::CheckpointMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn hardened_analog_scrubs_conductance_flips() {
+        let (net, patterns) = setup(16);
+        let config = LifetimeConfig {
+            backend: BackendSpec::analog(healthmon_reram::CrossbarConfig::exact()),
+            epochs: 4,
+            ..soft_error_config(true)
+        };
+        let mut runtime = LifetimeRuntime::new(&net, patterns, config, None);
+        let state = runtime.run(None);
+        assert_eq!(state, HealthState::Healthy, "scrubbed flips never reach the monitor");
+        assert_eq!(runtime.repairs_used(), 0);
+        assert!(runtime.soft_corrected() > 0, "p=0.01 over 4 epochs must flip some cells");
+        // In exact mode the scrubbed crossbars read back bit-identical to
+        // the programmed digital image.
+        assert_eq!(
+            runtime.device_readback().state_dict(),
+            runtime.device().state_dict(),
+            "corrected flips must leave no residue in the read-back"
+        );
     }
 
     #[test]

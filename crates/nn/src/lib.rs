@@ -44,4 +44,4 @@ pub use backend::{DigitalBackend, InferenceBackend};
 pub use layers::{DigitalEngine, Layer, MatmulEngine, MatmulOrientation};
 pub use loss::SoftmaxCrossEntropy;
 pub use network::{LoadStateError, Network, NonFiniteActivation, ParamStats};
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{DropConnect, TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,143 @@
+//! Drop-connect hardening property: under the synthetic stuck-at defect
+//! maps the repair hierarchy works with ([`DefectMap::sample_for_matrix`]),
+//! a drop-connect-trained LeNet-5 degrades gracefully at defect rates
+//! where the plainly trained model collapses.
+//!
+//! The model pair is trained once (deterministically) and shared across
+//! cases; each property case then samples a defect rate and a map seed,
+//! applies *identical* defect positions to the crossbar-mapped fully-
+//! connected matrices of both models, and compares the accuracy drops.
+//! Run on the `healthmon-check` harness; a failure at case `N`
+//! reproduces with `healthmon_check::run_case(N, ..)`.
+
+use healthmon_check::{run_cases, Gen};
+use healthmon_data::{DataSplit, DatasetSpec, SynthDigits};
+use healthmon_nn::models::lenet5;
+use healthmon_nn::optim::Sgd;
+use healthmon_nn::trainer::accuracy;
+use healthmon_nn::{DropConnect, Network, TrainConfig, Trainer};
+use healthmon_repair::DefectMap;
+use healthmon_tensor::SeededRng;
+use std::sync::OnceLock;
+
+const CASES: usize = 12;
+/// Defect rates the property sweeps — high enough that the plain model
+/// visibly degrades, low enough that graceful degradation is possible.
+const RATE_LO: f64 = 0.02;
+const RATE_HI: f64 = 0.08;
+/// The hardened model may lose at most this much absolute accuracy per
+/// case (the "bounded loss" side of the property).
+const HARDENED_LOSS_BOUND: f32 = 0.30;
+
+struct Fixture {
+    plain: Network,
+    hardened: Network,
+    split: DataSplit,
+    plain_clean: f32,
+    hardened_clean: f32,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let split = SynthDigits::new(DatasetSpec {
+            train: 512,
+            test: 160,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate();
+        let train = |dc: Option<DropConnect>| {
+            let mut rng = SeededRng::new(6);
+            let mut net = lenet5(&mut rng);
+            let config = TrainConfig {
+                epochs: 4,
+                batch_size: 32,
+                verbose: false,
+                drop_connect: dc,
+                ..TrainConfig::default()
+            };
+            Trainer::new(&mut net, Sgd::new(0.05).momentum(0.9), config)
+                .fit(&split.train.images, &split.train.labels, None);
+            net
+        };
+        let mut plain = train(None);
+        let mut hardened = train(Some(DropConnect::new(0.1).seeded(21)));
+        let plain_clean =
+            accuracy(&mut plain, &split.test.images, &split.test.labels, 32);
+        let hardened_clean =
+            accuracy(&mut hardened, &split.test.images, &split.test.labels, 32);
+        Fixture { plain, hardened, split, plain_clean, hardened_clean }
+    })
+}
+
+/// Applies stuck-at defect maps (same positions for every call with the
+/// same seed) to each crossbar-mapped 2-D weight matrix and returns the
+/// damaged model's test accuracy.
+fn damaged_accuracy(fx: &Fixture, net: &Network, rate: f64, seed: u64) -> f32 {
+    let mut damaged = net.clone();
+    let mut layer = 0u64;
+    damaged.for_each_param_mut(|key, tensor| {
+        if !key.ends_with("weight") || tensor.ndim() != 2 {
+            return;
+        }
+        let mut rng = SeededRng::new(seed).fork(layer);
+        layer += 1;
+        let map = DefectMap::sample_for_matrix(tensor, rate, &mut rng);
+        *tensor = map.apply(tensor);
+    });
+    accuracy(&mut damaged, &fx.split.test.images, &fx.split.test.labels, 32)
+}
+
+#[test]
+fn trained_pair_is_comparable() {
+    let fx = fixture();
+    assert!(fx.plain_clean > 0.5, "plain LeNet-5 undertrained: {}", fx.plain_clean);
+    assert!(
+        fx.hardened_clean > 0.5,
+        "hardened LeNet-5 undertrained: {}",
+        fx.hardened_clean
+    );
+}
+
+#[test]
+fn hardened_lenet5_degrades_gracefully_under_stuck_at() {
+    let fx = fixture();
+    let mut plain_failures = 0usize;
+    let mut plain_total_drop = 0.0f32;
+    let mut hardened_total_drop = 0.0f32;
+    run_cases(CASES, |g: &mut Gen| {
+        let rate = g.f64_in(RATE_LO, RATE_HI);
+        let seed = g.seed();
+        let plain_acc = damaged_accuracy(fx, &fx.plain, rate, seed);
+        let hardened_acc = damaged_accuracy(fx, &fx.hardened, rate, seed);
+        let plain_drop = fx.plain_clean - plain_acc;
+        let hardened_drop = fx.hardened_clean - hardened_acc;
+        plain_total_drop += plain_drop;
+        hardened_total_drop += hardened_drop;
+        if plain_drop > HARDENED_LOSS_BOUND {
+            plain_failures += 1;
+            // The property: wherever the plain model loses more than the
+            // bound, the hardened model stays within it.
+            assert!(
+                hardened_drop <= HARDENED_LOSS_BOUND,
+                "case {}: rate {rate:.3}: hardened dropped {hardened_drop:.3} \
+                 (clean {:.3} -> {hardened_acc:.3}), plain dropped {plain_drop:.3}",
+                g.case(),
+                fx.hardened_clean,
+            );
+        }
+    });
+    // The sweep must actually exercise the failure regime, and hardening
+    // must help on aggregate, not just on the failure cases.
+    assert!(
+        plain_failures > 0,
+        "no case pushed the plain model past the bound; sweep too gentle"
+    );
+    assert!(
+        hardened_total_drop < plain_total_drop,
+        "hardening did not reduce aggregate stuck-at damage: hardened {:.3} vs plain {:.3}",
+        hardened_total_drop,
+        plain_total_drop
+    );
+}

@@ -12,7 +12,7 @@
 
 use crate::{
     BitSlicedMatrix, CellFault, CrossbarConfig, DeployReport, IrDropModel, LayerMapping,
-    TiledMatrix,
+    ScrubOutcome, TiledMatrix,
 };
 use healthmon_nn::{
     InferenceBackend, MatmulEngine, MatmulOrientation, Network, NonFiniteActivation,
@@ -215,6 +215,34 @@ impl MappedMatrix {
         }
     }
 
+    fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+        match self {
+            MappedMatrix::Tiled(t) => t.flip_cells(probability, rng),
+            MappedMatrix::Sliced(s) => s.flip_cells(probability, rng),
+        }
+    }
+
+    fn enable_parity(&mut self) {
+        match self {
+            MappedMatrix::Tiled(t) => t.enable_parity(),
+            MappedMatrix::Sliced(s) => s.enable_parity(),
+        }
+    }
+
+    fn refresh_parity(&mut self) {
+        match self {
+            MappedMatrix::Tiled(t) => t.refresh_parity(),
+            MappedMatrix::Sliced(s) => s.refresh_parity(),
+        }
+    }
+
+    fn scrub_parity(&mut self) -> ScrubOutcome {
+        match self {
+            MappedMatrix::Tiled(t) => t.scrub_parity(),
+            MappedMatrix::Sliced(s) => s.scrub_parity(),
+        }
+    }
+
     fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
         match self {
             MappedMatrix::Tiled(t) => t.drift(nu, time, rng),
@@ -310,6 +338,9 @@ struct MappedNetwork {
     net: Network,
     spec: BackendSpec,
     layers: BTreeMap<String, MappedLayer>,
+    /// Whether online parity tolerance is enabled (sticky: layer
+    /// rewrites re-enable it on the fresh crossbar state).
+    parity: bool,
 }
 
 impl MappedNetwork {
@@ -332,7 +363,7 @@ impl MappedNetwork {
             let matrix = MappedMatrix::program(&oriented, spec, rng);
             layers.insert(key.to_owned(), MappedLayer { matrix, orientation });
         });
-        let mut mapped = MappedNetwork { net: net.clone(), spec: *spec, layers };
+        let mut mapped = MappedNetwork { net: net.clone(), spec: *spec, layers, parity: false };
         if spec.ir_drop > 0.0 {
             let model = IrDropModel::new(spec.ir_drop);
             for layer in mapped.layers.values_mut() {
@@ -352,6 +383,35 @@ impl MappedNetwork {
         for layer in self.layers.values_mut() {
             layer.matrix.disturb(sigma, rng);
         }
+    }
+
+    fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+        let mut flipped = 0usize;
+        for layer in self.layers.values_mut() {
+            flipped += layer.matrix.flip_cells(probability, rng);
+        }
+        flipped
+    }
+
+    fn enable_parity(&mut self) {
+        self.parity = true;
+        for layer in self.layers.values_mut() {
+            layer.matrix.enable_parity();
+        }
+    }
+
+    fn refresh_parity(&mut self) {
+        for layer in self.layers.values_mut() {
+            layer.matrix.refresh_parity();
+        }
+    }
+
+    fn scrub_parity(&mut self) -> ScrubOutcome {
+        let mut outcome = ScrubOutcome::default();
+        for layer in self.layers.values_mut() {
+            outcome.merge(layer.matrix.scrub_parity());
+        }
+        outcome
     }
 
     fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
@@ -379,6 +439,9 @@ impl MappedNetwork {
         layer.matrix = MappedMatrix::program(&oriented, &spec, rng);
         if spec.ir_drop > 0.0 {
             layer.matrix.apply_ir_drop(&IrDropModel::new(spec.ir_drop));
+        }
+        if self.parity {
+            layer.matrix.enable_parity();
         }
         self.net.for_each_param_mut(|k, tensor| {
             if k == key {
@@ -542,6 +605,39 @@ macro_rules! delegate_backend {
             /// Applies conductance drift to every mapped layer.
             pub fn drift(&mut self, nu: f32, time: f32, rng: &mut SeededRng) {
                 self.0.drift(nu, time, rng);
+            }
+
+            /// Flips cells with the given probability across every mapped
+            /// layer (key order, one continuous RNG stream) — sparse
+            /// transient soft errors, the device-level image of the
+            /// digital `RandomSoftError` fault. Returns the flipped cell
+            /// count.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `probability` is not in `[0, 1]`.
+            pub fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+                self.0.flip_cells(probability, rng)
+            }
+
+            /// Enables online soft-error tolerance: every tile captures
+            /// XOR parity checksums over its conductance planes, and
+            /// layer rewrites keep parity enabled on the fresh state.
+            pub fn enable_parity(&mut self) {
+                self.0.enable_parity();
+            }
+
+            /// Re-baselines every tile's parity checksums to the current
+            /// conductances (acknowledging writes or expected aging).
+            pub fn refresh_parity(&mut self) {
+                self.0.refresh_parity();
+            }
+
+            /// Scrubs every tile in-situ against its parity checksums,
+            /// restoring correctable transient flips bitwise. Returns the
+            /// merged outcome (empty when parity was never enabled).
+            pub fn scrub_parity(&mut self) -> ScrubOutcome {
+                self.0.scrub_parity()
             }
 
             /// Freezes one weight (digital coordinates within the named

@@ -11,7 +11,7 @@
 //! parent crate (the sign lives in which path of the pair carries the
 //! magnitude, here modelled by signed per-slice storage).
 
-use crate::{CellFault, CrossbarConfig, IrDropModel, Quantizer, TiledMatrix};
+use crate::{CellFault, CrossbarConfig, IrDropModel, Quantizer, ScrubOutcome, TiledMatrix};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// A weight matrix stored bit-sliced across multiple crossbar arrays.
@@ -169,6 +169,40 @@ impl BitSlicedMatrix {
         for slice in &mut self.slices {
             slice.disturb(sigma, rng);
         }
+    }
+
+    /// Flips cells with probability `probability` in every slice array
+    /// (LSB slice first, one continuous RNG stream). Returns the total
+    /// flipped cell count.
+    pub fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+        let mut flipped = 0usize;
+        for slice in &mut self.slices {
+            flipped += slice.flip_cells(probability, rng);
+        }
+        flipped
+    }
+
+    /// Enables online parity tolerance on every slice array.
+    pub fn enable_parity(&mut self) {
+        for slice in &mut self.slices {
+            slice.enable_parity();
+        }
+    }
+
+    /// Re-baselines the parity checksums of every slice array.
+    pub fn refresh_parity(&mut self) {
+        for slice in &mut self.slices {
+            slice.refresh_parity();
+        }
+    }
+
+    /// Scrubs every slice array against its parity checksums.
+    pub fn scrub_parity(&mut self) -> ScrubOutcome {
+        let mut outcome = ScrubOutcome::default();
+        for slice in &mut self.slices {
+            outcome.merge(slice.scrub_parity());
+        }
+        outcome
     }
 
     /// Applies the first-order IR-drop model to every slice array.

@@ -1,7 +1,7 @@
 //! A single crossbar tile: differential conductance pairs, DAC/ADC
 //! conversion, and device-level fault injection.
 
-use crate::{CrossbarConfig, IrDropModel, Quantizer};
+use crate::{CrossbarConfig, IrDropModel, ParityCheck, Quantizer, ScrubOutcome};
 use healthmon_tensor::{fastmath, SeededRng, Tensor};
 use healthmon_telemetry as tel;
 use std::sync::OnceLock;
@@ -36,6 +36,8 @@ static DISTURB_EVENTS: tel::Counter =
     tel::Counter::new("reram.disturb.events", tel::Stability::Stable);
 static DRIFT_EVENTS: tel::Counter =
     tel::Counter::new("reram.drift.events", tel::Stability::Stable);
+static CELLS_FLIPPED: tel::Counter =
+    tel::Counter::new("reram.cells.flipped", tel::Stability::Stable);
 
 /// Records converter saturation stats for one quantization pass: how many
 /// samples fell outside `[-range, range]` (and were clamped by the
@@ -122,6 +124,12 @@ pub struct Crossbar {
     /// empty one, so a stale matrix can never be read after fault
     /// injection.
     diff_cache: OnceLock<Tensor>,
+    /// Optional online soft-error tolerance: XOR checksum state over the
+    /// two conductance planes (`[g_pos, g_neg]`), modelling the spare
+    /// checksum columns programmed alongside the weights. `None` (the
+    /// default) keeps the unhardened tile byte-identical to pre-parity
+    /// behaviour at zero cost.
+    parity: Option<Box<[ParityCheck; 2]>>,
 }
 
 impl Crossbar {
@@ -208,6 +216,7 @@ impl Crossbar {
             scale,
             input_range: 1.0,
             diff_cache: OnceLock::new(),
+            parity: None,
         }
     }
 
@@ -316,6 +325,10 @@ impl Crossbar {
         self.diff_cache = OnceLock::new();
         CELLS_STUCK.inc();
         CACHE_INVALIDATIONS.inc();
+        // A pinned cell is a *known, persistent* defect owned by the
+        // checkup/repair path; re-baseline the scrubber around it so
+        // online parity stays focused on transient flips.
+        self.refresh_parity();
     }
 
     /// Analog matrix-vector product `wᵀ·x` realized on the tile:
@@ -480,6 +493,80 @@ impl Crossbar {
         DRIFT_EVENTS.inc();
         self.diff_cache = OnceLock::new();
         CACHE_INVALIDATIONS.inc();
+    }
+
+    /// Flips each cell (both differential paths) independently with
+    /// probability `probability` to a uniform draw over the conductance
+    /// window — the sparse transient-upset counterpart of the dense
+    /// [`Crossbar::disturb`] noise, and the device-level image of the
+    /// digital `RandomSoftError` fault. Returns the number of flipped
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    pub fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "flip probability {probability} outside [0, 1]"
+        );
+        let (lo, hi) = (self.config.g_min, self.config.g_max);
+        let mut flipped = 0usize;
+        for g in self
+            .g_pos
+            .as_mut_slice()
+            .iter_mut()
+            .chain(self.g_neg.as_mut_slice())
+        {
+            if rng.chance(probability) {
+                *g = rng.uniform(lo, hi);
+                flipped += 1;
+            }
+        }
+        CELLS_FLIPPED.add(flipped as u64);
+        self.diff_cache = OnceLock::new();
+        CACHE_INVALIDATIONS.inc();
+        flipped
+    }
+
+    /// Enables online soft-error tolerance: captures XOR checksums over
+    /// both conductance planes (the spare checksum columns). Idempotent —
+    /// re-enabling re-baselines to the current conductances.
+    pub fn enable_parity(&mut self) {
+        let pos = ParityCheck::capture(self.rows, self.cols, self.g_pos.as_slice());
+        let neg = ParityCheck::capture(self.rows, self.cols, self.g_neg.as_slice());
+        self.parity = Some(Box::new([pos, neg]));
+    }
+
+    /// Whether online parity is enabled on this tile.
+    pub fn parity_enabled(&self) -> bool {
+        self.parity.is_some()
+    }
+
+    /// Re-baselines the parity checksums to the current conductances —
+    /// the scrubber acknowledging legitimate writes or slow expected
+    /// aging the checkup path owns. No-op when parity is disabled.
+    pub fn refresh_parity(&mut self) {
+        if let Some(parity) = &mut self.parity {
+            parity[0].refresh(self.g_pos.as_slice());
+            parity[1].refresh(self.g_neg.as_slice());
+        }
+    }
+
+    /// Scrubs both conductance planes against the parity checksums,
+    /// restoring correctable transient flips to their exact original bit
+    /// patterns (see [`ParityCheck::scrub`]). If any cell was corrected,
+    /// the differential-conductance cache is invalidated exactly once.
+    /// Returns the merged outcome (empty when parity is disabled).
+    pub fn scrub_parity(&mut self) -> ScrubOutcome {
+        let Some(parity) = &self.parity else { return ScrubOutcome::default() };
+        let mut outcome = parity[0].scrub(self.g_pos.as_mut_slice());
+        outcome.merge(parity[1].scrub(self.g_neg.as_mut_slice()));
+        if outcome.corrected > 0 {
+            self.diff_cache = OnceLock::new();
+            CACHE_INVALIDATIONS.inc();
+        }
+        outcome
     }
 }
 
@@ -726,6 +813,61 @@ mod tests {
         let back = xbar.effective_weights();
         // The far corner sees the most wire resistance.
         assert!(back.as_slice()[63] < back.as_slice()[0]);
+    }
+
+    #[test]
+    fn parity_scrub_restores_flips_and_keeps_cache_coherent() {
+        let mut rng = SeededRng::new(40);
+        let w = Tensor::randn(&[12, 9], &mut rng);
+        let mut xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        xbar.enable_parity();
+        let x = Tensor::randn(&[3, 12], &mut rng);
+        let clean = xbar.matmul(&x); // populates the conductance cache
+        let golden = xbar.effective_weights();
+        let mut flip_rng = SeededRng::new(44);
+        let flipped = xbar.flip_cells(0.01, &mut flip_rng);
+        assert!(flipped > 0, "seeded flip pass must hit at least one cell");
+        // The flip must invalidate the cache (stale results would still
+        // read the clean product here)...
+        let corrupted = xbar.matmul(&x);
+        assert_ne!(clean.as_slice(), corrupted.as_slice(), "cache went stale across flip_cells");
+        // ...and the in-situ correction must invalidate it again: after
+        // the scrub, both the product and the read-back are bitwise the
+        // pre-flip values, which is only possible if the corrected
+        // conductances were re-read.
+        let outcome = xbar.scrub_parity();
+        assert_eq!(outcome.corrected, flipped, "every seeded flip is isolated and correctable");
+        assert_eq!(outcome.uncorrectable, 0);
+        assert_eq!(xbar.matmul(&x), clean, "corrected product must be bitwise the clean one");
+        assert_eq!(xbar.effective_weights(), golden);
+    }
+
+    #[test]
+    fn exact_mode_with_parity_enabled_stays_bitwise_digital() {
+        let mut rng = SeededRng::new(42);
+        let w = Tensor::randn(&[10, 6], &mut rng);
+        let mut xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        xbar.enable_parity();
+        let x = Tensor::randn(&[4, 10], &mut rng);
+        let digital = x.matmul(&w);
+        assert_eq!(xbar.matmul(&x), digital, "parity columns must not perturb the datapath");
+        // A scrub over a clean tile is a no-op and keeps bit-identity.
+        assert_eq!(xbar.scrub_parity(), ScrubOutcome::default());
+        assert_eq!(xbar.matmul(&x), digital);
+    }
+
+    #[test]
+    fn stick_cell_rebaselines_parity() {
+        let mut rng = SeededRng::new(43);
+        let w = Tensor::randn(&[6, 6], &mut rng);
+        let mut xbar = Crossbar::program(&w, &CrossbarConfig::exact(), &mut rng);
+        xbar.enable_parity();
+        xbar.stick_cell(2, 2, 0.0);
+        // The pinned defect is owned by the checkup path: the scrubber
+        // must not "repair" it back to the original weight.
+        let pinned = xbar.effective_weights();
+        assert_eq!(xbar.scrub_parity(), ScrubOutcome::default());
+        assert_eq!(xbar.effective_weights(), pinned);
     }
 
     #[test]

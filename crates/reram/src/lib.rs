@@ -45,6 +45,7 @@ mod config;
 mod crossbar;
 mod deploy;
 mod irdrop;
+mod parity;
 mod quant;
 mod tiled;
 
@@ -54,5 +55,6 @@ pub use config::CrossbarConfig;
 pub use crossbar::{CellFault, Crossbar};
 pub use deploy::{deploy, DeployReport, LayerMapping};
 pub use irdrop::IrDropModel;
+pub use parity::{ParityCheck, ScrubOutcome};
 pub use quant::Quantizer;
 pub use tiled::TiledMatrix;

@@ -1,0 +1,329 @@
+//! Online soft-error tolerance: 2-D XOR checksum parity over crossbar
+//! planes.
+//!
+//! Following the online-ECC schemes proposed for ReRAM crossbars, each
+//! conductance plane is guarded by spare checksum columns: one XOR word
+//! per physical row (the "checksum column" programmed alongside the
+//! weights) and one per physical column (the periphery's running column
+//! digest). A transient conductance flip perturbs exactly one row word
+//! and one column word; matching the two syndromes locates the cell and
+//! XOR-ing the row syndrome back into it restores the *exact* original
+//! bit pattern — correction is bitwise, with no epsilon anywhere.
+//!
+//! The scheme is deliberately built over raw `f32` bit patterns rather
+//! than arithmetic sums so that detection and correction are
+//! deterministic and byte-identical at any `HEALTHMON_THREADS`, matching
+//! the workspace determinism contract.
+//!
+//! Multi-flip behaviour: any number of flips in distinct rows *and*
+//! distinct columns with distinct deltas is corrected; collisions (two
+//! flips sharing a row or a column, or identical bit deltas in separate
+//! rows) are *detected* but left for the regular checkup/repair path and
+//! reported as uncorrectable.
+
+use healthmon_telemetry as tel;
+
+// Scrub outcomes are a pure function of the guarded data, so all parity
+// telemetry is Stable: bit-identical at any HEALTHMON_THREADS.
+static PARITY_SCRUBS: tel::Counter =
+    tel::Counter::new("reram.parity.scrubs", tel::Stability::Stable);
+static PARITY_CORRECTED: tel::Counter =
+    tel::Counter::new("reram.parity.cells_corrected", tel::Stability::Stable);
+static PARITY_UNCORRECTABLE: tel::Counter =
+    tel::Counter::new("reram.parity.uncorrectable", tel::Stability::Stable);
+
+/// Result of one parity scrub over a guarded plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubOutcome {
+    /// Cells whose original bit pattern was restored exactly.
+    pub corrected: usize,
+    /// Lower-bound estimate of corrupted cells the parity detected but
+    /// could not locate unambiguously (left for the checkup path).
+    pub uncorrectable: usize,
+}
+
+impl ScrubOutcome {
+    /// Accumulates another outcome into this one (tile aggregation).
+    pub fn merge(&mut self, other: ScrubOutcome) {
+        self.corrected += other.corrected;
+        self.uncorrectable += other.uncorrectable;
+    }
+
+    /// Whether the scrub found anything at all (corrected or not).
+    pub fn any(&self) -> bool {
+        self.corrected > 0 || self.uncorrectable > 0
+    }
+}
+
+/// XOR checksum state guarding one row-major `rows × cols` plane of
+/// `f32` values (a conductance plane or a digital weight matrix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityCheck {
+    rows: usize,
+    cols: usize,
+    /// XOR of the bit patterns across each row (the spare checksum
+    /// column programmed alongside the weights).
+    row_words: Vec<u32>,
+    /// XOR of the bit patterns down each column (the periphery digest).
+    col_words: Vec<u32>,
+}
+
+impl ParityCheck {
+    /// Captures checksums over `data`, which must hold `rows * cols`
+    /// row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn capture(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert!(rows > 0 && cols > 0, "parity plane must be non-empty");
+        assert_eq!(data.len(), rows * cols, "parity plane shape mismatch");
+        let mut check = ParityCheck {
+            rows,
+            cols,
+            row_words: vec![0; rows],
+            col_words: vec![0; cols],
+        };
+        check.refresh(data);
+        check
+    }
+
+    /// Guarded plane dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The per-row checksum words.
+    pub fn row_words(&self) -> &[u32] {
+        &self.row_words
+    }
+
+    /// The per-column checksum words.
+    pub fn col_words(&self) -> &[u32] {
+        &self.col_words
+    }
+
+    /// Rebuilds a check from stored words (checkpoint restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts disagree with the dimensions.
+    pub fn from_words(rows: usize, cols: usize, row_words: Vec<u32>, col_words: Vec<u32>) -> Self {
+        assert!(rows > 0 && cols > 0, "parity plane must be non-empty");
+        assert_eq!(row_words.len(), rows, "row checksum count mismatch");
+        assert_eq!(col_words.len(), cols, "column checksum count mismatch");
+        ParityCheck { rows, cols, row_words, col_words }
+    }
+
+    /// Re-baselines the checksums to the current plane contents — the
+    /// scrubber's acknowledgement of a legitimate write or of slow,
+    /// expected aging (drift) that the checkup path owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` disagrees with the guarded shape.
+    pub fn refresh(&mut self, data: &[f32]) {
+        assert_eq!(data.len(), self.rows * self.cols, "parity plane shape mismatch");
+        self.row_words.iter_mut().for_each(|w| *w = 0);
+        self.col_words.iter_mut().for_each(|w| *w = 0);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let bits = data[r * self.cols + c].to_bits();
+                self.row_words[r] ^= bits;
+                self.col_words[c] ^= bits;
+            }
+        }
+    }
+
+    /// Whether the plane currently matches the stored checksums.
+    pub fn verify(&self, data: &[f32]) -> bool {
+        let (row_syn, col_syn) = self.syndromes(data);
+        row_syn.iter().all(|&s| s == 0) && col_syn.iter().all(|&s| s == 0)
+    }
+
+    /// Row and column syndromes: XOR of the stored checksum with the
+    /// current plane digest (zero everywhere when clean).
+    fn syndromes(&self, data: &[f32]) -> (Vec<u32>, Vec<u32>) {
+        assert_eq!(data.len(), self.rows * self.cols, "parity plane shape mismatch");
+        let mut row_syn = self.row_words.clone();
+        let mut col_syn = self.col_words.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let bits = data[r * self.cols + c].to_bits();
+                row_syn[r] ^= bits;
+                col_syn[c] ^= bits;
+            }
+        }
+        (row_syn, col_syn)
+    }
+
+    /// Detects and corrects transient flips in `data` against the stored
+    /// checksums.
+    ///
+    /// A cell at the unique intersection of one non-zero row syndrome and
+    /// one equal column syndrome is restored bitwise (`bits ^ syndrome`);
+    /// everything else that fails parity is reported as uncorrectable and
+    /// left untouched for the regular checkup/repair path. The stored
+    /// checksums themselves are never modified — the baseline stands
+    /// until [`ParityCheck::refresh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` disagrees with the guarded shape.
+    pub fn scrub(&self, data: &mut [f32]) -> ScrubOutcome {
+        let (row_syn, col_syn) = self.syndromes(data);
+        let bad_rows: Vec<usize> = (0..self.rows).filter(|&r| row_syn[r] != 0).collect();
+        let bad_cols: Vec<usize> = (0..self.cols).filter(|&c| col_syn[c] != 0).collect();
+        PARITY_SCRUBS.inc();
+        if bad_rows.is_empty() && bad_cols.is_empty() {
+            return ScrubOutcome::default();
+        }
+        let mut col_used = vec![false; bad_cols.len()];
+        let mut corrected = 0usize;
+        let mut unmatched_rows = 0usize;
+        for &r in &bad_rows {
+            // The flip must live where the row and column deltas agree;
+            // a unique agreement locates it exactly.
+            let mut hit: Option<usize> = None;
+            let mut ambiguous = false;
+            for (i, &c) in bad_cols.iter().enumerate() {
+                if !col_used[i] && col_syn[c] == row_syn[r] {
+                    if hit.is_some() {
+                        ambiguous = true;
+                        break;
+                    }
+                    hit = Some(i);
+                }
+            }
+            match hit {
+                Some(i) if !ambiguous => {
+                    let c = bad_cols[i];
+                    let idx = r * self.cols + c;
+                    data[idx] = f32::from_bits(data[idx].to_bits() ^ row_syn[r]);
+                    col_used[i] = true;
+                    corrected += 1;
+                }
+                _ => unmatched_rows += 1,
+            }
+        }
+        let unmatched_cols = col_used.iter().filter(|&&u| !u).count();
+        let outcome = ScrubOutcome {
+            corrected,
+            // Each surviving bad row and bad column holds at least one
+            // corrupted cell; max() avoids double-counting a cell seen
+            // from both axes.
+            uncorrectable: unmatched_rows.max(unmatched_cols),
+        };
+        PARITY_CORRECTED.add(outcome.corrected as u64);
+        PARITY_UNCORRECTABLE.add(outcome.uncorrectable as u64);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::{SeededRng, Tensor};
+
+    fn plane(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SeededRng::new(seed);
+        Tensor::randn(&[rows, cols], &mut rng).into_vec()
+    }
+
+    #[test]
+    fn clean_plane_verifies_and_scrubs_to_nothing() {
+        let data = plane(6, 5, 1);
+        let check = ParityCheck::capture(6, 5, &data);
+        assert!(check.verify(&data));
+        let mut copy = data.clone();
+        assert_eq!(check.scrub(&mut copy), ScrubOutcome::default());
+        assert_eq!(copy, data);
+    }
+
+    #[test]
+    fn single_flip_is_restored_bitwise() {
+        let data = plane(8, 7, 2);
+        let check = ParityCheck::capture(8, 7, &data);
+        let mut hit = data.clone();
+        hit[3 * 7 + 4] = -123.456;
+        assert!(!check.verify(&hit));
+        let outcome = check.scrub(&mut hit);
+        assert_eq!(outcome, ScrubOutcome { corrected: 1, uncorrectable: 0 });
+        for (a, b) in hit.iter().zip(&data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "restore must be bitwise exact");
+        }
+    }
+
+    #[test]
+    fn distinct_row_col_flips_all_corrected() {
+        let data = plane(10, 9, 3);
+        let check = ParityCheck::capture(10, 9, &data);
+        let mut hit = data.clone();
+        for &(r, c, v) in &[(0usize, 0usize, 4.5f32), (4, 6, -0.125), (9, 2, 1e-20)] {
+            hit[r * 9 + c] = v;
+        }
+        let outcome = check.scrub(&mut hit);
+        assert_eq!(outcome, ScrubOutcome { corrected: 3, uncorrectable: 0 });
+        assert!(check.verify(&hit));
+    }
+
+    #[test]
+    fn same_row_collision_is_detected_not_miscorrected() {
+        let data = plane(6, 6, 4);
+        let check = ParityCheck::capture(6, 6, &data);
+        let mut hit = data.clone();
+        hit[2 * 6 + 1] = 7.0;
+        hit[2 * 6 + 5] = -7.0;
+        let before = hit.clone();
+        let outcome = check.scrub(&mut hit);
+        assert_eq!(outcome.corrected, 0, "ambiguous flips must not be touched");
+        assert!(outcome.uncorrectable >= 1);
+        assert_eq!(hit, before, "uncorrectable cells must be left untouched");
+    }
+
+    #[test]
+    fn identical_delta_in_two_rows_is_ambiguous() {
+        let data = plane(5, 5, 5);
+        let check = ParityCheck::capture(5, 5, &data);
+        let mut hit = data.clone();
+        // Same XOR delta applied at (1,2) and (3,4): four equal syndromes.
+        let delta = 0x0040_0000u32;
+        hit[5 + 2] = f32::from_bits(hit[5 + 2].to_bits() ^ delta);
+        hit[3 * 5 + 4] = f32::from_bits(hit[3 * 5 + 4].to_bits() ^ delta);
+        let before = hit.clone();
+        let outcome = check.scrub(&mut hit);
+        assert_eq!(outcome.corrected, 0);
+        assert_eq!(outcome.uncorrectable, 2);
+        assert_eq!(hit, before);
+    }
+
+    #[test]
+    fn refresh_rebaselines_after_writes() {
+        let mut data = plane(4, 4, 6);
+        let mut check = ParityCheck::capture(4, 4, &data);
+        data[5] = 0.75; // legitimate write
+        assert!(!check.verify(&data));
+        check.refresh(&data);
+        assert!(check.verify(&data));
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let data = plane(3, 8, 7);
+        let check = ParityCheck::capture(3, 8, &data);
+        let rebuilt = ParityCheck::from_words(
+            3,
+            8,
+            check.row_words().to_vec(),
+            check.col_words().to_vec(),
+        );
+        assert_eq!(check, rebuilt);
+        assert!(rebuilt.verify(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_wrong_plane_size() {
+        ParityCheck::capture(2, 2, &[0.0; 5]);
+    }
+}

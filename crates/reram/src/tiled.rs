@@ -1,7 +1,7 @@
 //! Tiled mapping of arbitrary weight matrices onto fixed-geometry
 //! crossbar tiles.
 
-use crate::{CellFault, Crossbar, CrossbarConfig, IrDropModel};
+use crate::{CellFault, Crossbar, CrossbarConfig, IrDropModel, ScrubOutcome};
 use healthmon_tensor::{SeededRng, Tensor};
 use healthmon_telemetry as tel;
 
@@ -234,6 +234,40 @@ impl TiledMatrix {
         for tile in &mut self.tiles {
             tile.disturb(sigma, rng);
         }
+    }
+
+    /// Flips cells with probability `probability` in every tile (one
+    /// continuous RNG stream in row-major grid order; see
+    /// [`Crossbar::flip_cells`]). Returns the total flipped cell count.
+    pub fn flip_cells(&mut self, probability: f64, rng: &mut SeededRng) -> usize {
+        let mut flipped = 0usize;
+        for tile in &mut self.tiles {
+            flipped += tile.flip_cells(probability, rng);
+        }
+        flipped
+    }
+
+    /// Enables online parity tolerance on every tile.
+    pub fn enable_parity(&mut self) {
+        for tile in &mut self.tiles {
+            tile.enable_parity();
+        }
+    }
+
+    /// Re-baselines the parity checksums of every tile.
+    pub fn refresh_parity(&mut self) {
+        for tile in &mut self.tiles {
+            tile.refresh_parity();
+        }
+    }
+
+    /// Scrubs every tile against its parity checksums, merging outcomes.
+    pub fn scrub_parity(&mut self) -> ScrubOutcome {
+        let mut outcome = ScrubOutcome::default();
+        for tile in &mut self.tiles {
+            outcome.merge(tile.scrub_parity());
+        }
+        outcome
     }
 
     /// Applies conductance drift toward the high-resistance state to every

@@ -139,6 +139,57 @@ if "$hm" lifetime --arch mlp --model "$lt_dir/model.json" --epochs 2 --backend a
 fi
 echo "ok: backend matrix (check/campaign/deploy/lifetime x digital/analog/bitsliced) passed"
 
+echo "== hardening smoke (drop-connect training + scrubbing lifetimes + mitigation table) =="
+# Drop-connect training is seed-deterministic and thread-count-invariant:
+# the same command must produce byte-identical hardened state dicts.
+for t in 1 2 7; do
+    HEALTHMON_THREADS=$t "$hm" train --arch mlp --out "$lt_dir/hardened_$t.json" \
+        --epochs 2 --train-size 300 --quiet true --drop-connect 0.1 > /dev/null
+done
+cmp "$lt_dir/hardened_1.json" "$lt_dir/hardened_2.json"
+cmp "$lt_dir/hardened_1.json" "$lt_dir/hardened_7.json"
+# ... and must actually differ from plain training.
+if cmp -s "$lt_dir/hardened_1.json" "$lt_dir/model.json"; then
+    echo "ERROR: --drop-connect produced the plainly trained weights" >&2
+    exit 1
+fi
+echo "ok: hardened training byte-identical under HEALTHMON_THREADS=1/2/7"
+# Scrubbing lifetimes run on every backend, stay thread-invariant, and
+# report their scrub tally.
+for b in digital analog bitsliced; do
+    for t in 1 2 7; do
+        rc=0
+        HEALTHMON_THREADS=$t "$hm" lifetime --arch mlp --model "$lt_dir/hardened_1.json" \
+            --epochs 4 --count 8 --drift 0.0 --soft 0.0001 --stuck-lambda 0.0 \
+            --backend "$b" --hardened true > "$lt_dir/lifetime_hard_${b}_$t.txt" || rc=$?
+        [[ "$rc" == "0" || "$rc" == "2" ]]  # healthy or parked, never a usage error
+    done
+    cmp "$lt_dir/lifetime_hard_${b}_1.txt" "$lt_dir/lifetime_hard_${b}_2.txt"
+    cmp "$lt_dir/lifetime_hard_${b}_1.txt" "$lt_dir/lifetime_hard_${b}_7.txt"
+    grep -q "soft errors scrubbed:" "$lt_dir/lifetime_hard_${b}_1.txt"
+done
+echo "ok: hardened lifetime (digital/analog/bitsliced) byte-identical under HEALTHMON_THREADS=1/2/7"
+# The mitigation cost/benefit table: deterministic text and JSON artifact
+# on every backend.
+for b in digital analog bitsliced; do
+    for t in 1 2 7; do
+        HEALTHMON_THREADS=$t "$hm" campaign --arch mlp --model "$lt_dir/model.json" \
+            --hardened true --hardened-model "$lt_dir/hardened_1.json" \
+            --patterns "$lt_dir/patterns.json" --fault soft:0.01 --count 4 \
+            --backend "$b" --json "$lt_dir/mitigation_${b}_$t.json" \
+            > "$lt_dir/mitigation_${b}_$t.txt"
+    done
+    cmp "$lt_dir/mitigation_${b}_1.txt" "$lt_dir/mitigation_${b}_2.txt"
+    cmp "$lt_dir/mitigation_${b}_1.txt" "$lt_dir/mitigation_${b}_7.txt"
+    cmp "$lt_dir/mitigation_${b}_1.json" "$lt_dir/mitigation_${b}_2.json"
+    cmp "$lt_dir/mitigation_${b}_1.json" "$lt_dir/mitigation_${b}_7.json"
+    grep -q "repairs avoided by hardening:" "$lt_dir/mitigation_${b}_1.txt"
+done
+mkdir -p artifacts
+cp "$lt_dir/mitigation_digital_1.json" artifacts/mitigation_smoke.json
+echo "ok: mitigation table (text + JSON) byte-identical under HEALTHMON_THREADS=1/2/7;"
+echo "    artifact written to artifacts/mitigation_smoke.json"
+
 echo "== telemetry smoke (pure observation + thread-invariant stable series) =="
 # Telemetry is purely observational: with --trace on, every primary output
 # (stdout report, exit code) must stay byte-identical to the telemetry-off
