@@ -11,6 +11,7 @@ use healthmon_data::{Dataset, DatasetSpec, SynthDigits};
 use healthmon_faults::{FaultCampaign, FaultModel};
 use healthmon_nn::models::tiny_mlp;
 use healthmon_nn::Network;
+use healthmon_reram::{BackendSpec, CrossbarConfig};
 use healthmon_tensor::{SeededRng, Tensor};
 use std::hint::black_box;
 
@@ -118,6 +119,22 @@ fn bench_campaign() {
     });
     group.case("campaign_distances_40_models", || {
         black_box(detector.campaign_distances(&net, &fault, 40, 11))
+    });
+    // The analog counterpart of the headline number: the same 40 fault
+    // models programmed onto live crossbar state (default 128×128 tiles,
+    // 8-bit converters) before their responses are measured. This is the
+    // per-checkup cost the integer-domain crossbar path is built to keep
+    // within reach of the digital campaign above.
+    let analog = BackendSpec::analog(CrossbarConfig::default());
+    group.case("detection_rate_40_models_analog", || {
+        black_box(detector.detection_rates_with(
+            &net,
+            &fault,
+            40,
+            11,
+            &[SdcCriterion::SdcA { threshold: 0.03 }],
+            &analog,
+        ))
     });
 }
 

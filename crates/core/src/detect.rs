@@ -37,6 +37,12 @@ static CRIT_SDCA_CHECKED: tel::Counter =
     tel::Counter::new("detect.criterion.sdca.checked", tel::Stability::Stable);
 static CRIT_SDCA_DETECTED: tel::Counter =
     tel::Counter::new("detect.criterion.sdca.detected", tel::Stability::Stable);
+// One per fault model instantiated onto a live backend in
+// `detection_rates_with`: the unit of work whose cost the integer-domain
+// crossbar path amortizes (each program is followed by a full pattern-set
+// sweep against the freshly built tile caches).
+static BACKEND_PROGRAMS: tel::Counter =
+    tel::Counter::new("detect.backend.programs", tel::Stability::Stable);
 
 /// The `(checked, detected)` progress counters for a criterion kind.
 fn criterion_counters(c: &SdcCriterion) -> (&'static tel::Counter, &'static tel::Counter) {
@@ -242,6 +248,7 @@ impl Detector {
             par_map_models(golden_net, fault, seed, count, |i, net| {
                 let mut program_rng = SeededRng::new(seed ^ BACKEND_SALT).fork(i as u64);
                 let backend = spec.instantiate(&*net, &mut program_rng);
+                BACKEND_PROGRAMS.inc();
                 let responses = self.responses(&backend);
                 criteria
                     .iter()

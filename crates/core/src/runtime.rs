@@ -646,8 +646,10 @@ impl FromJson for LayerState {
 #[derive(Debug, Clone)]
 enum DeviceState {
     Digital(Network),
-    Analog(AnalogBackend),
-    BitSliced(BitSlicedBackend),
+    // 'static: the runtime owns its device outright — the backends are
+    // severed from the deploy-time network via `into_owned`.
+    Analog(AnalogBackend<'static>),
+    BitSliced(BitSlicedBackend<'static>),
 }
 
 impl DeviceState {
@@ -779,13 +781,14 @@ impl LifetimeRuntime {
                 (DeviceState::Digital(net), report.total_tiles(), report.total_error_l1())
             }
             BackendKind::Analog => {
-                let backend = AnalogBackend::program(&golden, &config.backend, &mut deploy_rng);
+                let backend =
+                    AnalogBackend::program(&golden, &config.backend, &mut deploy_rng).into_owned();
                 let report = backend.deploy_report(patterns.images());
                 (DeviceState::Analog(backend), report.total_tiles(), report.total_error_l1())
             }
             BackendKind::BitSliced => {
-                let backend =
-                    BitSlicedBackend::program(&golden, &config.backend, &mut deploy_rng);
+                let backend = BitSlicedBackend::program(&golden, &config.backend, &mut deploy_rng)
+                    .into_owned();
                 let report = backend.deploy_report(patterns.images());
                 (DeviceState::BitSliced(backend), report.total_tiles(), report.total_error_l1())
             }

@@ -9,6 +9,14 @@
 //! [`AnalogBackend::stick_cell`], ...) immediately change what the next
 //! forward pass computes, including DAC/ADC quantization and multi-tile
 //! partial-sum effects the read-back model cannot express.
+//!
+//! On integer-path-capable tile configurations (the default; see
+//! [`CrossbarConfig::integer_path_capable`]) the analog backends execute
+//! on the quantized `i32` hot path: activations become DAC codes once per
+//! layer call, conductances are cached as differential integer codes, and
+//! the ADC applies at tile boundaries. Conductance mutators (`drift`,
+//! `stick_cell`, `scrub`, ...) invalidate the cached codes exactly like
+//! the `f32` differential cache, so liveness is preserved.
 
 use crate::{
     BitSlicedMatrix, CellFault, CrossbarConfig, DeployReport, IrDropModel, LayerMapping,
@@ -18,6 +26,7 @@ use healthmon_nn::{
     InferenceBackend, MatmulEngine, MatmulOrientation, Network, NonFiniteActivation,
 };
 use healthmon_tensor::{SeededRng, Tensor};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::str::FromStr;
@@ -334,8 +343,11 @@ impl MappedLayer {
 /// every conductance-mapped weight, routed into inference through
 /// [`MatmulEngine`].
 #[derive(Debug, Clone)]
-struct MappedNetwork {
-    net: Network,
+struct MappedNetwork<'a> {
+    /// Borrowed at program time (campaign workloads program thousands of
+    /// short-lived backends and must not deep-copy every net); cloned
+    /// lazily only if a layer rewrite has to update the digital weights.
+    net: Cow<'a, Network>,
     spec: BackendSpec,
     layers: BTreeMap<String, MappedLayer>,
     /// Whether online parity tolerance is enabled (sticky: layer
@@ -343,8 +355,8 @@ struct MappedNetwork {
     parity: bool,
 }
 
-impl MappedNetwork {
-    fn program(net: &Network, spec: &BackendSpec, rng: &mut SeededRng) -> Self {
+impl<'a> MappedNetwork<'a> {
+    fn program(net: &'a Network, spec: &BackendSpec, rng: &mut SeededRng) -> Self {
         spec.validate();
         assert!(spec.kind != BackendKind::Digital, "digital backend needs no mapping");
         let mut orientations = BTreeMap::new();
@@ -356,14 +368,16 @@ impl MappedNetwork {
         let mut layers = BTreeMap::new();
         net.for_each_param(|key, tensor| {
             let Some(&orientation) = orientations.get(key) else { return };
-            let oriented = match orientation {
-                MatmulOrientation::XW => tensor.clone(),
-                MatmulOrientation::WX => tensor.transpose(),
+            // XW weights are already in the programmed layout — map them
+            // in place; only WX needs a transposed copy.
+            let matrix = match orientation {
+                MatmulOrientation::XW => MappedMatrix::program(tensor, spec, rng),
+                MatmulOrientation::WX => MappedMatrix::program(&tensor.transpose(), spec, rng),
             };
-            let matrix = MappedMatrix::program(&oriented, spec, rng);
             layers.insert(key.to_owned(), MappedLayer { matrix, orientation });
         });
-        let mut mapped = MappedNetwork { net: net.clone(), spec: *spec, layers, parity: false };
+        let mut mapped =
+            MappedNetwork { net: Cow::Borrowed(net), spec: *spec, layers, parity: false };
         if spec.ir_drop > 0.0 {
             let model = IrDropModel::new(spec.ir_drop);
             for layer in mapped.layers.values_mut() {
@@ -443,15 +457,26 @@ impl MappedNetwork {
         if self.parity {
             layer.matrix.enable_parity();
         }
-        self.net.for_each_param_mut(|k, tensor| {
+        self.net.to_mut().for_each_param_mut(|k, tensor| {
             if k == key {
                 *tensor = weights.clone();
             }
         });
     }
 
+    /// Deep-copies a borrowed source network into the backend, severing
+    /// the lifetime tie (no-op if a rewrite already forced ownership).
+    fn into_owned(self) -> MappedNetwork<'static> {
+        MappedNetwork {
+            net: Cow::Owned(self.net.into_owned()),
+            spec: self.spec,
+            layers: self.layers,
+            parity: self.parity,
+        }
+    }
+
     fn readback(&self) -> Network {
-        let mut net = self.net.clone();
+        let mut net = self.net.as_ref().clone();
         net.for_each_param_mut(|key, tensor| {
             if let Some(layer) = self.layers.get(key) {
                 *tensor = layer.readback_digital();
@@ -488,7 +513,7 @@ impl MappedNetwork {
     }
 }
 
-impl MatmulEngine for MappedNetwork {
+impl MatmulEngine for MappedNetwork<'_> {
     fn matmul_xw(&self, key: &str, x: &Tensor, w: &Tensor) -> Tensor {
         match self.layers.get(key) {
             Some(layer) => layer.matrix.matmul(x),
@@ -505,7 +530,7 @@ impl MatmulEngine for MappedNetwork {
     }
 }
 
-impl InferenceBackend for MappedNetwork {
+impl InferenceBackend for MappedNetwork<'_> {
     fn infer(&self, input: &Tensor) -> Tensor {
         self.net.infer_with(input, self)
     }
@@ -527,7 +552,7 @@ impl InferenceBackend for MappedNetwork {
 /// peak output magnitude per mapped layer — used by
 /// [`AnalogBackend::deploy_report`] to estimate ADC range utilization.
 struct RecordingEngine<'a> {
-    inner: &'a MappedNetwork,
+    inner: &'a MappedNetwork<'a>,
     peaks: RefCell<BTreeMap<String, f32>>,
 }
 
@@ -558,7 +583,7 @@ impl MatmulEngine for RecordingEngine<'_> {
 
 macro_rules! delegate_backend {
     ($name:ident) => {
-        impl $name {
+        impl<'a> $name<'a> {
             /// Programs every conductance-mapped weight of `net` onto
             /// crossbar state per `spec`.
             ///
@@ -566,9 +591,16 @@ macro_rules! delegate_backend {
             ///
             /// Panics if `spec` is invalid or its kind disagrees with this
             /// backend type.
-            pub fn program(net: &Network, spec: &BackendSpec, rng: &mut SeededRng) -> Self {
+            pub fn program(net: &'a Network, spec: &BackendSpec, rng: &mut SeededRng) -> Self {
                 assert_eq!(spec.kind, Self::KIND, "spec kind disagrees with backend type");
                 $name(MappedNetwork::program(net, spec, rng))
+            }
+
+            /// Severs the borrow of the source network by deep-copying it
+            /// into the backend — for callers that store the backend
+            /// beyond the network's lifetime (e.g. a deployed device).
+            pub fn into_owned(self) -> $name<'static> {
+                $name(self.0.into_owned())
             }
 
             /// The digital network the backend was programmed from
@@ -671,7 +703,7 @@ macro_rules! delegate_backend {
             }
         }
 
-        impl InferenceBackend for $name {
+        impl InferenceBackend for $name<'_> {
             fn infer(&self, input: &Tensor) -> Tensor {
                 self.0.infer(input)
             }
@@ -694,9 +726,9 @@ macro_rules! delegate_backend {
 /// Live analog crossbar backend: every conductance-mapped weight runs as a
 /// [`TiledMatrix`] with DAC/ADC conversion on each matmul.
 #[derive(Debug, Clone)]
-pub struct AnalogBackend(MappedNetwork);
+pub struct AnalogBackend<'a>(MappedNetwork<'a>);
 
-impl AnalogBackend {
+impl AnalogBackend<'_> {
     const KIND: BackendKind = BackendKind::Analog;
 }
 
@@ -705,9 +737,9 @@ delegate_backend!(AnalogBackend);
 /// Live bit-sliced crossbar backend: every conductance-mapped weight runs
 /// as a [`BitSlicedMatrix`] with shift-add recombination on each matmul.
 #[derive(Debug, Clone)]
-pub struct BitSlicedBackend(MappedNetwork);
+pub struct BitSlicedBackend<'a>(MappedNetwork<'a>);
 
-impl BitSlicedBackend {
+impl BitSlicedBackend<'_> {
     const KIND: BackendKind = BackendKind::BitSliced;
 }
 
@@ -720,10 +752,10 @@ delegate_backend!(BitSlicedBackend);
 pub enum ActiveBackend<'a> {
     /// Borrowed digital reference.
     Digital(&'a Network),
-    /// Owned analog crossbar state.
-    Analog(AnalogBackend),
-    /// Owned bit-sliced crossbar state.
-    BitSliced(BitSlicedBackend),
+    /// Analog crossbar state borrowing the programmed net.
+    Analog(AnalogBackend<'a>),
+    /// Bit-sliced crossbar state borrowing the programmed net.
+    BitSliced(BitSlicedBackend<'a>),
 }
 
 impl InferenceBackend for ActiveBackend<'_> {

@@ -10,6 +10,11 @@
 //! their radix weights. Signs use the differential-pair convention of the
 //! parent crate (the sign lives in which path of the pair carries the
 //! magnitude, here modelled by signed per-slice storage).
+//!
+//! Each slice rides a [`TiledMatrix`], so on integer-path-capable configs
+//! (see [`CrossbarConfig::integer_path_capable`]) every slice executes on
+//! the quantize-once `i32` fast path automatically; the shift-add
+//! recombination stays in `f32`.
 
 use crate::{CellFault, CrossbarConfig, IrDropModel, Quantizer, ScrubOutcome, TiledMatrix};
 use healthmon_tensor::{SeededRng, Tensor};

@@ -66,6 +66,24 @@ impl CrossbarConfig {
         self.cell_bits == 0
     }
 
+    /// Whether a tile of this configuration can execute on the
+    /// integer-domain fast path: DAC codes and differential conductance
+    /// codes accumulated in `i32` instead of the `f32` reference loop.
+    ///
+    /// Requires a real DAC (`dac_bits ≥ 1`, so inputs land on a finite
+    /// level grid) and discrete cells (`1 ≤ cell_bits ≤ 8`, so each
+    /// differential pair reduces to an `i16` code), and bounds the
+    /// worst-case accumulator `(2^dac − 1)·(2^cell − 1)·rows` to stay
+    /// comfortably inside `i32` — configurations outside these limits
+    /// (including [`CrossbarConfig::ideal`] and [`CrossbarConfig::exact`],
+    /// which disable the DAC) execute on the bit-pinned `f32` path.
+    pub fn integer_path_capable(&self) -> bool {
+        (1..=16).contains(&self.dac_bits)
+            && (1..=8).contains(&self.cell_bits)
+            && ((1u64 << self.dac_bits) - 1) * ((1u64 << self.cell_bits) - 1) * self.rows as u64
+                <= 1 << 30
+    }
+
     /// An ideal configuration: no write noise and converters disabled —
     /// useful as a baseline in equivalence tests.
     pub fn ideal() -> Self {
@@ -130,6 +148,23 @@ mod tests {
         assert_eq!(c.levels(), 16);
         let c = CrossbarConfig { cell_bits: 1, ..CrossbarConfig::default() };
         assert_eq!(c.levels(), 2);
+    }
+
+    #[test]
+    fn integer_path_gating() {
+        assert!(CrossbarConfig::default().integer_path_capable());
+        // DAC disabled → f32 path (and with it exact()/ideal()).
+        assert!(!CrossbarConfig::ideal().integer_path_capable());
+        assert!(!CrossbarConfig::exact().integer_path_capable());
+        // Cells too fine for i16 codes.
+        let c = CrossbarConfig { cell_bits: 16, dac_bits: 2, ..CrossbarConfig::default() };
+        assert!(!c.integer_path_capable());
+        // Accumulator headroom: 16-bit DAC × 8-bit cells × 128 rows
+        // overflows the 2^30 bound.
+        let c = CrossbarConfig { cell_bits: 8, dac_bits: 16, ..CrossbarConfig::default() };
+        assert!(!c.integer_path_capable());
+        let c = CrossbarConfig { cell_bits: 8, dac_bits: 8, ..CrossbarConfig::default() };
+        assert!(c.integer_path_capable());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! A single crossbar tile: differential conductance pairs, DAC/ADC
 //! conversion, and device-level fault injection.
 
+use crate::quant::{narrow_i16, round_fast, ROUND_MAGIC_LIMIT};
 use crate::{CrossbarConfig, IrDropModel, ParityCheck, Quantizer, ScrubOutcome};
-use healthmon_tensor::{fastmath, SeededRng, Tensor};
+use healthmon_tensor::{fastmath, intacc, pool, PackedB, SeededRng, Tensor};
 use healthmon_telemetry as tel;
 use std::sync::OnceLock;
 
@@ -38,6 +39,18 @@ static DRIFT_EVENTS: tel::Counter =
     tel::Counter::new("reram.drift.events", tel::Stability::Stable);
 static CELLS_FLIPPED: tel::Counter =
     tel::Counter::new("reram.cells.flipped", tel::Stability::Stable);
+// DAC-code cache traffic: the integer-domain execution state (quantized
+// conductance codes + column sums + row-block drop factors) cached
+// alongside the differential matrix. Counted only on tiles whose config
+// is integer-path capable, so the names stay honest on f32-only tiles.
+static DAC_CACHE_HITS: tel::Counter =
+    tel::Counter::new("reram.dac.cache.hits", tel::Stability::Stable);
+static DAC_CACHE_MISSES: tel::Counter =
+    tel::Counter::new("reram.dac.cache.misses", tel::Stability::Stable);
+static DAC_CACHE_INVALIDATIONS: tel::Counter =
+    tel::Counter::new("reram.dac.cache.invalidations", tel::Stability::Stable);
+static INT_ROWBLOCKS: tel::Counter =
+    tel::Counter::new("reram.int8.rowblocks", tel::Stability::Stable);
 
 /// Records converter saturation stats for one quantization pass: how many
 /// samples fell outside `[-range, range]` (and were clamped by the
@@ -85,6 +98,134 @@ fn round_up_pow2(x: f32) -> f32 {
     }
 }
 
+/// Word lines per integer-kernel partial sum: IR-drop factors apply at
+/// this granularity, and `reram.int8.rowblocks` counts these units.
+const ROW_BLOCK: usize = 32;
+
+/// Below this many multiply-accumulates the integer path stays on one
+/// thread (same rationale as the GEMM threshold in `healthmon-tensor`).
+const INT_PAR_THRESHOLD: usize = 1 << 18;
+
+/// Everything one inference through the tile needs, derived lazily from
+/// the conductance planes and invalidated as a unit by every conductance
+/// mutator (fault injection, disturb, drift, scrub correction, IR-drop
+/// model changes).
+#[derive(Debug, Clone)]
+pub(crate) struct ExecState {
+    /// Effective weight matrix `(g_pos − g_neg) · scale`, with any stored
+    /// IR-drop attenuation folded in per cell — the `f32` reference path.
+    /// Built on first use: integer-capable tiles often never touch it
+    /// (weight read-back and the `f32` path are the only consumers).
+    diff: OnceLock<Tensor>,
+    /// `diff` panel-packed once on first `f32`-path product, so repeated
+    /// products skip the per-call pack that dominated small-tile matvec
+    /// cost. Lazy because integer-path tiles never touch it — campaign
+    /// workloads build thousands of short-lived tiles and must not pay
+    /// for a GEMM operand they will not use.
+    packed: OnceLock<PackedB>,
+    /// Integer-domain state when the config supports it (see
+    /// [`CrossbarConfig::integer_path_capable`]); `None` also when any
+    /// conductance is non-finite, which only the `f32` path propagates
+    /// faithfully.
+    pub(crate) int: Option<IntState>,
+}
+
+
+/// Cached integer-domain image of the tile: differential conductance
+/// codes and the precomputed sums the affine DAC→weight mapping needs.
+///
+/// With DAC level `idx` representing voltage `lo + idx·step_x` and code
+/// `k` representing weight `k·step_w`, one output is
+/// `step_w·(step_x·Σ idx_i·k_ij + lo·Σ k_ij)` — an exact `i32` dot plus a
+/// per-column affine correction from the cached column sums.
+#[derive(Debug, Clone)]
+pub(crate) struct IntState {
+    /// `[rows × cols_padded]` signed differential codes, row-major,
+    /// zero-padded to a [`intacc::LANES`] multiple.
+    codes: Vec<i16>,
+    /// Per-row-block column sums `[n_blocks × cols_padded]`, for the
+    /// IR-drop path's per-block affine correction.
+    block_colsums: Vec<i32>,
+    /// Whole-tile column sums `[cols_padded]`.
+    colsums: Vec<i32>,
+    /// Per-(row block, column) mean IR-drop factors, present when a model
+    /// with non-zero wire resistance is stored.
+    drop: Option<Vec<f32>>,
+    /// Weight-domain value of one conductance-code step.
+    step_w: f32,
+    cols_padded: usize,
+}
+
+/// Program-time integer image of a pristine tile: the signed differential
+/// conductance codes (`[rows, cols_padded]`) plus their column sums, laid
+/// out exactly as [`IntState`] consumes them. Valid only while the
+/// conductance planes are untouched since programming — every mutator
+/// drops it.
+#[derive(Debug, Clone)]
+struct IntSeed {
+    codes: Vec<i16>,
+    block_colsums: Vec<i32>,
+    colsums: Vec<i32>,
+}
+
+/// The DAC level grid of a tile: voltage of level `idx` is
+/// `lo + idx·step`. Derived from `input_range` and `dac_bits` only, so
+/// tiles sharing both (every tile of a [`crate::TiledMatrix`] unless a
+/// caller re-calibrated one) share codes and the whole input can be
+/// quantized once per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DacGrid {
+    lo: f32,
+    hi: f32,
+    step: f32,
+    inv_step: f32,
+}
+
+impl DacGrid {
+    /// Quantizes raw activations to DAC level indices, or `None` if any
+    /// value is NaN — NaN must poison whole output rows, which only the
+    /// `f32` reference path reproduces.
+    pub(crate) fn codes_for(&self, values: &[f32]) -> Option<Vec<i32>> {
+        // 8-lane select loop with no early exit, so the compiler can keep
+        // it branch-free. The ·0.0 probe goes sticky-NaN only for NaN
+        // inputs: ±∞ clamps to a finite rail first, which is the allowed
+        // saturation behaviour, while NaN survives `clamp` and must poison
+        // whole output rows — only the `f32` reference path does that.
+        // The level index is read straight out of the magic-add mantissa
+        // (codes are non-negative and < 2²², so the low bits ARE the
+        // rounded integer) — both `.round()` and an `as i32` cast lower
+        // to serial scalar code that kept this loop at ~3 ns/element.
+        const MAGIC: f32 = 12_582_912.0; // 1.5 · 2²³
+        let mut codes = vec![0i32; values.len()];
+        let mut probe = [0.0f32; 8];
+        let mut chunks = values.chunks_exact(8);
+        let mut out = codes.chunks_exact_mut(8);
+        for (ch, dst) in chunks.by_ref().zip(out.by_ref()) {
+            for k in 0..8 {
+                let clamped = ch[k].clamp(self.lo, self.hi);
+                probe[k] += clamped * 0.0;
+                let v = (clamped - self.lo) * self.inv_step;
+                let shifted = v + MAGIC;
+                // Ties-to-even from the magic add, bumped up on exact .5
+                // ties to match `round`'s half-away rule.
+                let bump = i32::from(v - (shifted - MAGIC) == 0.5);
+                dst[k] = (shifted.to_bits() & 0x3F_FFFF) as i32 + bump;
+            }
+        }
+        let mut tail_ok = true;
+        for (&v, dst) in chunks.remainder().iter().zip(out.into_remainder()) {
+            let clamped = v.clamp(self.lo, self.hi);
+            tail_ok &= !clamped.is_nan();
+            *dst = round_fast((clamped - self.lo) * self.inv_step) as i32;
+        }
+        if tail_ok && probe.iter().all(|p| *p == 0.0) {
+            Some(codes)
+        } else {
+            None
+        }
+    }
+}
+
 /// A permanent device fault affecting one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellFault {
@@ -115,15 +256,27 @@ pub struct Crossbar {
     scale: f32,
     /// Largest |input| the DAC was calibrated for.
     input_range: f32,
-    /// Lazily-computed effective weight matrix `(g_pos − g_neg) · scale`,
-    /// shared by every inference through the tile. The scale is folded in
-    /// so the analog accumulate is a single GEMM against weight-domain
-    /// values (in exact cell mode that matrix is bitwise the programmed
-    /// weights, making the crossbar product bit-identical to the digital
-    /// one). Every conductance mutator replaces the cell with a fresh
-    /// empty one, so a stale matrix can never be read after fault
-    /// injection.
-    diff_cache: OnceLock<Tensor>,
+    /// Stored IR-drop model (non-destructive: the pristine conductances
+    /// stay untouched and the attenuation is folded into the execution
+    /// state on rebuild). `None` when no drop is modelled.
+    ir_drop: Option<IrDropModel>,
+    /// Lazily-computed execution state shared by every inference through
+    /// the tile: the effective weight matrix `(g_pos − g_neg) · scale`
+    /// (in exact cell mode bitwise the programmed weights, making the
+    /// crossbar product bit-identical to the digital one), its packed-GEMM
+    /// image, and — on integer-capable configs — the quantized conductance
+    /// codes of the i32 fast path. Every conductance mutator replaces the
+    /// cell with a fresh empty one, so stale state can never be read after
+    /// fault injection.
+    exec_cache: OnceLock<ExecState>,
+    /// Pristine integer image captured at program time: on noise-free
+    /// integer-capable configs every conductance lands exactly on the cell
+    /// grid, so programming emits the signed codes and their column sums
+    /// directly and the first execution-state build is a memcpy instead of
+    /// a full re-quantization scan of both planes. Any conductance
+    /// mutation clears it (see [`Crossbar::invalidate_cache`]); the planes
+    /// then become the only source of truth again.
+    int_seed: Option<Box<IntSeed>>,
     /// Optional online soft-error tolerance: XOR checksum state over the
     /// two conductance planes (`[g_pos, g_neg]`), modelling the spare
     /// checksum columns programmed alongside the weights. `None` (the
@@ -151,11 +304,33 @@ impl Crossbar {
             config.rows,
             config.cols
         );
-        let raw_max = weights
-            .as_slice()
-            .iter()
-            .fold(0.0f32, |m, &v| m.max(v.abs()))
-            .max(f32::MIN_POSITIVE);
+        // Fused 8-lane sweep: the per-lane max reduction vectorizes
+        // (unlike a single-accumulator fold, which LLVM must keep serial),
+        // and the ·0.0 probe turns any NaN/∞ into a sticky NaN per lane —
+        // one pass yields both the programming full scale and the
+        // finiteness verdict the quantized path branches on.
+        let ws_all = weights.as_slice();
+        let mut max_lanes = [0.0f32; 8];
+        let mut probe = [0.0f32; 8];
+        let mut chunks = ws_all.chunks_exact(8);
+        for ch in chunks.by_ref() {
+            for k in 0..8 {
+                let a = ch[k].abs();
+                max_lanes[k] = max_lanes[k].max(a);
+                probe[k] += a * 0.0;
+            }
+        }
+        let mut raw_max = 0.0f32;
+        let mut tail_finite = true;
+        for &v in chunks.remainder() {
+            raw_max = raw_max.max(v.abs());
+            tail_finite &= v.is_finite();
+        }
+        for &m in &max_lanes {
+            raw_max = raw_max.max(m);
+        }
+        let all_finite = tail_finite && probe.iter().all(|p| *p == 0.0);
+        let raw_max = raw_max.max(f32::MIN_POSITIVE);
         // Exact cell mode: snapping the full scale to a power of two makes
         // |w|/w_max and the later ·scale re-expansion pure exponent
         // shifts, so programming is bitwise lossless.
@@ -164,32 +339,121 @@ impl Crossbar {
         // uses the full conductance window.
         let window = config.g_max - config.g_min;
         let scale = w_max / window;
-        let cell_q = (!config.exact_cells())
-            .then(|| Quantizer::new(config.g_min, config.g_max, config.cell_bits));
         let mut g_pos = Tensor::zeros(&[rows, cols]);
         let mut g_neg = Tensor::zeros(&[rows, cols]);
-        for ((gp, gn), &w) in g_pos
-            .as_mut_slice()
-            .iter_mut()
-            .zip(g_neg.as_mut_slice())
-            .zip(weights.as_slice())
-        {
-            let magnitude = (w.abs() / w_max) * window; // ∈ [0, window]
-            let (p, n) = if w >= 0.0 {
-                (config.g_min + magnitude, config.g_min)
-            } else {
-                (config.g_min, config.g_min + magnitude)
-            };
-            match &cell_q {
-                Some(q) => {
-                    *gp = q.quantize(p);
-                    *gn = q.quantize(n);
-                }
-                None => {
-                    *gp = p;
-                    *gn = n;
+        let mut int_seed = None;
+        if config.exact_cells() {
+            for ((gp, gn), &w) in g_pos
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g_neg.as_mut_slice())
+                .zip(weights.as_slice())
+            {
+                let magnitude = (w.abs() / w_max) * window; // ∈ [0, window]
+                if w >= 0.0 {
+                    *gp = config.g_min + magnitude;
+                    *gn = config.g_min;
+                } else {
+                    *gp = config.g_min;
+                    *gn = config.g_min + magnitude;
                 }
             }
+        } else {
+            // Quantized cells in the index domain: the cell quantizer's
+            // level choice for `g_min + |w|·window/w_max` reduces to
+            // `idx = round(|w|·max_code/w_max)` — one multiply per cell —
+            // and `g = g_min + idx·step_g` reconstructs the identical grid
+            // point. On noise-free integer-capable configs the signed level
+            // index IS the differential conductance code of the i32 fast
+            // path, so programming emits the DAC-code cache seed as a
+            // by-product instead of leaving `build_int` to re-derive every
+            // code from the planes.
+            let max_code = (1i32 << config.cell_bits) - 1;
+            let step_g = window / max_code as f32;
+            let code_scale = max_code as f32 / w_max;
+            let step_w = step_g * scale;
+            let seedable = config.integer_path_capable()
+                && config.write_noise == 0.0
+                && step_w.is_finite()
+                && step_w > 0.0;
+            let cols_padded = cols.next_multiple_of(intacc::LANES);
+            let gp = g_pos.as_mut_slice();
+            let gn = g_neg.as_mut_slice();
+            let ws = weights.as_slice();
+            let mut codes = None;
+            if code_scale.is_finite() && all_finite && (max_code as f32) < ROUND_MAGIC_LIMIT {
+                // Branch-light select form the compiler can vectorize:
+                // zip iteration (indexed stores into the two planes leave
+                // bounds checks that block the vectorizer), `round_fast`
+                // instead of `.round()`'s serial scalar lowering, and on
+                // the seeded path `narrow_i16` instead of a scalarizing
+                // float→i16 cast. One fused pass derives the conductance
+                // grid point and the signed seed code from the same
+                // rounded level, so the seed and a later scan of the
+                // planes agree on every index.
+                let fmax = max_code as f32;
+                if seedable {
+                    let mut image = vec![0i16; rows * cols_padded];
+                    for r in 0..rows {
+                        let base = r * cols;
+                        let row = &mut image[r * cols_padded..r * cols_padded + cols];
+                        let wr = &ws[base..base + cols];
+                        let gpr = &mut gp[base..base + cols];
+                        let gnr = &mut gn[base..base + cols];
+                        for (((&w, p), n), code) in
+                            wr.iter().zip(gpr).zip(gnr).zip(row)
+                        {
+                            let idx = round_fast(w.abs() * code_scale).min(fmax);
+                            let g = config.g_min + idx * step_g;
+                            let pos = w >= 0.0;
+                            *p = if pos { g } else { config.g_min };
+                            *n = if pos { config.g_min } else { g };
+                            *code = narrow_i16(idx.copysign(w));
+                        }
+                    }
+                    codes = Some(image);
+                } else {
+                    for ((&w, p), n) in ws.iter().zip(gp.iter_mut()).zip(gn.iter_mut()) {
+                        let g = config.g_min
+                            + round_fast(w.abs() * code_scale).min(fmax) * step_g;
+                        let pos = w >= 0.0;
+                        *p = if pos { g } else { config.g_min };
+                        *n = if pos { config.g_min } else { g };
+                    }
+                }
+            } else {
+                // Non-finite weights, a degenerate full scale, or a cell
+                // grid too fine for `round_fast`: reproduce the reference
+                // semantics exactly via the cell quantizer. NaN/∞ must
+                // poison the planes, and no seed is emitted, because
+                // `NaN as i32` in Rust saturates to 0, which would
+                // silently erase the poison from the integer image.
+                let q = Quantizer::new(config.g_min, config.g_max, config.cell_bits);
+                for (i, &w) in ws.iter().enumerate() {
+                    let magnitude = (w.abs() / w_max) * window;
+                    let (p, n) = if w >= 0.0 {
+                        (config.g_min + magnitude, config.g_min)
+                    } else {
+                        (config.g_min, config.g_min + magnitude)
+                    };
+                    gp[i] = q.quantize(p);
+                    gn[i] = q.quantize(n);
+                }
+            }
+            int_seed = codes.map(|codes| {
+                let n_blocks = rows.div_ceil(ROW_BLOCK);
+                let mut block_colsums = vec![0i32; n_blocks * cols_padded];
+                let mut colsums = vec![0i32; cols_padded];
+                for r in 0..rows {
+                    let block = &mut block_colsums[(r / ROW_BLOCK) * cols_padded..];
+                    for c in 0..cols_padded {
+                        let k = i32::from(codes[r * cols_padded + c]);
+                        block[c] += k;
+                        colsums[c] += k;
+                    }
+                }
+                Box::new(IntSeed { codes, block_colsums, colsums })
+            });
         }
         if config.write_noise > 0.0 {
             // Bulk write-noise pass: one block-sampled lognormal draw per
@@ -215,20 +479,182 @@ impl Crossbar {
             g_neg,
             scale,
             input_range: 1.0,
-            diff_cache: OnceLock::new(),
+            ir_drop: None,
+            exec_cache: OnceLock::new(),
+            int_seed,
             parity: None,
         }
     }
 
-    /// The effective weight matrix `(g_pos − g_neg) · scale`, computed on
-    /// first use and cached until the next conductance mutation.
-    fn diff(&self) -> &Tensor {
+    /// The execution state (differential matrix, packed GEMM operand,
+    /// integer codes), computed on first use and cached until the next
+    /// conductance mutation.
+    pub(crate) fn exec(&self) -> &ExecState {
         CACHE_LOOKUPS.inc();
-        self.diff_cache.get_or_init(|| {
+        let capable = self.config.integer_path_capable();
+        if capable && self.exec_cache.get().is_some() {
+            DAC_CACHE_HITS.inc();
+        }
+        self.exec_cache.get_or_init(|| {
             CACHE_BUILDS.inc();
-            let s = self.scale;
-            self.g_pos.zip_map(&self.g_neg, move |p, n| (p - n) * s)
+            if capable {
+                DAC_CACHE_MISSES.inc();
+            }
+            self.build_exec()
         })
+    }
+
+    /// The effective weight matrix `(g_pos − g_neg) · scale` (IR drop
+    /// folded in), shared by every inference through the tile. Built on
+    /// first use inside the cached execution state.
+    fn diff(&self) -> &Tensor {
+        let exec = self.exec();
+        exec.diff.get_or_init(|| {
+            let s = self.scale;
+            match &self.ir_drop {
+                // Per-cell attenuation of both planes — the same math the
+                // destructive application used, now recomputed from
+                // pristine conductances so repeated model changes never
+                // compound.
+                Some(model) => {
+                    let gp = model.attenuate(&self.g_pos);
+                    let gn = model.attenuate(&self.g_neg);
+                    gp.zip_map(&gn, move |p, n| (p - n) * s)
+                }
+                None => self.g_pos.zip_map(&self.g_neg, move |p, n| (p - n) * s),
+            }
+        })
+    }
+
+    /// The panel-packed GEMM operand of [`Crossbar::diff`], built on first
+    /// `f32`-path product.
+    fn packed(&self) -> &PackedB {
+        let exec = self.exec();
+        exec.packed.get_or_init(|| PackedB::pack(self.diff()))
+    }
+
+    /// Drops the cached execution state after a conductance (or IR-drop
+    /// model) mutation.
+    fn invalidate_cache(&mut self) {
+        self.exec_cache = OnceLock::new();
+        // The program-time code image no longer matches the planes; from
+        // here on the integer state must be re-derived from conductances.
+        self.int_seed = None;
+        CACHE_INVALIDATIONS.inc();
+        if self.config.integer_path_capable() {
+            DAC_CACHE_INVALIDATIONS.inc();
+        }
+    }
+
+    fn build_exec(&self) -> ExecState {
+        ExecState { diff: OnceLock::new(), packed: OnceLock::new(), int: self.build_int() }
+    }
+
+    /// Extracts the integer-domain image of the tile, or `None` when the
+    /// config is not integer-capable or a conductance is non-finite (a
+    /// NaN-poisoned weight must keep poisoning outputs, which only the
+    /// `f32` path guarantees).
+    ///
+    /// Conductances land exactly on the cell grid at program time, so on
+    /// an unmutated tile the codes are lossless; post-fault conductances
+    /// (disturb/drift/flip and in-window stuck magnitudes) round to the
+    /// nearest code — a read-quantization error bounded by half a cell
+    /// step. The window endpoints are grid points, so stuck-at faults stay
+    /// exactly visible.
+    fn build_int(&self) -> Option<IntState> {
+        if !self.config.integer_path_capable() {
+            return None;
+        }
+        let window = self.config.g_max - self.config.g_min;
+        let max_code = (1i32 << self.config.cell_bits) - 1;
+        let step_g = window / max_code as f32;
+        let step_w = step_g * self.scale;
+        if !(step_w.is_finite() && step_w > 0.0) {
+            return None;
+        }
+        let cols_padded = self.cols.next_multiple_of(intacc::LANES);
+        let n_blocks = self.rows.div_ceil(ROW_BLOCK);
+        if let Some(seed) = &self.int_seed {
+            // Pristine tile: the program-time image is authoritative, so
+            // the build is three buffer copies plus the drop factors.
+            return Some(IntState {
+                codes: seed.codes.clone(),
+                block_colsums: seed.block_colsums.clone(),
+                colsums: seed.colsums.clone(),
+                drop: self.int_drop_factors(n_blocks, cols_padded),
+                step_w,
+                cols_padded,
+            });
+        }
+        let inv_step_g = 1.0 / step_g;
+        let gp = self.g_pos.as_slice();
+        let gn = self.g_neg.as_slice();
+        let mut codes = vec![0i16; self.rows * cols_padded];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let d = gp[r * self.cols + c] - gn[r * self.cols + c];
+                if !d.is_finite() {
+                    return None;
+                }
+                let k = (d * inv_step_g).round() as i32;
+                codes[r * cols_padded + c] = k.clamp(-max_code, max_code) as i16;
+            }
+        }
+        let mut block_colsums = vec![0i32; n_blocks * cols_padded];
+        let mut colsums = vec![0i32; cols_padded];
+        for r in 0..self.rows {
+            let block = &mut block_colsums[(r / ROW_BLOCK) * cols_padded..];
+            for c in 0..cols_padded {
+                let k = i32::from(codes[r * cols_padded + c]);
+                block[c] += k;
+                colsums[c] += k;
+            }
+        }
+        let drop = self.int_drop_factors(n_blocks, cols_padded);
+        Some(IntState { codes, block_colsums, colsums, drop, step_w, cols_padded })
+    }
+
+    /// Per-(row block, column) mean IR-drop factors for the integer path,
+    /// or `None` when no resistive model is stored. One combined loading
+    /// estimate over both planes: the int path attenuates the differential
+    /// partial sum, not each plane, so it sees one factor per cell group.
+    fn int_drop_factors(&self, n_blocks: usize, cols_padded: usize) -> Option<Vec<f32>> {
+        self.ir_drop.filter(|m| m.r_wire() > 0.0).map(|model| {
+            let gp = self.g_pos.as_slice();
+            let gn = self.g_neg.as_slice();
+            let g_avg = gp.iter().chain(gn).map(|v| v.abs()).sum::<f32>()
+                / (gp.len() + gn.len()).max(1) as f32;
+            let mut factors = vec![0.0f32; n_blocks * cols_padded];
+            for blk in 0..n_blocks {
+                let r0 = blk * ROW_BLOCK;
+                let r1 = (r0 + ROW_BLOCK).min(self.rows);
+                for c in 0..self.cols {
+                    factors[blk * cols_padded + c] = model.mean_factor(r0, r1, c, g_avg);
+                }
+            }
+            factors
+        })
+    }
+
+    /// The tile's DAC level grid, when a DAC the integer path can use is
+    /// configured.
+    pub(crate) fn dac_grid(&self) -> Option<DacGrid> {
+        if !(1..=16).contains(&self.config.dac_bits) {
+            return None;
+        }
+        let levels = 1u32 << self.config.dac_bits;
+        let (lo, hi) = (-self.input_range, self.input_range);
+        let step = (hi - lo) / (levels - 1) as f32;
+        Some(DacGrid { lo, hi, step, inv_step: 1.0 / step })
+    }
+
+    /// Records DAC saturation telemetry for one quantization pass over
+    /// `values`, against this tile's input range. Lets a tiled caller that
+    /// quantizes its whole input once record the conversion once too,
+    /// instead of per (row block, column block). Callers pre-gate on
+    /// [`tel::enabled`].
+    pub(crate) fn record_dac(&self, values: &[f32]) {
+        record_converter(values, self.input_range, &DAC_SAMPLES, &DAC_CLIPPED, &DAC_SATURATION);
     }
 
     /// Number of word lines in use.
@@ -270,29 +696,36 @@ impl Crossbar {
         self.input_range * self.rows as f32 * (self.config.g_max - self.config.g_min) * self.scale
     }
 
-    /// Attenuates both conductance planes with a first-order IR-drop
-    /// model — the position-dependent wire-resistance loss applied to the
-    /// stored conductances (see [`IrDropModel::attenuate`]).
+    /// Stores a first-order IR-drop model on the tile, replacing any
+    /// previous one (`r_wire == 0` clears it). The pristine conductances
+    /// are left untouched: the `f32` path folds per-cell attenuation (see
+    /// [`IrDropModel::attenuate`]) into the effective weight matrix on the
+    /// next rebuild, and the integer path applies mean factors to its
+    /// `i32` partial sums at row-block (`ROW_BLOCK`) granularity — so enabling IR
+    /// drop no longer forces the `f32` slow path, and re-applying a model
+    /// is idempotent instead of compounding.
     pub fn apply_ir_drop(&mut self, model: &IrDropModel) {
-        let before = tel::enabled().then(|| self.g_pos.clone());
-        self.g_pos = model.attenuate(&self.g_pos);
-        self.g_neg = model.attenuate(&self.g_neg);
-        if let Some(before) = before {
+        self.ir_drop = (model.r_wire() > 0.0).then_some(*model);
+        if tel::enabled() {
             IR_DROP_APPLIED.inc();
-            // Worst-case wire loss: the smallest surviving fraction of any
-            // (positive-path) conductance.
+            // Worst-case wire loss: the smallest factor any live
+            // (positive-path) conductance will see on rebuild.
+            let gp = self.g_pos.as_slice();
+            let g_avg =
+                gp.iter().map(|v| v.abs()).sum::<f32>() / gp.len().max(1) as f32;
             let mut min_factor = f64::INFINITY;
-            for (&b, &a) in before.as_slice().iter().zip(self.g_pos.as_slice()) {
-                if b > 0.0 {
-                    min_factor = min_factor.min(f64::from(a / b));
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    if gp[r * self.cols + c] > 0.0 {
+                        min_factor = min_factor.min(f64::from(model.factor(r, c, g_avg)));
+                    }
                 }
             }
             if min_factor.is_finite() {
                 IR_DROP_MIN_FACTOR.set_min(min_factor);
             }
         }
-        self.diff_cache = OnceLock::new();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
     }
 
     /// Freezes one differential pair so it reads as the given
@@ -322,9 +755,8 @@ impl Crossbar {
         let idx = row * self.cols + col;
         self.g_pos.as_mut_slice()[idx] = p;
         self.g_neg.as_mut_slice()[idx] = n;
-        self.diff_cache = OnceLock::new();
         CELLS_STUCK.inc();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
         // A pinned cell is a *known, persistent* defect owned by the
         // checkup/repair path; re-baseline the scrubber around it so
         // online parity stays focused on transient flips.
@@ -377,9 +809,29 @@ impl Crossbar {
             input.shape()[1],
             self.rows
         );
-        // DAC: quantize voltages.
-        let mut v = input.clone();
-        if self.config.dac_bits > 0 {
+        let batch = input.shape()[0];
+        let exec = self.exec();
+        // Integer fast path: DAC codes × cached conductance codes in i32,
+        // ADC scaling fused at the tile boundary.
+        if let Some(int) = &exec.int {
+            let grid = self.dac_grid().expect("integer-capable config implies a live DAC");
+            if let Some(codes) = grid.codes_for(input.as_slice()) {
+                if tel::enabled() {
+                    record_converter(
+                        input.as_slice(),
+                        self.input_range,
+                        &DAC_SAMPLES,
+                        &DAC_CLIPPED,
+                        &DAC_SATURATION,
+                    );
+                }
+                return self.int_matmul(int, &grid, &codes, batch, self.rows, 0);
+            }
+        }
+        // f32 reference path (exact/ideal configs, NaN inputs, or
+        // integer-incapable precision settings).
+        let mut out = if self.config.dac_bits > 0 {
+            let mut v = input.clone();
             if tel::enabled() {
                 record_converter(
                     v.as_slice(),
@@ -391,26 +843,96 @@ impl Crossbar {
             }
             let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
             q.quantize_slice(v.as_mut_slice());
+            v.matmul_prepacked(self.packed())
+        } else {
+            // Analog accumulate directly in the weight domain: the cached
+            // packing already carries the (g+ − g−)·scale fold, so one
+            // GEMM yields I_bj·scale = Σ_i v_bi (g+_ij − g−_ij)·scale.
+            input.matmul_prepacked(self.packed())
+        };
+        self.adc_quantize(&mut out);
+        out
+    }
+
+    /// ADC stage shared by both execution paths: records saturation stats
+    /// and snaps outputs to the ADC grid when `adc_bits > 0`.
+    fn adc_quantize(&self, out: &mut Tensor) {
+        if self.config.adc_bits == 0 {
+            return;
         }
-        // Analog accumulate directly in the weight domain: the cached
-        // matrix already carries the (g+ − g−)·scale fold, so one GEMM
-        // yields I_bj·scale = Σ_i v_bi (g+_ij − g−_ij)·scale.
-        let mut out = v.matmul(self.diff());
-        if self.config.adc_bits > 0 {
-            // ADC full scale sized to the worst-case current of the tile.
-            let full_scale = self.adc_full_scale();
-            if tel::enabled() {
-                record_converter(
-                    out.as_slice(),
-                    full_scale,
-                    &ADC_SAMPLES,
-                    &ADC_CLIPPED,
-                    &ADC_SATURATION,
-                );
-            }
-            let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
-            q.quantize_slice(out.as_mut_slice());
+        // ADC full scale sized to the worst-case current of the tile.
+        let full_scale = self.adc_full_scale();
+        if tel::enabled() {
+            record_converter(
+                out.as_slice(),
+                full_scale,
+                &ADC_SAMPLES,
+                &ADC_CLIPPED,
+                &ADC_SATURATION,
+            );
         }
+        let q = Quantizer::new(-full_scale, full_scale, self.config.adc_bits);
+        q.quantize_slice(out.as_mut_slice());
+    }
+
+    /// Runs the integer path against pre-quantized DAC codes laid out as
+    /// `batch` rows of `stride` codes, of which this tile consumes
+    /// `[offset, offset + rows)` — so a tiled caller quantizes its whole
+    /// input once and every row-block tile reads its slice in place.
+    /// Returns `None` when this tile has no integer state (caller falls
+    /// back to [`Crossbar::matmul`] on the raw segment).
+    pub(crate) fn int_matmul_codes(
+        &self,
+        codes: &[i32],
+        batch: usize,
+        stride: usize,
+        offset: usize,
+    ) -> Option<Tensor> {
+        let exec = self.exec();
+        let int = exec.int.as_ref()?;
+        let grid = self.dac_grid()?;
+        Some(self.int_matmul(int, &grid, codes, batch, stride, offset))
+    }
+
+    /// Integer-domain batched product: exact i32 accumulation per row
+    /// block, affine DAC/weight rescale at the tile boundary (f64
+    /// intermediates), then the shared ADC stage. Each batch row is
+    /// computed independently in a fixed block order, so results are
+    /// bit-identical at any thread count and between the batched and
+    /// matvec entry points.
+    fn int_matmul(
+        &self,
+        int: &IntState,
+        grid: &DacGrid,
+        codes: &[i32],
+        batch: usize,
+        stride: usize,
+        offset: usize,
+    ) -> Tensor {
+        let cols = self.cols;
+        let rows = self.rows;
+        let n_blocks = rows.div_ceil(ROW_BLOCK);
+        INT_ROWBLOCKS.add((n_blocks * batch) as u64);
+        let mut out = vec![0.0f32; batch * cols];
+        let work = batch * rows * cols;
+        let threads = if work < INT_PAR_THRESHOLD {
+            1
+        } else {
+            pool::max_threads().min(batch).max(1)
+        };
+        if threads <= 1 {
+            int_rows(int, grid, codes, 0, batch, stride, offset, rows, cols, &mut out);
+        } else {
+            let rows_per = batch.div_ceil(threads);
+            pool::run_chunks(&mut out, rows_per * cols, |ci, chunk| {
+                let b0 = ci * rows_per;
+                let b1 = (b0 + rows_per).min(batch);
+                int_rows(int, grid, codes, b0, b1, stride, offset, rows, cols, chunk);
+            });
+        }
+        let mut out = Tensor::from_vec(out, &[batch, cols])
+            .expect("integer-path output shape is consistent by construction");
+        self.adc_quantize(&mut out);
         out
     }
 
@@ -439,8 +961,7 @@ impl Crossbar {
             }
         }
         CELLS_STUCK.add(stuck);
-        self.diff_cache = OnceLock::new();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
     }
 
     /// Applies lognormal conductance disturbance to every cell,
@@ -465,8 +986,7 @@ impl Crossbar {
             *g = (*g * f).clamp(lo, hi);
         }
         DISTURB_EVENTS.inc();
-        self.diff_cache = OnceLock::new();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
     }
 
     /// Applies deterministic conductance drift toward the high-resistance
@@ -491,8 +1011,7 @@ impl Crossbar {
             *g = lo + (*g - lo) * fastmath::exp(-z.abs() * time);
         }
         DRIFT_EVENTS.inc();
-        self.diff_cache = OnceLock::new();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
     }
 
     /// Flips each cell (both differential paths) independently with
@@ -524,8 +1043,7 @@ impl Crossbar {
             }
         }
         CELLS_FLIPPED.add(flipped as u64);
-        self.diff_cache = OnceLock::new();
-        CACHE_INVALIDATIONS.inc();
+        self.invalidate_cache();
         flipped
     }
 
@@ -563,10 +1081,107 @@ impl Crossbar {
         let mut outcome = parity[0].scrub(self.g_pos.as_mut_slice());
         outcome.merge(parity[1].scrub(self.g_neg.as_mut_slice()));
         if outcome.corrected > 0 {
-            self.diff_cache = OnceLock::new();
-            CACHE_INVALIDATIONS.inc();
+            self.invalidate_cache();
         }
         outcome
+    }
+}
+
+/// Computes output rows `[b0, b1)` of the integer-domain product into
+/// `out` (`(b1-b0) × cols`, caller-sliced). Row blocks accumulate in i32
+/// via [`intacc::accumulate_rows`]; the DAC voltage affine
+/// (`v = lo + idx·step`) and the weight-code scale `step_w` apply once per
+/// block boundary in f64, against the cached column sums.
+#[allow(clippy::too_many_arguments)]
+fn int_rows(
+    int: &IntState,
+    grid: &DacGrid,
+    codes: &[i32],
+    b0: usize,
+    b1: usize,
+    stride: usize,
+    offset: usize,
+    rows: usize,
+    cols: usize,
+    out: &mut [f32],
+) {
+    let cp = int.cols_padded;
+    let n_blocks = rows.div_ceil(ROW_BLOCK);
+    let step_x = f64::from(grid.step);
+    let lo = f64::from(grid.lo);
+    let sw = f64::from(int.step_w);
+    // Affine DAC→weight fold shared by the blocked and per-row paths.
+    let fold = |acc: &[i32], dst: &mut [f32]| {
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = ((step_x * f64::from(acc[j]) + lo * f64::from(int.colsums[j])) * sw) as f32;
+        }
+    };
+    let mut next = b0;
+    if int.drop.is_none() {
+        // Blocked main loop: four batch rows per sweep, so each widened
+        // weight-code load feeds four multiply-adds. Integer addition is
+        // exact, so this is bit-identical to the per-row remainder loop
+        // below at any batch size or thread split.
+        let mut acc4 = vec![0i32; 4 * cp];
+        while next + 4 <= b1 {
+            acc4.fill(0);
+            let x = |k: usize| {
+                &codes[(next + k) * stride + offset..(next + k) * stride + offset + rows]
+            };
+            for blk in 0..n_blocks {
+                let r0 = blk * ROW_BLOCK;
+                let r1 = (r0 + ROW_BLOCK).min(rows);
+                intacc::accumulate_rows_x4(
+                    [&x(0)[r0..r1], &x(1)[r0..r1], &x(2)[r0..r1], &x(3)[r0..r1]],
+                    &int.codes[r0 * cp..r1 * cp],
+                    cp,
+                    &mut acc4,
+                );
+            }
+            for k in 0..4 {
+                let dst = &mut out[(next - b0 + k) * cols..(next - b0 + k + 1) * cols];
+                fold(&acc4[k * cp..(k + 1) * cp], dst);
+            }
+            next += 4;
+        }
+    }
+    let mut acc = vec![0i32; cp];
+    for b in next..b1 {
+        let x = &codes[b * stride + offset..b * stride + offset + rows];
+        let dst = &mut out[(b - b0) * cols..(b - b0 + 1) * cols];
+        match &int.drop {
+            None => {
+                // One exact i32 accumulate over all word lines, one
+                // affine conversion per bit line.
+                acc.fill(0);
+                for blk in 0..n_blocks {
+                    let r0 = blk * ROW_BLOCK;
+                    let r1 = (r0 + ROW_BLOCK).min(rows);
+                    intacc::accumulate_rows(&x[r0..r1], &int.codes[r0 * cp..r1 * cp], cp, &mut acc);
+                }
+                fold(&acc, dst);
+            }
+            Some(drop) => {
+                // Per-block partial sums so each block's mean IR-drop
+                // factor can scale its contribution before the f32 fold.
+                for d in dst.iter_mut() {
+                    *d = 0.0;
+                }
+                for blk in 0..n_blocks {
+                    let r0 = blk * ROW_BLOCK;
+                    let r1 = (r0 + ROW_BLOCK).min(rows);
+                    acc.fill(0);
+                    intacc::accumulate_rows(&x[r0..r1], &int.codes[r0 * cp..r1 * cp], cp, &mut acc);
+                    let block_sums = &int.block_colsums[blk * cp..(blk + 1) * cp];
+                    let factors = &drop[blk * cp..(blk + 1) * cp];
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        let partial =
+                            (step_x * f64::from(acc[j]) + lo * f64::from(block_sums[j])) * sw;
+                        *d += (f64::from(factors[j]) * partial) as f32;
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -67,6 +67,20 @@ impl IrDropModel {
         1.0 / (1.0 + self.r_wire * g_avg * (row + col) as f32)
     }
 
+    /// Mean attenuation factor of the cells `(r0..r1, col)` — the
+    /// row-block granularity the integer crossbar path applies drop at:
+    /// one factor per (row block, bit line) scales the block's `i32`
+    /// partial sum instead of attenuating every cell individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is empty.
+    pub fn mean_factor(&self, r0: usize, r1: usize, col: usize, g_avg: f32) -> f32 {
+        assert!(r0 < r1, "empty row block [{r0}, {r1})");
+        let sum: f32 = (r0..r1).map(|r| self.factor(r, col, g_avg)).sum();
+        sum / (r1 - r0) as f32
+    }
+
     /// Applies position-dependent attenuation to a conductance (or
     /// effective-weight) matrix, returning the array the analog
     /// computation actually realizes.
@@ -140,6 +154,17 @@ mod tests {
     fn near_corner_nearly_ideal() {
         let model = IrDropModel::new(0.005);
         assert_eq!(model.factor(0, 0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn mean_factor_brackets_block_extremes() {
+        let model = IrDropModel::new(0.01);
+        let g_avg = 0.5;
+        let mean = model.mean_factor(8, 16, 3, g_avg);
+        assert!(mean < model.factor(8, 3, g_avg));
+        assert!(mean > model.factor(15, 3, g_avg));
+        // A one-row block is exactly that row's factor.
+        assert_eq!(model.mean_factor(4, 5, 2, g_avg), model.factor(4, 2, g_avg));
     }
 
     #[test]

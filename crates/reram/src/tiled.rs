@@ -67,9 +67,13 @@ impl TiledMatrix {
                 let c0 = bc * config.cols;
                 let c1 = (c0 + config.cols).min(n);
                 let mut block = Tensor::zeros(&[r1 - r0, c1 - c0]);
-                for r in r0..r1 {
-                    for c in c0..c1 {
-                        *block.at_mut(&[r - r0, c - c0]) = weights.at(&[r, c]);
+                {
+                    let src = weights.as_slice();
+                    let dst = block.as_mut_slice();
+                    let bw = c1 - c0;
+                    for r in r0..r1 {
+                        dst[(r - r0) * bw..(r - r0 + 1) * bw]
+                            .copy_from_slice(&src[r * n + c0..r * n + c1]);
                     }
                 }
                 if tel::enabled() {
@@ -174,6 +178,13 @@ impl TiledMatrix {
         assert_eq!(input.ndim(), 2, "batched matmul expects 2-D input");
         assert_eq!(input.shape()[1], self.rows, "inner dimension mismatch");
         let batch = input.shape()[0];
+        // Integer fast path: when every tile shares one DAC grid and has
+        // integer state, the whole input quantizes to DAC codes ONCE and
+        // each row-block tile reads its code segment in place — no
+        // per-(row, column)-block segment copies, no per-tile re-quantization.
+        if let Some(out) = self.int_matmul(input, batch) {
+            return out;
+        }
         let x = input.as_slice();
         let row_extent = self.tiles[0].rows();
         let col_extent = self.tiles[0].cols();
@@ -216,6 +227,59 @@ impl TiledMatrix {
             }
         }
         out
+    }
+
+    /// Integer fast path for [`TiledMatrix::matmul`]: quantizes the whole
+    /// input to DAC codes once and hands every tile its code segment in
+    /// place (`stride = m`, `offset = r0`), skipping the per-tile `f32`
+    /// segment gather and re-quantization of the reference path. Returns
+    /// `None` — caller falls back to the reference path — when any tile
+    /// lacks integer state, the tiles' DAC grids diverge (a caller
+    /// re-calibrated one via [`TiledMatrix::tiles_mut`]), or the input
+    /// contains NaN. Accumulation across row blocks runs in the same
+    /// ascending grid order as the reference path, and each tile's
+    /// integer accumulation is order-fixed, so results are bit-identical
+    /// at any thread count and `matvec` stays the `batch == 1` case.
+    fn int_matmul(&self, input: &Tensor, batch: usize) -> Option<Tensor> {
+        let grid = self.tiles[0].dac_grid()?;
+        if !self.tiles.iter().all(|t| t.dac_grid() == Some(grid) && t.exec().int.is_some()) {
+            return None;
+        }
+        let codes = grid.codes_for(input.as_slice())?;
+        if tel::enabled() {
+            self.tiles[0].record_dac(input.as_slice());
+        }
+        let row_extent = self.tiles[0].rows();
+        let col_extent = self.tiles[0].cols();
+        let mut out = Tensor::zeros(&[batch, self.cols]);
+        for br in 0..self.tile_rows {
+            let r0 = br * row_extent;
+            for bc in 0..self.tile_cols {
+                let tile = &self.tiles[br * self.tile_cols + bc];
+                let c0 = bc * col_extent;
+                let partial = tile
+                    .int_matmul_codes(&codes, batch, self.rows, r0)
+                    .expect("integer state verified for every tile");
+                let p = partial.as_slice();
+                let o = out.as_mut_slice();
+                // Same first-row-block-assigns structure as the reference
+                // path (preserves negative-zero partial sums).
+                if br == 0 {
+                    for b in 0..batch {
+                        for j in 0..tile.cols() {
+                            o[b * self.cols + c0 + j] = p[b * tile.cols() + j];
+                        }
+                    }
+                } else {
+                    for b in 0..batch {
+                        for j in 0..tile.cols() {
+                            o[b * self.cols + c0 + j] += p[b * tile.cols() + j];
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
     }
 
     /// Injects stuck cells into every tile.
@@ -365,6 +429,77 @@ mod tests {
             let single = tiled.matvec(&x.row(b));
             assert_eq!(batch.row(b), single);
         }
+    }
+
+    #[test]
+    fn quantized_batched_matmul_matches_rows() {
+        // The integer fast path must keep matvec as the batch == 1 case of
+        // matmul, bit for bit, on a multi-tile default (quantized) config.
+        let mut rng = SeededRng::new(40);
+        let w = Tensor::randn(&[130, 140], &mut rng);
+        let tiled = TiledMatrix::program(&w, &CrossbarConfig::default(), &mut rng);
+        assert_eq!(tiled.tile_grid(), (2, 2));
+        let x = Tensor::randn(&[3, 130], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let batch = tiled.matmul(&x);
+        for b in 0..3 {
+            assert_eq!(batch.row(b), tiled.matvec(&x.row(b)));
+        }
+    }
+
+    #[test]
+    fn quantized_fast_path_matches_per_tile_execution() {
+        // Quantize-once must agree bit for bit with gathering each tile's
+        // f32 segment and letting the tile quantize it itself — DAC codes
+        // are a pure per-element function, so the two routes see identical
+        // codes.
+        let mut rng = SeededRng::new(41);
+        let config = CrossbarConfig { rows: 32, cols: 24, ..CrossbarConfig::default() };
+        let w = Tensor::randn(&[70, 50], &mut rng);
+        let tiled = TiledMatrix::program(&w, &config, &mut rng);
+        let x = Tensor::randn(&[4, 70], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let fast = tiled.matmul(&x);
+
+        let batch = 4;
+        let xs = x.as_slice();
+        let mut reference = Tensor::zeros(&[batch, tiled.cols]);
+        for br in 0..tiled.tile_rows {
+            let r0 = br * config.rows;
+            for bc in 0..tiled.tile_cols {
+                let tile = &tiled.tiles[br * tiled.tile_cols + bc];
+                let c0 = bc * config.cols;
+                let mut seg = Vec::new();
+                for b in 0..batch {
+                    seg.extend_from_slice(&xs[b * tiled.rows + r0..b * tiled.rows + r0 + tile.rows()]);
+                }
+                let seg_t = Tensor::from_vec(seg, &[batch, tile.rows()]).unwrap();
+                let partial = tile.matmul(&seg_t);
+                let p = partial.as_slice();
+                let o = reference.as_mut_slice();
+                for b in 0..batch {
+                    for j in 0..tile.cols() {
+                        if br == 0 {
+                            o[b * tiled.cols + c0 + j] = p[b * tile.cols() + j];
+                        } else {
+                            o[b * tiled.cols + c0 + j] += p[b * tile.cols() + j];
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn nan_input_poisons_quantized_output() {
+        // NaN cannot be represented as a DAC code; the fast path must bail
+        // to the f32 reference path, which propagates the poison.
+        let mut rng = SeededRng::new(42);
+        let w = Tensor::randn(&[10, 6], &mut rng);
+        let tiled = TiledMatrix::program(&w, &CrossbarConfig::default(), &mut rng);
+        let mut x = vec![0.5f32; 10];
+        x[3] = f32::NAN;
+        let out = tiled.matvec(&Tensor::from_vec(x, &[10]).unwrap());
+        assert!(out.as_slice().iter().all(|v| v.is_nan()), "NaN must poison the output row");
     }
 
     #[test]

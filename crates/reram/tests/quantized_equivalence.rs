@@ -1,0 +1,199 @@
+//! Equivalence properties of the integer-domain quantized execution path.
+//!
+//! The integer path (DAC codes × differential conductance codes
+//! accumulated in `i32`) must be indistinguishable from the `f32`
+//! reference semantics: bitwise identical when the converters are off
+//! (`dac_bits == 0 && adc_bits == 0`, where the `f32` path runs by
+//! construction) and within one quantization step otherwise.
+//!
+//! `scripts/ci.sh` runs this suite at `HEALTHMON_THREADS=1`, `2` and `7`;
+//! every assertion here is thread-count invariant, and the batched test
+//! drives enough work through the tiles to engage the threaded integer
+//! kernel.
+
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::InferenceBackend;
+use healthmon_reram::{BackendSpec, CellFault, Crossbar, CrossbarConfig, Quantizer, TiledMatrix};
+use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
+
+/// The `f32` reference semantics of one crossbar tile, built from public
+/// API only: DAC-quantize the activations, multiply by the effective
+/// weights the conductances store, ADC-quantize the bit-line sums.
+fn f32_reference(crossbar: &Crossbar, x: &Tensor) -> Tensor {
+    let config = crossbar.config();
+    let mut v = x.clone();
+    if config.dac_bits > 0 {
+        Quantizer::new(-1.0, 1.0, config.dac_bits).quantize_slice(v.as_mut_slice());
+    }
+    let mut out = v.matmul(&crossbar.effective_weights());
+    if config.adc_bits > 0 {
+        let fs = crossbar.adc_full_scale();
+        Quantizer::new(-fs, fs, config.adc_bits).quantize_slice(out.as_mut_slice());
+    }
+    out
+}
+
+#[test]
+fn converter_free_configs_are_bitwise_f32() {
+    // With the DAC disabled the integer path is gated off, and the f32
+    // path must reproduce the plain GEMM against the effective weights
+    // bit for bit — including quantized-cell storage (cell_bits = 4).
+    let mut rng = SeededRng::new(11);
+    for cell_bits in [0u32, 4] {
+        let config = CrossbarConfig {
+            rows: 64,
+            cols: 48,
+            cell_bits,
+            dac_bits: 0,
+            adc_bits: 0,
+            ..CrossbarConfig::exact()
+        };
+        let w = Tensor::randn(&[64, 48], &mut rng);
+        let crossbar = Crossbar::program(&w, &config, &mut rng);
+        let x = Tensor::randn(&[5, 64], &mut rng);
+        assert_eq!(crossbar.matmul(&x), f32_reference(&crossbar, &x), "cell_bits={cell_bits}");
+    }
+}
+
+#[test]
+fn quantized_path_matches_f32_reference_within_step() {
+    // Integer-path configs across the (cell, dac, adc) space. The i32
+    // accumulation is exact, so the only divergence from the f32
+    // reference is rounding at the boundary math — bounded by one ADC
+    // step (a borderline sum may snap to the adjacent level) plus a small
+    // GEMM-rounding epsilon.
+    let mut rng = SeededRng::new(12);
+    for (cell_bits, dac_bits, adc_bits) in [(4u32, 8u32, 8u32), (2, 4, 0), (8, 8, 8), (1, 8, 4), (4, 8, 0)]
+    {
+        let config = CrossbarConfig {
+            rows: 64,
+            cols: 48,
+            cell_bits,
+            dac_bits,
+            adc_bits,
+            ..CrossbarConfig::default()
+        };
+        assert!(config.integer_path_capable(), "case must exercise the integer path");
+        let w = Tensor::randn(&[64, 48], &mut rng).map(|v| v * 0.3);
+        let crossbar = Crossbar::program(&w, &config, &mut rng);
+        let x = Tensor::randn(&[5, 64], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+        let got = crossbar.matmul(&x);
+        let reference = f32_reference(&crossbar, &x);
+        let adc_step = if adc_bits > 0 {
+            2.0 * crossbar.adc_full_scale() / ((1u32 << adc_bits) - 1) as f32
+        } else {
+            0.0
+        };
+        let tol = adc_step + 1e-3;
+        for (i, (a, b)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert!(
+                (a - b).abs() <= tol,
+                "cell={cell_bits} dac={dac_bits} adc={adc_bits} elem {i}: {a} vs {b} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_with_digital_within_quantization_tolerance() {
+    // All three backends on the same network: digital is the bit-pinned
+    // reference; the quantized analog and bit-sliced substrates (integer
+    // path live on every tile) stay within coarse quantization error.
+    // Small inputs keep every layer's activations inside the DAC range
+    // (the backends do not calibrate per-layer input ranges), so with the
+    // ADC off the remaining divergence is pure DAC/cell quantization —
+    // small, and the integer path stays live (capability does not depend
+    // on adc_bits).
+    let mut rng = SeededRng::new(13);
+    let net = tiny_mlp(24, 20, 6, &mut rng);
+    let x = Tensor::randn(&[4, 24], &mut rng).map(|v| 0.2 * v.clamp(-1.0, 1.0));
+    let digital = net.infer(&x);
+
+    let spec = BackendSpec::digital();
+    assert_eq!(spec.instantiate(&net, &mut rng).infer(&x), digital);
+
+    // 8-bit cells: the weight step is ~0.4% of full scale, so the
+    // quantized substrates must track digital closely.
+    let fine = CrossbarConfig { cell_bits: 8, adc_bits: 0, ..CrossbarConfig::default() };
+    assert!(fine.integer_path_capable());
+    for spec in [BackendSpec::analog(fine), BackendSpec::bitsliced(fine, 8)] {
+        let backend = spec.instantiate(&net, &mut rng);
+        let logits = backend.infer(&x);
+        let rel = logits.l1_distance(&digital) / digital.norm_l1().max(1e-6);
+        assert!(rel < 0.05, "{} diverges from digital: {rel}", backend.backend_name());
+    }
+
+    // Default 4-bit cells: the differential weight step is ~7% of the
+    // per-layer weight full scale, so the bound is accordingly looser.
+    let coarse = CrossbarConfig { adc_bits: 0, ..CrossbarConfig::default() };
+    let backend = BackendSpec::analog(coarse).instantiate(&net, &mut rng);
+    let rel = backend.infer(&x).l1_distance(&digital) / digital.norm_l1().max(1e-6);
+    assert!(rel < 0.15, "4-bit-cell analog diverges from digital: {rel}");
+
+    // With the 8-bit ADC on, its step is sized for the worst-case
+    // bit-line sum, which is coarse relative to these small logits; the
+    // outputs must still be finite and within the same order of
+    // magnitude (matching the f32 reference semantics pinned per-tile by
+    // `quantized_path_matches_f32_reference_within_step`).
+    let full = BackendSpec::analog(CrossbarConfig::default()).instantiate(&net, &mut rng);
+    let logits = full.infer(&x);
+    assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    let rel = logits.l1_distance(&digital) / digital.norm_l1().max(1e-6);
+    assert!(rel < 1.0, "default analog config diverges from digital: {rel}");
+}
+
+#[test]
+fn batched_integer_path_bit_identical_to_per_row() {
+    // A batch large enough to engage the threaded integer kernel inside
+    // each tile (batch · rows · cols > the parallel threshold) must still
+    // be bit-identical to one-row-at-a-time execution, at any
+    // HEALTHMON_THREADS setting.
+    let mut rng = SeededRng::new(14);
+    let w = Tensor::randn(&[260, 140], &mut rng);
+    let tiled = TiledMatrix::program(&w, &CrossbarConfig::default(), &mut rng);
+    assert_eq!(tiled.tile_grid(), (3, 2));
+    let x = Tensor::randn(&[40, 260], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+    let batch = tiled.matmul(&x);
+    for b in 0..40 {
+        assert_eq!(batch.row(b), tiled.matvec(&x.row(b)), "batch row {b}");
+    }
+}
+
+#[test]
+fn live_stuck_cells_invalidate_dac_code_cache() {
+    // Regression: the cached DAC-code execution state must be rebuilt
+    // after live fault injection — a stale integer cache would keep
+    // computing with pre-fault conductances. Checked both behaviorally
+    // and through the `reram.dac.cache.invalidations` counter (other
+    // concurrent tests may add cache traffic, so the counter assertion is
+    // a >= delta).
+    let mut rng = SeededRng::new(15);
+    let w = Tensor::randn(&[32, 24], &mut rng).map(|v| v * 0.3 + 0.4);
+    let config = CrossbarConfig { rows: 32, cols: 24, ..CrossbarConfig::default() };
+    let mut crossbar = Crossbar::program(&w, &config, &mut rng);
+    assert!(config.integer_path_capable());
+
+    let x = Tensor::randn(&[32], &mut rng).map(|v| v.clamp(-1.0, 1.0));
+    tel::set_enabled(true);
+    let clean = crossbar.matvec(&x); // builds the integer cache
+    let before = invalidation_count();
+    crossbar.inject_stuck_cells(CellFault::StuckLow, 1.0, &mut rng);
+    let after = invalidation_count();
+    let faulty = crossbar.matvec(&x);
+    tel::set_enabled(false);
+
+    assert!(after > before, "injection must invalidate the DAC-code cache");
+    assert!(
+        clean.l1_distance(&faulty) > 1e-3,
+        "stuck cells must change the integer-path output"
+    );
+}
+
+fn invalidation_count() -> u64 {
+    tel::snapshot()
+        .counters
+        .iter()
+        .find(|c| c.name == "reram.dac.cache.invalidations")
+        .map_or(0, |c| c.value)
+}

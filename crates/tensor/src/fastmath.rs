@@ -21,6 +21,18 @@
 /// to the nearest integer (ties to even) using the FPU's own rounding.
 const ROUND_MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
 
+/// Integral `f32` in `[-32768, 32767]` → `i32`, read straight out of the
+/// magic-add mantissa (biased by 2¹⁵ so negatives park above the magic
+/// constant too). Bit-for-bit equal to `as i32` on that domain, but
+/// add/and/sub ops the vectorizer handles — the saturating float→int
+/// `as` cast lowers to serial scalar code and de-vectorizes every loop
+/// it appears in.
+#[inline(always)]
+fn integral_to_i32(v: f32) -> i32 {
+    const BIASED_MAGIC: f32 = 12_582_912.0 + 32_768.0;
+    ((v + BIASED_MAGIC).to_bits() & 0x3F_FFFF) as i32 - 32_768
+}
+
 /// `e^x`, clamped to `x ∈ [-87, 88]` (beyond which f32 under/overflows).
 ///
 /// Decomposes `x = k·ln2 + r` with `|r| ≤ ln2/2`, evaluates a degree-5
@@ -38,7 +50,7 @@ pub fn exp(x: f32) -> f32 {
         + r * (1.0
             + r * (0.5
                 + r * (1.6666667e-1 + r * (4.1666668e-2 + r * (8.333334e-3 + r * 1.3888889e-3)))));
-    let scale = f32::from_bits((((kf as i32) + 127) as u32) << 23);
+    let scale = f32::from_bits(((integral_to_i32(kf) + 127) as u32) << 23);
     p * scale
 }
 
@@ -93,7 +105,7 @@ pub fn sincos_2pi(t: f32) -> (f32, f32) {
         + r2 * (-4.934_802
             + r2 * (4.058_712 + r2 * (-1.335_262_7 + r2 * (0.235_330_6 - r2 * 2.580_689e-2))));
     // Odd half-turns flip both signs: sin(pi r + pi k) = (-1)^k sin(pi r).
-    let flip = (((kf as i32) & 1) as u32) << 31;
+    let flip = ((integral_to_i32(kf) & 1) as u32) << 31;
     (
         f32::from_bits(s.to_bits() ^ flip),
         f32::from_bits(c.to_bits() ^ flip),

@@ -27,6 +27,7 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+pub mod intacc;
 mod linalg;
 mod ops;
 pub mod fastmath;
@@ -38,6 +39,7 @@ mod stats;
 mod tensor;
 
 pub use error::TensorError;
+pub use linalg::PackedB;
 pub use random::SeededRng;
 pub use shape::Shape;
 pub use stats::TopK;

@@ -2,7 +2,7 @@
 //!
 //! Three variants cover everything backprop needs: `A·B`, `Aᵀ·B`, and
 //! `A·Bᵀ`. All three funnel into one cache-blocked, register-tiled GEMM:
-//! the right-hand operand is packed once into [`NR`]-column panels so the
+//! the right-hand operand is packed once into `NR`-column panels so the
 //! micro-kernel streams it contiguously, and an `MR`×`NR` register tile
 //! amortizes every packed load across [`MR`] output rows. Large problems
 //! fan out across the persistent [`crate::pool`] by row block.
@@ -311,6 +311,46 @@ fn gemm_driver(
     out
 }
 
+/// A right-hand GEMM operand packed once into `NR`-column panels for
+/// reuse across many products.
+///
+/// [`Tensor::matmul`] re-packs its right operand on every call — an
+/// `O(k·n)` allocate-and-copy that is pure overhead when the same matrix
+/// multiplies a stream of inputs (the crossbar layer's differential
+/// conductances, reused for every inference batch). Packing once with
+/// [`PackedB::pack`] and multiplying with [`Tensor::matmul_prepacked`]
+/// skips that cost while producing bit-identical results: packing only
+/// changes memory layout, never the float operation order.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    packed: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs a 2-D `k×n` tensor into panel layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not 2-D.
+    pub fn pack(b: &Tensor) -> PackedB {
+        assert_eq!(b.ndim(), 2, "PackedB operand must be 2-D, got {:?}", b.shape());
+        let (k, n) = (b.shape()[0], b.shape()[1]);
+        PackedB { packed: pack_b(b.as_slice(), k, n), k, n }
+    }
+
+    /// Shared dimension (rows of the packed matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns (columns of the packed matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
 impl Tensor {
     /// Matrix product `self · rhs` for 2-D tensors (`m×k` times `k×n`).
     ///
@@ -339,6 +379,24 @@ impl Tensor {
         let packed = pack_b(rhs.as_slice(), k, n);
         let out = gemm_driver(self.as_slice(), &packed, m, k, n, threads);
         Tensor::from_vec(out, &[m, n]).expect("matmul output shape is consistent by construction")
+    }
+
+    /// Matrix product `self · rhs` against a pre-packed right operand —
+    /// bit-identical to `self.matmul(rhs)` with the packing cost paid
+    /// once at [`PackedB::pack`] time instead of per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not 2-D or its column count differs from
+    /// `rhs.k()`.
+    pub fn matmul_prepacked(&self, rhs: &PackedB) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_prepacked lhs must be 2-D, got {:?}", self.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(k, rhs.k, "matmul_prepacked inner dimension mismatch: {k} vs {}", rhs.k);
+        let threads = thread_count(m, m * k * rhs.n);
+        let out = gemm_driver(self.as_slice(), &rhs.packed, m, k, rhs.n, threads);
+        Tensor::from_vec(out, &[m, rhs.n])
+            .expect("matmul_prepacked output shape is consistent by construction")
     }
 
     /// Matrix product `selfᵀ · rhs` (`k×m`ᵀ times `k×n` → `m×n`).
@@ -560,6 +618,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn matmul_prepacked_bit_identical_to_matmul() {
+        let mut rng = SeededRng::new(23);
+        for &(m, k, n) in SHAPES {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let packed = PackedB::pack(&b);
+            assert_eq!((packed.k(), packed.n()), (k, n));
+            assert_bit_identical(&a.matmul_prepacked(&packed), &a.matmul(&b), "prepacked");
+        }
+        // Cross PAR_THRESHOLD so the pooled path is exercised too.
+        let a = Tensor::randn(&[96, 96], &mut rng);
+        let b = Tensor::randn(&[96, 96], &mut rng);
+        assert_bit_identical(
+            &a.matmul_prepacked(&PackedB::pack(&b)),
+            &a.matmul(&b),
+            "prepacked parallel",
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@
 #
 # Usage: scripts/ci.sh [--bench-smoke]
 #   --bench-smoke  additionally run the bench binaries in short mode
-#                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json
-#                  and BENCH_pr5.json (telemetry overhead A/B).
+#                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json,
+#                  BENCH_pr5.json (telemetry overhead A/B) and
+#                  BENCH_pr7.json (integer-path crossbar A/B).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +45,17 @@ cargo build --release --offline --workspace
 
 echo "== offline tests =="
 cargo test -q --offline --workspace
+
+echo "== quantized integer-path equivalence (HEALTHMON_THREADS=1/2/7) =="
+# The i32 crossbar fast path must match the f32 reference semantics —
+# bitwise with converters off, within one quantization step otherwise —
+# at every thread count. A divergence here fails CI before any benchmark
+# of the fast path is taken seriously.
+for t in 1 2 7; do
+    HEALTHMON_THREADS=$t cargo test -q --offline -p healthmon-reram \
+        --test quantized_equivalence > /dev/null
+done
+echo "ok: integer path equivalent to the f32 reference under HEALTHMON_THREADS=1/2/7"
 
 echo "== offline clippy (warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -255,6 +267,28 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
         echo '}'
     } > BENCH_pr5.json
     echo "ok: telemetry A/B bench ran; BENCH_pr5.json written"
+    # BENCH_pr7.json: the integer-path A/B — the checked-in pre-change
+    # baselines (artifacts/bench_pr7_baseline_ab_*.json, captured with the
+    # same bench cases on the f32-only crossbar path) next to the current
+    # run of the same kernels/testgen binaries.
+    {
+        echo '{'
+        echo '"mode": "smoke",'
+        echo '"baseline": {'
+        echo '"kernels":'
+        cat artifacts/bench_pr7_baseline_ab_kernels.json
+        echo ', "testgen":'
+        cat artifacts/bench_pr7_baseline_ab_testgen.json
+        echo '},'
+        echo '"current": {'
+        echo '"kernels":'
+        cat "$report_dir/kernels.json"
+        echo ', "testgen":'
+        cat "$report_dir/testgen.json"
+        echo '}'
+        echo '}'
+    } > BENCH_pr7.json
+    echo "ok: BENCH_pr7.json written (integer-path A/B vs pre-change baseline)"
 fi
 
 echo "CI passed."
