@@ -3,8 +3,9 @@
 use crate::args::ParsedArgs;
 use healthmon::{
     run_mitigation, ActiveBackend, AetGenerator, AgingModel, BackendKind, BackendSpec,
-    CrossbarConfig, CtpGenerator, Detector, LifetimeConfig, LifetimeRuntime, MitigationScenario,
-    MonitorPolicy, OtpGenerator, SdcCriterion, TestPatternSet, TrainData,
+    ChaosConfig, CrossbarConfig, CtpGenerator, Detector, FleetConfig, FleetSupervisor,
+    LifetimeConfig, LifetimeRuntime, MitigationScenario, MonitorPolicy, OtpGenerator,
+    SdcCriterion, TestPatternSet, TrainData,
 };
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
@@ -54,6 +55,17 @@ pub const USAGE: &str = "usage:
                      scrubbing (checksum-column parity over the device)
                      [--trace true] [--metrics <out.jsonl>]
                      exit 0 = lifetime completed, 2 = parked in critical
+  healthmon fleet    --devices N [--epochs N] [--seed N] [--chaos <spec>]
+                     [--shards N] [--checkpoint-dir <dir>] [--stop-after N]
+                     [--report <out.txt>] [--budget N] [--retry N]
+                     [--deadline MS] [--quarantine N] [--drift F] [--soft F]
+                     [--bench true] [--trace true] [--metrics <out.jsonl>]
+                     supervises N independently-seeded device lifetimes
+                     with panic isolation, retry/backoff, quarantine and
+                     sharded crash-safe checkpoints; chaos spec:
+                     panic:P,stall:P,stallms:N,trunc:P,flip:P,poison:P,seed:N
+                     (or `off`); --bench adds a devices/sec line;
+                     exit 0 = fleet completed, 2 = any device quarantined
   healthmon metrics  --file <metrics.jsonl> [--stable-only true] [--format <summary|jsonl|prometheus>]
                      validates a telemetry dump; --stable-only keeps only
                      thread-count-invariant series (for byte comparison)
@@ -74,6 +86,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "deploy" => cmd_deploy(&args),
         "accuracy" => cmd_accuracy(&args),
         "lifetime" => cmd_lifetime(&args),
+        "fleet" => cmd_fleet(&args),
         "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -633,10 +646,11 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
     let checkpoint_path = args.get("checkpoint");
     let mut runtime = match checkpoint_path {
         Some(path) if std::path::Path::new(path).exists() => {
-            let json =
-                std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+            // A truncated or bit-rotted file surfaces as
+            // CheckpointCorrupt naming the path, not a bare parse error.
+            let json = healthmon::store::read_checkpoint(path).map_err(|e| e.to_string())?;
             let runtime = LifetimeRuntime::resume(&golden, patterns, config, train, &json)
-                .map_err(|e| format!("resuming `{path}`: {e}"))?;
+                .map_err(|e| format!("resuming: {}", healthmon::store::mark_corrupt(path, e)))?;
             eprintln!("resumed from {path} at epoch {}", runtime.epoch());
             runtime
         }
@@ -646,7 +660,9 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
     runtime.run(if stop_after > 0 { Some(stop_after) } else { None });
 
     if let Some(path) = checkpoint_path {
-        std::fs::write(path, runtime.checkpoint_json())
+        // Atomic replace: a kill mid-write leaves the previous complete
+        // checkpoint instead of a torn file.
+        healthmon::store::write_atomic(path, runtime.checkpoint_json().as_bytes())
             .map_err(|e| format!("writing `{path}`: {e}"))?;
     }
     if !runtime.is_finished() {
@@ -669,6 +685,144 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
         Ok(ExitCode::from(2))
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Supervises a fleet of independently-seeded device lifetimes: panic
+/// isolation, retry/backoff, deadlines, quarantine, budget shedding and
+/// sharded crash-safe checkpoints, with an optional seeded chaos layer
+/// (see `ChaosConfig`) injecting faults into the monitor itself.
+///
+/// The fleet is self-contained: a small seeded model and pattern set are
+/// derived from `--seed`, so determinism claims (`--chaos off` runs are
+/// byte-identical at any `HEALTHMON_THREADS`) need no input files. With
+/// `--checkpoint-dir`, the run resumes from existing shards (damaged
+/// shards are reported and their devices restart fresh) and rewrites the
+/// shards after every invocation; `--stop-after` bounds the fleet epochs
+/// per invocation. `--bench true` appends a wall-clock devices/sec line
+/// for the load-generator smoke.
+fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&[
+        "devices",
+        "epochs",
+        "seed",
+        "chaos",
+        "shards",
+        "checkpoint-dir",
+        "stop-after",
+        "report",
+        "budget",
+        "retry",
+        "deadline",
+        "quarantine",
+        "drift",
+        "soft",
+        "bench",
+        "trace",
+        "metrics",
+    ])?;
+    let metrics = telemetry_setup(args)?;
+    let devices: usize = args.required("devices")?.parse().map_err(|_| {
+        "--devices must be a positive integer".to_owned()
+    })?;
+    let epochs: usize = args.get_or("epochs", 8)?;
+    let seed: u64 = args.get_or("seed", 2020)?;
+    let shards: usize = args.get_or("shards", 4)?;
+    let stop_after: usize = args.get_or("stop-after", 0)?;
+    let budget: usize = args.get_or("budget", 0)?;
+    let retry: usize = args.get_or("retry", 3)?;
+    let deadline: u64 = args.get_or("deadline", 200)?;
+    let quarantine: usize = args.get_or("quarantine", 2)?;
+    let drift: f32 = args.get_or("drift", 0.05)?;
+    let soft: f64 = args.get_or("soft", 0.0)?;
+    let bench: bool = args.get_or("bench", false)?;
+    let chaos = ChaosConfig::parse(args.get("chaos").unwrap_or("off"))?;
+    if chaos.is_active() {
+        // Injected checkup panics are caught by the supervisor and become
+        // incidents in the report; keep the default hook from spraying a
+        // backtrace per attempt. Genuine panics still print.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|msg| msg.starts_with("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    }
+
+    // Self-contained fleet: model and patterns are pure functions of the
+    // seed, so no input artifacts are needed and every invocation with
+    // the same flags sees the same golden device.
+    let mut rng = SeededRng::new(seed ^ 0xF1EE7);
+    let golden = tiny_mlp(16, 24, 6, &mut rng);
+    let patterns = TestPatternSet::new("fleet-synth", Tensor::randn(&[8, 16], &mut rng));
+
+    let config = FleetConfig {
+        seed,
+        devices,
+        device: LifetimeConfig {
+            epochs,
+            aging: AgingModel {
+                drift_nu: drift,
+                drift_time: 1.0,
+                soft_error_p: soft,
+                ..AgingModel::default()
+            },
+            ..LifetimeConfig::default()
+        },
+        retry_limit: retry,
+        deadline_ms: deadline,
+        quarantine_threshold: quarantine,
+        budget,
+        shards,
+        chaos,
+        ..FleetConfig::default()
+    };
+
+    let dir = args.get("checkpoint-dir");
+    let mut fleet = match dir {
+        Some(dir) if std::path::Path::new(dir).join("shard-000.json").exists() => {
+            let fleet = FleetSupervisor::resume(&golden, patterns, config, dir)
+                .map_err(|e| format!("resuming fleet from `{dir}`: {e}"))?;
+            eprintln!(
+                "resumed fleet from {dir} at epoch {} ({} damaged shards)",
+                fleet.fleet_epoch(),
+                fleet.damaged_shards().len()
+            );
+            fleet
+        }
+        _ => FleetSupervisor::new(&golden, patterns, config).map_err(|e| e.to_string())?,
+    };
+
+    let t0 = std::time::Instant::now();
+    let before_epochs = fleet.total_device_epochs();
+    fleet.run(if stop_after > 0 { Some(stop_after) } else { None });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    if let Some(dir) = dir {
+        fleet.save_checkpoint(dir).map_err(|e| format!("checkpointing to `{dir}`: {e}"))?;
+    }
+    let report = fleet.render_report();
+    print!("{report}");
+    if let Some(path) = args.get("report") {
+        std::fs::write(path, &report).map_err(|e| format!("writing `{path}`: {e}"))?;
+    }
+    if bench {
+        // Wall-clock line, deliberately outside the deterministic report.
+        let done = fleet.total_device_epochs() - before_epochs;
+        println!(
+            "throughput: {:.1} device-epochs/sec ({done} device-epochs in {elapsed:.3}s)",
+            done as f64 / elapsed.max(1e-9)
+        );
+    }
+    telemetry_finish(metrics.as_deref())?;
+    if fleet.quarantined().is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(2))
     }
 }
 

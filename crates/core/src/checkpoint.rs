@@ -138,6 +138,38 @@ impl CampaignCheckpoint {
     pub fn from_json_str(text: &str) -> Result<Self, HealthmonError> {
         Ok(healthmon_serdes::from_str(text)?)
     }
+
+    /// Writes the checkpoint to `path` atomically (temp + fsync +
+    /// rename, see [`crate::store::write_atomic`]): a kill mid-save
+    /// leaves the previous complete checkpoint, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointCorrupt`] carrying the path on any
+    /// I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), HealthmonError> {
+        let path = path.as_ref();
+        crate::store::write_atomic(path, self.to_json_string().as_bytes()).map_err(|e| {
+            HealthmonError::CheckpointCorrupt {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+            }
+        })
+    }
+
+    /// Loads a checkpoint from `path`, reporting unreadable or
+    /// unparseable files as [`HealthmonError::CheckpointCorrupt`] with
+    /// the offending path.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointCorrupt`] when the file is missing,
+    /// unreadable, truncated, or fails to parse.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, HealthmonError> {
+        let path = path.as_ref();
+        let text = crate::store::read_checkpoint(path)?;
+        Self::from_json_str(&text).map_err(|e| crate::store::mark_corrupt(path, e))
+    }
 }
 
 impl ToJson for CampaignCheckpoint {
@@ -241,6 +273,28 @@ mod tests {
         assert_eq!(restored, cp);
         // u64 seeds beyond 2^53 survive (stored as a decimal string).
         assert_eq!(restored.seed(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_and_report_corruption() {
+        let dir = std::env::temp_dir().join("healthmon_campaign_cp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        let mut cp = CampaignCheckpoint::new(5, 3, &criteria());
+        cp.record(1, vec![true, false]).unwrap();
+        cp.save(&path).unwrap();
+        assert_eq!(CampaignCheckpoint::load(&path).unwrap(), cp);
+        // Truncate mid-file: load must report the damaged path, not a
+        // context-free parse error.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match CampaignCheckpoint::load(&path).unwrap_err() {
+            HealthmonError::CheckpointCorrupt { path: p, .. } => {
+                assert!(p.contains("campaign.json"));
+            }
+            other => panic!("expected CheckpointCorrupt, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum HealthmonError {
     /// A campaign checkpoint does not match the sweep being resumed
     /// (different criteria, count, or an out-of-range record).
     CheckpointMismatch(String),
+    /// A checkpoint file on disk is unreadable, truncated, or fails to
+    /// parse — the artifact itself is damaged, as opposed to
+    /// [`HealthmonError::CheckpointMismatch`] where a well-formed
+    /// checkpoint disagrees with the resume inputs.
+    CheckpointCorrupt {
+        /// The file that failed to load.
+        path: String,
+        /// What went wrong (I/O error, parse error, digest mismatch).
+        detail: String,
+    },
     /// A fault-campaign evaluation closure panicked.
     Campaign(CampaignPanic),
 }
@@ -50,6 +60,9 @@ impl fmt::Display for HealthmonError {
             ),
             HealthmonError::CheckpointMismatch(message) => {
                 write!(f, "checkpoint mismatch: {message}")
+            }
+            HealthmonError::CheckpointCorrupt { path, detail } => {
+                write!(f, "checkpoint `{path}` is corrupt: {detail}")
             }
             HealthmonError::Campaign(e) => write!(f, "{e}"),
         }
@@ -96,6 +109,12 @@ mod tests {
         assert!(e.to_string().contains("1..=4"));
         let e = HealthmonError::CheckpointMismatch("criteria differ".into());
         assert!(e.to_string().contains("criteria differ"));
+        let e = HealthmonError::CheckpointCorrupt {
+            path: "shard-003.json".into(),
+            detail: "unexpected end of input".into(),
+        };
+        assert!(e.to_string().contains("shard-003.json"));
+        assert!(e.to_string().contains("corrupt"));
     }
 
     #[test]

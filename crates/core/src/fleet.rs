@@ -1,0 +1,1493 @@
+//! Fleet supervision: a registry of independently-seeded
+//! [`LifetimeRuntime`] devices driven by a crash-isolated supervisor.
+//!
+//! The single-device lifetime runtime ages *one* accelerator; the fleet
+//! layer turns it into a service that monitors many. Each fleet epoch the
+//! [`FleetSupervisor`] schedules a checkup for every live device across
+//! the persistent worker pool, with the reliability contract the paper's
+//! concurrent-test premise needs at scale:
+//!
+//! * **Panic isolation** — every device attempt runs under
+//!   `catch_unwind`; a wedged or crashing checkup becomes a structured
+//!   [`FleetIncident`], never a fleet abort.
+//! * **Retry with backoff** — transient failures are retried up to a
+//!   bounded attempt count with exponential backoff plus deterministic
+//!   jitter, accounted in *virtual* milliseconds so reports stay
+//!   byte-identical at any thread count.
+//! * **Deadlines** — an attempt whose (injected) stall exceeds the
+//!   per-checkup deadline is abandoned before the device transaction
+//!   lands, so a timed-out checkup has no side effects and is safe to
+//!   retry.
+//! * **Quarantine** — a device that exhausts its retries in
+//!   `quarantine_threshold` distinct epochs is parked out of the
+//!   schedule; repeat offenders cannot starve the healthy fleet.
+//! * **Priority + budget shedding** — Critical devices jump the queue;
+//!   under a per-epoch pattern-evaluation budget the supervisor first
+//!   sheds checkup *depth* on Healthy devices
+//!   ([`LifetimeRuntime::step_shallow`]) and only then sheds whole
+//!   devices, lowest priority first.
+//!
+//! Persistence is crash-safe: device state is partitioned into shard
+//! files written atomically (temp + fsync + rename, per
+//! [`crate::store`]) and guarded by a per-shard FNV digest, so
+//! [`FleetSupervisor::resume`] recovers every healthy shard
+//! bit-identically and reports torn or bit-flipped shards instead of
+//! failing wholesale.
+//!
+//! Everything above is *proven* by the seeded [`ChaosConfig`] layer:
+//! probabilistic checkup panics, virtual stalls, poisoned (NaN) checkup
+//! distances, and checkpoint-write truncation/bit-flips, all drawn from
+//! a chaos RNG keyed by `(device, epoch, attempt)` — independent of
+//! scheduling, so a chaos run is as deterministic as a clean one.
+
+use crate::error::HealthmonError;
+use crate::monitor::HealthState;
+use crate::patterns::TestPatternSet;
+use crate::runtime::{
+    fnv1a, network_digest, panic_message, patterns_digest, verify_digest, LifetimeConfig,
+    LifetimeRuntime, FNV_OFFSET,
+};
+use crate::store;
+use healthmon_nn::Network;
+use healthmon_reram::BackendKind;
+use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
+use healthmon_tensor::{pool, SeededRng};
+use healthmon_telemetry as tel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+// Fleet rollups are pure functions of (config, golden, patterns): chaos
+// draws are keyed by (device, epoch, attempt) and never by thread or
+// wall clock, so every counter here is Stable and participates in the
+// thread-count-invariance byte comparisons. Only the epoch wall-clock
+// histogram is Volatile.
+static FLEET_CHECKUPS_OK: tel::Counter =
+    tel::Counter::new("fleet.checkups.ok", tel::Stability::Stable);
+static FLEET_CHECKUPS_FAILED: tel::Counter =
+    tel::Counter::new("fleet.checkups.failed", tel::Stability::Stable);
+static FLEET_RETRIES: tel::Counter = tel::Counter::new("fleet.retries", tel::Stability::Stable);
+static FLEET_QUARANTINES: tel::Counter =
+    tel::Counter::new("fleet.quarantines", tel::Stability::Stable);
+static FLEET_INCIDENTS: tel::Counter =
+    tel::Counter::new("fleet.incidents", tel::Stability::Stable);
+static FLEET_SHED_DEPTH: tel::Counter =
+    tel::Counter::new("fleet.shed.depth", tel::Stability::Stable);
+static FLEET_SHED_DEVICES: tel::Counter =
+    tel::Counter::new("fleet.shed.devices", tel::Stability::Stable);
+static FLEET_BACKOFF_MS: tel::Counter =
+    tel::Counter::new("fleet.backoff_ms", tel::Stability::Stable);
+static FLEET_EPOCH_NS: tel::Histogram =
+    tel::Histogram::new("fleet.epoch_ns", tel::Stability::Volatile);
+
+/// Shard file format tag; bumped on incompatible layout changes.
+const SHARD_FORMAT: &str = "healthmon-fleet-shard-v1";
+
+/// Seeded fault injection into the *monitor itself*. All probabilities
+/// are per checkup attempt except the checkpoint knobs, which are per
+/// shard write. A default (all-zero) config injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the chaos stream; draws are keyed by
+    /// `(seed, device, epoch, attempt)` so they are independent of
+    /// scheduling and thread count.
+    pub seed: u64,
+    /// Probability an attempt panics before touching the device.
+    pub panic_p: f64,
+    /// Probability an attempt stalls for a drawn virtual duration.
+    pub stall_p: f64,
+    /// Maximum virtual stall in milliseconds (uniform in `1..=stall_ms`).
+    pub stall_ms: u64,
+    /// Per-shard probability a checkpoint write is truncated mid-file.
+    pub truncate_p: f64,
+    /// Per-shard probability a single checkpoint byte is bit-flipped.
+    pub bitflip_p: f64,
+    /// Probability a *successful* checkup's recorded confidence distance
+    /// is poisoned to NaN, forcing a priority escalation.
+    pub poison_p: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            panic_p: 0.0,
+            stall_p: 0.0,
+            stall_ms: 250,
+            truncate_p: 0.0,
+            bitflip_p: 0.0,
+            poison_p: 0.0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Parses a spec like `panic:0.05,stall:0.1,stallms:400,trunc:1,
+    /// flip:0.5,poison:0.02,seed:9`. The literal `off` (or an empty
+    /// string) is the inactive default.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed `key:value` pair.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut chaos = ChaosConfig::default();
+        if spec.is_empty() || spec == "off" {
+            return Ok(chaos);
+        }
+        for part in spec.split(',') {
+            let (key, raw) = part
+                .split_once(':')
+                .ok_or_else(|| format!("chaos spec part `{part}` must look like key:value"))?;
+            let bad = || format!("chaos spec `{key}`: cannot parse `{raw}`");
+            match key {
+                "panic" => chaos.panic_p = raw.parse().map_err(|_| bad())?,
+                "stall" => chaos.stall_p = raw.parse().map_err(|_| bad())?,
+                "stallms" => chaos.stall_ms = raw.parse().map_err(|_| bad())?,
+                "trunc" => chaos.truncate_p = raw.parse().map_err(|_| bad())?,
+                "flip" => chaos.bitflip_p = raw.parse().map_err(|_| bad())?,
+                "poison" => chaos.poison_p = raw.parse().map_err(|_| bad())?,
+                "seed" => chaos.seed = raw.parse().map_err(|_| bad())?,
+                other => {
+                    return Err(format!(
+                        "unknown chaos knob `{other}` \
+                         (panic|stall|stallms|trunc|flip|poison|seed)"
+                    ))
+                }
+            }
+        }
+        chaos.validate().map_err(|e| e.to_string())?;
+        Ok(chaos)
+    }
+
+    /// Whether any injection knob is non-zero.
+    pub fn is_active(&self) -> bool {
+        self.panic_p > 0.0
+            || self.stall_p > 0.0
+            || self.truncate_p > 0.0
+            || self.bitflip_p > 0.0
+            || self.poison_p > 0.0
+    }
+
+    /// Validates every probability into `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::InvalidPolicy`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), HealthmonError> {
+        for (name, p) in [
+            ("panic", self.panic_p),
+            ("stall", self.stall_p),
+            ("trunc", self.truncate_p),
+            ("flip", self.bitflip_p),
+            ("poison", self.poison_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(HealthmonError::InvalidPolicy(format!(
+                    "chaos probability `{name}` is {p}, outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The chaos RNG for one checkup attempt, keyed so draws never depend
+    /// on scheduling: same `(seed, device, epoch, attempt)` ⇒ same fault.
+    fn attempt_rng(&self, device: usize, epoch: usize, attempt: usize) -> SeededRng {
+        let mut h = fnv1a(FNV_OFFSET, self.seed.to_le_bytes());
+        h = fnv1a(h, (device as u64).to_le_bytes());
+        h = fnv1a(h, (epoch as u64).to_le_bytes());
+        h = fnv1a(h, (attempt as u64).to_le_bytes());
+        SeededRng::new(h)
+    }
+
+    /// The chaos RNG for one shard write.
+    fn shard_rng(&self, shard: usize, epoch: usize) -> SeededRng {
+        let mut h = fnv1a(FNV_OFFSET, self.seed.to_le_bytes());
+        h = fnv1a(h, 0xF_1EE7_CA05u64.to_le_bytes());
+        h = fnv1a(h, (shard as u64).to_le_bytes());
+        h = fnv1a(h, (epoch as u64).to_le_bytes());
+        SeededRng::new(h)
+    }
+}
+
+/// One attempt's injected faults, drawn up front in a fixed order so the
+/// stream is identical whichever faults end up firing.
+struct AttemptChaos {
+    panic: bool,
+    stall_ms: u64,
+    poison: bool,
+    jitter_ms: u64,
+}
+
+fn draw_attempt(chaos: &ChaosConfig, device: usize, epoch: usize, attempt: usize) -> AttemptChaos {
+    let mut rng = chaos.attempt_rng(device, epoch, attempt);
+    let panic = rng.chance(chaos.panic_p);
+    let stalled = rng.chance(chaos.stall_p);
+    let stall_ms = if stalled && chaos.stall_ms > 0 {
+        1 + rng.below(chaos.stall_ms as usize) as u64
+    } else {
+        0
+    };
+    let poison = rng.chance(chaos.poison_p);
+    let jitter_ms = rng.below(16) as u64;
+    AttemptChaos { panic, stall_ms, poison, jitter_ms }
+}
+
+/// Full configuration of a [`FleetSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Fleet master seed; each device's [`LifetimeConfig::seed`] is an
+    /// FNV mix of this and its id.
+    pub seed: u64,
+    /// Number of devices in the registry.
+    pub devices: usize,
+    /// Per-device lifetime template (its `seed` field is overridden).
+    pub device: LifetimeConfig,
+    /// Checkup attempts per device per epoch before it counts as an
+    /// offense (must be at least 1).
+    pub retry_limit: usize,
+    /// Base of the exponential retry backoff, in virtual milliseconds.
+    pub backoff_base_ms: u64,
+    /// Virtual per-attempt deadline: a stalled attempt exceeding it is
+    /// abandoned (before the device transaction lands) and retried.
+    pub deadline_ms: u64,
+    /// Offenses (epochs with all retries exhausted) before a device is
+    /// quarantined out of the schedule (must be at least 1).
+    pub quarantine_threshold: usize,
+    /// Per-epoch checkup budget in pattern evaluations; 0 = unlimited.
+    /// Under pressure the supervisor sheds checkup depth on Healthy
+    /// devices first, then sheds whole low-priority devices.
+    pub budget: usize,
+    /// Checkpoint shard count (must be at least 1).
+    pub shards: usize,
+    /// Safety bound on fleet epochs; 0 derives `2 * device.epochs + 8`,
+    /// enough slack for shed devices to catch up.
+    pub max_epochs: usize,
+    /// The seeded fault-injection layer.
+    pub chaos: ChaosConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0,
+            devices: 8,
+            device: LifetimeConfig::default(),
+            retry_limit: 3,
+            backoff_base_ms: 50,
+            deadline_ms: 200,
+            quarantine_threshold: 2,
+            budget: 0,
+            shards: 4,
+            max_epochs: 0,
+            chaos: ChaosConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::InvalidPolicy`] naming the first invalid knob.
+    pub fn validate(&self) -> Result<(), HealthmonError> {
+        self.device.validate();
+        self.chaos.validate()?;
+        let positive = [
+            ("devices", self.devices),
+            ("retry_limit", self.retry_limit),
+            ("quarantine_threshold", self.quarantine_threshold),
+            ("shards", self.shards),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(HealthmonError::InvalidPolicy(format!(
+                    "fleet `{name}` must be at least 1"
+                )));
+            }
+        }
+        if self.deadline_ms == 0 {
+            return Err(HealthmonError::InvalidPolicy(
+                "fleet `deadline_ms` must be at least 1".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest, stored in every shard so a resume under different
+    /// parameters is rejected instead of silently diverging.
+    pub fn digest(&self) -> u64 {
+        fnv1a(FNV_OFFSET, format!("{self:?}").bytes())
+    }
+
+    /// The lifetime configuration of device `id`: the template with an
+    /// independent derived seed.
+    pub fn device_config(&self, id: usize) -> LifetimeConfig {
+        let mut seed = fnv1a(FNV_OFFSET, self.seed.to_le_bytes());
+        seed = fnv1a(seed, (id as u64).to_le_bytes());
+        LifetimeConfig { seed, ..self.device }
+    }
+
+    fn epoch_bound(&self) -> usize {
+        if self.max_epochs > 0 {
+            self.max_epochs
+        } else {
+            2 * self.device.epochs + 8
+        }
+    }
+}
+
+/// What went wrong in one failed (or poisoned) device interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The checkup attempt panicked (isolated by the supervisor).
+    CheckupPanic,
+    /// The attempt stalled past the per-checkup deadline and was
+    /// abandoned before the device transaction landed.
+    Timeout,
+    /// The checkup completed but its recorded confidence distance was
+    /// non-finite; the device is escalated to Critical priority.
+    PoisonedDistance,
+}
+
+impl IncidentKind {
+    /// Stable lowercase label used by serialized artifacts and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentKind::CheckupPanic => "checkup-panic",
+            IncidentKind::Timeout => "timeout",
+            IncidentKind::PoisonedDistance => "poisoned-distance",
+        }
+    }
+}
+
+impl ToJson for IncidentKind {
+    fn to_json(&self) -> Json {
+        Json::String(self.label().to_owned())
+    }
+}
+
+impl FromJson for IncidentKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str()? {
+            "checkup-panic" => Ok(IncidentKind::CheckupPanic),
+            "timeout" => Ok(IncidentKind::Timeout),
+            "poisoned-distance" => Ok(IncidentKind::PoisonedDistance),
+            other => Err(JsonError::invalid(format!("unknown incident kind `{other}`"))),
+        }
+    }
+}
+
+/// A structured supervisor-level incident: a device interaction that
+/// failed (after retries) or returned poisoned data. Device-internal
+/// incidents (parks) stay in the device's own
+/// [`IncidentReport`](crate::IncidentReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetIncident {
+    /// The offending device id.
+    pub device: usize,
+    /// Fleet epoch of the incident.
+    pub epoch: usize,
+    /// What happened.
+    pub kind: IncidentKind,
+    /// Human-readable detail (panic message, timings).
+    pub message: String,
+}
+
+impl FleetIncident {
+    fn describe(&self) -> String {
+        format!(
+            "device {:04} epoch {}: {} — {}",
+            self.device,
+            self.epoch,
+            self.kind.label(),
+            self.message
+        )
+    }
+}
+
+impl ToJson for FleetIncident {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("device".to_owned(), self.device.to_json()),
+            ("epoch".to_owned(), self.epoch.to_json()),
+            ("kind".to_owned(), self.kind.to_json()),
+            ("message".to_owned(), self.message.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FleetIncident {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(FleetIncident {
+            device: usize::from_json(value.field("device")?)?,
+            epoch: usize::from_json(value.field("epoch")?)?,
+            kind: IncidentKind::from_json(value.field("kind")?)?,
+            message: String::from_json(value.field("message")?)?,
+        })
+    }
+}
+
+/// One registered device plus its supervision state.
+#[derive(Debug, Clone)]
+struct DeviceRecord {
+    id: usize,
+    runtime: LifetimeRuntime,
+    /// Epochs in which every retry was exhausted.
+    offenses: usize,
+    /// Fleet epoch at which the device was quarantined, if it was.
+    quarantined_at: Option<usize>,
+    /// Total retry attempts across the lifetime.
+    retries: usize,
+    /// Epochs run with shed checkup depth.
+    shed_depth: usize,
+    /// Epochs skipped entirely under budget pressure.
+    shed_skipped: usize,
+    /// Virtual milliseconds lost to stalls, timeouts and backoff.
+    backoff_ms: u64,
+    /// The last checkup's distance was poisoned; escalates priority
+    /// until the next clean checkup.
+    poisoned: bool,
+    incidents: Vec<FleetIncident>,
+}
+
+impl DeviceRecord {
+    /// Scheduling priority: higher goes first. Poisoned data is treated
+    /// like Critical — non-finite distances bypass hysteresis exactly as
+    /// in the single-device monitor.
+    fn priority(&self) -> u8 {
+        if self.poisoned {
+            return 2;
+        }
+        match self.runtime.state() {
+            HealthState::Critical => 2,
+            HealthState::Watch => 1,
+            HealthState::Healthy => 0,
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.quarantined_at.is_none() && !self.runtime.is_finished()
+    }
+
+    fn summary(&self) -> String {
+        let mut line = format!(
+            "device {:04}: state={} epochs={}/{} repairs={} stuck={} \
+             offenses={} retries={} shed={}+{} backoff_ms={}",
+            self.id,
+            self.runtime.state().label(),
+            self.runtime.epoch(),
+            self.runtime.config().epochs,
+            self.runtime.repairs_used(),
+            self.runtime.total_stuck(),
+            self.offenses,
+            self.retries,
+            self.shed_depth,
+            self.shed_skipped,
+            self.backoff_ms,
+        );
+        if self.runtime.is_parked() {
+            line.push_str(" PARKED");
+        }
+        if let Some(epoch) = self.quarantined_at {
+            line.push_str(&format!(" QUARANTINED@{epoch}"));
+        }
+        line
+    }
+}
+
+/// What the scheduler decided for one device this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    /// Not scheduled: quarantined, finished, or shed under budget.
+    Skip { shed: bool },
+    /// Full-depth checkup.
+    Full,
+    /// Depth-shed checkup at the given pattern count.
+    Shallow(usize),
+}
+
+/// The fleet supervisor: owns the registry and drives it epoch by epoch.
+/// See the module docs for the supervision contract.
+#[derive(Debug)]
+pub struct FleetSupervisor {
+    config: FleetConfig,
+    golden: Network,
+    patterns: TestPatternSet,
+    devices: Vec<DeviceRecord>,
+    fleet_epoch: usize,
+    /// Shards reported damaged by the last [`FleetSupervisor::resume`]:
+    /// `(shard index, detail)`. Their devices were reinitialized fresh.
+    damaged_shards: Vec<(usize, String)>,
+}
+
+impl FleetSupervisor {
+    /// Builds and deploys the whole registry: one independently-seeded
+    /// [`LifetimeRuntime`] per device, constructed in parallel on the
+    /// worker pool (construction is a pure function of the device id, so
+    /// the result is scheduling-independent).
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::InvalidPolicy`] on an invalid configuration.
+    pub fn new(
+        golden: &Network,
+        patterns: TestPatternSet,
+        config: FleetConfig,
+    ) -> Result<Self, HealthmonError> {
+        config.validate()?;
+        if patterns.len() < config.device.min_patterns {
+            return Err(HealthmonError::InvalidPolicy(format!(
+                "pattern set ({}) smaller than the degradation floor ({})",
+                patterns.len(),
+                config.device.min_patterns
+            )));
+        }
+        let mut slots: Vec<Option<DeviceRecord>> = (0..config.devices).map(|_| None).collect();
+        let golden_ref = golden;
+        let patterns_ref = &patterns;
+        pool::run_chunks(&mut slots, 1, |id, chunk| {
+            let runtime = LifetimeRuntime::new(
+                golden_ref,
+                patterns_ref.clone(),
+                config.device_config(id),
+                None,
+            );
+            chunk[0] = Some(DeviceRecord {
+                id,
+                runtime,
+                offenses: 0,
+                quarantined_at: None,
+                retries: 0,
+                shed_depth: 0,
+                shed_skipped: 0,
+                backoff_ms: 0,
+                poisoned: false,
+                incidents: Vec::new(),
+            });
+        });
+        let devices = slots
+            .into_iter()
+            .map(|slot| slot.expect("every construction chunk ran"))
+            .collect();
+        Ok(FleetSupervisor {
+            config,
+            golden: golden.clone(),
+            patterns,
+            devices,
+            fleet_epoch: 0,
+            damaged_shards: Vec::new(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Completed fleet epochs.
+    pub fn fleet_epoch(&self) -> usize {
+        self.fleet_epoch
+    }
+
+    /// Whether every device is finished or quarantined.
+    pub fn is_done(&self) -> bool {
+        self.devices.iter().all(|r| !r.is_active())
+    }
+
+    /// Quarantined device ids, ascending.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .filter(|r| r.quarantined_at.is_some())
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Supervisor-level incidents across all devices, ordered by
+    /// `(device, occurrence)`.
+    pub fn incidents(&self) -> Vec<FleetIncident> {
+        self.devices.iter().flat_map(|r| r.incidents.iter().cloned()).collect()
+    }
+
+    /// Total device epochs completed (the fleet's checkup throughput
+    /// denominator for the load-generator mode).
+    pub fn total_device_epochs(&self) -> usize {
+        self.devices.iter().map(|r| r.runtime.epoch()).sum()
+    }
+
+    /// Shards the last [`FleetSupervisor::resume`] found damaged:
+    /// `(shard index, detail)`.
+    pub fn damaged_shards(&self) -> &[(usize, String)] {
+        &self.damaged_shards
+    }
+
+    /// Per-device state histogram `(healthy, watch, critical)`.
+    pub fn state_histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0usize, 0usize, 0usize);
+        for r in &self.devices {
+            match r.runtime.state() {
+                HealthState::Healthy => h.0 += 1,
+                HealthState::Watch => h.1 += 1,
+                HealthState::Critical => h.2 += 1,
+            }
+        }
+        h
+    }
+
+    /// One deterministic summary line per device, ascending by id — the
+    /// unit the shard-recovery tests compare bit-for-bit.
+    pub fn device_summaries(&self) -> Vec<String> {
+        self.devices.iter().map(DeviceRecord::summary).collect()
+    }
+
+    /// Builds this epoch's schedule: priority order, then budget
+    /// shedding (depth before devices).
+    fn plan_epoch(&mut self) -> Vec<Plan> {
+        let mut plan: Vec<Plan> = self
+            .devices
+            .iter()
+            .map(|r| if r.is_active() { Plan::Full } else { Plan::Skip { shed: false } })
+            .collect();
+        if self.config.budget == 0 {
+            return plan;
+        }
+        let cost = |rec: &DeviceRecord, p: Plan| -> usize {
+            match p {
+                Plan::Skip { .. } => 0,
+                Plan::Full => rec.runtime.active_patterns(),
+                Plan::Shallow(k) => k,
+            }
+        };
+        let mut total: usize =
+            self.devices.iter().zip(&plan).map(|(r, &p)| cost(r, p)).sum();
+        if total <= self.config.budget {
+            return plan;
+        }
+        // Scheduling order: priority descending, id ascending. Shedding
+        // walks it back to front, so the healthiest devices give up
+        // checkup depth (and, if that is not enough, their whole slot)
+        // before anything is taken from Watch or Critical devices.
+        let mut order: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| self.devices[i].is_active())
+            .collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.devices[i].priority()), i));
+        let floor = self.config.device.min_patterns;
+        // Pass 1: shed depth on Healthy devices, lowest priority first.
+        for &i in order.iter().rev() {
+            if total <= self.config.budget {
+                break;
+            }
+            let rec = &self.devices[i];
+            if rec.priority() > 0 {
+                continue;
+            }
+            let full = rec.runtime.active_patterns();
+            if full > floor {
+                plan[i] = Plan::Shallow(floor);
+                total -= full - floor;
+                self.devices[i].shed_depth += 1;
+                FLEET_SHED_DEPTH.inc();
+            }
+        }
+        // Pass 2: shed whole devices, lowest priority first.
+        for &i in order.iter().rev() {
+            if total <= self.config.budget {
+                break;
+            }
+            let c = cost(&self.devices[i], plan[i]);
+            plan[i] = Plan::Skip { shed: true };
+            total -= c;
+            self.devices[i].shed_skipped += 1;
+            FLEET_SHED_DEVICES.inc();
+        }
+        plan
+    }
+
+    /// Runs one fleet epoch: plan, fan the scheduled checkups out over
+    /// the worker pool with per-device isolation, and fold the outcomes
+    /// back into the registry. Chaos (when configured) is injected here.
+    pub fn run_epoch(&mut self) {
+        let _span = tel::span("fleet.epoch");
+        let t0 = tel::enabled().then(std::time::Instant::now);
+        self.fleet_epoch += 1;
+        let epoch = self.fleet_epoch;
+        let plan = self.plan_epoch();
+        let config = self.config;
+        pool::run_chunks(&mut self.devices, 1, |i, chunk| {
+            let rec = &mut chunk[0];
+            match plan[i] {
+                Plan::Skip { .. } => {}
+                Plan::Full => run_device_epoch(rec, epoch, None, &config),
+                Plan::Shallow(k) => run_device_epoch(rec, epoch, Some(k), &config),
+            }
+        });
+        if let Some(t0) = t0 {
+            FLEET_EPOCH_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Runs up to `max_epochs` fleet epochs (until done, or until the
+    /// configured safety bound, if `None`).
+    pub fn run(&mut self, max_epochs: Option<usize>) {
+        let mut remaining = max_epochs.unwrap_or(usize::MAX);
+        while !self.is_done() && self.fleet_epoch < self.config.epoch_bound() && remaining > 0 {
+            self.run_epoch();
+            remaining -= 1;
+        }
+    }
+
+    /// Deterministic operator-facing report: byte-identical for
+    /// byte-identical fleets, at any thread count — the artifact the
+    /// chaos-determinism and kill-resume CI gates compare.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== fleet report ==\n");
+        out.push_str(&format!("seed: {}\n", self.config.seed));
+        out.push_str(&format!(
+            "devices: {} ({} shards)\n",
+            self.config.devices, self.config.shards
+        ));
+        out.push_str(&format!("fleet epochs: {}\n", self.fleet_epoch));
+        out.push_str(&format!(
+            "chaos: {}\n",
+            if self.config.chaos.is_active() { "active" } else { "off" }
+        ));
+        let (healthy, watch, critical) = self.state_histogram();
+        out.push_str(&format!(
+            "states: healthy {healthy}, watch {watch}, critical {critical}\n"
+        ));
+        let parked = self.devices.iter().filter(|r| r.runtime.is_parked()).count();
+        out.push_str(&format!("parked devices: {parked}\n"));
+        let quarantined = self.quarantined();
+        out.push_str(&format!(
+            "quarantined devices: {}{}\n",
+            quarantined.len(),
+            if quarantined.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " [{}]",
+                    quarantined
+                        .iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        ));
+        let retries: usize = self.devices.iter().map(|r| r.retries).sum();
+        let offenses: usize = self.devices.iter().map(|r| r.offenses).sum();
+        let shed_depth: usize = self.devices.iter().map(|r| r.shed_depth).sum();
+        let shed_skipped: usize = self.devices.iter().map(|r| r.shed_skipped).sum();
+        let backoff: u64 = self.devices.iter().map(|r| r.backoff_ms).sum();
+        out.push_str(&format!("retries: {retries}, offenses: {offenses}\n"));
+        out.push_str(&format!(
+            "shed: {shed_depth} shallow epochs, {shed_skipped} skipped epochs\n"
+        ));
+        out.push_str(&format!("virtual backoff: {backoff} ms\n"));
+        match self.damaged_shards.as_slice() {
+            [] => out.push_str("damaged shards: none\n"),
+            damaged => {
+                out.push_str(&format!("damaged shards: {}\n", damaged.len()));
+                for (index, detail) in damaged {
+                    out.push_str(&format!("  shard {index:03}: {detail}\n"));
+                }
+            }
+        }
+        let incidents = self.incidents();
+        out.push_str(&format!("incidents: {}\n", incidents.len()));
+        const INCIDENT_CAP: usize = 50;
+        for incident in incidents.iter().take(INCIDENT_CAP) {
+            out.push_str("  ");
+            out.push_str(&incident.describe());
+            out.push('\n');
+        }
+        if incidents.len() > INCIDENT_CAP {
+            out.push_str(&format!("  (+{} more)\n", incidents.len() - INCIDENT_CAP));
+        }
+        out.push_str("devices:\n");
+        for line in self.device_summaries() {
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the fleet state as `shards` atomic shard files under
+    /// `dir`, each guarded by an FNV digest over its content. A kill at
+    /// any instant leaves every shard either at its previous complete
+    /// state or its new complete state. With chaos checkpoint knobs
+    /// active, shard writes are deliberately truncated or bit-flipped
+    /// *after* the atomic write — simulating media corruption that the
+    /// resume path must detect and contain.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointMismatch`] on a non-digital device
+    /// backend; [`HealthmonError::CheckpointCorrupt`] on I/O failure.
+    pub fn save_checkpoint(&self, dir: impl AsRef<Path>) -> Result<(), HealthmonError> {
+        if self.config.device.backend.kind != BackendKind::Digital {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "fleet checkpoints capture digital device state only; \
+                 not supported on the `{}` backend",
+                self.config.device.backend.kind.label()
+            )));
+        }
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| HealthmonError::CheckpointCorrupt {
+            path: dir.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        for shard in 0..self.config.shards {
+            let path = shard_path(dir, shard);
+            let members: Vec<&DeviceRecord> = self
+                .devices
+                .iter()
+                .filter(|r| r.id % self.config.shards == shard)
+                .collect();
+            let entries: Vec<(usize, String, Json)> = members
+                .iter()
+                .map(|r| (r.id, r.runtime.checkpoint_json(), device_meta_json(r)))
+                .collect();
+            let digest = self.shard_digest(shard, &entries);
+            let devices: Vec<Json> = entries
+                .into_iter()
+                .map(|(id, checkpoint, meta)| {
+                    let mut fields = vec![("id".to_owned(), id.to_json())];
+                    if let Json::Object(meta_fields) = meta {
+                        fields.extend(meta_fields);
+                    }
+                    // The lifetime checkpoint rides as an escaped string,
+                    // so the shard digest covers its exact bytes without
+                    // depending on a parse→serialize round trip.
+                    fields.push(("checkpoint".to_owned(), Json::String(checkpoint)));
+                    Json::Object(fields)
+                })
+                .collect();
+            let value = Json::Object(vec![
+                ("format".to_owned(), Json::String(SHARD_FORMAT.to_owned())),
+                ("config_digest".to_owned(), Json::String(self.config.digest().to_string())),
+                (
+                    "golden_digest".to_owned(),
+                    Json::String(network_digest(&self.golden).to_string()),
+                ),
+                (
+                    "patterns_digest".to_owned(),
+                    Json::String(patterns_digest(&self.patterns).to_string()),
+                ),
+                ("shard".to_owned(), shard.to_json()),
+                ("shards".to_owned(), self.config.shards.to_json()),
+                ("fleet_epoch".to_owned(), self.fleet_epoch.to_json()),
+                ("devices".to_owned(), Json::Array(devices)),
+                ("digest".to_owned(), Json::String(digest.to_string())),
+            ]);
+            let mut bytes = healthmon_serdes::to_string(&value).into_bytes();
+            let mut rng = self.config.chaos.shard_rng(shard, self.fleet_epoch);
+            let truncate = rng.chance(self.config.chaos.truncate_p);
+            let flip = rng.chance(self.config.chaos.bitflip_p);
+            if truncate && bytes.len() > 2 {
+                // A torn write: everything past a drawn offset is lost.
+                bytes.truncate(1 + rng.below(bytes.len() - 1));
+            } else if flip && !bytes.is_empty() {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= 1 << rng.below(8);
+            }
+            store::write_atomic(&path, &bytes).map_err(|e| {
+                HealthmonError::CheckpointCorrupt {
+                    path: path.display().to_string(),
+                    detail: e.to_string(),
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The digest guarding one shard: FNV-1a over the header identity,
+    /// the fleet epoch, and every member's id, supervision metadata and
+    /// exact checkpoint bytes.
+    fn shard_digest(&self, shard: usize, entries: &[(usize, String, Json)]) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.config.digest().to_le_bytes());
+        h = fnv1a(h, network_digest(&self.golden).to_le_bytes());
+        h = fnv1a(h, patterns_digest(&self.patterns).to_le_bytes());
+        h = fnv1a(h, (shard as u64).to_le_bytes());
+        h = fnv1a(h, (self.fleet_epoch as u64).to_le_bytes());
+        for (id, checkpoint, meta) in entries {
+            h = fnv1a(h, (*id as u64).to_le_bytes());
+            h = fnv1a(h, healthmon_serdes::to_string(meta).bytes());
+            h = fnv1a(h, checkpoint.bytes());
+        }
+        h
+    }
+
+    /// Rebuilds a fleet from the shard files under `dir`, given the same
+    /// golden network, pattern set and config. Every shard that reads
+    /// back complete and digest-clean restores its devices
+    /// bit-identically; torn, bit-flipped or missing shards are recorded
+    /// in [`FleetSupervisor::damaged_shards`] and their devices are
+    /// reinitialized fresh — a damaged shard never takes the fleet down.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthmonError::CheckpointMismatch`] when a digest-clean shard
+    /// was written under a different config, golden network, pattern set
+    /// or shard layout (that is operator error, not media corruption);
+    /// [`HealthmonError::InvalidPolicy`] on an invalid config.
+    pub fn resume(
+        golden: &Network,
+        patterns: TestPatternSet,
+        config: FleetConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, HealthmonError> {
+        let dir = dir.as_ref();
+        let mut fleet = FleetSupervisor::new(golden, patterns, config)?;
+        // The *minimum* healthy-shard epoch, not the maximum: a kill
+        // mid-save leaves shards at mixed epochs, and resuming from the
+        // slowest one replays only what it missed (devices already ahead
+        // are finished or re-planned idempotently), so the completed
+        // fleet converges to the uninterrupted run byte-for-byte.
+        let mut fleet_epoch: Option<usize> = None;
+        for shard in 0..config.shards {
+            let path = shard_path(dir, shard);
+            match fleet.load_shard(&path, shard) {
+                Ok(epoch) => {
+                    fleet_epoch = Some(fleet_epoch.map_or(epoch, |e| e.min(epoch)));
+                }
+                Err(HealthmonError::CheckpointCorrupt { detail, .. }) => {
+                    fleet.damaged_shards.push((shard, detail));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        fleet.fleet_epoch = fleet_epoch.unwrap_or(0);
+        Ok(fleet)
+    }
+
+    /// Loads one shard into the registry, returning its fleet epoch.
+    /// Corruption (unreadable, unparseable, digest-dirty) surfaces as
+    /// [`HealthmonError::CheckpointCorrupt`]; semantic mismatches on a
+    /// digest-clean shard surface as
+    /// [`HealthmonError::CheckpointMismatch`].
+    fn load_shard(&mut self, path: &Path, shard: usize) -> Result<usize, HealthmonError> {
+        let text = store::read_checkpoint(path)?;
+        let value: Json =
+            healthmon_serdes::from_str(&text).map_err(|e| store::mark_corrupt(path, e.into()))?;
+        let parse = |e: JsonError| store::mark_corrupt(path, e.into());
+        let format = value.field("format").map_err(parse)?.as_str().map_err(parse)?;
+        if format != SHARD_FORMAT {
+            return Err(HealthmonError::CheckpointCorrupt {
+                path: path.display().to_string(),
+                detail: format!("unknown shard format `{format}`"),
+            });
+        }
+        let fleet_epoch = usize::from_json(value.field("fleet_epoch").map_err(parse)?)
+            .map_err(parse)?;
+        let devices = value.field("devices").map_err(parse)?.as_array().map_err(parse)?;
+        let mut entries: Vec<(usize, String, Json, Json)> = Vec::with_capacity(devices.len());
+        for device in devices {
+            let id = usize::from_json(device.field("id").map_err(parse)?).map_err(parse)?;
+            let checkpoint =
+                String::from_json(device.field("checkpoint").map_err(parse)?).map_err(parse)?;
+            let meta = device_meta_fields(device).map_err(parse)?;
+            entries.push((id, checkpoint, meta, device.clone()));
+        }
+        let digest_entries: Vec<(usize, String, Json)> = entries
+            .iter()
+            .map(|(id, cp, meta, _)| (*id, cp.clone(), meta.clone()))
+            .collect();
+        let expected = self.shard_digest_at(shard, fleet_epoch, &digest_entries);
+        match verify_digest(&value, "digest", expected, "fleet shard") {
+            Ok(()) => {}
+            Err(HealthmonError::CheckpointMismatch(detail)) => {
+                // The digest covers the whole payload, so a mismatch here
+                // is indistinguishable from media corruption — contain it
+                // at shard granularity rather than failing the resume.
+                return Err(HealthmonError::CheckpointCorrupt {
+                    path: path.display().to_string(),
+                    detail,
+                });
+            }
+            Err(other) => return Err(store::mark_corrupt(path, other)),
+        }
+        // Digest-clean from here on: any inconsistency is operator error.
+        verify_digest(&value, "config_digest", self.config.digest(), "fleet configuration")?;
+        verify_digest(&value, "golden_digest", network_digest(&self.golden), "golden network")?;
+        verify_digest(&value, "patterns_digest", patterns_digest(&self.patterns), "pattern set")?;
+        let shards = usize::from_json(value.field("shards")?)?;
+        let stored_shard = usize::from_json(value.field("shard")?)?;
+        if shards != self.config.shards || stored_shard != shard {
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "shard file {} claims shard {stored_shard}/{shards}, expected {shard}/{}",
+                path.display(),
+                self.config.shards
+            )));
+        }
+        for (id, checkpoint, _, device) in &entries {
+            let id = *id;
+            if id >= self.config.devices || id % self.config.shards != shard {
+                return Err(HealthmonError::CheckpointMismatch(format!(
+                    "device id {id} does not belong to shard {shard}"
+                )));
+            }
+            let runtime = LifetimeRuntime::resume(
+                &self.golden,
+                self.patterns.clone(),
+                self.config.device_config(id),
+                None,
+                checkpoint,
+            )?;
+            let rec = &mut self.devices[id];
+            rec.runtime = runtime;
+            rec.offenses = usize::from_json(device.field("offenses")?)?;
+            rec.quarantined_at = Option::from_json(device.field("quarantined_at")?)?;
+            rec.retries = usize::from_json(device.field("retries")?)?;
+            rec.shed_depth = usize::from_json(device.field("shed_depth")?)?;
+            rec.shed_skipped = usize::from_json(device.field("shed_skipped")?)?;
+            rec.backoff_ms = String::from_json(device.field("backoff_ms")?)?
+                .parse::<u64>()
+                .map_err(|_| JsonError::invalid("backoff_ms is not a decimal u64"))?;
+            rec.poisoned = bool::from_json(device.field("poisoned")?)?;
+            rec.incidents = Vec::from_json(device.field("incidents")?)?;
+        }
+        Ok(fleet_epoch)
+    }
+
+    /// [`FleetSupervisor::shard_digest`] against an explicit epoch (the
+    /// one stored in the shard being verified, not the live one).
+    fn shard_digest_at(
+        &self,
+        shard: usize,
+        fleet_epoch: usize,
+        entries: &[(usize, String, Json)],
+    ) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.config.digest().to_le_bytes());
+        h = fnv1a(h, network_digest(&self.golden).to_le_bytes());
+        h = fnv1a(h, patterns_digest(&self.patterns).to_le_bytes());
+        h = fnv1a(h, (shard as u64).to_le_bytes());
+        h = fnv1a(h, (fleet_epoch as u64).to_le_bytes());
+        for (id, checkpoint, meta) in entries {
+            h = fnv1a(h, (*id as u64).to_le_bytes());
+            h = fnv1a(h, healthmon_serdes::to_string(meta).bytes());
+            h = fnv1a(h, checkpoint.bytes());
+        }
+        h
+    }
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}.json"))
+}
+
+/// The supervision metadata of one device as a JSON object (everything
+/// except the id and the embedded lifetime checkpoint).
+fn device_meta_json(rec: &DeviceRecord) -> Json {
+    Json::Object(vec![
+        ("offenses".to_owned(), rec.offenses.to_json()),
+        ("quarantined_at".to_owned(), rec.quarantined_at.to_json()),
+        ("retries".to_owned(), rec.retries.to_json()),
+        ("shed_depth".to_owned(), rec.shed_depth.to_json()),
+        ("shed_skipped".to_owned(), rec.shed_skipped.to_json()),
+        // u64 as a decimal string, like every other 64-bit field.
+        ("backoff_ms".to_owned(), Json::String(rec.backoff_ms.to_string())),
+        ("poisoned".to_owned(), rec.poisoned.to_json()),
+        ("incidents".to_owned(), rec.incidents.to_json()),
+    ])
+}
+
+/// Re-extracts the metadata object from a parsed shard device entry, in
+/// the exact field order [`device_meta_json`] writes, so the digest
+/// recomputation sees byte-identical metadata serialization.
+fn device_meta_fields(device: &Json) -> Result<Json, JsonError> {
+    Ok(Json::Object(vec![
+        ("offenses".to_owned(), device.field("offenses")?.clone()),
+        ("quarantined_at".to_owned(), device.field("quarantined_at")?.clone()),
+        ("retries".to_owned(), device.field("retries")?.clone()),
+        ("shed_depth".to_owned(), device.field("shed_depth")?.clone()),
+        ("shed_skipped".to_owned(), device.field("shed_skipped")?.clone()),
+        ("backoff_ms".to_owned(), device.field("backoff_ms")?.clone()),
+        ("poisoned".to_owned(), device.field("poisoned")?.clone()),
+        ("incidents".to_owned(), device.field("incidents")?.clone()),
+    ]))
+}
+
+/// Drives one device through one fleet epoch with panic isolation,
+/// deadline enforcement, bounded retry and chaos injection. Runs inside
+/// a pool chunk: it must never unwind (a panic here would poison the
+/// whole job), so every failure folds into the record instead.
+fn run_device_epoch(
+    rec: &mut DeviceRecord,
+    epoch: usize,
+    depth: Option<usize>,
+    config: &FleetConfig,
+) {
+    let mut last_failure: Option<(IncidentKind, String)> = None;
+    for attempt in 1..=config.retry_limit {
+        let chaos = draw_attempt(&config.chaos, rec.id, epoch, attempt);
+        if chaos.stall_ms > config.deadline_ms {
+            // The checkup is wedged past its deadline: abandon the
+            // attempt before the device transaction lands, so the retry
+            // starts from untouched device state.
+            rec.backoff_ms += config.deadline_ms;
+            FLEET_CHECKUPS_FAILED.inc();
+            last_failure = Some((
+                IncidentKind::Timeout,
+                format!(
+                    "attempt {attempt} stalled {} ms, deadline {} ms",
+                    chaos.stall_ms, config.deadline_ms
+                ),
+            ));
+        } else {
+            rec.backoff_ms += chaos.stall_ms;
+            let runtime = &mut rec.runtime;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if chaos.panic {
+                    panic!("chaos: injected checkup panic");
+                }
+                match depth {
+                    Some(k) => runtime.step_shallow(k),
+                    None => runtime.step(),
+                }
+            }));
+            match outcome {
+                Ok(_state) => {
+                    FLEET_CHECKUPS_OK.inc();
+                    rec.poisoned = false;
+                    if chaos.poison {
+                        // The checkup itself succeeded but its reported
+                        // distance is non-finite: keep the device state
+                        // (the epoch happened) and escalate priority, as
+                        // the single-device monitor does for poisoned
+                        // confidence distances.
+                        rec.poisoned = true;
+                        rec.incidents.push(FleetIncident {
+                            device: rec.id,
+                            epoch,
+                            kind: IncidentKind::PoisonedDistance,
+                            message: "checkup distance read back NaN".to_owned(),
+                        });
+                        FLEET_INCIDENTS.inc();
+                    }
+                    return;
+                }
+                Err(payload) => {
+                    FLEET_CHECKUPS_FAILED.inc();
+                    last_failure = Some((
+                        IncidentKind::CheckupPanic,
+                        format!("attempt {attempt}: {}", panic_message(payload)),
+                    ));
+                }
+            }
+        }
+        if attempt < config.retry_limit {
+            rec.retries += 1;
+            FLEET_RETRIES.inc();
+            // Exponential backoff with deterministic jitter, in virtual
+            // milliseconds: visible in the report, invisible to the
+            // wall clock.
+            let backoff = config.backoff_base_ms.saturating_mul(1 << (attempt - 1).min(16))
+                + chaos.jitter_ms;
+            rec.backoff_ms += backoff;
+            FLEET_BACKOFF_MS.add(backoff);
+        }
+    }
+    // Every retry exhausted: one offense, one structured incident.
+    let (kind, message) =
+        last_failure.expect("retry loop records a failure before exhausting");
+    rec.offenses += 1;
+    rec.incidents.push(FleetIncident { device: rec.id, epoch, kind, message });
+    FLEET_INCIDENTS.inc();
+    if rec.offenses >= config.quarantine_threshold && rec.quarantined_at.is_none() {
+        rec.quarantined_at = Some(epoch);
+        FLEET_QUARANTINES.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::TestPatternSet;
+    use healthmon_nn::models::tiny_mlp;
+    use healthmon_tensor::Tensor;
+
+    fn setup(seed: u64) -> (Network, TestPatternSet) {
+        let mut rng = SeededRng::new(seed);
+        let net = tiny_mlp(8, 16, 4, &mut rng);
+        let patterns = TestPatternSet::new("test", Tensor::randn(&[6, 8], &mut rng));
+        (net, patterns)
+    }
+
+    fn small_config(devices: usize) -> FleetConfig {
+        FleetConfig {
+            seed: 33,
+            devices,
+            device: LifetimeConfig {
+                epochs: 4,
+                ..LifetimeConfig::default()
+            },
+            shards: 3,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("healthmon_fleet_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn chaos_spec_parsing() {
+        let c = ChaosConfig::parse("panic:0.05,stall:0.1,stallms:400,seed:9").unwrap();
+        assert_eq!(c.panic_p, 0.05);
+        assert_eq!(c.stall_p, 0.1);
+        assert_eq!(c.stall_ms, 400);
+        assert_eq!(c.seed, 9);
+        assert!(c.is_active());
+        assert!(!ChaosConfig::parse("off").unwrap().is_active());
+        assert!(!ChaosConfig::parse("").unwrap().is_active());
+        assert!(ChaosConfig::parse("panic").is_err());
+        assert!(ChaosConfig::parse("panic:x").is_err());
+        assert!(ChaosConfig::parse("frobnicate:1").is_err());
+        assert!(ChaosConfig::parse("panic:1.5").is_err());
+    }
+
+    #[test]
+    fn chaos_draws_are_scheduling_independent() {
+        let chaos = ChaosConfig { seed: 7, panic_p: 0.3, stall_p: 0.3, ..Default::default() };
+        for device in 0..5 {
+            for epoch in 1..4 {
+                let a = draw_attempt(&chaos, device, epoch, 1);
+                let b = draw_attempt(&chaos, device, epoch, 1);
+                assert_eq!(a.panic, b.panic);
+                assert_eq!(a.stall_ms, b.stall_ms);
+                assert_eq!(a.jitter_ms, b.jitter_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_fleet_is_deterministic_and_completes() {
+        let (net, patterns) = setup(5);
+        let mut a = FleetSupervisor::new(&net, patterns.clone(), small_config(6)).unwrap();
+        let mut b = FleetSupervisor::new(&net, patterns, small_config(6)).unwrap();
+        a.run(None);
+        b.run(None);
+        assert!(a.is_done());
+        assert_eq!(a.render_report(), b.render_report());
+        assert!(a.quarantined().is_empty());
+        assert!(a.incidents().is_empty());
+    }
+
+    #[test]
+    fn chaos_panics_are_isolated_and_quarantine_offenders() {
+        let (net, patterns) = setup(5);
+        let mut config = small_config(8);
+        // Every attempt panics: every device exhausts its retries every
+        // epoch and must end up quarantined — with zero fleet aborts.
+        config.chaos = ChaosConfig { seed: 3, panic_p: 1.0, ..Default::default() };
+        config.quarantine_threshold = 2;
+        let mut fleet = FleetSupervisor::new(&net, patterns, config).unwrap();
+        fleet.run(None);
+        assert!(fleet.is_done());
+        assert_eq!(fleet.quarantined().len(), 8);
+        assert!(fleet.incidents().iter().all(|i| i.kind == IncidentKind::CheckupPanic));
+        // Devices never stepped: the panic fires before the transaction.
+        assert_eq!(fleet.total_device_epochs(), 0);
+    }
+
+    #[test]
+    fn stalls_past_deadline_time_out_and_retries_recover_transients() {
+        let (net, patterns) = setup(5);
+        let mut config = small_config(6);
+        // Half the attempts stall far past the deadline; retries give
+        // each epoch several chances, so most devices should still make
+        // progress while timeouts show up as incidents or retries.
+        config.chaos = ChaosConfig {
+            seed: 11,
+            stall_p: 0.5,
+            stall_ms: 5_000,
+            ..Default::default()
+        };
+        config.deadline_ms = 100;
+        config.retry_limit = 4;
+        config.quarantine_threshold = 100; // never quarantine here
+        let mut fleet = FleetSupervisor::new(&net, patterns, config).unwrap();
+        fleet.run(None);
+        let report = fleet.render_report();
+        assert!(fleet.total_device_epochs() > 0, "retries must recover some epochs");
+        let retries: usize = report
+            .lines()
+            .find(|l| l.starts_with("retries:"))
+            .and_then(|l| l.split(&[' ', ','][..]).nth(1).and_then(|v| v.parse().ok()))
+            .unwrap();
+        assert!(retries > 0, "stalls past the deadline must trigger retries");
+    }
+
+    #[test]
+    fn poisoned_distances_escalate_priority() {
+        let (net, patterns) = setup(5);
+        let mut config = small_config(4);
+        config.chaos = ChaosConfig { seed: 2, poison_p: 1.0, ..Default::default() };
+        let mut fleet = FleetSupervisor::new(&net, patterns, config).unwrap();
+        fleet.run_epoch();
+        assert!(fleet
+            .incidents()
+            .iter()
+            .all(|i| i.kind == IncidentKind::PoisonedDistance));
+        assert_eq!(fleet.incidents().len(), 4);
+        // Poisoned devices take top priority in the next plan.
+        assert!(fleet.devices.iter().all(|r| r.priority() == 2));
+    }
+
+    #[test]
+    fn budget_sheds_depth_before_devices() {
+        let (net, patterns) = setup(5);
+        let mut config = small_config(6);
+        // 6 devices x 6 patterns = 36 evaluations; a budget of 20 forces
+        // depth shedding (floor 2) on healthy devices: 6 x 2 = 12 fits,
+        // so nothing should be skipped outright.
+        config.budget = 20;
+        let mut fleet = FleetSupervisor::new(&net, patterns, config).unwrap();
+        fleet.run_epoch();
+        let shed_depth: usize = fleet.devices.iter().map(|r| r.shed_depth).sum();
+        let shed_skipped: usize = fleet.devices.iter().map(|r| r.shed_skipped).sum();
+        assert!(shed_depth > 0, "budget pressure must shed checkup depth");
+        assert_eq!(shed_skipped, 0, "depth shedding fits the budget; no device shed");
+        assert_eq!(fleet.total_device_epochs(), 6, "every device still stepped");
+        // A budget below the floor total forces device shedding too.
+        let (net, patterns) = setup(5);
+        let mut config = small_config(6);
+        config.budget = 7; // floor total is 12
+        let mut fleet = FleetSupervisor::new(&net, patterns, config).unwrap();
+        fleet.run_epoch();
+        let shed_skipped: usize = fleet.devices.iter().map(|r| r.shed_skipped).sum();
+        assert!(shed_skipped > 0, "a floor-busting budget must shed devices");
+        assert!(fleet.total_device_epochs() < 6);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (net, patterns) = setup(9);
+        let config = small_config(5);
+        let dir = temp_dir("resume");
+        let mut reference = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        reference.run(None);
+        let want = reference.render_report();
+
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        fleet.run(Some(2));
+        fleet.save_checkpoint(&dir).unwrap();
+        let mut resumed = FleetSupervisor::resume(&net, patterns, config, &dir).unwrap();
+        assert!(resumed.damaged_shards().is_empty());
+        assert_eq!(resumed.fleet_epoch(), 2);
+        resumed.run(None);
+        assert_eq!(resumed.render_report(), want);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_shard_is_contained_and_reported() {
+        let (net, patterns) = setup(9);
+        let config = small_config(7); // 3 shards: ids {0,3,6}, {1,4}, {2,5}
+        let dir = temp_dir("truncated");
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        fleet.run(Some(2));
+        fleet.save_checkpoint(&dir).unwrap();
+        // Tear shard 1 mid-file, as a kill during a non-atomic write
+        // would have.
+        let path = dir.join("shard-001.json");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let resumed = FleetSupervisor::resume(&net, patterns, config, &dir).unwrap();
+        assert_eq!(resumed.damaged_shards().len(), 1);
+        assert_eq!(resumed.damaged_shards()[0].0, 1);
+        // Healthy-shard devices restored bit-identically...
+        let mut reference = FleetSupervisor::new(&net,
+            TestPatternSet::new("test", resumed.patterns.images().clone()), config).unwrap();
+        reference.run(Some(2));
+        for id in [0usize, 2, 3, 5, 6] {
+            assert_eq!(
+                resumed.device_summaries()[id],
+                reference.device_summaries()[id],
+                "device {id} must resume bit-identically"
+            );
+        }
+        // ...while damaged-shard devices fall back to a fresh registry
+        // entry (epoch 0) instead of failing the resume.
+        for id in [1usize, 4] {
+            assert_eq!(resumed.devices[id].runtime.epoch(), 0);
+        }
+        assert!(resumed.render_report().contains("damaged shards: 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_shard_fails_its_digest() {
+        let (net, patterns) = setup(9);
+        let config = small_config(4);
+        let dir = temp_dir("bitflip");
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        fleet.run(Some(1));
+        fleet.save_checkpoint(&dir).unwrap();
+        // Flip one bit inside the payload (far from the JSON braces so
+        // the file still parses and only the digest can catch it).
+        let path = dir.join("shard-002.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        let target = (at..bytes.len())
+            .find(|&i| bytes[i].is_ascii_digit())
+            .expect("a digit byte exists");
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let resumed = FleetSupervisor::resume(&net, patterns, config, &dir).unwrap();
+        let damaged = resumed.damaged_shards();
+        assert_eq!(damaged.len(), 1);
+        assert_eq!(damaged[0].0, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_config() {
+        let (net, patterns) = setup(9);
+        let config = small_config(4);
+        let dir = temp_dir("wrong_config");
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        fleet.run(Some(1));
+        fleet.save_checkpoint(&dir).unwrap();
+        let mut other = config;
+        other.retry_limit += 1;
+        // A clean shard under a different config digest: every shard is
+        // "corrupt" relative to that config's digest chain, so the whole
+        // resume degrades to fresh devices — but never silently mixes
+        // configurations. (The config digest seeds the shard digest, so
+        // the mismatch is caught by the earliest, strongest check.)
+        let resumed = FleetSupervisor::resume(&net, patterns, other, &dir).unwrap();
+        assert_eq!(resumed.damaged_shards().len(), config.shards);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_checkpoint_truncation_is_detected_on_resume() {
+        let (net, patterns) = setup(9);
+        let mut config = small_config(6);
+        config.chaos = ChaosConfig { seed: 4, truncate_p: 0.5, ..Default::default() };
+        let dir = temp_dir("chaos_trunc");
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), config).unwrap();
+        fleet.run(Some(2));
+        fleet.save_checkpoint(&dir).unwrap();
+        // With truncate_p = 0.5 over 3 shards, the seeded draw damages at
+        // least one shard (asserted, not assumed — the draw is fixed by
+        // the chaos seed).
+        let resumed = FleetSupervisor::resume(&net, patterns, config, &dir).unwrap();
+        assert!(
+            !resumed.damaged_shards().is_empty(),
+            "seeded truncation chaos must damage at least one shard"
+        );
+        assert!(resumed.damaged_shards().len() < config.shards, "some shards survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

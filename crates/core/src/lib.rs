@@ -71,6 +71,7 @@ mod detect;
 mod diagnose;
 pub mod efficiency;
 mod error;
+pub mod fleet;
 mod metrics;
 pub mod mitigation;
 mod monitor;
@@ -79,6 +80,7 @@ mod patterns;
 pub mod report;
 mod runtime;
 pub mod stability;
+pub mod store;
 
 pub use aet::AetGenerator;
 pub use checkpoint::CampaignCheckpoint;
@@ -87,6 +89,7 @@ pub use ctp::CtpGenerator;
 pub use detect::Detector;
 pub use diagnose::{diagnose, estimate_stuck_cells, Diagnosis, LayerDiagnosis};
 pub use error::HealthmonError;
+pub use fleet::{ChaosConfig, FleetConfig, FleetIncident, FleetSupervisor, IncidentKind};
 pub use metrics::SdcCriterion;
 pub use mitigation::{
     run_mitigation, CampaignArm, LifetimeArm, MitigationReport, MitigationScenario,

@@ -739,6 +739,12 @@ pub struct LifetimeRuntime {
     next_repair_epoch: usize,
     events: Vec<LifetimeEvent>,
     incident: Option<IncidentReport>,
+    /// Transient checkup-depth cap for the *next* epoch, set by
+    /// [`LifetimeRuntime::step_shallow`] (fleet budget shedding). Never
+    /// serialized: a resumed runtime starts with no override, and the
+    /// fleet supervisor re-derives its shedding decisions
+    /// deterministically each epoch.
+    depth_override: Option<usize>,
 }
 
 impl LifetimeRuntime {
@@ -825,6 +831,7 @@ impl LifetimeRuntime {
             next_repair_epoch: 0,
             events: Vec::new(),
             incident: None,
+            depth_override: None,
         };
         if runtime.config.hardened {
             // Program the spare-column parity alongside the weights.
@@ -968,6 +975,23 @@ impl LifetimeRuntime {
         self.state()
     }
 
+    /// Like [`LifetimeRuntime::step`], but the epoch's checkup evaluates
+    /// at most `max_patterns` test patterns (clamped into `1..=len`). The
+    /// cap applies to this one epoch only: the runtime's persistent
+    /// pattern budget (`active_patterns`, the degradation ladder state)
+    /// is untouched, so a fleet supervisor can shed checkup *depth* under
+    /// budget pressure without permanently degrading the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`LifetimeRuntime::is_finished`].
+    pub fn step_shallow(&mut self, max_patterns: usize) -> HealthState {
+        self.depth_override = Some(max_patterns.clamp(1, self.patterns.len()));
+        let state = self.step();
+        self.depth_override = None;
+        state
+    }
+
     /// The single choke point of the lifetime event stream: appends to
     /// the in-memory log and, when telemetry is recording, mirrors the
     /// event into the per-kind counters and the ring-buffer recorder —
@@ -984,13 +1008,37 @@ impl LifetimeRuntime {
     }
 
     /// Runs one concurrent-test checkup against the live device state.
+    ///
+    /// An active [`LifetimeRuntime::step_shallow`] override swaps a
+    /// smaller detector in for this single checkup and restores the
+    /// persistent-depth detector afterwards, so budget-shed epochs never
+    /// leak into the runtime's durable degradation state.
     fn run_checkup(&mut self) -> Checkup {
         let _span = tel::span("lifetime.checkup");
-        match &self.device {
+        let shallow = self.depth_override.filter(|&k| k < self.active_patterns);
+        if let Some(k) = shallow {
+            let detector = self
+                .full_detector
+                .subset(k)
+                .expect("step_shallow clamps the depth into 1..=len");
+            self.monitor.set_detector(detector);
+        }
+        let checkup = match &self.device {
             DeviceState::Digital(net) => self.monitor.check(net),
             DeviceState::Analog(b) => self.monitor.check(b),
             DeviceState::BitSliced(b) => self.monitor.check(b),
+        };
+        if shallow.is_some() {
+            let detector = if self.active_patterns < self.patterns.len() {
+                self.full_detector
+                    .subset(self.active_patterns)
+                    .expect("active_patterns is kept in 1..=len")
+            } else {
+                self.full_detector.clone()
+            };
+            self.monitor.set_detector(detector);
         }
+        checkup
     }
 
     fn epoch_body(&mut self, epoch: usize) {
@@ -1690,7 +1738,7 @@ impl LifetimeRuntime {
 /// Checkpoint format tag; bumped on incompatible layout changes.
 const CHECKPOINT_FORMAT: &str = "healthmon-lifetime-checkpoint-v1";
 
-fn verify_digest(
+pub(crate) fn verify_digest(
     value: &Json,
     field: &str,
     expected: u64,
@@ -1718,7 +1766,7 @@ fn golden_param(net: &Network, key: &str) -> Tensor {
     found.unwrap_or_else(|| panic!("golden parameter `{key}` exists"))
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     // Note the explicit reborrow: downcasting `&Box<dyn Any>` directly
     // would question the box, not the payload, and always miss.
     let payload: &(dyn std::any::Any + Send) = &*payload;
@@ -1731,10 +1779,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+pub(crate) fn fnv1a(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
     for byte in bytes {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(FNV_PRIME);
@@ -1743,7 +1791,7 @@ fn fnv1a(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
 }
 
 /// FNV-1a over every parameter key and the exact f32 bit patterns.
-fn network_digest(net: &Network) -> u64 {
+pub(crate) fn network_digest(net: &Network) -> u64 {
     let mut hash = FNV_OFFSET;
     net.for_each_param(|key, tensor| {
         hash = fnv1a(hash, key.bytes());
@@ -1800,7 +1848,7 @@ fn parity_digest(parity: &[(String, ParityCheck)]) -> u64 {
 }
 
 /// FNV-1a over the pattern method, shape, and exact image bit patterns.
-fn patterns_digest(patterns: &TestPatternSet) -> u64 {
+pub(crate) fn patterns_digest(patterns: &TestPatternSet) -> u64 {
     let mut hash = fnv1a(FNV_OFFSET, patterns.method().bytes());
     for &dim in patterns.images().shape() {
         hash = fnv1a(hash, (dim as u64).to_le_bytes());

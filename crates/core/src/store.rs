@@ -1,0 +1,141 @@
+//! Crash-safe artifact persistence: atomic file replacement and
+//! corruption-aware checkpoint loading.
+//!
+//! Every checkpoint writer in the workspace (lifetime checkpoints,
+//! campaign checkpoints, fleet shards) routes through [`write_atomic`]:
+//! the payload is written to a sibling temp file, fsynced, and renamed
+//! over the destination, so a kill at any instant leaves either the old
+//! complete file or the new complete file — never a torn half-write. The
+//! reader side pairs with it: [`read_checkpoint`] maps I/O failures to a
+//! structured [`HealthmonError::CheckpointCorrupt`] carrying the
+//! offending path, and [`mark_corrupt`] rewraps parse-level JSON errors
+//! the same way, so a damaged artifact is reported as *damaged at this
+//! path* instead of surfacing as a context-free parse error.
+
+use crate::error::HealthmonError;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents`: temp file in the same
+/// directory + fsync + rename, then a best-effort directory fsync so the
+/// rename itself is durable. After a crash the destination holds either
+/// the previous complete contents or the new complete contents.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming the temp
+/// file. The temp file is removed on failure when possible.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    // Durability of the rename needs the directory entry flushed too;
+    // platforms that cannot fsync a directory just skip this.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint file to a string, mapping any I/O failure to
+/// [`HealthmonError::CheckpointCorrupt`] with the offending path.
+///
+/// # Errors
+///
+/// [`HealthmonError::CheckpointCorrupt`] when the file is missing or
+/// unreadable.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<String, HealthmonError> {
+    let path = path.as_ref();
+    fs::read_to_string(path).map_err(|e| HealthmonError::CheckpointCorrupt {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })
+}
+
+/// Rewraps parse-level failures of a checkpoint load as
+/// [`HealthmonError::CheckpointCorrupt`] at `path`. Semantic mismatches
+/// ([`HealthmonError::CheckpointMismatch`]) pass through untouched: a
+/// well-formed checkpoint for different inputs is not a damaged file.
+pub fn mark_corrupt(path: impl AsRef<Path>, e: HealthmonError) -> HealthmonError {
+    match e {
+        HealthmonError::Json(parse) => HealthmonError::CheckpointCorrupt {
+            path: path.as_ref().display().to_string(),
+            detail: parse.to_string(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("healthmon_store_{name}"));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_round_trips() {
+        let dir = temp_dir("round_trip");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        // Overwrite replaces the whole file, never appends.
+        write_atomic(&path, b"{}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{}");
+        // No temp file left behind.
+        assert!(!dir.join("artifact.json.tmp").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_into_missing_directory_fails_cleanly() {
+        let dir = temp_dir("missing").join("no_such_subdir");
+        assert!(write_atomic(dir.join("x.json"), b"x").is_err());
+    }
+
+    #[test]
+    fn read_checkpoint_reports_the_path() {
+        let err = read_checkpoint("/definitely/not/a/real/checkpoint.json").unwrap_err();
+        match err {
+            HealthmonError::CheckpointCorrupt { path, .. } => {
+                assert!(path.contains("checkpoint.json"));
+            }
+            other => panic!("expected CheckpointCorrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mark_corrupt_rewraps_parse_errors_only() {
+        let parse: HealthmonError = healthmon_serdes::JsonError::invalid("bad token").into();
+        match mark_corrupt("cp.json", parse) {
+            HealthmonError::CheckpointCorrupt { path, detail } => {
+                assert_eq!(path, "cp.json");
+                assert!(detail.contains("bad token"));
+            }
+            other => panic!("expected CheckpointCorrupt, got {other}"),
+        }
+        let mismatch = HealthmonError::CheckpointMismatch("different seed".into());
+        assert!(matches!(
+            mark_corrupt("cp.json", mismatch),
+            HealthmonError::CheckpointMismatch(_)
+        ));
+    }
+}

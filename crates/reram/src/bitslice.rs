@@ -16,6 +16,7 @@
 //! the quantize-once `i32` fast path automatically; the shift-add
 //! recombination stays in `f32`.
 
+use crate::quant::{narrow_code, round_fast};
 use crate::{CellFault, CrossbarConfig, IrDropModel, Quantizer, ScrubOutcome, TiledMatrix};
 use healthmon_tensor::{SeededRng, Tensor};
 
@@ -82,15 +83,32 @@ impl BitSlicedMatrix {
         let digit_radix = 1u32 << cell_bits;
 
         // Decompose each |w| into digits, keep sign on every digit.
+        //
+        // Lowered per the DESIGN.md §8 checklist: quantize once into a
+        // code vector with the branch-free round/narrow helpers (instead
+        // of `f32::round` + a saturating `as u32` per element), then peel
+        // each digit with shift/mask zip loops — `(code >> k·cell_bits) &
+        // (radix−1)` equals the former `%`/`÷` cascade for every u32
+        // code, and the zip stores carry no bounds checks. Bit-identical
+        // to the scalar form on the whole ≤16-bit code domain (codes top
+        // out at 2¹⁶, inside `narrow_code`'s window).
+        let src = weights.as_slice();
+        let qstep = q.step();
+        let codes: Vec<u32> = src
+            .iter()
+            .map(|&w| narrow_code(round_fast(w.abs().min(w_max) / qstep)))
+            .collect();
+        let signs: Vec<f32> =
+            src.iter().map(|&w| if w < 0.0 { -1.0f32 } else { 1.0 }).collect();
         let mut digit_planes: Vec<Tensor> =
             (0..num_slices).map(|_| Tensor::zeros(&[rows, cols])).collect();
-        for (i, &w) in weights.as_slice().iter().enumerate() {
-            let sign = if w < 0.0 { -1.0f32 } else { 1.0 };
-            let mut code = q.index_of(w.abs());
-            for plane in digit_planes.iter_mut() {
-                let digit = code % digit_radix;
-                plane.as_mut_slice()[i] = sign * digit as f32;
-                code /= digit_radix;
+        let mask = digit_radix - 1;
+        for (k, plane) in digit_planes.iter_mut().enumerate() {
+            let shift = k as u32 * cell_bits;
+            for ((d, &code), &sign) in
+                plane.as_mut_slice().iter_mut().zip(&codes).zip(&signs)
+            {
+                *d = sign * ((code >> shift) & mask) as f32;
             }
         }
 
@@ -331,6 +349,40 @@ mod tests {
         let want = s.effective_weights().transpose().matvec(&x);
         for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
             assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lowered_digit_decomposition_matches_scalar_reference() {
+        // The §8-lowered program() path (round_fast + narrow_code +
+        // shift/mask) must be bit-identical to the straightforward
+        // index_of + %/÷ cascade it replaced.
+        let mut rng = SeededRng::new(77);
+        let w = Tensor::randn(&[9, 7], &mut rng).map(|v| v * 3.0);
+        let (total_bits, cell_bits) = (16u32, 4u32);
+        let w_max = w
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(f32::MIN_POSITIVE);
+        let q = Quantizer::new(0.0, w_max, total_bits);
+        let digit_radix = 1u32 << cell_bits;
+        let num_slices = (total_bits / cell_bits) as usize;
+        for &weight in w.as_slice() {
+            // Scalar reference.
+            let mut reference = Vec::new();
+            let mut code = q.index_of(weight.abs());
+            for _ in 0..num_slices {
+                reference.push(code % digit_radix);
+                code /= digit_radix;
+            }
+            // Lowered form, exactly as program() computes it.
+            let lowered_code =
+                narrow_code(round_fast(weight.abs().min(w_max) / q.step()));
+            for (k, &want) in reference.iter().enumerate() {
+                let got = (lowered_code >> (k as u32 * cell_bits)) & (digit_radix - 1);
+                assert_eq!(got, want, "weight {weight} digit {k}");
+            }
         }
     }
 

@@ -37,6 +37,18 @@ pub(crate) fn narrow_i16(c: f32) -> i16 {
     (((c + MAGIC2).to_bits() & 0x3F_FFFF) as i32 - 32_768) as i16
 }
 
+/// [`narrow_i16`]'s wide sibling: converts an integral non-negative
+/// `f32` below `2²² − 2¹⁵` to `u32` via the same magic-add mantissa
+/// read. Bit-slice codes span `0..=2¹⁶` (16 weight bits plus the
+/// rounding edge at `hi / step`), which overflows `i16` but sits well
+/// inside this domain. Bit-for-bit equal to `as u32` there, without the
+/// saturating-cast scalarization.
+#[inline(always)]
+pub(crate) fn narrow_code(c: f32) -> u32 {
+    const MAGIC2: f32 = 12_582_912.0 + 32_768.0;
+    (((c + MAGIC2).to_bits() & 0x3F_FFFF) as i32 - 32_768) as u32
+}
+
 /// A uniform mid-tread quantizer over a closed range.
 ///
 /// # Example
@@ -190,5 +202,15 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn rejects_inverted_range() {
         Quantizer::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn narrow_code_matches_as_cast_on_the_code_domain() {
+        // Exhaustive over the whole bit-slice code range, including the
+        // 2¹⁶ rounding edge that overflows i16.
+        for code in 0..=65_536u32 {
+            let f = code as f32;
+            assert_eq!(narrow_code(f), f as u32, "code {code}");
+        }
     }
 }

@@ -27,6 +27,27 @@
 //! complete, and the first panic payload (by completion order) is
 //! re-raised on the calling thread once the job is done — workers never
 //! die, and borrowed data is never used after the caller unwinds.
+//!
+//! # Stall story (deliberately timeout-free)
+//!
+//! The pool itself never kills a job: a chunk closure that spins forever
+//! holds its worker forever. Adding timeouts *here* would break the
+//! scoped-borrow safety argument (a chunk abandoned mid-execution could
+//! touch caller stack memory after `run` returns), so stall handling is
+//! layered instead:
+//!
+//! 1. **Visibility** — the `pool.jobs.inflight` gauge tracks jobs
+//!    currently inside [`run`] (high-water via `set_max`), and the
+//!    `pool.job_ns` histogram records each job's wall-clock duration
+//!    from submission to completion. A hung device checkup shows up in
+//!    `healthmon metrics` as a stuck non-zero inflight gauge and a
+//!    missing final `pool.job_ns` sample long before anything is killed.
+//! 2. **Enforcement** — deadline/timeout semantics live in the caller
+//!    that owns the work's meaning: the fleet supervisor abandons a
+//!    checkup attempt whose (virtual) stall exceeds its per-device
+//!    deadline *before* the device transaction lands, then retries or
+//!    quarantines. The pool stays simple and safe; policy stays where
+//!    the domain knowledge is.
 
 use healthmon_telemetry as tel;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -45,6 +66,40 @@ static POOL_CHUNKS_WORKER: tel::Counter =
     tel::Counter::new("pool.chunks.worker", tel::Stability::Volatile);
 static POOL_WAIT_NS: tel::Histogram =
     tel::Histogram::new("pool.wait_ns", tel::Stability::Volatile);
+// Watchdog pair (see the module-level stall story): jobs currently
+// inside `run`, and each job's submit-to-complete wall time. Gauges have
+// no increment operation, so the live count rides in an atomic and the
+// gauge snapshots it on every transition.
+static POOL_INFLIGHT: tel::Gauge =
+    tel::Gauge::new("pool.jobs.inflight", tel::Stability::Volatile);
+static POOL_JOB_NS: tel::Histogram =
+    tel::Histogram::new("pool.job_ns", tel::Stability::Volatile);
+static INFLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII guard for the inflight watchdog: counts a job in on creation and
+/// out on drop (including the unwind path, so a re-raised chunk panic
+/// cannot leak an inflight count).
+struct InflightGuard {
+    t0: Option<std::time::Instant>,
+}
+
+impl InflightGuard {
+    fn enter() -> Self {
+        let now = INFLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        POOL_INFLIGHT.set(now as f64);
+        InflightGuard { t0: tel::enabled().then(std::time::Instant::now) }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let now = INFLIGHT.fetch_sub(1, Ordering::Relaxed) - 1;
+        POOL_INFLIGHT.set(now as f64);
+        if let Some(t0) = self.t0 {
+            POOL_JOB_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
 
 /// The process-wide thread budget for parallel kernels.
 ///
@@ -171,6 +226,7 @@ pub fn run(n_chunks: usize, f: impl Fn(usize) + Sync) {
     if n_chunks == 0 {
         return;
     }
+    let _watchdog = InflightGuard::enter();
     if n_chunks == 1 || max_threads() == 1 {
         // Inline path: same contract as the pooled path — every chunk
         // runs, and the first panic is re-raised only afterwards.
@@ -347,6 +403,30 @@ mod tests {
         for c in &completed {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn inflight_watchdog_drains_even_across_panics() {
+        // A leak here would make the watchdog gauge cry wolf. Other
+        // tests share the pool concurrently, so assert on drainage back
+        // to the starting level rather than on an absolute zero.
+        let before = INFLIGHT.load(Ordering::Relaxed);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            run(3, |i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        run(4, |_| {});
+        let t0 = std::time::Instant::now();
+        while INFLIGHT.load(Ordering::Relaxed) > before && t0.elapsed().as_secs() < 10 {
+            std::thread::yield_now();
+        }
+        assert!(
+            INFLIGHT.load(Ordering::Relaxed) <= before,
+            "inflight watchdog leaked a job"
+        );
     }
 
     #[test]

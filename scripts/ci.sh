@@ -244,6 +244,66 @@ cmp "$lt_dir/campaign_stable_1.jsonl" "$lt_dir/campaign_stable_7.jsonl"
 echo "ok: telemetry left every primary output byte-identical; stable series"
 echo "    byte-identical under HEALTHMON_THREADS=1/2/7"
 
+echo "== fleet smoke (chaos supervision + kill-9 crash recovery) =="
+fleet_dir=target/fleet-smoke
+rm -rf "$fleet_dir"
+mkdir -p "$fleet_dir"
+# A chaos-free fleet is byte-identical at any thread count.
+for t in 1 2 7; do
+    HEALTHMON_THREADS=$t "$hm" fleet --devices 24 --epochs 4 --seed 11 \
+        > "$fleet_dir/clean_$t.txt"
+done
+cmp "$fleet_dir/clean_1.txt" "$fleet_dir/clean_2.txt"
+cmp "$fleet_dir/clean_1.txt" "$fleet_dir/clean_7.txt"
+echo "ok: clean fleet byte-identical under HEALTHMON_THREADS=1/2/7"
+# 200 devices under chaos (panics, stalls, poisoned distances, checkpoint
+# truncation): the run must complete with exit 0/2 — never a process
+# abort — quarantine the repeat offenders, and stay deterministic.
+chaos_spec="panic:0.35,stall:0.2,stallms:600,poison:0.05,trunc:0.2,seed:13"
+rc=0
+"$hm" fleet --devices 200 --epochs 4 --seed 17 --quarantine 2 \
+    --chaos "$chaos_spec" --checkpoint-dir "$fleet_dir/chaos_cp" \
+    > "$fleet_dir/chaos_1.txt" 2> /dev/null || rc=$?
+[[ "$rc" == "0" || "$rc" == "2" ]]
+rc2=0
+HEALTHMON_THREADS=3 "$hm" fleet --devices 200 --epochs 4 --seed 17 --quarantine 2 \
+    --chaos "$chaos_spec" --checkpoint-dir "$fleet_dir/chaos_cp2" \
+    > "$fleet_dir/chaos_3.txt" 2> /dev/null || rc2=$?
+[[ "$rc" == "$rc2" ]]
+cmp "$fleet_dir/chaos_1.txt" "$fleet_dir/chaos_3.txt"
+# At these rates offenders must exist and be quarantined, not crash the
+# fleet.
+grep -q "quarantined devices: [1-9]" "$fleet_dir/chaos_1.txt"
+grep -q "checkup-panic" "$fleet_dir/chaos_1.txt"
+echo "ok: 200-device chaos fleet completed with zero aborts, quarantined offenders,"
+echo "    and stayed byte-identical under thread variance"
+# Kill-9 crash recovery: SIGKILL the process mid-run, then resume from
+# the surviving shards. The interrupted run checkpoints after every
+# --stop-after slice, so the kill costs at most the in-flight epoch; the
+# resumed run must converge to the uninterrupted report byte-for-byte.
+"$hm" fleet --devices 24 --epochs 6 --seed 19 > "$fleet_dir/straight.txt"
+"$hm" fleet --devices 24 --epochs 6 --seed 19 \
+    --checkpoint-dir "$fleet_dir/kill_cp" --stop-after 2 > /dev/null
+( "$hm" fleet --devices 24 --epochs 6 --seed 19 \
+      --checkpoint-dir "$fleet_dir/kill_cp" > /dev/null 2>&1 & killer_pid=$!
+  sleep 0.05; kill -9 "$killer_pid" 2> /dev/null; wait "$killer_pid" 2> /dev/null ) || true
+# Whatever state the kill left (epoch-2 shards, or later complete ones —
+# atomic writes guarantee no torn files), the resume must finish cleanly.
+"$hm" fleet --devices 24 --epochs 6 --seed 19 \
+    --checkpoint-dir "$fleet_dir/kill_cp" > "$fleet_dir/resumed.txt" 2> /dev/null
+cmp "$fleet_dir/resumed.txt" "$fleet_dir/straight.txt"
+echo "ok: kill-9 mid-run, resume byte-identical to the uninterrupted fleet"
+# Torn-shard containment: truncate one shard, the resume must report it
+# and keep going instead of failing wholesale.
+"$hm" fleet --devices 24 --epochs 6 --seed 23 \
+    --checkpoint-dir "$fleet_dir/torn_cp" --stop-after 3 > /dev/null
+head -c 100 "$fleet_dir/torn_cp/shard-001.json" > "$fleet_dir/torn_cp/shard-001.json.t" \
+    && mv "$fleet_dir/torn_cp/shard-001.json.t" "$fleet_dir/torn_cp/shard-001.json"
+"$hm" fleet --devices 24 --epochs 6 --seed 23 \
+    --checkpoint-dir "$fleet_dir/torn_cp" > "$fleet_dir/torn.txt" 2> /dev/null
+grep -q "damaged shards: 1" "$fleet_dir/torn.txt"
+echo "ok: torn shard reported and contained; healthy shards resumed"
+
 if [[ "$BENCH_SMOKE" == "1" ]]; then
     echo "== bench smoke (short mode, refreshes BENCH_pr2.json) =="
     # Absolute path: cargo runs bench binaries from the package directory.
@@ -289,6 +349,25 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
         echo '}'
     } > BENCH_pr7.json
     echo "ok: BENCH_pr7.json written (integer-path A/B vs pre-change baseline)"
+    # BENCH_pr8.json: fleet load-generator throughput, clean vs chaos.
+    "$hm" fleet --devices 200 --epochs 4 --seed 29 --bench true \
+        > "$report_dir/fleet_clean.txt"
+    "$hm" fleet --devices 200 --epochs 4 --seed 29 --bench true \
+        --chaos "panic:0.2,stall:0.1,stallms:300,seed:31" \
+        > "$report_dir/fleet_chaos.txt" 2> /dev/null || true
+    clean_rate=$(grep -o 'throughput: [0-9.]*' "$report_dir/fleet_clean.txt" | cut -d' ' -f2)
+    chaos_rate=$(grep -o 'throughput: [0-9.]*' "$report_dir/fleet_chaos.txt" | cut -d' ' -f2)
+    {
+        echo '{'
+        echo '"mode": "smoke",'
+        echo '"fleet": {'
+        echo "\"devices\": 200, \"epochs\": 4,"
+        echo "\"clean_device_epochs_per_sec\": ${clean_rate:-0},"
+        echo "\"chaos_device_epochs_per_sec\": ${chaos_rate:-0}"
+        echo '}'
+        echo '}'
+    } > BENCH_pr8.json
+    echo "ok: fleet load generator ran; BENCH_pr8.json written"
 fi
 
 echo "CI passed."

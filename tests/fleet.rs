@@ -1,0 +1,192 @@
+//! Fleet-supervision contract tests: the failure behavior the ISSUE
+//! turns into a tested guarantee.
+//!
+//! 1. **Chaos determinism** — a fleet run with active fault injection
+//!    (checkup panics, stalls, poisoned distances) is a pure function of
+//!    `(seed, ChaosConfig)`: two runs produce byte-identical reports,
+//!    and no injected panic ever escapes the supervisor. (Thread-count
+//!    invariance is asserted cross-process by `scripts/ci.sh`, since the
+//!    pool latches `HEALTHMON_THREADS` once per process.)
+//! 2. **Kill-resume with a torn shard** — truncating one checkpoint
+//!    shard mid-file must cost exactly that shard: every other device
+//!    resumes bit-identically and the damage is reported, never fatal.
+//! 3. **Structured corruption errors** — damaged checkpoint artifacts
+//!    (fleet shards, campaign checkpoints) surface as
+//!    `HealthmonError::CheckpointCorrupt` naming the offending path.
+
+use healthmon::{
+    CampaignCheckpoint, ChaosConfig, FleetConfig, FleetSupervisor, HealthmonError,
+    LifetimeConfig, SdcCriterion, TestPatternSet,
+};
+use healthmon_nn::models::tiny_mlp;
+use healthmon_nn::Network;
+use healthmon_tensor::{SeededRng, Tensor};
+use healthmon_telemetry as tel;
+use std::path::PathBuf;
+
+fn fixture(seed: u64) -> (Network, TestPatternSet) {
+    let mut rng = SeededRng::new(seed);
+    let net = tiny_mlp(12, 20, 5, &mut rng);
+    let patterns = TestPatternSet::new("fleet-test", Tensor::randn(&[7, 12], &mut rng));
+    (net, patterns)
+}
+
+fn config(devices: usize, chaos: ChaosConfig) -> FleetConfig {
+    FleetConfig {
+        seed: 99,
+        devices,
+        device: LifetimeConfig { epochs: 5, ..LifetimeConfig::default() },
+        shards: 4,
+        chaos,
+        ..FleetConfig::default()
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("healthmon_fleet_it_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn chaos_fleet_is_deterministic_and_never_aborts() {
+    let (net, patterns) = fixture(21);
+    let chaos = ChaosConfig::parse("panic:0.15,stall:0.2,stallms:500,poison:0.05,seed:7")
+        .unwrap();
+    let cfg = config(12, chaos);
+    let run = |net: &Network, patterns: &TestPatternSet| {
+        let mut fleet = FleetSupervisor::new(net, patterns.clone(), cfg).unwrap();
+        fleet.run(None);
+        fleet
+    };
+    let a = run(&net, &patterns);
+    let b = run(&net, &patterns);
+    // Byte-identical reports under active chaos: injection is keyed by
+    // (device, epoch, attempt), never by scheduling or wall clock.
+    assert_eq!(a.render_report(), b.render_report());
+    // The chaos rates above guarantee injected faults actually fired —
+    // and the fact that we got here at all means no panic escaped.
+    let report = a.render_report();
+    assert!(
+        !report.contains("retries: 0,"),
+        "chaos at these rates must leave visible retries:\n{report}"
+    );
+    assert!(a.is_done());
+}
+
+#[test]
+fn fleet_telemetry_rollups_are_stable_counters() {
+    let (net, patterns) = fixture(21);
+    tel::reset();
+    tel::set_enabled(true);
+    // A clean fleet exercises the success counter; an all-panics fleet
+    // deterministically exercises the whole failure ladder (failed →
+    // retries → incidents → quarantines).
+    let mut clean = FleetSupervisor::new(&net, patterns.clone(), config(4, ChaosConfig::default()))
+        .unwrap();
+    clean.run(Some(2));
+    let chaos = ChaosConfig { seed: 5, panic_p: 1.0, ..ChaosConfig::default() };
+    let mut broken = FleetSupervisor::new(&net, patterns, config(4, chaos)).unwrap();
+    broken.run(Some(3));
+    let snapshot = tel::snapshot();
+    tel::set_enabled(false);
+    let find = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    for name in [
+        "fleet.checkups.ok",
+        "fleet.checkups.failed",
+        "fleet.retries",
+        "fleet.incidents",
+        "fleet.quarantines",
+    ] {
+        let c = find(name);
+        assert!(c.stable, "{name} must be Stable for thread-invariance gating");
+        assert!(c.value > 0, "{name} must have fired");
+    }
+}
+
+#[test]
+fn kill_resume_with_one_torn_shard_recovers_every_other_device() {
+    let (net, patterns) = fixture(33);
+    let cfg = config(13, ChaosConfig::default());
+    let dir = temp_dir("torn");
+
+    // Reference: the same fleet stopped at the same epoch, untouched.
+    let mut reference = FleetSupervisor::new(&net, patterns.clone(), cfg).unwrap();
+    reference.run(Some(3));
+
+    let mut fleet = FleetSupervisor::new(&net, patterns.clone(), cfg).unwrap();
+    fleet.run(Some(3));
+    fleet.save_checkpoint(&dir).unwrap();
+
+    // Tear shard 2 mid-file, as a kill-9 during a non-atomic write would.
+    let victim = dir.join("shard-002.json");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+
+    let resumed = FleetSupervisor::resume(&net, patterns.clone(), cfg, &dir).unwrap();
+    assert_eq!(resumed.damaged_shards().len(), 1, "exactly the torn shard is damaged");
+    assert_eq!(resumed.damaged_shards()[0].0, 2);
+    let resumed_lines = resumed.device_summaries();
+    let reference_lines = reference.device_summaries();
+    for id in 0..13 {
+        if id % cfg.shards == 2 {
+            // Devices of the torn shard restart fresh instead of killing
+            // the fleet.
+            assert!(
+                resumed_lines[id].contains("epochs=0/"),
+                "device {id} of the torn shard must restart fresh: {}",
+                resumed_lines[id]
+            );
+        } else {
+            assert_eq!(
+                resumed_lines[id], reference_lines[id],
+                "device {id} must resume bit-identically"
+            );
+        }
+    }
+    assert!(resumed.render_report().contains("damaged shards: 1"));
+
+    // And after a *clean* stop, resume is bit-identical end to end.
+    let dir2 = temp_dir("clean");
+    let mut full = FleetSupervisor::new(&net, patterns.clone(), cfg).unwrap();
+    full.run(None);
+    let mut partial = FleetSupervisor::new(&net, patterns.clone(), cfg).unwrap();
+    partial.run(Some(3));
+    partial.save_checkpoint(&dir2).unwrap();
+    let mut resumed = FleetSupervisor::resume(&net, patterns, cfg, &dir2).unwrap();
+    assert!(resumed.damaged_shards().is_empty());
+    resumed.run(None);
+    assert_eq!(resumed.render_report(), full.render_report());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn corrupt_checkpoints_surface_structured_errors_with_paths() {
+    // Campaign checkpoints: truncated JSON names the damaged file.
+    let dir = temp_dir("campaign");
+    let path = dir.join("campaign.json");
+    let cp = CampaignCheckpoint::new(3, 4, &[SdcCriterion::Sdc1]);
+    cp.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    match CampaignCheckpoint::load(&path).unwrap_err() {
+        HealthmonError::CheckpointCorrupt { path: p, .. } => {
+            assert!(p.contains("campaign.json"))
+        }
+        other => panic!("expected CheckpointCorrupt, got {other}"),
+    }
+    // Missing files report the same structured error.
+    match CampaignCheckpoint::load(dir.join("nope.json")).unwrap_err() {
+        HealthmonError::CheckpointCorrupt { path: p, .. } => assert!(p.contains("nope.json")),
+        other => panic!("expected CheckpointCorrupt, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
