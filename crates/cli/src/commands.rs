@@ -9,8 +9,9 @@ use healthmon::{
 };
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
-use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
+use healthmon_nn::models::tiny_mlp;
 use healthmon_nn::optim::Sgd;
+use healthmon_nn::zoo::{self, DataFamily};
 use healthmon_nn::trainer::accuracy;
 use healthmon_nn::{DropConnect, Network, TrainConfig, Trainer};
 use healthmon_tensor::{SeededRng, Tensor};
@@ -19,7 +20,10 @@ use std::process::ExitCode;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
-  healthmon train    --arch <lenet5|convnet7|mlp> --out <model.json>
+  healthmon models   lists every registered architecture (the model zoo)
+                     with parameter counts and dataset families; all
+                     subcommands accept any listed name as --arch
+  healthmon train    --arch <lenet5|convnet7|mlp|resnet8|mlp4|attention> --out <model.json>
                      [--epochs N] [--seed N] [--train-size N] [--quiet true]
                      [--drop-connect P]    P in [0, 1): train with seeded
                      per-step weight dropping (fault-tolerance hardening)
@@ -55,14 +59,16 @@ pub const USAGE: &str = "usage:
                      scrubbing (checksum-column parity over the device)
                      [--trace true] [--metrics <out.jsonl>]
                      exit 0 = lifetime completed, 2 = parked in critical
-  healthmon fleet    --devices N [--epochs N] [--seed N] [--chaos <spec>]
+  healthmon fleet    --devices N [--arch <A>] [--epochs N] [--seed N] [--chaos <spec>]
                      [--shards N] [--checkpoint-dir <dir>] [--stop-after N]
                      [--report <out.txt>] [--budget N] [--retry N]
                      [--deadline MS] [--quarantine N] [--drift F] [--soft F]
                      [--bench true] [--trace true] [--metrics <out.jsonl>]
                      supervises N independently-seeded device lifetimes
                      with panic isolation, retry/backoff, quarantine and
-                     sharded crash-safe checkpoints; chaos spec:
+                     sharded crash-safe checkpoints; --arch swaps the
+                     fleet's golden device for a zoo model (default: a
+                     tiny seed-derived synthetic MLP); chaos spec:
                      panic:P,stall:P,stallms:N,trunc:P,flip:P,poison:P,seed:N
                      (or `off`); --bench adds a devices/sec line;
                      exit 0 = fleet completed, 2 = any device quarantined
@@ -88,6 +94,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "lifetime" => cmd_lifetime(&args),
         "fleet" => cmd_fleet(&args),
         "metrics" => cmd_metrics(&args),
+        "models" => cmd_models(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -96,35 +103,34 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     }
 }
 
-/// Architectures the CLI can build; the dataset is implied by the
-/// architecture (digits for lenet5/mlp, objects for convnet7).
+/// Architectures the CLI can build, resolved through the model registry
+/// ([`healthmon_nn::zoo`]); the dataset family is carried by each spec.
+/// A typo returns an error enumerating every known model.
 fn build_arch(arch: &str, rng: &mut SeededRng) -> Result<Network, String> {
-    match arch {
-        "lenet5" => Ok(lenet5(rng)),
-        "convnet7" => Ok(convnet7(rng)),
-        "mlp" => Ok(tiny_mlp(28 * 28, 64, 10, rng)),
-        other => Err(format!("unknown architecture `{other}` (lenet5|convnet7|mlp)")),
-    }
+    Ok(zoo::lookup(arch).map_err(|e| e.to_string())?.build(rng))
 }
 
 fn dataset_for(arch: &str, seed: u64, train_size: usize) -> Result<DataSplit, String> {
+    let model = zoo::lookup(arch).map_err(|e| e.to_string())?;
     let spec = DatasetSpec { train: train_size, test: train_size / 4, seed, noise: 0.12 };
-    let mut split = match arch {
-        "lenet5" | "mlp" => SynthDigits::new(spec).generate(),
-        "convnet7" => SynthObjects::new(spec).generate(),
-        other => return Err(format!("unknown architecture `{other}`")),
+    let mut split = match model.family {
+        DataFamily::Digits => SynthDigits::new(spec).generate(),
+        DataFamily::Objects => SynthObjects::new(spec).generate(),
     };
-    if arch == "mlp" {
-        let flat = |d: &Dataset| {
+    // Reshape samples to the model's native input layout when it differs
+    // from the family's image layout (same element budget, e.g. [784] for
+    // MLPs or [28, 28] token rows for the attention block).
+    if split.train.sample_shape() != model.input_shape {
+        let reshaped = |d: &Dataset| {
+            let mut shape = vec![d.len()];
+            shape.extend_from_slice(model.input_shape);
             Dataset::new(
-                d.images
-                    .reshape(&[d.len(), 28 * 28])
-                    .expect("flatten preserves count"),
+                d.images.reshape(&shape).expect("family element budget matches input shape"),
                 d.labels.clone(),
                 d.num_classes,
             )
         };
-        split = DataSplit { train: flat(&split.train), test: flat(&split.test) };
+        split = DataSplit { train: reshaped(&split.train), test: reshaped(&split.test) };
     }
     Ok(split)
 }
@@ -704,6 +710,7 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
 fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
     args.expect_only(&[
         "devices",
+        "arch",
         "epochs",
         "seed",
         "chaos",
@@ -755,10 +762,26 @@ fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
 
     // Self-contained fleet: model and patterns are pure functions of the
     // seed, so no input artifacts are needed and every invocation with
-    // the same flags sees the same golden device.
+    // the same flags sees the same golden device. `--arch` swaps in a zoo
+    // model; the default stays the tiny synthetic MLP so existing runs
+    // (and their golden outputs) are untouched.
     let mut rng = SeededRng::new(seed ^ 0xF1EE7);
-    let golden = tiny_mlp(16, 24, 6, &mut rng);
-    let patterns = TestPatternSet::new("fleet-synth", Tensor::randn(&[8, 16], &mut rng));
+    let (golden, patterns) = match args.get("arch") {
+        Some(arch) => {
+            let spec = zoo::lookup(arch).map_err(|e| e.to_string())?;
+            let golden = spec.build(&mut rng);
+            let mut probe_shape = vec![8usize];
+            probe_shape.extend_from_slice(spec.input_shape);
+            let patterns =
+                TestPatternSet::new("fleet-synth", Tensor::randn(&probe_shape, &mut rng));
+            (golden, patterns)
+        }
+        None => {
+            let golden = tiny_mlp(16, 24, 6, &mut rng);
+            let patterns = TestPatternSet::new("fleet-synth", Tensor::randn(&[8, 16], &mut rng));
+            (golden, patterns)
+        }
+    };
 
     let config = FleetConfig {
         seed,
@@ -864,6 +887,38 @@ fn cmd_metrics(args: &ParsedArgs) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Lists the model zoo: one line per registered architecture with its
+/// parameter count, input shape, dataset family, and description. The
+/// parameter counts come from actually building each model, so the table
+/// can never drift from the registry.
+fn cmd_models(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&[])?;
+    println!("{:<10} {:>9} {:<12} {:<7} description", "model", "params", "input", "data");
+    for spec in zoo::ZOO {
+        let mut rng = SeededRng::new(0);
+        let net = spec.build(&mut rng);
+        let shape = spec
+            .input_shape
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        let family = match spec.family {
+            DataFamily::Digits => "digits",
+            DataFamily::Objects => "objects",
+        };
+        println!(
+            "{:<10} {:>9} {:<12} {:<7} {}",
+            spec.name,
+            net.num_params(),
+            shape,
+            family,
+            spec.description
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_accuracy(args: &ParsedArgs) -> Result<ExitCode, String> {
     args.expect_only(&["arch", "model", "seed"])?;
     let arch = args.required("arch")?;
@@ -909,15 +964,34 @@ mod tests {
         let mut rng = SeededRng::new(0);
         assert!(build_arch("lenet5", &mut rng).is_ok());
         assert!(build_arch("mlp", &mut rng).is_ok());
-        assert!(build_arch("resnet", &mut rng).is_err());
+        assert!(build_arch("resnet8", &mut rng).is_ok());
+        assert!(build_arch("mlp4", &mut rng).is_ok());
+        assert!(build_arch("attention", &mut rng).is_ok());
+        // A typo's error message enumerates the whole registry.
+        let err = build_arch("resnet", &mut rng).unwrap_err();
+        for spec in zoo::ZOO {
+            assert!(err.contains(spec.name), "error must list {}: {err}", spec.name);
+        }
     }
 
     #[test]
-    fn mlp_dataset_is_flattened() {
+    fn datasets_match_registry_input_shapes() {
         let split = dataset_for("mlp", 1, 40).unwrap();
         assert_eq!(split.train.sample_shape(), &[784]);
         let split = dataset_for("lenet5", 1, 40).unwrap();
         assert_eq!(split.train.sample_shape(), &[1, 28, 28]);
+        let split = dataset_for("attention", 1, 40).unwrap();
+        assert_eq!(split.train.sample_shape(), &[28, 28]);
+        let split = dataset_for("resnet8", 1, 40).unwrap();
+        assert_eq!(split.train.sample_shape(), &[3, 32, 32]);
+        let split = dataset_for("mlp4", 1, 40).unwrap();
+        assert_eq!(split.train.sample_shape(), &[784]);
+    }
+
+    #[test]
+    fn models_subcommand_lists_the_zoo() {
+        let argv = vec!["models".to_owned()];
+        assert_eq!(run(&argv).unwrap(), ExitCode::SUCCESS);
     }
 
     #[test]

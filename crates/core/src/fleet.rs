@@ -978,7 +978,7 @@ impl FleetSupervisor {
         if format != SHARD_FORMAT {
             return Err(HealthmonError::CheckpointCorrupt {
                 path: path.display().to_string(),
-                detail: format!("unknown shard format `{format}`"),
+                detail: format!("unknown shard format `{format}` (expected `{SHARD_FORMAT}`)"),
             });
         }
         let fleet_epoch = usize::from_json(value.field("fleet_epoch").map_err(parse)?)
@@ -1012,7 +1012,17 @@ impl FleetSupervisor {
         }
         // Digest-clean from here on: any inconsistency is operator error.
         verify_digest(&value, "config_digest", self.config.digest(), "fleet configuration")?;
-        verify_digest(&value, "golden_digest", network_digest(&self.golden), "golden network")?;
+        verify_digest(
+            &value,
+            "golden_digest",
+            network_digest(&self.golden),
+            &format!(
+                "golden network (resume built `{}` weights: {} params over {} layers)",
+                self.golden.input_shape().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+                self.golden.num_params(),
+                self.golden.layers().len()
+            ),
+        )?;
         verify_digest(&value, "patterns_digest", patterns_digest(&self.patterns), "pattern set")?;
         let shards = usize::from_json(value.field("shards")?)?;
         let stored_shard = usize::from_json(value.field("shard")?)?;

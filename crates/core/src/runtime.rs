@@ -1629,12 +1629,22 @@ impl LifetimeRuntime {
         let format = value.field("format")?.as_str()?;
         if format != CHECKPOINT_FORMAT {
             return Err(HealthmonError::CheckpointMismatch(format!(
-                "unknown checkpoint format `{format}`"
+                "unknown checkpoint format `{format}` (expected `{CHECKPOINT_FORMAT}`)"
             )));
         }
         let mut runtime = LifetimeRuntime::new(golden, patterns, config, train);
         verify_digest(&value, "config_digest", runtime.config.digest(), "configuration")?;
-        verify_digest(&value, "golden_digest", network_digest(&runtime.golden), "golden network")?;
+        verify_digest(
+            &value,
+            "golden_digest",
+            network_digest(&runtime.golden),
+            &format!(
+                "golden network (resume built `{}` weights: {} params over {} layers)",
+                runtime.golden.input_shape().iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+                runtime.golden.num_params(),
+                runtime.golden.layers().len()
+            ),
+        )?;
         verify_digest(
             &value,
             "patterns_digest",
@@ -1654,9 +1664,15 @@ impl LifetimeRuntime {
         if layers.len() != runtime.layers.len()
             || layers.iter().zip(&runtime.layers).any(|(a, b)| a.key != b.key)
         {
-            return Err(HealthmonError::CheckpointMismatch(
-                "checkpointed layer keys do not match the golden network".to_owned(),
-            ));
+            let list = |ls: &[LayerState]| {
+                ls.iter().map(|l| l.key.as_str()).collect::<Vec<_>>().join(", ")
+            };
+            return Err(HealthmonError::CheckpointMismatch(format!(
+                "checkpointed layer keys do not match the golden network: \
+                 checkpoint has [{}], golden expects [{}]",
+                list(&layers),
+                list(&runtime.layers)
+            )));
         }
         for (restored, fresh) in layers.iter().zip(&runtime.layers) {
             if restored.assignment.len() != fresh.assignment.len() {

@@ -8,20 +8,24 @@
 //! require.
 
 mod activation;
+mod attention;
 mod batchnorm;
 mod conv;
 mod dense;
 mod dropout;
 mod flatten;
 mod pool;
+mod residual;
 
 pub use activation::{Relu, Sigmoid, Tanh};
+pub use attention::SelfAttention;
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use flatten::Flatten;
 pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::ResidualConv2d;
 
 use healthmon_tensor::Tensor;
 use std::fmt;
@@ -126,6 +130,21 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// layers without a conductance-mappable weight matmul.
     fn matmul_orientation(&self) -> Option<MatmulOrientation> {
         None
+    }
+
+    /// Every conductance-mappable weight matmul this layer performs, as
+    /// `(param name, orientation)` pairs. The param name is relative to the
+    /// layer (e.g. `"weight"`, or `"conv1.weight"` for composite layers)
+    /// and must match an entry of [`Layer::param_names`]; crossbar backends
+    /// program one mapped matrix per pair under the state-dict key
+    /// `layer{i}.{name}`.
+    ///
+    /// The default derives a single `"weight"` entry from
+    /// [`Layer::matmul_orientation`], so existing one-weight layers need no
+    /// override; multi-matmul layers (residual blocks, attention) override
+    /// this directly.
+    fn matmuls(&self) -> Vec<(&'static str, MatmulOrientation)> {
+        self.matmul_orientation().map(|o| vec![("weight", o)]).unwrap_or_default()
     }
 
     /// Immutable views of the layer's trainable parameter tensors, in a

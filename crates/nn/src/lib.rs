@@ -39,9 +39,11 @@ pub mod models;
 mod network;
 pub mod optim;
 pub mod trainer;
+pub mod zoo;
 
 pub use backend::{DigitalBackend, InferenceBackend};
 pub use layers::{DigitalEngine, Layer, MatmulEngine, MatmulOrientation};
 pub use loss::SoftmaxCrossEntropy;
 pub use network::{LoadStateError, Network, NonFiniteActivation, ParamStats};
 pub use trainer::{DropConnect, TrainConfig, TrainReport, Trainer};
+pub use zoo::{DataFamily, ModelSpec, UnknownModel};

@@ -1,4 +1,4 @@
-//! Factory functions for the paper's two evaluation models.
+//! Factory functions for the evaluation models.
 //!
 //! * [`lenet5`] — the classic LeNet-5 topology for 28×28×1 digit images
 //!   (LeCun et al., 1998), the model the paper trains on MNIST.
@@ -7,8 +7,13 @@
 //!   CIFAR10. The paper gives only the layer-count topology; channel widths
 //!   here are chosen to train in reasonable time on CPU while keeping the
 //!   4-conv + 3-fc structure.
+//! * [`resnet8`], [`mlp4`], [`attention_net`] — the external-validity zoo:
+//!   a residual CNN with identity skips, a pure 4-layer MLP, and a tiny
+//!   single-head attention classifier. They exist so detectors and repair
+//!   ladders are exercised across topologies rather than tuned to the two
+//!   paper models; see [`crate::zoo`] for the registry that names them.
 
-use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu, ResidualConv2d, SelfAttention};
 use crate::Network;
 use healthmon_tensor::SeededRng;
 
@@ -82,6 +87,61 @@ pub fn tiny_mlp(inputs: usize, hidden: usize, classes: usize, rng: &mut SeededRn
     net.push(Dense::new(inputs, hidden, rng));
     net.push(Relu::new());
     net.push(Dense::new(hidden, classes, rng));
+    net
+}
+
+/// Builds ResNet-8, a residual CNN for `[3, 32, 32]` inputs and 10 classes.
+///
+/// Topology: conv 12@3×3 stem → pool 2 → residual block (12) → pool 2 →
+/// residual block (12) → pool 2 → fc 192→64 → fc 64→10. Each
+/// [`ResidualConv2d`] block carries two 3×3 convolutions plus an identity
+/// skip, giving 8 weight-bearing layers in total and exercising composite
+/// (multi-matmul) layers end to end.
+pub fn resnet8(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![3, 32, 32]);
+    net.push(Conv2d::new(3, 12, 3, 1, 1, rng)); // 12 x 32 x 32
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2)); // 12 x 16 x 16
+    net.push(ResidualConv2d::new(12, rng)); // 12 x 16 x 16
+    net.push(MaxPool2d::new(2, 2)); // 12 x 8 x 8
+    net.push(ResidualConv2d::new(12, rng)); // 12 x 8 x 8
+    net.push(MaxPool2d::new(2, 2)); // 12 x 4 x 4
+    net.push(Flatten::new()); // 192
+    net.push(Dense::new(192, 64, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, NUM_CLASSES, rng));
+    net
+}
+
+/// Builds MLP-4, a pure fully-connected stack for flattened `[784]` digit
+/// images and 10 classes: 784→256→128→64→10 with ReLU between layers.
+///
+/// No convolutions, no weight sharing — the all-[`MatmulOrientation::XW`]
+/// counterpoint to the CNNs in the zoo.
+///
+/// [`MatmulOrientation::XW`]: crate::MatmulOrientation::XW
+pub fn mlp4(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![784]);
+    net.push(Dense::new(784, 256, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(256, 128, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(128, 64, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, NUM_CLASSES, rng));
+    net
+}
+
+/// Builds the attention classifier for `[28, 28]` digit inputs (28 tokens
+/// of width 28) and 10 classes: a single-head [`SelfAttention`] block with
+/// residual skip, flattened and classified by fc 784→64 → fc 64→10.
+pub fn attention_net(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new(vec![28, 28]);
+    net.push(SelfAttention::new(28, rng));
+    net.push(Flatten::new()); // 784
+    net.push(Dense::new(784, 64, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(64, NUM_CLASSES, rng));
     net
 }
 

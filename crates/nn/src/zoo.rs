@@ -1,0 +1,219 @@
+//! The model registry: every architecture the health stack can monitor,
+//! addressable by name.
+//!
+//! Callers that used to hard-code `lenet5`/`convnet7` match arms resolve a
+//! [`ModelSpec`] through [`lookup`] instead; the spec carries everything a
+//! campaign needs that is not derivable from the built [`Network`] — a
+//! stable name, the synthetic [`DataFamily`] the model trains on, and a
+//! seeded builder. The registry is a static slice, so adding an
+//! architecture is one entry plus one factory function in
+//! [`crate::models`]; every CLI subcommand, campaign, and the CI smoke
+//! matrix pick it up automatically.
+
+use crate::models;
+use crate::Network;
+use healthmon_tensor::SeededRng;
+use std::fmt;
+
+/// Which synthetic dataset family a model consumes.
+///
+/// The data crate generates two families: 28×28 single-channel digit
+/// images (784 elements per sample) and 32×32 three-channel object images
+/// (3072 elements per sample). A model's native input shape may reshape
+/// those elements (e.g. `[784]` for MLPs, `[28, 28]` for the attention
+/// block) but the element budget must match the family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFamily {
+    /// 28×28×1 synthetic digits, 784 elements per sample.
+    Digits,
+    /// 32×32×3 synthetic objects, 3072 elements per sample.
+    Objects,
+}
+
+impl DataFamily {
+    /// Elements per sample produced by this family.
+    pub fn sample_elems(self) -> usize {
+        match self {
+            DataFamily::Digits => 28 * 28,
+            DataFamily::Objects => 3 * 32 * 32,
+        }
+    }
+}
+
+/// A named, buildable architecture in the zoo.
+#[derive(Clone, Copy)]
+pub struct ModelSpec {
+    /// Registry name, as accepted by `--arch` on the CLI.
+    pub name: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+    /// Per-sample input shape the built network expects.
+    pub input_shape: &'static [usize],
+    /// Synthetic dataset family the model trains and tests on.
+    pub family: DataFamily,
+    builder: fn(&mut SeededRng) -> Network,
+}
+
+impl ModelSpec {
+    /// Builds a freshly initialized network from `rng`. Deterministic:
+    /// the same seed always yields the same weights.
+    pub fn build(&self, rng: &mut SeededRng) -> Network {
+        (self.builder)(rng)
+    }
+}
+
+impl fmt::Debug for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelSpec")
+            .field("name", &self.name)
+            .field("input_shape", &self.input_shape)
+            .field("family", &self.family)
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_mlp(rng: &mut SeededRng) -> Network {
+    models::tiny_mlp(28 * 28, 64, models::NUM_CLASSES, rng)
+}
+
+/// Every model in the zoo, in presentation order.
+pub const ZOO: &[ModelSpec] = &[
+    ModelSpec {
+        name: "lenet5",
+        description: "classic LeNet-5 CNN (2 conv + 3 fc)",
+        input_shape: &[1, 28, 28],
+        family: DataFamily::Digits,
+        builder: models::lenet5,
+    },
+    ModelSpec {
+        name: "convnet7",
+        description: "7-layer CNN (4 conv + 3 fc) for 32x32x3 objects",
+        input_shape: &[3, 32, 32],
+        family: DataFamily::Objects,
+        builder: models::convnet7,
+    },
+    ModelSpec {
+        name: "mlp",
+        description: "tiny 784-64-10 MLP baseline",
+        input_shape: &[784],
+        family: DataFamily::Digits,
+        builder: build_mlp,
+    },
+    ModelSpec {
+        name: "resnet8",
+        description: "residual CNN with two identity-skip blocks",
+        input_shape: &[3, 32, 32],
+        family: DataFamily::Objects,
+        builder: models::resnet8,
+    },
+    ModelSpec {
+        name: "mlp4",
+        description: "pure 4-layer MLP 784-256-128-64-10",
+        input_shape: &[784],
+        family: DataFamily::Digits,
+        builder: models::mlp4,
+    },
+    ModelSpec {
+        name: "attention",
+        description: "single-head self-attention classifier over 28 tokens",
+        input_shape: &[28, 28],
+        family: DataFamily::Digits,
+        builder: models::attention_net,
+    },
+];
+
+/// Requested model name not present in [`ZOO`]. The display message lists
+/// every known name so a typo is self-correcting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModel {
+    requested: String,
+}
+
+impl fmt::Display for UnknownModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown model `{}` (known models: {})", self.requested, known_models())
+    }
+}
+
+impl std::error::Error for UnknownModel {}
+
+/// Resolves a registry name to its [`ModelSpec`].
+///
+/// # Errors
+///
+/// Returns [`UnknownModel`] — whose message enumerates the whole zoo —
+/// when `name` is not registered.
+pub fn lookup(name: &str) -> Result<&'static ModelSpec, UnknownModel> {
+    ZOO.iter()
+        .find(|spec| spec.name == name)
+        .ok_or_else(|| UnknownModel { requested: name.to_owned() })
+}
+
+/// Comma-separated list of every registered model name.
+pub fn known_models() -> String {
+    ZOO.iter().map(|spec| spec.name).collect::<Vec<_>>().join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use healthmon_tensor::Tensor;
+
+    #[test]
+    fn every_spec_builds_and_infers_its_declared_shape() {
+        for spec in ZOO {
+            let mut rng = SeededRng::new(9);
+            let mut net = spec.build(&mut rng);
+            assert_eq!(net.input_shape(), spec.input_shape, "{}", spec.name);
+            let mut input_shape = vec![2usize];
+            input_shape.extend_from_slice(spec.input_shape);
+            let logits = net.forward(&Tensor::zeros(&input_shape));
+            assert_eq!(logits.shape(), &[2, models::NUM_CLASSES], "{}", spec.name);
+            // Input element budget matches the declared dataset family.
+            let elems: usize = spec.input_shape.iter().product();
+            assert_eq!(elems, spec.family.sample_elems(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn lookup_resolves_and_rejects() {
+        assert_eq!(lookup("lenet5").unwrap().name, "lenet5");
+        assert_eq!(lookup("attention").unwrap().name, "attention");
+        let err = lookup("lennet5").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown model `lennet5`"), "{msg}");
+        for spec in ZOO {
+            assert!(msg.contains(spec.name), "error must list {}: {msg}", spec.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in ZOO.iter().enumerate() {
+            for b in &ZOO[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        for spec in ZOO {
+            let mut a = SeededRng::new(5);
+            let mut b = SeededRng::new(5);
+            assert_eq!(spec.build(&mut a).state_dict(), spec.build(&mut b).state_dict());
+        }
+    }
+
+    #[test]
+    fn state_dicts_round_trip_through_load() {
+        for spec in ZOO {
+            let mut rng = SeededRng::new(3);
+            let net = spec.build(&mut rng);
+            let dict = net.state_dict();
+            let mut fresh = spec.build(&mut SeededRng::new(4));
+            fresh.load_state_dict(&dict).unwrap();
+            assert_eq!(fresh.state_dict(), dict, "{}", spec.name);
+        }
+    }
+}

@@ -361,8 +361,11 @@ impl<'a> MappedNetwork<'a> {
         assert!(spec.kind != BackendKind::Digital, "digital backend needs no mapping");
         let mut orientations = BTreeMap::new();
         for (i, layer) in net.layers().iter().enumerate() {
-            if let Some(o) = layer.matmul_orientation() {
-                orientations.insert(format!("layer{i}.weight"), o);
+            // Composite layers (residual blocks, attention) expose several
+            // mappable matmuls under compound param names; one-weight
+            // layers report their single `"weight"` entry via the default.
+            for (name, o) in layer.matmuls() {
+                orientations.insert(format!("layer{i}.{name}"), o);
             }
         }
         let mut layers = BTreeMap::new();

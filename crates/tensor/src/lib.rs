@@ -33,6 +33,7 @@ mod ops;
 pub mod fastmath;
 pub mod pool;
 mod random;
+mod scalar;
 mod serdes;
 mod shape;
 mod stats;
@@ -41,6 +42,7 @@ mod tensor;
 pub use error::TensorError;
 pub use linalg::PackedB;
 pub use random::SeededRng;
+pub use scalar::Scalar;
 pub use shape::Shape;
 pub use stats::TopK;
-pub use tensor::Tensor;
+pub use tensor::{GenericTensor, Tensor, TensorI8};

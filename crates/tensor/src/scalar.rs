@@ -1,0 +1,133 @@
+//! The sealed [`Scalar`] trait: the element types a tensor may hold.
+//!
+//! The workspace is f32-first — every training loop, detector, and crossbar
+//! mapping operates on `GenericTensor<f32>` (aliased back to [`Tensor`]).
+//! The trait exists so the container, its constructors, and its JSON codecs
+//! are written once and instantiated per element type; `i8` is the second
+//! instance, carrying quantized activations/weights for the integer analog
+//! hot path without round-tripping through `f32` buffers.
+//!
+//! The trait is **sealed**: downstream crates cannot add instances, which
+//! keeps the set of wire formats and kernel instantiations closed and
+//! auditable. Float-only numerics (matmul, stats, random sampling, clamp)
+//! deliberately stay on the concrete `f32` alias rather than the trait —
+//! genericizing them would force rounding-mode decisions into the trait and
+//! risk perturbing the bit-exact f32 reproducibility contract.
+//!
+//! [`Tensor`]: crate::Tensor
+
+use healthmon_serdes::{FromJson, ToJson};
+use std::fmt;
+
+mod sealed {
+    /// Closes [`super::Scalar`] to the element types defined in this crate.
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for i8 {}
+}
+
+/// Element type of a [`GenericTensor`](crate::GenericTensor).
+///
+/// Implemented for `f32` (the default numeric world) and `i8` (quantized
+/// integer tensors). Sealed — no further instances can be added outside
+/// this crate.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + ToJson
+    + FromJson
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Human-readable element-type label (e.g. for diagnostics).
+    const DTYPE: &'static str;
+
+    /// Widens the value to `f32`, exactly for both instances (`i8` is a
+    /// subset of `f32`'s integer range).
+    fn to_f32(self) -> f32;
+
+    /// Narrows an `f32` into this type. For `f32` this is the identity;
+    /// for `i8` the value is rounded to the nearest integer (ties away
+    /// from zero, following `f32::round`) and saturated to `[-128, 127]`.
+    /// Non-finite inputs saturate deterministically (`NaN` maps to 0).
+    fn from_f32(v: f32) -> Self;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: &'static str = "f32";
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+}
+
+impl Scalar for i8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const DTYPE: &'static str = "i8";
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        if v.is_nan() {
+            return 0;
+        }
+        v.round().clamp(i8::MIN as f32, i8::MAX as f32) as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trips_identically() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MAX, f32::INFINITY] {
+            assert_eq!(f32::from_f32(v).to_bits(), v.to_bits());
+        }
+        assert!(f32::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn i8_rounds_and_saturates() {
+        assert_eq!(i8::from_f32(0.4), 0);
+        assert_eq!(i8::from_f32(0.5), 1);
+        assert_eq!(i8::from_f32(-0.5), -1);
+        assert_eq!(i8::from_f32(126.6), 127);
+        assert_eq!(i8::from_f32(1e9), 127);
+        assert_eq!(i8::from_f32(-1e9), -128);
+        assert_eq!(i8::from_f32(f32::INFINITY), 127);
+        assert_eq!(i8::from_f32(f32::NEG_INFINITY), -128);
+        assert_eq!(i8::from_f32(f32::NAN), 0);
+    }
+
+    #[test]
+    fn identities_and_labels() {
+        assert_eq!(<f32 as Scalar>::ZERO, 0.0);
+        assert_eq!(<i8 as Scalar>::ONE, 1);
+        assert_eq!(<f32 as Scalar>::DTYPE, "f32");
+        assert_eq!(<i8 as Scalar>::DTYPE, "i8");
+    }
+}

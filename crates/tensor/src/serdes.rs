@@ -6,7 +6,7 @@
 //! `{"shape":[2,3],"data":[...]}`. Non-finite elements round-trip through
 //! the string encoding of `healthmon-serdes` (`"NaN"`, `"inf"`, `"-inf"`).
 
-use crate::{Shape, Tensor};
+use crate::{GenericTensor, Scalar, Shape};
 use healthmon_serdes::{FromJson, Json, JsonError, ToJson};
 
 impl ToJson for Shape {
@@ -28,7 +28,7 @@ impl FromJson for Shape {
     }
 }
 
-impl ToJson for Tensor {
+impl<S: Scalar> ToJson for GenericTensor<S> {
     fn to_json(&self) -> Json {
         Json::Object(vec![
             ("shape".to_owned(), self.shape_obj().to_json()),
@@ -37,11 +37,11 @@ impl ToJson for Tensor {
     }
 }
 
-impl FromJson for Tensor {
+impl<S: Scalar> FromJson for GenericTensor<S> {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         let shape = Shape::from_json(value.field("shape")?)?;
-        let data: Vec<f32> = Vec::from_json(value.field("data")?)?;
-        Tensor::from_vec(data, shape.dims())
+        let data: Vec<S> = Vec::from_json(value.field("data")?)?;
+        GenericTensor::from_vec(data, shape.dims())
             .map_err(|e| JsonError::invalid(format!("tensor data does not match shape: {e}")))
     }
 }
@@ -49,6 +49,7 @@ impl FromJson for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Tensor, TensorI8};
     use healthmon_serdes::{from_str, to_string};
 
     #[test]
@@ -93,6 +94,17 @@ mod tests {
         assert!(from_str::<Tensor>("{\"shape\":[2,2],\"data\":[1,2,3]}").is_err());
         assert!(from_str::<Tensor>("{\"data\":[1.0]}").is_err());
         assert!(from_str::<Tensor>("{\"shape\":[1]}").is_err());
+    }
+
+    #[test]
+    fn i8_tensor_round_trips() {
+        let t = TensorI8::from_vec(vec![-128, -1, 0, 1, 127, 42], &[2, 3]).unwrap();
+        let json = to_string(&t);
+        assert_eq!(json, "{\"shape\":[2,3],\"data\":[-128,-1,0,1,127,42]}");
+        let back: TensorI8 = from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // Out-of-range integers are rejected rather than wrapped.
+        assert!(from_str::<TensorI8>("{\"shape\":[1],\"data\":[128]}").is_err());
     }
 
     #[test]

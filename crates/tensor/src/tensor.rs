@@ -1,12 +1,20 @@
-use crate::{SeededRng, Shape, TensorError};
+use crate::{Scalar, SeededRng, Shape, TensorError};
 
-/// A dense, contiguous, row-major `f32` tensor.
+/// A dense, contiguous, row-major tensor over a sealed [`Scalar`] element
+/// type.
 ///
-/// `Tensor` is the single numeric container used throughout the workspace:
-/// network weights, activations, gradients, images, and logits are all
-/// tensors. It is deliberately simple — owned contiguous storage, no views,
-/// no broadcasting beyond what the explicit ops provide — which keeps the
+/// The f32 instantiation — aliased back to [`Tensor`] — is the single
+/// numeric container used throughout the workspace: network weights,
+/// activations, gradients, images, and logits are all tensors. It is
+/// deliberately simple — owned contiguous storage, no views, no
+/// broadcasting beyond what the explicit ops provide — which keeps the
 /// fault-injection and crossbar-mapping code easy to audit.
+///
+/// Structural operations (construction, indexing, reshape, map/zip,
+/// transpose) live on this generic type; float numerics (matmul, stats,
+/// random sampling) stay on the concrete [`Tensor`] alias so the f32
+/// world keeps its bit-exact reproducibility contract. [`TensorI8`] is
+/// the quantized integer instantiation.
 ///
 /// # Example
 ///
@@ -19,29 +27,35 @@ use crate::{SeededRng, Shape, TensorError};
 /// # Ok::<(), healthmon_tensor::TensorError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct Tensor {
+pub struct GenericTensor<S: Scalar> {
     shape: Shape,
-    data: Vec<f32>,
+    data: Vec<S>,
 }
 
-impl Tensor {
+/// The f32 tensor — the workspace's default numeric world.
+pub type Tensor = GenericTensor<f32>;
+
+/// The quantized 8-bit integer tensor (see [`Tensor::quantize_i8`]).
+pub type TensorI8 = GenericTensor<i8>;
+
+impl<S: Scalar> GenericTensor<S> {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::from(shape);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        GenericTensor { shape, data: vec![S::ZERO; len] }
     }
 
     /// Creates a tensor of ones with the given shape.
     pub fn ones(shape: &[usize]) -> Self {
-        Self::full(shape, 1.0)
+        Self::full(shape, S::ONE)
     }
 
     /// Creates a tensor filled with `value`.
-    pub fn full(shape: &[usize], value: f32) -> Self {
+    pub fn full(shape: &[usize], value: S) -> Self {
         let shape = Shape::from(shape);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        GenericTensor { shape, data: vec![value; len] }
     }
 
     /// Creates a tensor from existing data.
@@ -50,7 +64,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not
     /// equal the product of `shape`.
-    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+    pub fn from_vec(data: Vec<S>, shape: &[usize]) -> Result<Self, TensorError> {
         if shape.is_empty() {
             return Err(TensorError::EmptyShape);
         }
@@ -58,35 +72,12 @@ impl Tensor {
         if data.len() != expected {
             return Err(TensorError::LengthMismatch { expected, actual: data.len() });
         }
-        Ok(Tensor { shape: Shape::from(shape), data })
+        Ok(GenericTensor { shape: Shape::from(shape), data })
     }
 
     /// Creates a 1-D tensor from a slice.
-    pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { shape: Shape::new(vec![data.len().max(1)]), data: data.to_vec() }
-    }
-
-    /// Samples every element i.i.d. from the standard normal distribution.
-    pub fn randn(shape: &[usize], rng: &mut SeededRng) -> Self {
-        let mut t = Tensor::zeros(shape);
-        for v in t.data.iter_mut() {
-            *v = rng.normal(0.0, 1.0);
-        }
-        t
-    }
-
-    /// Samples every element i.i.d. uniformly from `[lo, hi)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo >= hi` or either bound is non-finite.
-    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid uniform bounds [{lo}, {hi})");
-        let mut t = Tensor::zeros(shape);
-        for v in t.data.iter_mut() {
-            *v = rng.uniform(lo, hi);
-        }
-        t
+    pub fn from_slice(data: &[S]) -> Self {
+        GenericTensor { shape: Shape::new(vec![data.len().max(1)]), data: data.to_vec() }
     }
 
     /// The tensor's shape extents.
@@ -116,17 +107,17 @@ impl Tensor {
     }
 
     /// Immutable view of the underlying row-major buffer.
-    pub fn as_slice(&self) -> &[f32] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable view of the underlying row-major buffer.
-    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
     }
 
@@ -136,7 +127,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn copy_from(&mut self, src: &Tensor) {
+    pub fn copy_from(&mut self, src: &Self) {
         assert_eq!(
             self.shape(),
             src.shape(),
@@ -152,7 +143,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the index rank or any component is out of bounds.
-    pub fn at(&self, index: &[usize]) -> f32 {
+    pub fn at(&self, index: &[usize]) -> S {
         self.data[self.shape.offset(index)]
     }
 
@@ -161,7 +152,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the index rank or any component is out of bounds.
-    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut S {
         let off = self.shape.offset(index);
         &mut self.data[off]
     }
@@ -179,16 +170,16 @@ impl Tensor {
                 to: shape.to_vec(),
             });
         }
-        Ok(Tensor { shape: Shape::from(shape), data: self.data.clone() })
+        Ok(GenericTensor { shape: Shape::from(shape), data: self.data.clone() })
     }
 
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    pub fn map(&self, f: impl Fn(S) -> S) -> Self {
+        GenericTensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+    pub fn map_inplace(&mut self, f: impl Fn(S) -> S) {
         for v in self.data.iter_mut() {
             *v = f(*v);
         }
@@ -199,26 +190,16 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip_map(&self, other: &Self, f: impl Fn(S, S) -> S) -> Self {
         assert_eq!(
             self.shape, other.shape,
             "zip_map shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        Tensor {
+        GenericTensor {
             shape: self.shape.clone(),
             data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
-    }
-
-    /// Clamps every element into `[lo, hi]` in place.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo > hi`.
-    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
-        assert!(lo <= hi, "clamp bounds inverted: [{lo}, {hi}]");
-        self.map_inplace(|v| v.clamp(lo, hi));
     }
 
     /// Extracts row `row` of a 2-D tensor as a new 1-D tensor.
@@ -226,11 +207,11 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor is not 2-D or `row` is out of bounds.
-    pub fn row(&self, row: usize) -> Tensor {
+    pub fn row(&self, row: usize) -> Self {
         assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor, got {}", self.shape);
         let cols = self.shape.dim(1);
         let start = row * cols;
-        Tensor::from_slice(&self.data[start..start + cols])
+        Self::from_slice(&self.data[start..start + cols])
     }
 
     /// Copies `src` (1-D, length = columns) into row `row` of a 2-D tensor.
@@ -238,7 +219,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if shapes are incompatible or `row` is out of bounds.
-    pub fn set_row(&mut self, row: usize, src: &Tensor) {
+    pub fn set_row(&mut self, row: usize, src: &Self) {
         assert_eq!(self.ndim(), 2, "set_row() requires a 2-D tensor, got {}", self.shape);
         let cols = self.shape.dim(1);
         assert_eq!(src.len(), cols, "row length {} != column count {cols}", src.len());
@@ -251,7 +232,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `rows` is empty or lengths differ.
-    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+    pub fn stack_rows(rows: &[Self]) -> Self {
         assert!(!rows.is_empty(), "stack_rows requires at least one row");
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -259,7 +240,67 @@ impl Tensor {
             assert_eq!(r.len(), cols, "stack_rows length mismatch");
             data.extend_from_slice(r.as_slice());
         }
-        Tensor { shape: Shape::new(vec![rows.len(), cols]), data }
+        GenericTensor { shape: Shape::new(vec![rows.len(), cols]), data }
+    }
+
+    /// Transposes a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.ndim(), 2, "transpose() requires a 2-D tensor, got {}", self.shape);
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Self::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Widens every element to `f32`, exactly (see [`Scalar::to_f32`]).
+    pub fn cast_f32(&self) -> Tensor {
+        GenericTensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| v.to_f32()).collect(),
+        }
+    }
+}
+
+impl Tensor {
+    /// Samples every element i.i.d. from the standard normal distribution.
+    pub fn randn(shape: &[usize], rng: &mut SeededRng) -> Self {
+        let mut t = Tensor::zeros(shape);
+        for v in t.data.iter_mut() {
+            *v = rng.normal(0.0, 1.0);
+        }
+        t
+    }
+
+    /// Samples every element i.i.d. uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid uniform bounds [{lo}, {hi})");
+        let mut t = Tensor::zeros(shape);
+        for v in t.data.iter_mut() {
+            *v = rng.uniform(lo, hi);
+        }
+        t
+    }
+
+    /// Clamps every element into `[lo, hi]` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        assert!(lo <= hi, "clamp bounds inverted: [{lo}, {hi}]");
+        self.map_inplace(|v| v.clamp(lo, hi));
     }
 
     /// Whether every element is finite (no NaN, no ±∞).
@@ -272,28 +313,36 @@ impl Tensor {
         self.data.iter().all(|v| v.is_finite())
     }
 
-    /// Transposes a 2-D tensor.
+    /// Quantizes to [`TensorI8`] with the symmetric affine map
+    /// `code = round(v / scale)`, saturating to `[-128, 127]`.
     ///
     /// # Panics
     ///
-    /// Panics if the tensor is not 2-D.
-    pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.ndim(), 2, "transpose() requires a 2-D tensor, got {}", self.shape);
-        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
-        let mut out = Tensor::zeros(&[c, r]);
-        for i in 0..r {
-            for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
-            }
+    /// Panics if `scale` is not a finite positive number.
+    pub fn quantize_i8(&self, scale: f32) -> TensorI8 {
+        assert!(scale.is_finite() && scale > 0.0, "quantize_i8 scale must be finite positive, got {scale}");
+        GenericTensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| i8::from_f32(v / scale)).collect(),
         }
-        out
     }
 }
 
-impl Default for Tensor {
+impl TensorI8 {
+    /// Reverses [`Tensor::quantize_i8`]: `v = code * scale`, exact up to
+    /// the one f32 multiply (every `i8` is exactly representable).
+    pub fn dequantize(&self, scale: f32) -> Tensor {
+        GenericTensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&c| c as f32 * scale).collect(),
+        }
+    }
+}
+
+impl<S: Scalar> Default for GenericTensor<S> {
     /// A single-element zero tensor.
     fn default() -> Self {
-        Tensor::zeros(&[1])
+        Self::zeros(&[1])
     }
 }
 
@@ -390,5 +439,42 @@ mod tests {
         let mut rng = SeededRng::new(1);
         let t = Tensor::rand_uniform(&[100], -0.5, 0.5, &mut rng);
         assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn i8_tensor_constructors_and_structure() {
+        let z = TensorI8::zeros(&[2, 3]);
+        assert!(z.as_slice().iter().all(|&v| v == 0));
+        let o = TensorI8::ones(&[4]);
+        assert!(o.as_slice().iter().all(|&v| v == 1));
+        let t = TensorI8::from_vec(vec![1, -2, 3, -4, 5, -6], &[2, 3]).unwrap();
+        assert_eq!(t.at(&[1, 0]), -4);
+        assert_eq!(t.row(1).as_slice(), &[-4, 5, -6]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at(&[0, 1]), -4);
+        assert_eq!(t.reshape(&[6]).unwrap().as_slice(), t.as_slice());
+        assert_eq!(t.map(|v| v.saturating_neg()).at(&[0, 1]), 2);
+        let err = TensorI8::from_vec(vec![0; 5], &[2, 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip() {
+        let t = Tensor::from_vec(vec![-1.0, -0.25, 0.0, 0.26, 0.5, 10.0], &[6]).unwrap();
+        let q = t.quantize_i8(0.25);
+        assert_eq!(q.as_slice(), &[-4, -1, 0, 1, 2, 40]);
+        let back = q.dequantize(0.25);
+        assert_eq!(back.as_slice(), &[-1.0, -0.25, 0.0, 0.25, 0.5, 10.0]);
+        // Saturation at the i8 rails.
+        let hot = Tensor::from_slice(&[1000.0, -1000.0]).quantize_i8(1.0);
+        assert_eq!(hot.as_slice(), &[127, -128]);
+    }
+
+    #[test]
+    fn cast_f32_is_exact_for_i8() {
+        let q = TensorI8::from_vec(vec![-128, -1, 0, 1, 127], &[5]).unwrap();
+        assert_eq!(q.cast_f32().as_slice(), &[-128.0, -1.0, 0.0, 1.0, 127.0]);
+        assert_eq!(q.cast_f32().shape(), q.shape());
     }
 }

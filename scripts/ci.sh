@@ -244,6 +244,60 @@ cmp "$lt_dir/campaign_stable_1.jsonl" "$lt_dir/campaign_stable_7.jsonl"
 echo "ok: telemetry left every primary output byte-identical; stable series"
 echo "    byte-identical under HEALTHMON_THREADS=1/2/7"
 
+echo "== model-zoo smoke (registry x digital/analog/bitsliced, HEALTHMON_THREADS=1/2/7) =="
+zoo_dir="$(pwd)/target/zoo-smoke"
+rm -rf "$zoo_dir"
+mkdir -p "$zoo_dir"
+# The registry table is deterministic and lists every model.
+"$hm" models > "$zoo_dir/models.txt"
+for arch in lenet5 convnet7 mlp resnet8 mlp4 attention; do
+    grep -q "^$arch " "$zoo_dir/models.txt"
+done
+# Unknown architectures fail fast and list the whole registry.
+if "$hm" train --arch resnet9 --out "$zoo_dir/no.json" 2> "$zoo_dir/unknown.err"; then
+    echo "ERROR: unknown --arch was accepted" >&2
+    exit 1
+fi
+grep -q "known models:" "$zoo_dir/unknown.err"
+# Every zoo model trains, generates C-TP patterns, and completes a
+# detection campaign on all three backends, byte-identical under
+# HEALTHMON_THREADS=1/2/7.
+for arch in lenet5 convnet7 mlp resnet8 mlp4 attention; do
+    "$hm" train --arch "$arch" --out "$zoo_dir/$arch.json" \
+        --epochs 1 --train-size 120 --quiet true > /dev/null
+    "$hm" generate --arch "$arch" --model "$zoo_dir/$arch.json" --method ctp \
+        --count 8 --out "$zoo_dir/${arch}_patterns.json" > /dev/null
+    for b in digital analog bitsliced; do
+        for t in 1 2 7; do
+            HEALTHMON_THREADS=$t "$hm" campaign --arch "$arch" \
+                --model "$zoo_dir/$arch.json" \
+                --patterns "$zoo_dir/${arch}_patterns.json" \
+                --fault pv:0.4 --count 4 --backend "$b" \
+                > "$zoo_dir/campaign_${arch}_${b}_$t.txt"
+        done
+        cmp "$zoo_dir/campaign_${arch}_${b}_1.txt" "$zoo_dir/campaign_${arch}_${b}_2.txt"
+        cmp "$zoo_dir/campaign_${arch}_${b}_1.txt" "$zoo_dir/campaign_${arch}_${b}_7.txt"
+    done
+done
+# The three architectures new in the zoo complete a lifetime end-to-end.
+for arch in resnet8 mlp4 attention; do
+    rc=0
+    "$hm" lifetime --arch "$arch" --model "$zoo_dir/$arch.json" --epochs 3 \
+        --count 6 --drift 0.25 --stuck-lambda 0.5 \
+        > "$zoo_dir/lifetime_$arch.txt" || rc=$?
+    [[ "$rc" == "0" || "$rc" == "2" ]]  # healthy or parked, never a usage error
+    grep -q "final state:" "$zoo_dir/lifetime_$arch.txt"
+done
+# Seed-model regression goldens: the digital campaign outputs for lenet5
+# and convnet7 below were captured from the pre-registry build — routing
+# the seed architectures through the model zoo must not move a byte.
+for arch in lenet5 convnet7; do
+    cmp "$zoo_dir/campaign_${arch}_digital_1.txt" "tests/golden/zoo_campaign_$arch.txt"
+done
+echo "ok: every zoo model trained and campaigned on digital/analog/bitsliced,"
+echo "    byte-identical under HEALTHMON_THREADS=1/2/7; seed models match the"
+echo "    pre-registry goldens"
+
 echo "== fleet smoke (chaos supervision + kill-9 crash recovery) =="
 fleet_dir=target/fleet-smoke
 rm -rf "$fleet_dir"

@@ -10,7 +10,8 @@
 
 use healthmon::{BackendSpec, CrossbarConfig, Detector, InferenceBackend, TestPatternSet};
 use healthmon_nn::models::{convnet7, lenet5, tiny_mlp};
-use healthmon_reram::{AnalogBackend, CellFault};
+use healthmon_nn::zoo;
+use healthmon_reram::{AnalogBackend, BitSlicedBackend, CellFault};
 use healthmon_tensor::{SeededRng, Tensor};
 
 /// Exact-mode analog spec large enough for every paper-scale layer
@@ -120,4 +121,85 @@ fn live_analog_faults_flip_the_verdict() {
     assert!(!detector.is_faulty(&backend, criterion), "fresh exact backend is healthy");
     backend.inject_stuck_cells(CellFault::StuckHigh, 0.25, &mut rng);
     assert!(detector.is_faulty(&backend, criterion), "injured backend must be flagged");
+}
+
+/// Probe batch in a zoo model's native input shape.
+fn zoo_probes(spec: &zoo::ModelSpec, count: usize, rng: &mut SeededRng) -> Tensor {
+    let mut shape = vec![count];
+    shape.extend_from_slice(spec.input_shape);
+    Tensor::rand_uniform(&shape, 0.0, 1.0, rng)
+}
+
+/// The exact-analog bit-identity contract is architecture-agnostic: every
+/// registered zoo model — including the residual CNN, the deep MLP and
+/// the attention block — must produce bitwise-digital logits on exact
+/// crossbars. Adding a model to the registry adds it here automatically.
+#[test]
+fn exact_analog_is_bit_identical_to_digital_for_every_zoo_model() {
+    for (i, spec) in zoo::ZOO.iter().enumerate() {
+        let mut rng = SeededRng::new(31 + i as u64);
+        let net = spec.build(&mut rng);
+        let images = zoo_probes(spec, 3, &mut rng);
+        let backend = AnalogBackend::program(&net, &exact_spec(), &mut rng);
+        assert_bitwise_eq(&net.infer(&images), &backend.infer(&images), spec.name);
+    }
+}
+
+/// Bit-sliced crossbars quantize each weight to a bounded-precision
+/// magnitude before splitting it across cells, so bitwise equality with
+/// the digital network is unattainable by construction. The contract is
+/// instead: (a) programming is a pure function of (network, spec, seed) —
+/// two same-seed programs are bitwise-identical to *each other* — and
+/// (b) 16-bit sliced logits stay within a bounded relative envelope of
+/// the digital reference, for every zoo architecture. The envelope is
+/// loose (15%) because these are untrained random-init networks whose
+/// logits nearly cancel, which inflates relative L1; it still catches
+/// catastrophic divergence (wrong orientation, dropped slices, broken
+/// recombination), which shows up as O(1) error.
+#[test]
+fn bitsliced_is_deterministic_and_bounded_for_every_zoo_model() {
+    let spec16 = BackendSpec::bitsliced(
+        CrossbarConfig { cell_bits: 4, dac_bits: 0, adc_bits: 0, ..CrossbarConfig::default() },
+        16,
+    );
+    for (i, spec) in zoo::ZOO.iter().enumerate() {
+        let mut rng = SeededRng::new(41 + i as u64);
+        let net = spec.build(&mut rng);
+        let images = zoo_probes(spec, 3, &mut rng);
+
+        let a = BitSlicedBackend::program(&net, &spec16, &mut rng.fork(1)).infer(&images);
+        let b = BitSlicedBackend::program(&net, &spec16, &mut rng.fork(1)).infer(&images);
+        assert_bitwise_eq(&a, &b, &format!("{} (same-seed bitsliced reprogram)", spec.name));
+
+        let digital = net.infer(&images);
+        let rel = a.l1_distance(&digital) / digital.norm_l1().max(1e-6);
+        assert!(rel < 0.15, "{}: 16-bit sliced logits diverge too much: {rel}", spec.name);
+    }
+}
+
+/// Live stuck cells must flip the monitor's verdict on every zoo model:
+/// the conductance cache is invalidated per-architecture, not just on the
+/// MLPs the original regression used.
+#[test]
+fn stuck_cells_flip_the_verdict_for_every_zoo_model() {
+    use healthmon::SdcCriterion;
+    for (i, spec) in zoo::ZOO.iter().enumerate() {
+        let mut rng = SeededRng::new(51 + i as u64);
+        let net = spec.build(&mut rng);
+        let patterns = TestPatternSet::new("zoo", zoo_probes(spec, 4, &mut rng));
+        let detector = Detector::new(&net, patterns);
+        let mut backend = AnalogBackend::program(&net, &exact_spec(), &mut rng);
+        let criterion = SdcCriterion::SdcA { threshold: 1e-4 };
+        assert!(
+            !detector.is_faulty(&backend, criterion),
+            "{}: fresh exact backend must be healthy",
+            spec.name
+        );
+        backend.inject_stuck_cells(CellFault::StuckHigh, 0.25, &mut rng);
+        assert!(
+            detector.is_faulty(&backend, criterion),
+            "{}: stuck cells must flip the verdict",
+            spec.name
+        );
+    }
 }
