@@ -4,8 +4,8 @@ use crate::args::ParsedArgs;
 use healthmon::{
     run_mitigation, ActiveBackend, AetGenerator, AgingModel, BackendKind, BackendSpec,
     ChaosConfig, CrossbarConfig, CtpGenerator, Detector, FleetConfig, FleetSupervisor,
-    LifetimeConfig, LifetimeRuntime, MitigationScenario, MonitorPolicy, OtpGenerator,
-    SdcCriterion, TestPatternSet, TrainData,
+    FlightRecord, LifetimeConfig, LifetimeRuntime, MitigationScenario, MonitorPolicy,
+    OtpGenerator, SdcCriterion, TestPatternSet, TrainData,
 };
 use healthmon_data::{DataSplit, Dataset, DatasetSpec, SynthDigits, SynthObjects};
 use healthmon_faults::{FaultCampaign, FaultModel};
@@ -64,6 +64,13 @@ pub const USAGE: &str = "usage:
                      [--report <out.txt>] [--budget N] [--retry N]
                      [--deadline MS] [--quarantine N] [--drift F] [--soft F]
                      [--bench true] [--trace true] [--metrics <out.jsonl>]
+                     [--flight-dir <dir>]  dump a digest-guarded postmortem
+                     artifact incident-<device>-<epoch>.json per incident,
+                     quarantine or poisoned checkup (see `healthmon flight`)
+                     [--serve-metrics <addr>]  serve live Prometheus text
+                     on http://<addr>/metrics for the duration of the run
+                     [--snapshot-log <log.jsonl>]  rotating multi-snapshot
+                     stream, one frame per fleet epoch (see `healthmon top`)
                      supervises N independently-seeded device lifetimes
                      with panic isolation, retry/backoff, quarantine and
                      sharded crash-safe checkpoints; --arch swaps the
@@ -73,8 +80,19 @@ pub const USAGE: &str = "usage:
                      (or `off`); --bench adds a devices/sec line;
                      exit 0 = fleet completed, 2 = any device quarantined
   healthmon metrics  --file <metrics.jsonl> [--stable-only true] [--format <summary|jsonl|prometheus>]
-                     validates a telemetry dump; --stable-only keeps only
-                     thread-count-invariant series (for byte comparison)
+                     [--last N] [--device I]
+                     validates a telemetry dump or --snapshot-log stream;
+                     --stable-only keeps only thread-count-invariant
+                     series (for byte comparison), --last keeps the newest
+                     N stream frames, --device keeps only events
+                     mentioning device I
+  healthmon top      --file <log.jsonl> [--watch true] [--refresh-ms N]
+                     fleet health table from a --snapshot-log stream:
+                     state histogram, incident tallies, per-phase checkup
+                     latency quantiles; --watch refreshes in place
+  healthmon flight   --file <incident.json>
+                     digest-verifies and summarizes a flight-recorder
+                     postmortem artifact written via --flight-dir
 
   Setting HEALTHMON_TRACE=1 enables telemetry recording for check,
   campaign, deploy and lifetime without any flags; the span/metric report
@@ -94,6 +112,8 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         "lifetime" => cmd_lifetime(&args),
         "fleet" => cmd_fleet(&args),
         "metrics" => cmd_metrics(&args),
+        "top" => cmd_top(&args),
+        "flight" => cmd_flight(&args),
         "models" => cmd_models(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -707,6 +727,44 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<ExitCode, String> {
 /// shards after every invocation; `--stop-after` bounds the fleet epochs
 /// per invocation. `--bench true` appends a wall-clock devices/sec line
 /// for the load-generator smoke.
+/// Frames retained in a rotating `--snapshot-log` stream.
+const SNAPSHOT_STREAM_FRAMES: usize = 16;
+
+/// Appends one frame to the rotating snapshot stream and atomically
+/// rewrites the log file with the retained tail, so a reader (or a crash)
+/// never sees a torn stream.
+fn write_snapshot_frame(
+    fleet: &FleetSupervisor,
+    log: &str,
+    stream: &mut std::collections::VecDeque<String>,
+) -> Result<(), String> {
+    let (healthy, watch, critical) = fleet.state_histogram();
+    let frame = tel::SnapshotFrame {
+        seq: fleet.fleet_epoch() as u64,
+        label: "fleet".to_owned(),
+        epoch: fleet.fleet_epoch() as u64,
+        // Sorted by name, per the SnapshotFrame contract.
+        meta: vec![
+            ("critical".to_owned(), critical as f64),
+            ("damaged_shards".to_owned(), fleet.damaged_shards().len() as f64),
+            ("device_epochs".to_owned(), fleet.total_device_epochs() as f64),
+            ("devices".to_owned(), fleet.config().devices as f64),
+            ("healthy".to_owned(), healthy as f64),
+            ("incidents".to_owned(), fleet.incidents().len() as f64),
+            ("quarantined".to_owned(), fleet.quarantined().len() as f64),
+            ("watch".to_owned(), watch as f64),
+        ],
+        snap: tel::snapshot(),
+    };
+    stream.push_back(tel::render_frame(&frame));
+    while stream.len() > SNAPSHOT_STREAM_FRAMES {
+        stream.pop_front();
+    }
+    let text: String = stream.iter().flat_map(|s| s.chars()).collect();
+    healthmon::store::write_atomic(std::path::Path::new(log), text.as_bytes())
+        .map_err(|e| format!("writing snapshot log `{log}`: {e}"))
+}
+
 fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
     args.expect_only(&[
         "devices",
@@ -727,8 +785,29 @@ fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
         "bench",
         "trace",
         "metrics",
+        "flight-dir",
+        "serve-metrics",
+        "snapshot-log",
     ])?;
     let metrics = telemetry_setup(args)?;
+    // Live observability paths need the registry recording even when
+    // neither --trace nor --metrics asked for it.
+    let snapshot_log = args.get("snapshot-log").map(str::to_owned);
+    let serve = args.get("serve-metrics");
+    if snapshot_log.is_some() || serve.is_some() {
+        tel::set_enabled(true);
+    }
+    let _server = match serve {
+        Some(addr) => {
+            let server = tel::MetricsServer::start(addr)
+                .map_err(|e| format!("binding metrics server on `{addr}`: {e}"))?;
+            // Stderr, like the telemetry report: stdout stays
+            // byte-identical to an unobserved run.
+            eprintln!("serving Prometheus metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let devices: usize = args.required("devices")?.parse().map_err(|_| {
         "--devices must be a positive integer".to_owned()
     })?;
@@ -819,10 +898,34 @@ fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
         }
         _ => FleetSupervisor::new(&golden, patterns, config).map_err(|e| e.to_string())?,
     };
+    if let Some(flight_dir) = args.get("flight-dir") {
+        std::fs::create_dir_all(flight_dir)
+            .map_err(|e| format!("creating flight dir `{flight_dir}`: {e}"))?;
+        fleet.set_flight_dir(flight_dir);
+    }
 
     let t0 = std::time::Instant::now();
     let before_epochs = fleet.total_device_epochs();
-    fleet.run(if stop_after > 0 { Some(stop_after) } else { None });
+    match &snapshot_log {
+        None => fleet.run(if stop_after > 0 { Some(stop_after) } else { None }),
+        Some(log) => {
+            // Epoch-by-epoch so the rotating snapshot stream can record a
+            // frame after every fleet epoch. `run(Some(1))` preserves the
+            // supervisor's own termination rules (done / epoch bound):
+            // when it makes no progress, the run is over.
+            let mut stream: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+            let mut remaining = if stop_after > 0 { stop_after } else { usize::MAX };
+            while remaining > 0 {
+                let before = fleet.fleet_epoch();
+                fleet.run(Some(1));
+                if fleet.fleet_epoch() == before {
+                    break;
+                }
+                remaining -= 1;
+                write_snapshot_frame(&fleet, log, &mut stream)?;
+            }
+        }
+    }
     let elapsed = t0.elapsed().as_secs_f64();
 
     if let Some(dir) = dir {
@@ -849,40 +952,204 @@ fn cmd_fleet(args: &ParsedArgs) -> Result<ExitCode, String> {
     }
 }
 
-/// Validates a telemetry JSONL dump produced with `--metrics`: parses
-/// every line, then prints a one-line summary, the filtered JSONL, or a
-/// Prometheus-style exposition. `--stable-only true` keeps only the
+/// Validates a telemetry JSONL dump produced with `--metrics` or a
+/// multi-snapshot stream produced with `--snapshot-log`: parses every
+/// line, then prints a summary, the filtered JSONL, or a
+/// Prometheus-style exposition (of the most recent frame). `--last N`
+/// keeps only the newest N frames of a stream; `--device I` keeps only
+/// events mentioning device I. `--stable-only true` keeps only the
 /// series tagged thread-count-invariant (and drops spans/events, which
 /// carry wall-clock timings) so two dumps from runs at different
 /// `HEALTHMON_THREADS` settings can be byte-compared.
 fn cmd_metrics(args: &ParsedArgs) -> Result<ExitCode, String> {
-    args.expect_only(&["file", "stable-only", "format"])?;
+    args.expect_only(&["file", "stable-only", "format", "last", "device"])?;
     let path = args.required("file")?;
     let stable_only: bool = args.get_or("stable-only", false)?;
     let format = args.get("format").unwrap_or("summary");
+    let last: usize = args.get_or("last", 0)?;
+    let device: Option<usize> = match args.get("device") {
+        Some(d) => {
+            Some(d.parse().map_err(|_| "--device must be a device id".to_owned())?)
+        }
+        None => None,
+    };
 
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
-    let mut snapshot = tel::parse_jsonl(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
-    if stable_only {
-        snapshot.counters.retain(|c| c.stable);
-        snapshot.gauges.retain(|g| g.stable);
-        snapshot.histograms.retain(|h| h.stable);
-        snapshot.spans.clear();
-        snapshot.events.clear();
+    let mut frames = tel::parse_stream(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    if frames.is_empty() {
+        // An empty file validates as one empty snapshot, as it always did.
+        frames.push(tel::SnapshotFrame {
+            seq: 0,
+            label: "snapshot".to_owned(),
+            epoch: 0,
+            meta: Vec::new(),
+            snap: Default::default(),
+        });
     }
+    if last > 0 {
+        let skip = frames.len().saturating_sub(last);
+        frames.drain(..skip);
+    }
+    for frame in &mut frames {
+        if let Some(id) = device {
+            let tag = format!("device {id:04}");
+            frame.snap.events.retain(|e| e.detail.contains(&tag));
+        }
+        if stable_only {
+            frame.snap.counters.retain(|c| c.stable);
+            frame.snap.gauges.retain(|g| g.stable);
+            frame.snap.histograms.retain(|h| h.stable);
+            frame.snap.spans.clear();
+            frame.snap.events.clear();
+        }
+    }
+    // A file without snapshot markers (a plain `--metrics` dump) keeps
+    // the exact single-snapshot output shape.
+    let plain = frames.len() == 1 && frames[0].label == "snapshot";
     match format {
-        "summary" => println!(
-            "{path}: {} counters, {} gauges, {} histograms, {} spans, {} events{}",
-            snapshot.counters.len(),
-            snapshot.gauges.len(),
-            snapshot.histograms.len(),
-            snapshot.spans.len(),
-            snapshot.events.len(),
-            if stable_only { " (stable only)" } else { "" }
-        ),
-        "jsonl" => print!("{}", tel::render_jsonl(&snapshot)),
-        "prometheus" => print!("{}", tel::render_prometheus(&snapshot)),
+        "summary" => {
+            for frame in &frames {
+                let s = &frame.snap;
+                let counts = format!(
+                    "{} counters, {} gauges, {} histograms, {} spans, {} events{}",
+                    s.counters.len(),
+                    s.gauges.len(),
+                    s.histograms.len(),
+                    s.spans.len(),
+                    s.events.len(),
+                    if stable_only { " (stable only)" } else { "" }
+                );
+                if plain {
+                    println!("{path}: {counts}");
+                } else {
+                    let meta = frame
+                        .meta
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    println!("{path}[{}] epoch {}: {counts} ({meta})", frame.seq, frame.epoch);
+                }
+            }
+        }
+        "jsonl" => {
+            if plain {
+                print!("{}", tel::render_jsonl(&frames[0].snap));
+            } else {
+                for frame in &frames {
+                    print!("{}", tel::render_frame(frame));
+                }
+            }
+        }
+        "prometheus" => {
+            let newest = frames.last().expect("frames is never empty here");
+            print!("{}", tel::render_prometheus(&newest.snap));
+        }
         other => return Err(format!("unknown format `{other}` (summary|jsonl|prometheus)")),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one refresh of the `healthmon top` fleet health table from
+/// the frames of a snapshot stream.
+fn render_top(path: &str, frames: &[tel::SnapshotFrame]) -> String {
+    let mut out = String::new();
+    let Some(newest) = frames.last() else {
+        out.push_str(&format!("{path}: no snapshot frames yet\n"));
+        return out;
+    };
+    let meta = |name: &str| newest.meta_value(name).unwrap_or(0.0);
+    out.push_str(&format!(
+        "== healthmon top == {path} (frame {}, fleet epoch {})\n",
+        newest.seq, newest.epoch
+    ));
+    out.push_str(&format!(
+        "devices {}: healthy {}  watch {}  critical {}  quarantined {}\n",
+        meta("devices"),
+        meta("healthy"),
+        meta("watch"),
+        meta("critical"),
+        meta("quarantined"),
+    ));
+    out.push_str(&format!(
+        "incidents {}  damaged shards {}  device-epochs {}\n",
+        meta("incidents"),
+        meta("damaged_shards"),
+        meta("device_epochs"),
+    ));
+    let trend: Vec<String> =
+        frames.iter().map(|f| format!("{}", f.meta_value("healthy").unwrap_or(0.0))).collect();
+    out.push_str(&format!("healthy trend: {}\n", trend.join(" ")));
+    let phases: Vec<_> =
+        newest.snap.histograms.iter().filter(|h| h.name.starts_with("phase.")).collect();
+    if !phases.is_empty() {
+        out.push_str("phase latency ns (p50/p95/p99):\n");
+        for h in phases {
+            out.push_str(&format!(
+                "  {:<22} {}/{}/{}  ({} samples)\n",
+                h.name,
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.count
+            ));
+        }
+    }
+    let fleet_counters: Vec<_> =
+        newest.snap.counters.iter().filter(|c| c.name.starts_with("fleet.")).collect();
+    if !fleet_counters.is_empty() {
+        out.push_str("fleet counters:\n");
+        for c in fleet_counters {
+            out.push_str(&format!("  {:<22} {}\n", c.name, c.value));
+        }
+    }
+    out
+}
+
+/// Live fleet health table over a `--snapshot-log` stream; `--watch
+/// true` refreshes in place until interrupted.
+fn cmd_top(args: &ParsedArgs) -> Result<ExitCode, String> {
+    args.expect_only(&["file", "watch", "refresh-ms"])?;
+    let path = args.required("file")?;
+    let watch: bool = args.get_or("watch", false)?;
+    let refresh_ms: u64 = args.get_or("refresh-ms", 1000)?;
+    loop {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+        let frames = tel::parse_stream(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+        if watch {
+            // Clear and home; the stream file is written atomically, so
+            // every refresh sees a complete set of frames.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(path, &frames));
+        if !watch {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms.max(50)));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Inspects a flight-recorder postmortem artifact: digest-verifies it
+/// (a tampered or torn artifact is a loud error) and prints the
+/// operator summary, tallies and trailing timeline.
+fn cmd_flight(args: &ParsedArgs) -> Result<ExitCode, String> {
+    use std::str::FromStr;
+    args.expect_only(&["file"])?;
+    let path = args.required("file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let record =
+        FlightRecord::from_str(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    println!("{}", record.summary());
+    println!("config digest: {}", record.config_digest);
+    println!("phases: {}", record.phases.join(" -> "));
+    println!("tallies:");
+    for (name, value) in &record.tallies {
+        println!("  {name:<20} {value}");
+    }
+    if let Some(tail) = record.timeline.last() {
+        println!("last timeline point: {}", tail.render());
     }
     Ok(ExitCode::SUCCESS)
 }

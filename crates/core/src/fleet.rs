@@ -76,6 +76,8 @@ static FLEET_SHED_DEVICES: tel::Counter =
     tel::Counter::new("fleet.shed.devices", tel::Stability::Stable);
 static FLEET_BACKOFF_MS: tel::Counter =
     tel::Counter::new("fleet.backoff_ms", tel::Stability::Stable);
+static FLEET_FLIGHT_RECORDS: tel::Counter =
+    tel::Counter::new("fleet.flight_records", tel::Stability::Stable);
 static FLEET_EPOCH_NS: tel::Histogram =
     tel::Histogram::new("fleet.epoch_ns", tel::Stability::Volatile);
 
@@ -519,6 +521,11 @@ pub struct FleetSupervisor {
     /// Shards reported damaged by the last [`FleetSupervisor::resume`]:
     /// `(shard index, detail)`. Their devices were reinitialized fresh.
     damaged_shards: Vec<(usize, String)>,
+    /// Flight-recorder directory: when set, incidents, quarantines and
+    /// poisoned distances dump postmortem artifacts there. Runtime
+    /// state only — never serialized into shards (checkpoint layout is
+    /// unchanged from earlier formats).
+    flight_dir: Option<PathBuf>,
 }
 
 impl FleetSupervisor {
@@ -577,7 +584,28 @@ impl FleetSupervisor {
             devices,
             fleet_epoch: 0,
             damaged_shards: Vec::new(),
+            flight_dir: None,
         })
+    }
+
+    /// Arms the incident flight recorder: every incident, quarantine
+    /// transition, poisoned distance and device park from now on dumps a
+    /// self-contained `incident-<device>-<epoch>.json` postmortem into
+    /// `dir` (see [`crate::flight`]). Applied after construction *or*
+    /// resume, so it covers both paths; it never changes detection
+    /// outcomes, reports or checkpoints — artifacts are written on the
+    /// side via [`store::write_atomic`].
+    pub fn set_flight_dir(&mut self, dir: impl Into<PathBuf>) {
+        let dir = dir.into();
+        for rec in &mut self.devices {
+            rec.runtime.set_flight(dir.clone(), rec.id as u32);
+        }
+        self.flight_dir = Some(dir);
+    }
+
+    /// The armed flight-recorder directory, if any.
+    pub fn flight_dir(&self) -> Option<&Path> {
+        self.flight_dir.as_deref()
     }
 
     /// The configuration.
@@ -714,12 +742,14 @@ impl FleetSupervisor {
         let epoch = self.fleet_epoch;
         let plan = self.plan_epoch();
         let config = self.config;
+        let flight = self.flight_dir.clone();
+        let flight = flight.as_deref();
         pool::run_chunks(&mut self.devices, 1, |i, chunk| {
             let rec = &mut chunk[0];
             match plan[i] {
                 Plan::Skip { .. } => {}
-                Plan::Full => run_device_epoch(rec, epoch, None, &config),
-                Plan::Shallow(k) => run_device_epoch(rec, epoch, Some(k), &config),
+                Plan::Full => run_device_epoch(rec, epoch, None, &config, flight),
+                Plan::Shallow(k) => run_device_epoch(rec, epoch, Some(k), &config, flight),
             }
         });
         if let Some(t0) = t0 {
@@ -1130,6 +1160,7 @@ fn run_device_epoch(
     epoch: usize,
     depth: Option<usize>,
     config: &FleetConfig,
+    flight: Option<&Path>,
 ) {
     let mut last_failure: Option<(IncidentKind, String)> = None;
     for attempt in 1..=config.retry_limit {
@@ -1170,13 +1201,25 @@ fn run_device_epoch(
                         // the single-device monitor does for poisoned
                         // confidence distances.
                         rec.poisoned = true;
-                        rec.incidents.push(FleetIncident {
+                        let incident = FleetIncident {
                             device: rec.id,
                             epoch,
                             kind: IncidentKind::PoisonedDistance,
                             message: "checkup distance read back NaN".to_owned(),
-                        });
+                        };
+                        tel::record_event("fleet.incident", incident.describe());
+                        rec.incidents.push(incident);
                         FLEET_INCIDENTS.inc();
+                        if let Some(dir) = flight {
+                            dump_flight(
+                                rec,
+                                epoch,
+                                dir,
+                                IncidentKind::PoisonedDistance.label(),
+                                "checkup distance read back NaN",
+                                config,
+                            );
+                        }
                     }
                     return;
                 }
@@ -1191,6 +1234,7 @@ fn run_device_epoch(
         }
         if attempt < config.retry_limit {
             rec.retries += 1;
+            rec.runtime.note_retries(1);
             FLEET_RETRIES.inc();
             // Exponential backoff with deterministic jitter, in virtual
             // milliseconds: visible in the report, invisible to the
@@ -1205,11 +1249,56 @@ fn run_device_epoch(
     let (kind, message) =
         last_failure.expect("retry loop records a failure before exhausting");
     rec.offenses += 1;
-    rec.incidents.push(FleetIncident { device: rec.id, epoch, kind, message });
+    let incident = FleetIncident { device: rec.id, epoch, kind, message: message.clone() };
+    tel::record_event("fleet.incident", incident.describe());
+    rec.incidents.push(incident);
     FLEET_INCIDENTS.inc();
-    if rec.offenses >= config.quarantine_threshold && rec.quarantined_at.is_none() {
+    let quarantined_now =
+        rec.offenses >= config.quarantine_threshold && rec.quarantined_at.is_none();
+    if quarantined_now {
         rec.quarantined_at = Some(epoch);
         FLEET_QUARANTINES.inc();
+    }
+    if let Some(dir) = flight {
+        // One artifact per (device, epoch): a quarantine transition
+        // subsumes the incident that triggered it.
+        let (reason, detail) = if quarantined_now {
+            (
+                "quarantine",
+                format!(
+                    "offense {} of {} reached the quarantine threshold; last: {message}",
+                    rec.offenses, config.quarantine_threshold
+                ),
+            )
+        } else {
+            (kind.label(), message)
+        };
+        dump_flight(rec, epoch, dir, reason, &detail, config);
+    }
+}
+
+/// Dumps one postmortem artifact for `rec` at `epoch`. Write failures
+/// are logged, never propagated: the flight recorder must not be able
+/// to take down the supervisor it observes.
+fn dump_flight(
+    rec: &DeviceRecord,
+    epoch: usize,
+    dir: &Path,
+    reason: &str,
+    detail: &str,
+    config: &FleetConfig,
+) {
+    let mut record =
+        rec.runtime
+            .flight_record(rec.id as u32, epoch as u64, reason, detail, config.digest());
+    record.push_tally("offenses", rec.offenses as u64);
+    record.push_tally("fleet_retries", rec.retries as u64);
+    record.push_tally("backoff_ms", rec.backoff_ms);
+    match record.write(dir) {
+        Ok(_) => FLEET_FLIGHT_RECORDS.inc(),
+        Err(e) => {
+            tel::log_warn!("flight-record dump failed for device {:04}: {e}", rec.id);
+        }
     }
 }
 

@@ -72,6 +72,7 @@ mod diagnose;
 pub mod efficiency;
 mod error;
 pub mod fleet;
+pub mod flight;
 mod metrics;
 pub mod mitigation;
 mod monitor;
@@ -90,6 +91,7 @@ pub use detect::Detector;
 pub use diagnose::{diagnose, estimate_stuck_cells, Diagnosis, LayerDiagnosis};
 pub use error::HealthmonError;
 pub use fleet::{ChaosConfig, FleetConfig, FleetIncident, FleetSupervisor, IncidentKind};
+pub use flight::{FlightRecord, CHECKUP_PHASES, FLIGHT_FORMAT};
 pub use metrics::SdcCriterion;
 pub use mitigation::{
     run_mitigation, CampaignArm, LifetimeArm, MitigationReport, MitigationScenario,

@@ -80,6 +80,16 @@ static REPAIRS_SUCCEEDED: tel::Counter =
     tel::Counter::new("lifetime.repairs.succeeded", tel::Stability::Stable);
 static EPOCH_NS: tel::Histogram =
     tel::Histogram::new("lifetime.epoch_ns", tel::Stability::Volatile);
+// Latency attribution across the checkup pipeline (DESIGN.md §7): the
+// digital-side phases live here, the converter-side phases
+// (phase.dac/accumulate/adc) on the crossbar. All wall-clock, all
+// Volatile.
+static PHASE_DETECTOR_NS: tel::Histogram =
+    tel::Histogram::new("phase.detector_ns", tel::Stability::Volatile);
+static PHASE_DIAGNOSE_NS: tel::Histogram =
+    tel::Histogram::new("phase.diagnose_ns", tel::Stability::Volatile);
+static PHASE_REPAIR_NS: tel::Histogram =
+    tel::Histogram::new("phase.repair_ns", tel::Stability::Volatile);
 
 /// The per-kind tally behind the unified [`LifetimeEvent`] stream.
 fn event_counter(kind: &str) -> &'static tel::Counter {
@@ -745,6 +755,19 @@ pub struct LifetimeRuntime {
     /// fleet supervisor re-derives its shedding decisions
     /// deterministically each epoch.
     depth_override: Option<usize>,
+    /// Per-device health history on the virtual epoch clock. Derived
+    /// exclusively from deterministic runtime state, so it is
+    /// bit-identical across reruns and thread counts. Never serialized:
+    /// checkpoints keep their pre-timeline byte layout, and a resumed
+    /// runtime restarts its history from the resume epoch.
+    timeline: tel::HealthTimeline,
+    /// Supervisor retries absorbed so far (fleet runs bump this via
+    /// [`LifetimeRuntime::note_retries`]); folded into timeline points.
+    /// Never serialized.
+    retries: u64,
+    /// Flight-recorder sink: `(directory, device id)`. When set, a park
+    /// dumps a postmortem artifact there. Never serialized.
+    flight: Option<(std::path::PathBuf, u32)>,
 }
 
 impl LifetimeRuntime {
@@ -832,6 +855,9 @@ impl LifetimeRuntime {
             events: Vec::new(),
             incident: None,
             depth_override: None,
+            timeline: tel::HealthTimeline::default(),
+            retries: 0,
+            flight: None,
         };
         if runtime.config.hardened {
             // Program the spare-column parity alongside the weights.
@@ -844,6 +870,7 @@ impl LifetimeRuntime {
             distance: baseline.distance,
             state: baseline.state,
         });
+        runtime.record_timeline(0);
         runtime
     }
 
@@ -918,6 +945,81 @@ impl LifetimeRuntime {
     /// left for the ordinary checkup/repair cycle.
     pub fn soft_uncorrectable(&self) -> usize {
         self.soft_uncorrectable
+    }
+
+    /// The per-device health timeline recorded so far (since process
+    /// start or resume; timelines are never checkpointed).
+    pub fn timeline(&self) -> &tel::HealthTimeline {
+        &self.timeline
+    }
+
+    /// Records `n` supervisor retries against this device; the running
+    /// total is folded into subsequent timeline points and flight
+    /// records.
+    pub fn note_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Supervisor retries absorbed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Points the flight recorder at `dir`: a park now dumps a
+    /// postmortem artifact `incident-<device>-<epoch>.json` there.
+    pub fn set_flight(&mut self, dir: std::path::PathBuf, device: u32) {
+        self.flight = Some((dir, device));
+    }
+
+    /// Builds the postmortem artifact for this device's current state.
+    /// Only device-deterministic data goes in — see
+    /// [`crate::flight`] for the contract.
+    pub fn flight_record(
+        &self,
+        device: u32,
+        epoch: u64,
+        reason: &str,
+        detail: &str,
+        config_digest: u64,
+    ) -> crate::flight::FlightRecord {
+        use crate::flight::{FLIGHT_EVENT_WINDOW, FLIGHT_TIMELINE_WINDOW};
+        let mut record = crate::flight::FlightRecord::new(device, epoch, reason, detail, config_digest);
+        let start = self.events.len().saturating_sub(FLIGHT_EVENT_WINDOW);
+        record.events = self.events[start..].iter().map(ToJson::to_json).collect();
+        if let Json::Array(points) = self.timeline.window_json(FLIGHT_TIMELINE_WINDOW) {
+            record.timeline = points;
+        }
+        record.push_tally("epoch", self.epoch as u64);
+        record.push_tally("checkups", self.monitor.history().len() as u64);
+        record.push_tally("repairs_used", self.repairs_used as u64);
+        record.push_tally("stuck_cells", self.total_stuck() as u64);
+        record.push_tally("soft_corrected", self.soft_corrected as u64);
+        record.push_tally("soft_uncorrectable", self.soft_uncorrectable as u64);
+        record.push_tally("active_patterns", self.active_patterns as u64);
+        record.push_tally("retries", self.retries);
+        record
+    }
+
+    /// Appends the end-of-epoch observation to the health timeline.
+    /// Always recorded (telemetry on or off): the timeline is plain
+    /// deterministic data, bounded by downsampling, and the flight
+    /// recorder depends on it being present.
+    fn record_timeline(&mut self, epoch: usize) {
+        let last = self.monitor.history().last();
+        let distance = last.map(|c| c.distance).unwrap_or(ConfidenceDistance::POISONED);
+        // Accuracy proxy: confidence similarity over all classes. The
+        // runtime has no labeled eval set, so 1 − clamped all-classes
+        // distance stands in for an accuracy estimate.
+        let accuracy = f64::from((1.0 - distance.all_classes).clamp(0.0, 1.0));
+        self.timeline.record(tel::TimelinePoint {
+            epoch: epoch as u64,
+            state: self.state().label().to_owned(),
+            accuracy,
+            score: f64::from(distance.top_ranked),
+            repairs: self.repairs_used as u64,
+            scrubs: (self.soft_corrected + self.soft_uncorrectable) as u64,
+            retries: self.retries,
+        });
     }
 
     /// Whether the runtime parked in `Critical`.
@@ -1023,11 +1125,15 @@ impl LifetimeRuntime {
                 .expect("step_shallow clamps the depth into 1..=len");
             self.monitor.set_detector(detector);
         }
+        let t0 = tel::enabled().then(std::time::Instant::now);
         let checkup = match &self.device {
             DeviceState::Digital(net) => self.monitor.check(net),
             DeviceState::Analog(b) => self.monitor.check(b),
             DeviceState::BitSliced(b) => self.monitor.check(b),
         };
+        if let Some(t0) = t0 {
+            PHASE_DETECTOR_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         if shallow.is_some() {
             let detector = if self.active_patterns < self.patterns.len() {
                 self.full_detector
@@ -1052,6 +1158,7 @@ impl LifetimeRuntime {
         if checkup.state >= self.config.trigger && epoch >= self.next_repair_epoch {
             self.repair_session(epoch);
         }
+        self.record_timeline(epoch);
     }
 
     /// Applies one epoch of aging. The RNG is re-derived from the master
@@ -1250,11 +1357,15 @@ impl LifetimeRuntime {
     /// budget parks the runtime.
     fn repair_session(&mut self, epoch: usize) {
         let _span = tel::span("lifetime.repair_session");
+        let t0 = tel::enabled().then(std::time::Instant::now);
         let diagnosis = match &self.device {
             DeviceState::Digital(net) => diagnose(self.monitor.detector(), &self.golden, net),
             DeviceState::Analog(b) => diagnose(self.monitor.detector(), &self.golden, b),
             DeviceState::BitSliced(b) => diagnose(self.monitor.detector(), &self.golden, b),
         };
+        if let Some(t0) = t0 {
+            PHASE_DIAGNOSE_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         if let Some(prime) = diagnosis.prime_suspect() {
             self.push_event(LifetimeEvent::Diagnosed { epoch, suspect: prime.key.clone() });
         }
@@ -1281,11 +1392,15 @@ impl LifetimeRuntime {
                 continue;
             }
             self.repairs_used += 1;
+            let t0 = tel::enabled().then(std::time::Instant::now);
             match action {
                 RepairAction::Reprogram => self.reprogram(),
                 RepairAction::Spares => self.consume_spares(&diagnosis),
                 RepairAction::Retrain => self.retrain(epoch),
                 RepairAction::Degrade => self.degrade(epoch),
+            }
+            if let Some(t0) = t0 {
+                PHASE_REPAIR_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             }
             if self.config.hardened {
                 // Repairs rewrite conductances; re-baseline the parity so
@@ -1497,7 +1612,7 @@ impl LifetimeRuntime {
         self.push_event(LifetimeEvent::Parked { epoch, reason: reason.clone() });
         self.incident = Some(IncidentReport {
             epoch,
-            reason,
+            reason: reason.clone(),
             final_state: HealthState::Critical,
             final_distance,
             repairs_attempted: self.repairs_used,
@@ -1505,6 +1620,19 @@ impl LifetimeRuntime {
             active_patterns: self.active_patterns,
             recommended_action: HealthState::Critical.recommended_action().to_owned(),
         });
+        if let Some((dir, device)) = self.flight.clone() {
+            let record = self.flight_record(
+                device,
+                epoch as u64,
+                "park",
+                &reason,
+                self.config.digest(),
+            );
+            if let Err(e) = record.write(&dir) {
+                // A failing dump must never take the runtime down with it.
+                tel::log_warn!("flight-record dump failed for device {device:04}: {e}");
+            }
+        }
     }
 
     /// Deterministic operator-facing report: byte-identical for
@@ -1707,6 +1835,9 @@ impl LifetimeRuntime {
         runtime.monitor = HealthMonitor::from_snapshot(detector, runtime.config.policy, snapshot);
         runtime.events = Vec::from_json(value.field("events")?)?;
         runtime.incident = Option::from_json(value.field("incident")?)?;
+        // Timelines are never checkpointed: drop the construction-time
+        // baseline point and restart history at the resume epoch.
+        runtime.timeline = tel::HealthTimeline::default();
         if runtime.config.hardened {
             if !bool::from_json(value.field("hardened")?)? {
                 return Err(HealthmonError::CheckpointMismatch(

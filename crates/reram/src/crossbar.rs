@@ -28,6 +28,17 @@ static ADC_SAMPLES: tel::Counter = tel::Counter::new("reram.adc.samples", tel::S
 static ADC_CLIPPED: tel::Counter = tel::Counter::new("reram.adc.clipped", tel::Stability::Stable);
 static ADC_SATURATION: tel::Gauge =
     tel::Gauge::new("reram.adc.saturation_max", tel::Stability::Stable);
+// Checkup-pipeline latency attribution: wall-clock time spent in each
+// analog stage of a matmul. Wall-clock measurements are scheduling- and
+// machine-dependent, so unlike the work counters above these are
+// Volatile — excluded from the stable byte-comparison surface and
+// served live through the metrics exporter (p50/p95/p99).
+static PHASE_DAC_NS: tel::Histogram =
+    tel::Histogram::new("phase.dac_ns", tel::Stability::Volatile);
+static PHASE_ACCUMULATE_NS: tel::Histogram =
+    tel::Histogram::new("phase.accumulate_ns", tel::Stability::Volatile);
+static PHASE_ADC_NS: tel::Histogram =
+    tel::Histogram::new("phase.adc_ns", tel::Stability::Volatile);
 static IR_DROP_APPLIED: tel::Counter =
     tel::Counter::new("reram.ir_drop.applied", tel::Stability::Stable);
 static IR_DROP_MIN_FACTOR: tel::Gauge =
@@ -815,7 +826,12 @@ impl Crossbar {
         // ADC scaling fused at the tile boundary.
         if let Some(int) = &exec.int {
             let grid = self.dac_grid().expect("integer-capable config implies a live DAC");
-            if let Some(codes) = grid.codes_for(input.as_slice()) {
+            let t_dac = tel::enabled().then(std::time::Instant::now);
+            let codes = grid.codes_for(input.as_slice());
+            if let Some(codes) = codes {
+                if let Some(t0) = t_dac {
+                    PHASE_DAC_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
                 if tel::enabled() {
                     record_converter(
                         input.as_slice(),
@@ -825,7 +841,15 @@ impl Crossbar {
                         &DAC_SATURATION,
                     );
                 }
-                return self.int_matmul(int, &grid, &codes, batch, self.rows, 0);
+                // The integer kernel fuses the ADC rescale into its tile
+                // boundary, so its time lands in the accumulate phase.
+                let t_acc = tel::enabled().then(std::time::Instant::now);
+                let out = self.int_matmul(int, &grid, &codes, batch, self.rows, 0);
+                if let Some(t0) = t_acc {
+                    PHASE_ACCUMULATE_NS
+                        .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
+                return out;
             }
         }
         // f32 reference path (exact/ideal configs, NaN inputs, or
@@ -841,16 +865,34 @@ impl Crossbar {
                     &DAC_SATURATION,
                 );
             }
+            let t_dac = tel::enabled().then(std::time::Instant::now);
             let q = Quantizer::new(-self.input_range, self.input_range, self.config.dac_bits);
             q.quantize_slice(v.as_mut_slice());
-            v.matmul_prepacked(self.packed())
+            if let Some(t0) = t_dac {
+                PHASE_DAC_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            let t_acc = tel::enabled().then(std::time::Instant::now);
+            let out = v.matmul_prepacked(self.packed());
+            if let Some(t0) = t_acc {
+                PHASE_ACCUMULATE_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            out
         } else {
             // Analog accumulate directly in the weight domain: the cached
             // packing already carries the (g+ − g−)·scale fold, so one
             // GEMM yields I_bj·scale = Σ_i v_bi (g+_ij − g−_ij)·scale.
-            input.matmul_prepacked(self.packed())
+            let t_acc = tel::enabled().then(std::time::Instant::now);
+            let out = input.matmul_prepacked(self.packed());
+            if let Some(t0) = t_acc {
+                PHASE_ACCUMULATE_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            out
         };
+        let t_adc = tel::enabled().then(std::time::Instant::now);
         self.adc_quantize(&mut out);
+        if let Some(t0) = t_adc {
+            PHASE_ADC_NS.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         out
     }
 

@@ -49,11 +49,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
+pub use export::{parse_stream, render_frame, MetricsServer, SnapshotFrame};
 pub use log::{set_verbosity, verbosity, Level};
 pub use metrics::{
     snapshot, Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot,
@@ -61,6 +64,7 @@ pub use metrics::{
 };
 pub use sink::{parse_jsonl, render_jsonl, render_prometheus, render_report};
 pub use span::{record_event, span, EventSnapshot, Span, SpanSnapshot};
+pub use timeseries::{HealthTimeline, Series, TimelinePoint, TIMELINE_CAPACITY};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

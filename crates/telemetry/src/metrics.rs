@@ -357,6 +357,48 @@ impl HistogramSnapshot {
             (1u64 << index) - 1
         }
     }
+
+    /// Inclusive lower bound of a bucket: 0 for the zero bucket, else
+    /// `2^(index-1)`.
+    pub fn bucket_lower(index: u32) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1).min(63)
+        }
+    }
+
+    /// Deterministic nearest-rank quantile estimate from the log2
+    /// buckets.
+    ///
+    /// The sample at 1-based rank `ceil(q * count)` is located in its
+    /// bucket and its value estimated by linear interpolation across the
+    /// bucket's `[2^(i-1), 2^i)` span, assuming ranks spread evenly
+    /// within a bucket. All arithmetic is exact integer math (`u128`
+    /// intermediate), so the estimate is bit-identical across platforms
+    /// and thread counts whenever the bucket counts are. Returns 0 for
+    /// an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            if seen + n >= rank {
+                let lower = Self::bucket_lower(i);
+                let width = Self::bucket_upper(i) - lower;
+                let k = rank - seen - 1; // 0-based position within the bucket
+                let step = (width as u128 * k as u128) / n as u128;
+                return lower + step as u64;
+            }
+            seen += n;
+        }
+        // Unreachable when count == sum of bucket counts; fall back to
+        // the top of the highest occupied bucket.
+        self.buckets.last().map(|&(i, _)| Self::bucket_upper(i)).unwrap_or(0)
+    }
 }
 
 /// A deterministic snapshot of everything recorded since the last reset:
@@ -494,5 +536,50 @@ mod tests {
         assert_eq!(HistogramSnapshot::bucket_upper(1), 1);
         assert_eq!(HistogramSnapshot::bucket_upper(4), 15);
         assert_eq!(HistogramSnapshot::bucket_upper(64), u64::MAX);
+        assert_eq!(HistogramSnapshot::bucket_lower(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_lower(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_lower(4), 8);
+        assert_eq!(HistogramSnapshot::bucket_lower(64), 1u64 << 63);
+    }
+
+    fn hist(count: u64, buckets: Vec<(u32, u64)>) -> HistogramSnapshot {
+        HistogramSnapshot { name: "q".into(), count, sum: 0, buckets, stable: false }
+    }
+
+    #[test]
+    fn quantile_is_exact_on_single_value_buckets() {
+        // Zeros and ones occupy single-value buckets, so every quantile
+        // inside them is exact, not interpolated.
+        let h = hist(4, vec![(0, 2), (1, 2)]);
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.75), 1);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // Four samples in bucket 11 ([1024, 2047]): ranks spread evenly
+        // across the 1023-wide span at k/n steps.
+        let h = hist(4, vec![(11, 4)]);
+        assert_eq!(h.quantile(0.25), 1024);
+        assert_eq!(h.quantile(0.5), 1024 + 1023 / 4);
+        assert_eq!(h.quantile(1.0), 1024 + (1023 * 3) / 4);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let h = hist(100, vec![(1, 50), (5, 45), (11, 5)]);
+        assert_eq!(h.quantile(0.5), 1);
+        // p95 is the 95th sample: rank 95 is the last of bucket 5.
+        assert_eq!(HistogramSnapshot::bucket_lower(5), 16);
+        assert_eq!(h.quantile(0.95), 16 + (15 * 44) / 45);
+        // p99 lands in bucket 11.
+        assert_eq!(h.quantile(0.99), 1024 + (1023 * 3) / 5);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(hist(0, vec![]).quantile(0.99), 0);
     }
 }

@@ -244,6 +244,12 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
+        // Pre-computed quantile gauges so dashboards need no PromQL
+        // histogram_quantile over the coarse log2 buckets.
+        for (q, suffix) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            let _ = writeln!(out, "# TYPE {n}_{suffix} gauge");
+            let _ = writeln!(out, "{n}_{suffix} {}", h.quantile(q));
+        }
     }
     out
 }
@@ -288,10 +294,16 @@ pub fn render_report(snap: &MetricsSnapshot) -> String {
                 "  {:<44} count={} sum={} mean={:.1}",
                 h.name, h.count, h.sum, mean
             );
-            for &(i, count) in &h.buckets {
-                let upper = HistogramSnapshot::bucket_upper(i);
-                let _ = writeln!(out, "      <= {upper:<20} {count}");
-            }
+            // Quantile estimates from the log2 buckets replace the raw
+            // bucket dump: three numbers an operator can read at a
+            // glance instead of a page of bucket edges.
+            let _ = writeln!(
+                out,
+                "      p50={} p95={} p99={}",
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
         }
     }
     if !snap.spans.is_empty() {
@@ -386,6 +398,10 @@ mod tests {
         assert!(text.contains("healthmon_sink_calls 42"));
         assert!(text.contains("healthmon_sink_wait_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("healthmon_sink_wait_ns_count 3"));
+        // Per-histogram quantile gauges ride along for dashboards.
+        assert!(text.contains("# TYPE healthmon_sink_wait_ns_p95 gauge"));
+        assert!(text.contains("healthmon_sink_wait_ns_p50 "));
+        assert!(text.contains("healthmon_sink_wait_ns_p99 "));
     }
 
     #[test]
@@ -395,6 +411,7 @@ mod tests {
         let text = render_report(&snap);
         assert!(text.contains("== healthmon telemetry =="));
         assert!(text.contains("sink.calls"));
+        assert!(text.contains("p50=") && text.contains("p99="));
         assert!(text.contains("run"));
         assert!(text.contains("step"));
         assert!(text.contains("sink.event something happened"));

@@ -6,8 +6,9 @@
 # Usage: scripts/ci.sh [--bench-smoke]
 #   --bench-smoke  additionally run the bench binaries in short mode
 #                  (HEALTHMON_BENCH_SMOKE=1) and refresh BENCH_pr2.json,
-#                  BENCH_pr5.json (telemetry overhead A/B) and
-#                  BENCH_pr7.json (integer-path crossbar A/B).
+#                  BENCH_pr5.json (telemetry overhead A/B),
+#                  BENCH_pr7.json (integer-path crossbar A/B) and
+#                  BENCH_pr10.json (zoo-wide campaign cost).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -331,6 +332,39 @@ grep -q "quarantined devices: [1-9]" "$fleet_dir/chaos_1.txt"
 grep -q "checkup-panic" "$fleet_dir/chaos_1.txt"
 echo "ok: 200-device chaos fleet completed with zero aborts, quarantined offenders,"
 echo "    and stayed byte-identical under thread variance"
+# Flight recorder + live observability: the same chaos fleet with the
+# recorder and snapshot stream armed must (a) leave stdout byte-identical
+# to the unobserved run, (b) dump at least one digest-guarded postmortem,
+# and (c) produce byte-identical artifacts across reruns and thread
+# counts (the artifacts embed only device-local, epoch-keyed state).
+rc0=0
+"$hm" fleet --devices 200 --epochs 4 --seed 17 --quarantine 2 \
+    --chaos "$chaos_spec" > "$fleet_dir/chaos_plain.txt" 2> /dev/null || rc0=$?
+for t in 1 2 7; do
+    rcf=0
+    HEALTHMON_THREADS=$t "$hm" fleet --devices 200 --epochs 4 --seed 17 --quarantine 2 \
+        --chaos "$chaos_spec" --flight-dir "$fleet_dir/flight_$t" \
+        --snapshot-log "$fleet_dir/stream_$t.jsonl" \
+        > "$fleet_dir/chaos_obs_$t.txt" 2> /dev/null || rcf=$?
+    [[ "$rcf" == "$rc0" ]]
+    cmp "$fleet_dir/chaos_obs_$t.txt" "$fleet_dir/chaos_plain.txt"
+done
+diff -r "$fleet_dir/flight_1" "$fleet_dir/flight_2"
+diff -r "$fleet_dir/flight_1" "$fleet_dir/flight_7"
+n_flight=$(ls "$fleet_dir/flight_1" | wc -l)
+[[ "$n_flight" -ge 1 ]]
+# Every artifact must digest-verify and parse through `healthmon flight`.
+for f in "$fleet_dir/flight_1"/incident-*.json; do
+    "$hm" flight --file "$f" > /dev/null
+done
+# The rotating snapshot stream parses through metrics/top. (Grep files,
+# not pipes: `grep -q` closing the pipe early would SIGPIPE the CLI.)
+"$hm" metrics --file "$fleet_dir/stream_1.jsonl" --last 2 > "$fleet_dir/metrics_last2.txt"
+grep -q "epoch" "$fleet_dir/metrics_last2.txt"
+"$hm" top --file "$fleet_dir/stream_1.jsonl" > "$fleet_dir/top.txt"
+grep -q "healthmon top" "$fleet_dir/top.txt"
+echo "ok: flight recorder dumped $n_flight digest-verified postmortems, byte-identical"
+echo "    across reruns and HEALTHMON_THREADS=1/2/7, with stdout untouched"
 # Kill-9 crash recovery: SIGKILL the process mid-run, then resume from
 # the surviving shards. The interrupted run checkpoints after every
 # --stop-after slice, so the kill costs at most the in-flight epoch; the
@@ -422,6 +456,18 @@ if [[ "$BENCH_SMOKE" == "1" ]]; then
         echo '}'
     } > BENCH_pr8.json
     echo "ok: fleet load generator ran; BENCH_pr8.json written"
+    # BENCH_pr10.json: per-architecture campaign cost across the whole
+    # model zoo (the per-checkup cost a fleet device pays, per model).
+    HEALTHMON_BENCH_SMOKE=1 HEALTHMON_BENCH_JSON="$report_dir/zoo_campaign.json" \
+        cargo bench --offline --bench zoo_campaign > /dev/null
+    {
+        echo '{'
+        echo '"mode": "smoke",'
+        echo '"zoo_campaign":'
+        cat "$report_dir/zoo_campaign.json"
+        echo '}'
+    } > BENCH_pr10.json
+    echo "ok: zoo campaign bench ran; BENCH_pr10.json written"
 fi
 
 echo "CI passed."

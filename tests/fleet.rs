@@ -15,14 +15,16 @@
 //!    `HealthmonError::CheckpointCorrupt` naming the offending path.
 
 use healthmon::{
-    CampaignCheckpoint, ChaosConfig, FleetConfig, FleetSupervisor, HealthmonError,
-    LifetimeConfig, SdcCriterion, TestPatternSet,
+    CampaignCheckpoint, ChaosConfig, FleetConfig, FleetSupervisor, FlightRecord,
+    HealthmonError, LifetimeConfig, LifetimeRuntime, SdcCriterion, TestPatternSet,
+    CHECKUP_PHASES,
 };
 use healthmon_nn::models::tiny_mlp;
 use healthmon_nn::Network;
 use healthmon_tensor::{SeededRng, Tensor};
 use healthmon_telemetry as tel;
 use std::path::PathBuf;
+use std::str::FromStr;
 
 fn fixture(seed: u64) -> (Network, TestPatternSet) {
     let mut rng = SeededRng::new(seed);
@@ -166,6 +168,79 @@ fn kill_resume_with_one_torn_shard_recovers_every_other_device() {
     assert_eq!(resumed.render_report(), full.render_report());
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn flight_recorder_dumps_deterministic_digest_verified_artifacts() {
+    let (net, patterns) = fixture(21);
+    let chaos = ChaosConfig::parse("panic:0.35,stall:0.2,stallms:600,poison:0.05,seed:13")
+        .unwrap();
+    let mut cfg = config(24, chaos);
+    cfg.quarantine_threshold = 2;
+    let dir_a = temp_dir("flight_a");
+    let dir_b = temp_dir("flight_b");
+    let run = |flight: Option<&PathBuf>| {
+        let mut fleet = FleetSupervisor::new(&net, patterns.clone(), cfg).unwrap();
+        if let Some(dir) = flight {
+            fleet.set_flight_dir(dir.clone());
+        }
+        fleet.run(Some(4));
+        fleet.render_report()
+    };
+    let plain = run(None);
+    let report_a = run(Some(&dir_a));
+    let report_b = run(Some(&dir_b));
+    // Arming the recorder never moves the deterministic report
+    // (observability on vs off), and the run stays deterministic.
+    assert_eq!(plain, report_a);
+    assert_eq!(report_a, report_b);
+    let list = |dir: &PathBuf| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = list(&dir_a);
+    assert!(!names.is_empty(), "chaos at these rates must dump postmortems");
+    assert_eq!(names, list(&dir_b), "rerun must dump the identical artifact set");
+    for name in &names {
+        let a = std::fs::read_to_string(dir_a.join(name)).unwrap();
+        let b = std::fs::read_to_string(dir_b.join(name)).unwrap();
+        assert_eq!(a, b, "artifact {name} must be byte-identical across reruns");
+        // Every artifact digest-verifies and carries the full contract.
+        let record = FlightRecord::from_str(&a).unwrap();
+        assert_eq!(record.phases, CHECKUP_PHASES.to_vec());
+        assert!(record.epoch >= 1);
+        assert!(record.tallies.iter().any(|(k, _)| k == "offenses"));
+        assert!(!record.timeline.is_empty(), "{name} must embed a timeline window");
+    }
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn health_timeline_is_recorded_bounded_and_deterministic() {
+    let (net, patterns) = fixture(5);
+    let cfg = LifetimeConfig { epochs: 6, ..LifetimeConfig::default() };
+    let run = || {
+        let mut rt = LifetimeRuntime::new(&net, patterns.clone(), cfg, None);
+        rt.run(None);
+        rt
+    };
+    let a = run();
+    let b = run();
+    // One baseline point plus one per completed epoch, downsampled to a
+    // bounded buffer; the recorded points are a pure function of the run.
+    assert_eq!(a.timeline().observed(), a.epoch() as u64 + 1);
+    assert!(a.timeline().len() <= tel::TIMELINE_CAPACITY);
+    let pa: Vec<_> = a.timeline().points().cloned().collect();
+    let pb: Vec<_> = b.timeline().points().cloned().collect();
+    assert_eq!(pa, pb);
+    let last = pa.last().unwrap();
+    assert_eq!(last.epoch, a.epoch() as u64);
+    assert!((0.0..=1.0).contains(&last.accuracy));
 }
 
 #[test]
